@@ -1,0 +1,113 @@
+// Package main_test holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper. Each iteration regenerates
+// the artifact end to end (scenario construction, multi-seed simulation,
+// extraction) in quick mode; run with
+//
+//	go test -bench=. -benchmem
+//
+// For paper-faithful sweeps (5 seeds × 5 s per point) use
+// cmd/experiments instead; benchmarks favor bounded runtime.
+package main_test
+
+import (
+	"fmt"
+	"testing"
+
+	"greedy80211/internal/experiments"
+	"greedy80211/internal/scenario"
+	"greedy80211/internal/sim"
+)
+
+// benchArtifact runs one registered artifact per iteration.
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.RunConfig{Quick: true, BaseSeed: 11}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Tables) == 0 && len(res.Series) == 0 {
+			b.Fatalf("%s: empty result", id)
+		}
+	}
+}
+
+// One benchmark per evaluation artifact (fig20 is a flow chart; no data).
+
+func BenchmarkExpFig1(b *testing.B)  { benchArtifact(b, "fig1") }
+func BenchmarkExpFig2(b *testing.B)  { benchArtifact(b, "fig2") }
+func BenchmarkExpFig3(b *testing.B)  { benchArtifact(b, "fig3") }
+func BenchmarkExpFig4(b *testing.B)  { benchArtifact(b, "fig4") }
+func BenchmarkExpFig5(b *testing.B)  { benchArtifact(b, "fig5") }
+func BenchmarkExpFig6(b *testing.B)  { benchArtifact(b, "fig6") }
+func BenchmarkExpFig7(b *testing.B)  { benchArtifact(b, "fig7") }
+func BenchmarkExpFig8(b *testing.B)  { benchArtifact(b, "fig8") }
+func BenchmarkExpFig9(b *testing.B)  { benchArtifact(b, "fig9") }
+func BenchmarkExpFig10(b *testing.B) { benchArtifact(b, "fig10") }
+func BenchmarkExpFig11(b *testing.B) { benchArtifact(b, "fig11") }
+func BenchmarkExpFig12(b *testing.B) { benchArtifact(b, "fig12") }
+func BenchmarkExpFig13(b *testing.B) { benchArtifact(b, "fig13") }
+func BenchmarkExpFig14(b *testing.B) { benchArtifact(b, "fig14") }
+func BenchmarkExpFig15(b *testing.B) { benchArtifact(b, "fig15") }
+func BenchmarkExpFig16(b *testing.B) { benchArtifact(b, "fig16") }
+func BenchmarkExpFig17(b *testing.B) { benchArtifact(b, "fig17") }
+func BenchmarkExpFig18(b *testing.B) { benchArtifact(b, "fig18") }
+func BenchmarkExpFig19(b *testing.B) { benchArtifact(b, "fig19") }
+func BenchmarkExpFig21(b *testing.B) { benchArtifact(b, "fig21") }
+func BenchmarkExpFig22(b *testing.B) { benchArtifact(b, "fig22") }
+func BenchmarkExpFig23(b *testing.B) { benchArtifact(b, "fig23") }
+func BenchmarkExpFig24(b *testing.B) { benchArtifact(b, "fig24") }
+func BenchmarkExpTab1(b *testing.B)  { benchArtifact(b, "tab1") }
+func BenchmarkExpTab2(b *testing.B)  { benchArtifact(b, "tab2") }
+func BenchmarkExpTab3(b *testing.B)  { benchArtifact(b, "tab3") }
+func BenchmarkExpTab4(b *testing.B)  { benchArtifact(b, "tab4") }
+func BenchmarkExpTab5(b *testing.B)  { benchArtifact(b, "tab5") }
+func BenchmarkExpTab6(b *testing.B)  { benchArtifact(b, "tab6") }
+func BenchmarkExpTab7(b *testing.B)  { benchArtifact(b, "tab7") }
+func BenchmarkExpTab8(b *testing.B)  { benchArtifact(b, "tab8") }
+func BenchmarkExpTab9(b *testing.B)  { benchArtifact(b, "tab9") }
+func BenchmarkExpExtA(b *testing.B)  { benchArtifact(b, "exta") }
+func BenchmarkExpExtB(b *testing.B)  { benchArtifact(b, "extb") }
+func BenchmarkExpExtC(b *testing.B)  { benchArtifact(b, "extc") }
+func BenchmarkExpAbl1(b *testing.B)  { benchArtifact(b, "abl1") }
+func BenchmarkExpAbl2(b *testing.B)  { benchArtifact(b, "abl2") }
+func BenchmarkExpAbl3(b *testing.B)  { benchArtifact(b, "abl3") }
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// seconds of a saturated two-pair 802.11b UDP hotspot per wall-clock
+// second. Reported as events/op via ReportMetric.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := scenario.BuildPairs(scenario.PairsConfig{
+			Config:    scenario.Config{Seed: int64(i + 1), UseRTSCTS: true},
+			N:         2,
+			Transport: scenario.UDP,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Run(sim.Second)
+		b.ReportMetric(float64(w.Sched.Executed()), "events/simsec")
+	}
+}
+
+// BenchmarkScale measures how cost grows with the number of contending
+// pairs.
+func BenchmarkScale(b *testing.B) {
+	for _, pairs := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("pairs=%d", pairs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := scenario.BuildPairs(scenario.PairsConfig{
+					Config:    scenario.Config{Seed: int64(i + 1), UseRTSCTS: true},
+					N:         pairs,
+					Transport: scenario.UDP,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Run(sim.Second)
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig1
+//	experiments -run all -quick
+//	experiments -run fig4 -seeds 5 -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"greedy80211/internal/experiments"
+	"greedy80211/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list every artifact and exit")
+		id       = fs.String("run", "", "artifact id (fig1..fig24, tab1..tab9) or \"all\"")
+		seeds    = fs.Int("seeds", 0, "seeded repetitions per data point (default 5, paper methodology)")
+		baseSeed = fs.Int64("seed", 0, "base seed")
+		duration = fs.Duration("duration", 0, "simulated time per run (default 5s)")
+		quick    = fs.Bool("quick", false, "1 seed, 2s runs, trimmed sweeps")
+		csvDir   = fs.String("csv", "", "also write each artifact's data as CSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, reg := range experiments.All() {
+			fmt.Printf("%-6s %s\n", reg.ID, reg.Title)
+		}
+		return 0
+	}
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -run <id> or -list required")
+		fs.Usage()
+		return 2
+	}
+	cfg := experiments.RunConfig{
+		Seeds:    *seeds,
+		BaseSeed: *baseSeed,
+		Duration: sim.Time(duration.Nanoseconds()),
+		Quick:    *quick,
+	}
+	ids := []string{*id}
+	if *id == "all" {
+		ids = ids[:0]
+		for _, reg := range experiments.All() {
+			ids = append(ids, reg.ID)
+		}
+	}
+	for _, artifact := range ids {
+		start := time.Now()
+		res, err := experiments.Run(artifact, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		fmt.Print(res.String())
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return 1
+			}
+		}
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", artifact, time.Since(start).Seconds())
+	}
+	return 0
+}
+
+func writeCSVs(dir string, res *experiments.Result) error {
+	files, err := res.CSVFiles()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating csv dir: %w", err)
+	}
+	for name, doc := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(doc), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", name, err)
+		}
+	}
+	return nil
+}

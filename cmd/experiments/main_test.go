@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"bad flag", []string{"-nope"}, 2},
+		{"list", []string{"-list"}, 0},
+		{"unknown artifact", []string{"-run", "fig99"}, 1},
+		{"tab3 (analytic, instant)", []string{"-run", "tab3"}, 0},
+		{"fig1 quick", []string{"-run", "fig1", "-quick"}, 0},
+		{"custom seeds and duration", []string{"-run", "tab3", "-seeds", "1",
+			"-duration", "1s", "-seed", "9"}, 0},
+		{"csv output", []string{"-run", "tab3", "-csv", t.TempDir()}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := run(tt.args); got != tt.want {
+				t.Errorf("run(%v) = %d, want %d", tt.args, got, tt.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import "testing"
+
+func TestParseMisbehavior(t *testing.T) {
+	tests := []struct {
+		in      string
+		wantErr bool
+	}{
+		{"none", false}, {"", false}, {"nav", false}, {"nav-inflation", false},
+		{"spoof", false}, {"ack-spoofing", false}, {"fake", false},
+		{"fake-acks", false}, {"bogus", true},
+	}
+	for _, tt := range tests {
+		if _, err := parseMisbehavior(tt.in); (err != nil) != tt.wantErr {
+			t.Errorf("parseMisbehavior(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+		}
+	}
+}
+
+func TestParseFrames(t *testing.T) {
+	for _, ok := range []string{"cts", "", "ack", "cts+ack", "rts+cts", "all"} {
+		if _, err := parseFrames(ok); err != nil {
+			t.Errorf("parseFrames(%q) = %v", ok, err)
+		}
+	}
+	if _, err := parseFrames("datagram"); err == nil {
+		t.Error("bad frame set accepted")
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"bad flag", []string{"-nope"}, 2},
+		{"bad misbehavior", []string{"-misbehavior", "x"}, 2},
+		{"bad transport", []string{"-transport", "x"}, 2},
+		{"bad band", []string{"-band", "x"}, 2},
+		{"bad frames", []string{"-frames", "x"}, 2},
+		{"invalid config", []string{"-misbehavior", "nav", "-greedy", "9", "-pairs", "2",
+			"-runs", "1", "-duration", "1s"}, 1},
+		{"baseline run", []string{"-runs", "1", "-duration", "1s"}, 0},
+		{"nav with grc and trace", []string{"-misbehavior", "nav", "-nav", "5ms",
+			"-grc", "-trace", "-runs", "1", "-duration", "1s"}, 0},
+		{"spoof tcp", []string{"-misbehavior", "spoof", "-transport", "tcp",
+			"-ber", "2e-4", "-runs", "1", "-duration", "1s"}, 0},
+		{"fake hidden", []string{"-misbehavior", "fake", "-hidden",
+			"-runs", "1", "-duration", "1s"}, 0},
+		{"shared ap 11a", []string{"-shared-ap", "-band", "a", "-pairs", "3",
+			"-runs", "1", "-duration", "1s"}, 0},
+		{"no rtscts", []string{"-no-rtscts", "-runs", "1", "-duration", "1s"}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := run(tt.args); got != tt.want {
+				t.Errorf("run(%v) = %d, want %d", tt.args, got, tt.want)
+			}
+		})
+	}
+}

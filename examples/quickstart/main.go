@@ -1,0 +1,46 @@
+// Quickstart: a two-flow 802.11b hotspot where one receiver inflates its
+// CTS/ACK NAV, with and without the GRC countermeasure. This is the
+// paper's headline result in ~40 lines against the high-level API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"greedy80211/internal/core"
+	"greedy80211/internal/sim"
+)
+
+func main() {
+	base := core.Config{
+		Seed:         1,
+		Runs:         3,
+		Duration:     4 * sim.Second,
+		Misbehavior:  core.MisbehaviorNAVInflation,
+		NAVInflation: 10 * sim.Millisecond,
+	}
+
+	attacked, err := core.Run(base)
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+
+	protected := base
+	protected.EnableGRC = true
+	defended, err := core.Run(protected)
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+
+	fmt.Println("Greedy receiver inflating CTS/ACK NAV by 10 ms (802.11b, UDP):")
+	fmt.Printf("  unprotected: greedy %.2f Mbps, normal %.2f Mbps\n",
+		attacked.GreedyGoodputMbps, attacked.NormalGoodputMbps)
+	fmt.Printf("  with GRC:    greedy %.2f Mbps, normal %.2f Mbps"+
+		" (%.0f NAV corrections per run)\n",
+		defended.GreedyGoodputMbps, defended.NormalGoodputMbps,
+		defended.NAVCorrections)
+
+	if attacked.NormalGoodputMbps < 0.2 && defended.NormalGoodputMbps > 1.0 {
+		fmt.Println("  -> the attack starves the normal flow; GRC restores fairness.")
+	}
+}

@@ -1,0 +1,3 @@
+module greedy80211
+
+go 1.22

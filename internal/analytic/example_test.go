@@ -1,0 +1,69 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"greedy80211/internal/analytic"
+	"greedy80211/internal/phys"
+)
+
+// The paper's Equations 1–2: how a greedy receiver's NAV inflation (v
+// timeslots of head start for its sender) skews the channel-acquisition
+// ratio between the greedy and normal senders.
+func ExampleSendingRatio() {
+	gs := analytic.Single(31) // greedy flow's sender stays at CWmin
+	ns := analytic.Single(31)
+	for _, v := range []int{0, 8, 16, 28, 33} {
+		ratio, err := analytic.SendingRatio(gs, ns, v)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("v=%2d slots: GS sends %.0f%% of the time\n", v, 100*ratio)
+	}
+	// Output:
+	// v= 0 slots: GS sends 50% of the time
+	// v= 8 slots: GS sends 70% of the time
+	// v=16 slots: GS sends 86% of the time
+	// v=28 slots: GS sends 99% of the time
+	// v=33 slots: GS sends 100% of the time
+}
+
+// Table III's closed form: the frame error rate each frame type sees at a
+// given bit error rate.
+func ExampleFER() {
+	ber := 2e-4
+	fmt.Printf("ACK/CTS: %.4f\n", analytic.FER(ber, analytic.UnitsACKCTS))
+	fmt.Printf("TCP data: %.3f\n", analytic.FER(ber, analytic.UnitsTCPData))
+	// Output:
+	// ACK/CTS: 0.0076
+	// TCP data: 0.202
+}
+
+// The saturation model predicts the fair baseline a greedy receiver
+// steals from: per-station throughput for n contenders, and the gain
+// ceiling of a receiver that silences everyone else.
+func ExampleSaturation() {
+	cfg := analytic.SaturationConfig{
+		Stations:      2,
+		Params:        phys.Params80211B(),
+		PayloadBytes:  1024,
+		OverheadBytes: 28,
+		UseRTSCTS:     true,
+	}
+	res, err := analytic.Saturation(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	gain, err := analytic.GreedyGainBound(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("fair share: %.1f Mbps per flow\n", res.PerStationBps/1e6)
+	fmt.Printf("greedy ceiling: %.1fx\n", gain)
+	// Output:
+	// fair share: 1.9 Mbps per flow
+	// greedy ceiling: 1.9x
+}

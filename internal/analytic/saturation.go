@@ -1,0 +1,148 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+)
+
+// This file models DCF saturation throughput for n contending stations
+// (Bianchi, JSAC 2000, adapted to the paper's RTS/CTS configuration). It
+// predicts the fair baselines every figure starts from — e.g. the
+// per-flow ≈1.85 Mbps of Fig 1's zero-inflation point — and, with the
+// NAV-inflation model of Equations 1–2, brackets what a greedy receiver
+// stands to gain: the difference between a fair 1/n share and the whole
+// saturation throughput.
+
+// SaturationConfig describes the symmetric saturated network.
+type SaturationConfig struct {
+	// Stations is the number of contending senders, n ≥ 1.
+	Stations int
+	// Params carries band constants.
+	Params phys.Params
+	// PayloadBytes is the application payload per data frame.
+	PayloadBytes int
+	// OverheadBytes is the per-frame transport/network overhead carried
+	// on the air in addition to the payload (28 for UDP/IP here).
+	OverheadBytes int
+	// UseRTSCTS selects the protected exchange.
+	UseRTSCTS bool
+	// MaxBackoffStages bounds CW doubling (derived from CWmin/CWmax when
+	// zero).
+	MaxBackoffStages int
+}
+
+// SaturationResult is the model's fixed point and throughput prediction.
+type SaturationResult struct {
+	// Tau is each station's per-slot transmission probability.
+	Tau float64
+	// PCollision is the conditional collision probability a transmitting
+	// station sees.
+	PCollision float64
+	// ThroughputBps is aggregate application throughput; PerStationBps is
+	// the fair share.
+	ThroughputBps float64
+	PerStationBps float64
+}
+
+// Saturation solves Bianchi's fixed point and evaluates the throughput.
+func Saturation(cfg SaturationConfig) (SaturationResult, error) {
+	if cfg.Stations < 1 {
+		return SaturationResult{}, fmt.Errorf("analytic: %d stations", cfg.Stations)
+	}
+	if cfg.PayloadBytes <= 0 {
+		return SaturationResult{}, fmt.Errorf("analytic: payload %d", cfg.PayloadBytes)
+	}
+	p := cfg.Params
+	w := float64(p.CWMin + 1)
+	m := cfg.MaxBackoffStages
+	if m == 0 {
+		for cw := p.CWMin; cw < p.CWMax; cw = 2*(cw+1) - 1 {
+			m++
+		}
+	}
+	n := float64(cfg.Stations)
+
+	// Fixed point: tau(pc) from Bianchi's backoff chain; pc = 1-(1-tau)^(n-1).
+	tauOf := func(pc float64) float64 {
+		num := 2 * (1 - 2*pc)
+		den := (1-2*pc)*(w+1) + pc*w*(1-math.Pow(2*pc, float64(m)))
+		return num / den
+	}
+	var tau, pc float64
+	pc = 0.1
+	for i := 0; i < 200; i++ {
+		tau = tauOf(pc)
+		next := 1 - math.Pow(1-tau, n-1)
+		if math.Abs(next-pc) < 1e-12 {
+			pc = next
+			break
+		}
+		pc = 0.5*pc + 0.5*next
+	}
+	tau = tauOf(pc)
+
+	// Slot-time accounting.
+	pTr := 1 - math.Pow(1-tau, n)        // some transmission in a slot
+	pS := n * tau * math.Pow(1-tau, n-1) // exactly one (success)
+	pSGivenTr := 0.0                     // success among busy slots
+	if pTr > 0 {
+		pSGivenTr = pS / pTr
+	}
+
+	macBytes := cfg.PayloadBytes + cfg.OverheadBytes + phys.DataHeaderBytes
+	dataAir := p.TxDuration(macBytes, p.DataRateBps)
+	ackAir := p.TxDuration(phys.ACKFrameBytes, p.BasicRateBps)
+	rtsAir := p.TxDuration(phys.RTSFrameBytes, p.BasicRateBps)
+	ctsAir := p.TxDuration(phys.CTSFrameBytes, p.BasicRateBps)
+
+	var tSuccess, tCollision sim.Time
+	if cfg.UseRTSCTS {
+		tSuccess = rtsAir + p.SIFS + ctsAir + p.SIFS + dataAir + p.SIFS + ackAir + p.DIFS()
+		tCollision = rtsAir + p.CTSTimeout() + p.DIFS()
+	} else {
+		tSuccess = dataAir + p.SIFS + ackAir + p.DIFS()
+		tCollision = dataAir + p.ACKTimeout() + p.DIFS()
+	}
+	sigma := p.SlotTime
+
+	eSlot := (1-pTr)*float64(sigma) +
+		pTr*pSGivenTr*float64(tSuccess) +
+		pTr*(1-pSGivenTr)*float64(tCollision)
+	if eSlot <= 0 {
+		return SaturationResult{}, fmt.Errorf("analytic: degenerate slot time")
+	}
+	bitsPerSuccess := float64(cfg.PayloadBytes * 8)
+	throughput := pTr * pSGivenTr * bitsPerSuccess / (eSlot / float64(sim.Second))
+
+	return SaturationResult{
+		Tau:           tau,
+		PCollision:    pc,
+		ThroughputBps: throughput,
+		PerStationBps: throughput / n,
+	}, nil
+}
+
+// GreedyGainBound reports the maximum goodput multiplier a greedy
+// receiver can extract in an n-station saturated network: the whole
+// saturation throughput of a single unopposed station divided by the fair
+// per-station share. This is the ceiling the NAV-inflation figures
+// approach (e.g. ×2 for 2 pairs, ×8 for Fig 6's 8 flows).
+func GreedyGainBound(cfg SaturationConfig) (float64, error) {
+	if cfg.Stations < 1 {
+		return 0, fmt.Errorf("analytic: %d stations", cfg.Stations)
+	}
+	fair, err := Saturation(cfg)
+	if err != nil {
+		return 0, err
+	}
+	solo := cfg
+	solo.Stations = 1
+	alone, err := Saturation(solo)
+	if err != nil {
+		return 0, err
+	}
+	return alone.ThroughputBps / fair.PerStationBps, nil
+}

@@ -1,0 +1,124 @@
+package analytic
+
+import (
+	"testing"
+
+	"greedy80211/internal/phys"
+)
+
+func satCfg(n int) SaturationConfig {
+	return SaturationConfig{
+		Stations:      n,
+		Params:        phys.Params80211B(),
+		PayloadBytes:  1024,
+		OverheadBytes: 28,
+		UseRTSCTS:     true,
+	}
+}
+
+func TestSaturationValidation(t *testing.T) {
+	if _, err := Saturation(satCfg(0)); err == nil {
+		t.Error("zero stations accepted")
+	}
+	bad := satCfg(2)
+	bad.PayloadBytes = 0
+	if _, err := Saturation(bad); err == nil {
+		t.Error("zero payload accepted")
+	}
+}
+
+func TestSaturationSingleStation(t *testing.T) {
+	res, err := Saturation(satCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PCollision != 0 {
+		t.Errorf("single station collision prob = %v", res.PCollision)
+	}
+	// One saturated 802.11b RTS/CTS flow measures ≈3.5 Mbps in the
+	// simulator (and in the paper's testbed-equivalent regimes).
+	if mbps := res.ThroughputBps / 1e6; mbps < 3.0 || mbps > 4.2 {
+		t.Errorf("single-station saturation = %.2f Mbps, want ≈3.5", mbps)
+	}
+}
+
+func TestSaturationTwoStationsMatchesSimulator(t *testing.T) {
+	res, err := Saturation(satCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The simulator's two-pair fair baseline is ≈1.85 Mbps per flow.
+	if mbps := res.PerStationBps / 1e6; mbps < 1.5 || mbps > 2.1 {
+		t.Errorf("2-station per-flow = %.2f Mbps, want ≈1.85", mbps)
+	}
+	if res.PCollision <= 0 || res.PCollision > 0.2 {
+		t.Errorf("collision prob = %v", res.PCollision)
+	}
+}
+
+func TestSaturationMonotoneInStations(t *testing.T) {
+	prevPer := 1e12
+	prevTotal := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		res, err := Saturation(satCfg(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PerStationBps >= prevPer {
+			t.Errorf("per-station share did not shrink at n=%d", n)
+		}
+		prevPer = res.PerStationBps
+		// Aggregate declines slowly with n (more collisions) after n=1,
+		// but must stay within 40% of the single-station capacity.
+		if n > 1 && res.ThroughputBps < 0.6*prevTotal {
+			t.Errorf("aggregate collapsed at n=%d", n)
+		}
+		if n == 1 {
+			prevTotal = res.ThroughputBps
+		}
+	}
+}
+
+func TestSaturationBasicVsRTS(t *testing.T) {
+	rts, err := Saturation(satCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic := satCfg(8)
+	basic.UseRTSCTS = false
+	noRTS, err := Saturation(basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With large data frames and many stations, RTS/CTS pays for itself:
+	// collisions cost an RTS instead of a full data frame. The model must
+	// at least rank the collision costs correctly: basic access loses
+	// more per collision, so its throughput advantage at 8 stations is
+	// small or negative.
+	ratio := noRTS.ThroughputBps / rts.ThroughputBps
+	if ratio > 1.45 {
+		t.Errorf("basic access %.2f× RTS throughput at n=8; collision costs look wrong", ratio)
+	}
+}
+
+func TestGreedyGainBound(t *testing.T) {
+	for _, tt := range []struct {
+		n       int
+		wantMin float64
+		wantMax float64
+	}{
+		{2, 1.8, 2.3},
+		{8, 7.0, 9.5},
+	} {
+		gain, err := GreedyGainBound(satCfg(tt.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gain < tt.wantMin || gain > tt.wantMax {
+			t.Errorf("gain bound at n=%d: %.2f, want ≈%d×", tt.n, gain, tt.n)
+		}
+	}
+	if _, err := GreedyGainBound(satCfg(0)); err == nil {
+		t.Error("zero stations accepted")
+	}
+}

@@ -1,0 +1,305 @@
+// Package core is the high-level facade of the library: one call builds a
+// hotspot scenario from the paper's vocabulary (pairs or a shared AP, a
+// misbehavior, a greedy percentage, optional GRC protection), runs it over
+// several seeds, and reports per-flow goodput plus detection statistics.
+//
+// Lower-level control — custom topologies, mixed policies, wired backhaul —
+// is available through package scenario, and the individual mechanisms
+// through packages mac, medium, greedy, and detect.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"greedy80211/internal/detect"
+	"greedy80211/internal/greedy"
+	"greedy80211/internal/mac"
+	"greedy80211/internal/medium"
+	"greedy80211/internal/phys"
+	"greedy80211/internal/scenario"
+	"greedy80211/internal/sim"
+	"greedy80211/internal/stats"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Misbehavior selects the greedy receiver behavior under study.
+type Misbehavior int
+
+const (
+	// MisbehaviorNone runs a fully compliant network (baselines).
+	MisbehaviorNone Misbehavior = iota + 1
+	// MisbehaviorNAVInflation is misbehavior 1: inflated duration fields.
+	MisbehaviorNAVInflation
+	// MisbehaviorACKSpoofing is misbehavior 2: MAC ACKs forged on behalf
+	// of competing receivers.
+	MisbehaviorACKSpoofing
+	// MisbehaviorFakeACKs is misbehavior 3: ACKs for corrupted frames.
+	MisbehaviorFakeACKs
+)
+
+// String implements fmt.Stringer.
+func (m Misbehavior) String() string {
+	switch m {
+	case MisbehaviorNone:
+		return "none"
+	case MisbehaviorNAVInflation:
+		return "nav-inflation"
+	case MisbehaviorACKSpoofing:
+		return "ack-spoofing"
+	case MisbehaviorFakeACKs:
+		return "fake-acks"
+	default:
+		return fmt.Sprintf("Misbehavior(%d)", int(m))
+	}
+}
+
+// Config describes a complete experiment in the paper's vocabulary.
+type Config struct {
+	// Seed drives all randomness; runs use Seed, Seed+1, …
+	Seed int64
+	// Runs is how many seeded repetitions feed each median (default 5,
+	// the paper's methodology).
+	Runs int
+	// Duration is the simulated time per run (default 5 s).
+	Duration sim.Time
+
+	// Band selects 802.11b (default) or 802.11a.
+	Band phys.Band
+	// Transport selects UDP (default) or TCP.
+	Transport scenario.Transport
+	// Pairs is the number of sender→receiver flows (default 2).
+	Pairs int
+	// SharedAP puts all flows behind one access point instead of one
+	// sender per flow.
+	SharedAP bool
+	// HiddenTerminals uses the hidden-sender topology (UDP, no RTS/CTS) —
+	// the collision-loss setting of the fake-ACK study.
+	HiddenTerminals bool
+	// DisableRTSCTS turns the RTS/CTS exchange off.
+	DisableRTSCTS bool
+
+	// Misbehavior and the number of GreedyReceivers (the last k receivers
+	// misbehave). GreedyPercent throttles how often (default 100).
+	Misbehavior     Misbehavior
+	GreedyReceivers int
+	GreedyPercent   float64
+	// NAVInflation is the duration added by misbehavior 1 (default 10 ms);
+	// NAVFrames the frame set it applies to (default CTS+ACK).
+	NAVInflation sim.Time
+	NAVFrames    greedy.FrameSet
+
+	// BER injects Table III channel errors; DataFER injects a fixed data
+	// frame error rate instead.
+	BER     float64
+	DataFER float64
+
+	// EnableGRC installs the countermeasure at every station.
+	EnableGRC bool
+
+	// Trace attaches a channel tap (e.g. *trace.Recorder) to every run;
+	// events from all runs accumulate into the same tap.
+	Trace medium.Tap
+}
+
+// FlowResult is one flow's outcome.
+type FlowResult struct {
+	ID          int
+	Greedy      bool
+	GoodputMbps float64
+}
+
+// Result aggregates an experiment's medians across runs.
+type Result struct {
+	Flows []FlowResult
+	// GreedyGoodputMbps and NormalGoodputMbps average the greedy and
+	// normal flows' medians (zero when the class is empty).
+	GreedyGoodputMbps float64
+	NormalGoodputMbps float64
+	// NAVCorrections and SpoofsIgnored are median GRC interventions per
+	// run across protected stations (zero without GRC).
+	NAVCorrections float64
+	SpoofsIgnored  float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	if c.Duration == 0 {
+		c.Duration = 5 * sim.Second
+	}
+	if c.Band == 0 {
+		c.Band = phys.Band80211B
+	}
+	if c.Transport == 0 {
+		c.Transport = scenario.UDP
+	}
+	if c.Pairs == 0 {
+		c.Pairs = 2
+	}
+	if c.Misbehavior == 0 {
+		c.Misbehavior = MisbehaviorNone
+	}
+	if c.GreedyPercent == 0 {
+		c.GreedyPercent = 100
+	}
+	if c.NAVInflation == 0 {
+		c.NAVInflation = 10 * sim.Millisecond
+	}
+	if c.NAVFrames == (greedy.FrameSet{}) {
+		c.NAVFrames = greedy.CTSAndACK
+	}
+	if c.Misbehavior != MisbehaviorNone && c.GreedyReceivers == 0 {
+		c.GreedyReceivers = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Pairs < 1 {
+		return fmt.Errorf("core: need at least one pair, got %d", c.Pairs)
+	}
+	if c.GreedyReceivers > c.Pairs {
+		return fmt.Errorf("core: %d greedy receivers exceed %d pairs", c.GreedyReceivers, c.Pairs)
+	}
+	if c.GreedyPercent < 0 || c.GreedyPercent > 100 {
+		return fmt.Errorf("core: greedy percent %v out of [0,100]", c.GreedyPercent)
+	}
+	if c.HiddenTerminals && (c.Pairs != 2 || c.SharedAP) {
+		return fmt.Errorf("core: hidden-terminal topology requires exactly 2 pairs and no shared AP")
+	}
+	if c.Misbehavior == MisbehaviorFakeACKs && c.BER == 0 && c.DataFER == 0 && !c.HiddenTerminals {
+		return fmt.Errorf("core: fake ACKs need a loss source (BER, DataFER, or HiddenTerminals)")
+	}
+	return nil
+}
+
+// policyFor builds receiver i's station options for one run.
+func (c Config) receiverOpts(w *scenario.World, i int, grcCfg *detect.Config) scenario.StationOpts {
+	opts := scenario.StationOpts{}
+	if c.EnableGRC {
+		opts.GRC = grcCfg
+	}
+	if i < c.Pairs-c.GreedyReceivers {
+		return opts
+	}
+	switch c.Misbehavior {
+	case MisbehaviorNAVInflation:
+		opts.Policy = greedy.NewNAVInflation(w.Sched.RNG(), c.NAVFrames, c.NAVInflation, c.GreedyPercent)
+	case MisbehaviorACKSpoofing:
+		// Target every normal receiver already registered.
+		var victims []mac.NodeID
+		for j := 0; j < c.Pairs-c.GreedyReceivers; j++ {
+			if st, ok := w.Station(scenario.ReceiverName(j)); ok {
+				victims = append(victims, st.ID)
+			}
+		}
+		opts.Policy = greedy.NewACKSpoofer(w.Sched.RNG(), c.GreedyPercent, victims...)
+	case MisbehaviorFakeACKs:
+		opts.Policy = greedy.NewFakeACKer(w.Sched.RNG(), c.GreedyPercent)
+	}
+	return opts
+}
+
+func (c Config) buildWorld(seed int64, grcCfg *detect.Config) (*scenario.World, error) {
+	base := scenario.Config{
+		Seed:         seed,
+		Band:         c.Band,
+		UseRTSCTS:    !c.DisableRTSCTS,
+		DefaultBER:   c.BER,
+		ForceCapture: c.Misbehavior == MisbehaviorACKSpoofing,
+		Trace:        c.Trace,
+	}
+	if c.DataFER > 0 {
+		base.DefaultDataFER = c.DataFER
+	}
+	recv := func(w *scenario.World, i int) scenario.StationOpts {
+		return c.receiverOpts(w, i, grcCfg)
+	}
+	send := func(w *scenario.World, i int) scenario.StationOpts {
+		if !c.EnableGRC {
+			return scenario.StationOpts{}
+		}
+		return scenario.StationOpts{GRC: grcCfg}
+	}
+	switch {
+	case c.HiddenTerminals:
+		return scenario.BuildHiddenPairs(base, recv)
+	case c.SharedAP:
+		return scenario.BuildSharedAP(scenario.SharedAPConfig{
+			Config: base, N: c.Pairs, Transport: c.Transport, ReceiverOpts: recv,
+		})
+	default:
+		return scenario.BuildPairs(scenario.PairsConfig{
+			Config: base, N: c.Pairs, Transport: c.Transport,
+			ReceiverOpts: recv, SenderOpts: send,
+		})
+	}
+}
+
+// Run executes the experiment and reports per-flow median goodput.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	grcCfg := detect.DefaultConfig()
+	perFlow := make(map[int][]float64)
+	var navCorr, spoofIgn []float64
+	for r := 0; r < cfg.Runs; r++ {
+		w, err := cfg.buildWorld(cfg.Seed+int64(r), &grcCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		w.Run(cfg.Duration)
+		for _, fl := range w.Flows() {
+			perFlow[fl.ID] = append(perFlow[fl.ID], fl.GoodputMbps(cfg.Duration))
+		}
+		if cfg.EnableGRC {
+			var nav, ign int64
+			for i := 0; i < cfg.Pairs; i++ {
+				for _, name := range []string{scenario.SenderName(i), scenario.ReceiverName(i)} {
+					if st, ok := w.Station(name); ok && st.GRC != nil {
+						nav += st.GRC.Stats().NAVClamped
+						ign += st.GRC.Stats().SpoofIgnored
+					}
+				}
+			}
+			navCorr = append(navCorr, float64(nav))
+			spoofIgn = append(spoofIgn, float64(ign))
+		}
+	}
+	res := Result{
+		NAVCorrections: stats.Median(navCorr),
+		SpoofsIgnored:  stats.Median(spoofIgn),
+	}
+	ids := make([]int, 0, len(perFlow))
+	for id := range perFlow {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var gSum, nSum float64
+	var gN, nN int
+	for _, id := range ids {
+		med := stats.Median(perFlow[id])
+		isGreedy := cfg.Misbehavior != MisbehaviorNone && id > cfg.Pairs-cfg.GreedyReceivers
+		res.Flows = append(res.Flows, FlowResult{ID: id, Greedy: isGreedy, GoodputMbps: med})
+		if isGreedy {
+			gSum += med
+			gN++
+		} else {
+			nSum += med
+			nN++
+		}
+	}
+	if gN > 0 {
+		res.GreedyGoodputMbps = gSum / float64(gN)
+	}
+	if nN > 0 {
+		res.NormalGoodputMbps = nSum / float64(nN)
+	}
+	return res, nil
+}

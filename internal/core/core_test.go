@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"greedy80211/internal/greedy"
+	"greedy80211/internal/scenario"
+	"greedy80211/internal/sim"
+)
+
+// fast trims a config for test runtime.
+func fast(cfg Config) Config {
+	cfg.Runs = 2
+	cfg.Duration = 2 * sim.Second
+	return cfg
+}
+
+func TestMisbehaviorString(t *testing.T) {
+	tests := []struct {
+		m    Misbehavior
+		want string
+	}{
+		{MisbehaviorNone, "none"},
+		{MisbehaviorNAVInflation, "nav-inflation"},
+		{MisbehaviorACKSpoofing, "ack-spoofing"},
+		{MisbehaviorFakeACKs, "fake-acks"},
+		{Misbehavior(42), "Misbehavior(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"greedy exceeds pairs", func(c *Config) {
+			c.Misbehavior = MisbehaviorNAVInflation
+			c.GreedyReceivers = 5
+			c.Pairs = 2
+		}},
+		{"bad GP", func(c *Config) { c.GreedyPercent = 150 }},
+		{"hidden with shared AP", func(c *Config) {
+			c.HiddenTerminals = true
+			c.SharedAP = true
+		}},
+		{"fake acks without loss", func(c *Config) { c.Misbehavior = MisbehaviorFakeACKs }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := fast(Config{})
+			tt.mut(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestBaselineFairness(t *testing.T) {
+	res, err := Run(fast(Config{Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 2 {
+		t.Fatalf("flows = %+v", res.Flows)
+	}
+	for _, f := range res.Flows {
+		if f.Greedy {
+			t.Error("baseline flow marked greedy")
+		}
+		if f.GoodputMbps < 1.0 {
+			t.Errorf("flow %d goodput %.2f too low", f.ID, f.GoodputMbps)
+		}
+	}
+	if res.GreedyGoodputMbps != 0 {
+		t.Error("greedy average nonzero without misbehavior")
+	}
+}
+
+func TestNAVInflationEndToEnd(t *testing.T) {
+	res, err := Run(fast(Config{
+		Seed:        2,
+		Misbehavior: MisbehaviorNAVInflation,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GreedyGoodputMbps < 3*res.NormalGoodputMbps {
+		t.Errorf("greedy %.2f vs normal %.2f: 10ms inflation should dominate",
+			res.GreedyGoodputMbps, res.NormalGoodputMbps)
+	}
+	var sawGreedy bool
+	for _, f := range res.Flows {
+		if f.Greedy {
+			sawGreedy = true
+		}
+	}
+	if !sawGreedy {
+		t.Error("no flow marked greedy")
+	}
+}
+
+func TestNAVInflationWithGRC(t *testing.T) {
+	res, err := Run(fast(Config{
+		Seed:        3,
+		Misbehavior: MisbehaviorNAVInflation,
+		NAVFrames:   greedy.CTSOnly,
+		EnableGRC:   true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NAVCorrections == 0 {
+		t.Error("GRC never corrected a NAV")
+	}
+	if res.NormalGoodputMbps < res.GreedyGoodputMbps*0.5 {
+		t.Errorf("GRC left %.2f vs %.2f", res.NormalGoodputMbps, res.GreedyGoodputMbps)
+	}
+}
+
+func TestSpoofingEndToEnd(t *testing.T) {
+	res, err := Run(fast(Config{
+		Seed:        4,
+		Transport:   scenario.TCP,
+		Misbehavior: MisbehaviorACKSpoofing,
+		BER:         2e-4,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GreedyGoodputMbps <= res.NormalGoodputMbps {
+		t.Errorf("spoofing gave greedy %.2f ≤ normal %.2f",
+			res.GreedyGoodputMbps, res.NormalGoodputMbps)
+	}
+}
+
+func TestFakeACKsHiddenEndToEnd(t *testing.T) {
+	res, err := Run(fast(Config{
+		Seed:            5,
+		Misbehavior:     MisbehaviorFakeACKs,
+		HiddenTerminals: true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GreedyGoodputMbps <= res.NormalGoodputMbps {
+		t.Errorf("fake ACKs gave greedy %.2f ≤ normal %.2f",
+			res.GreedyGoodputMbps, res.NormalGoodputMbps)
+	}
+}
+
+func TestSharedAPTopology(t *testing.T) {
+	res, err := Run(fast(Config{
+		Seed:      6,
+		SharedAP:  true,
+		Transport: scenario.TCP,
+		Pairs:     3,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 3 {
+		t.Fatalf("flows = %d, want 3", len(res.Flows))
+	}
+}

@@ -1,0 +1,72 @@
+package detect
+
+// CrossLayer is the paper's fallback spoofed-ACK detector for highly
+// mobile clients whose RSSI varies too much for the median test: the
+// sender keeps recently MAC-acknowledged TCP sequence numbers per flow and
+// counts TCP retransmissions of segments the MAC claims were delivered.
+// Frequent hits mean some station is acknowledging frames the true
+// receiver never got. It assumes wireline loss is negligible next to
+// wireless loss.
+type CrossLayer struct {
+	// SuspicionThreshold is how many anomalies (TCP retransmission of a
+	// MAC-acked segment) mark the flow as under attack.
+	SuspicionThreshold int
+
+	ackedWindow int
+	acked       map[flowSeq]bool
+	ring        []flowSeq
+	next        int
+
+	// Anomalies counts TCP retransmissions of MAC-acked segments.
+	Anomalies int64
+}
+
+type flowSeq struct {
+	flow, seq int
+}
+
+// NewCrossLayer builds a detector remembering the last window MAC-acked
+// segments per sender.
+func NewCrossLayer(window, suspicionThreshold int) *CrossLayer {
+	if window <= 0 {
+		window = 256
+	}
+	if suspicionThreshold <= 0 {
+		suspicionThreshold = 3
+	}
+	return &CrossLayer{
+		SuspicionThreshold: suspicionThreshold,
+		ackedWindow:        window,
+		acked:              make(map[flowSeq]bool, window),
+		ring:               make([]flowSeq, window),
+	}
+}
+
+// OnMACAcked records that the MAC reported a data frame carrying the given
+// TCP segment as acknowledged.
+func (c *CrossLayer) OnMACAcked(flow, seq int) {
+	k := flowSeq{flow, seq}
+	if c.acked[k] {
+		return
+	}
+	old := c.ring[c.next]
+	if c.acked[old] {
+		delete(c.acked, old)
+	}
+	c.ring[c.next] = k
+	c.next = (c.next + 1) % c.ackedWindow
+	c.acked[k] = true
+}
+
+// OnTCPRetransmit records that TCP retransmitted the given segment; if the
+// MAC had already reported it acknowledged, that is an anomaly.
+func (c *CrossLayer) OnTCPRetransmit(flow, seq int) {
+	if c.acked[flowSeq{flow, seq}] {
+		c.Anomalies++
+	}
+}
+
+// Detected reports whether anomalies crossed the suspicion threshold.
+func (c *CrossLayer) Detected() bool {
+	return c.Anomalies >= int64(c.SuspicionThreshold)
+}

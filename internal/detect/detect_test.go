@@ -1,0 +1,308 @@
+package detect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+	"greedy80211/internal/transport"
+)
+
+func newGRC(t *testing.T) (*sim.Scheduler, *GRC) {
+	t.Helper()
+	sched := sim.NewScheduler(1)
+	return sched, New(sched, phys.Params80211B(), DefaultConfig())
+}
+
+func TestFilterNAVClampsACK(t *testing.T) {
+	_, g := newGRC(t)
+	f := &mac.Frame{Type: mac.FrameACK, Src: 2, Dst: 1, Duration: 30 * sim.Millisecond}
+	if got := g.FilterNAV(f, -50); got != 0 {
+		t.Errorf("inflated ACK NAV passed: %v", got)
+	}
+	if g.Stats().NAVClamped != 1 || g.Stats().NAVExact != 1 {
+		t.Errorf("stats = %+v", g.Stats())
+	}
+	// A zero ACK NAV is untouched.
+	ok := &mac.Frame{Type: mac.FrameACK, Src: 2, Dst: 1, Duration: 0}
+	if got := g.FilterNAV(ok, -50); got != 0 {
+		t.Errorf("legit ACK NAV altered: %v", got)
+	}
+}
+
+func TestFilterNAVExactCTSBoundFromRTS(t *testing.T) {
+	sched, g := newGRC(t)
+	p := phys.Params80211B()
+	dataBytes := 1024 + phys.DataHeaderBytes
+	rts := &mac.Frame{
+		Type: mac.FrameRTS, Src: 1, Dst: 2,
+		Duration: mac.RTSNAV(p, dataBytes), MACBytes: phys.RTSFrameBytes,
+	}
+	g.OnOverheard(rts, -50)
+
+	want := mac.CTSNAVFromRTS(p, rts.Duration)
+	// Inflated CTS from the receiver must be clamped to the exact value.
+	cts := &mac.Frame{Type: mac.FrameCTS, Src: 2, Dst: 1, Duration: want + 20*sim.Millisecond}
+	if got := g.FilterNAV(cts, -50); got != want {
+		t.Errorf("CTS NAV = %v, want exact %v", got, want)
+	}
+	if g.Stats().NAVExact != 1 {
+		t.Error("exact clamp not counted")
+	}
+	// The pairing is consumed: a second CTS falls back to the MTU bound.
+	cts2 := &mac.Frame{Type: mac.FrameCTS, Src: 2, Dst: 1, Duration: 30 * sim.Millisecond}
+	got2 := g.FilterNAV(cts2, -50)
+	if got2 != g.maxCTSNAV() {
+		t.Errorf("second CTS = %v, want MTU bound %v", got2, g.maxCTSNAV())
+	}
+	_ = sched
+}
+
+func TestFilterNAVMTUFallback(t *testing.T) {
+	_, g := newGRC(t)
+	// No RTS overheard (out of sender range): the MTU bound applies, which
+	// for a 1024-byte exchange is ≈46% larger than the true value — the
+	// residual advantage Fig 23 shows beyond 45 m.
+	cts := &mac.Frame{Type: mac.FrameCTS, Src: 2, Dst: 1, Duration: phys.MaxNAV()}
+	got := g.FilterNAV(cts, -50)
+	if got != g.maxCTSNAV() {
+		t.Errorf("CTS fallback = %v, want %v", got, g.maxCTSNAV())
+	}
+	p := phys.Params80211B()
+	exact := mac.CTSNAVFromRTS(p, mac.RTSNAV(p, 1024+phys.DataHeaderBytes))
+	ratio := float64(got) / float64(exact)
+	if ratio < 1.2 || ratio > 1.7 {
+		t.Errorf("MTU bound is %.2f× the exact NAV, want ≈1.4×", ratio)
+	}
+	// Legit CTS durations below the bound pass unchanged.
+	small := &mac.Frame{Type: mac.FrameCTS, Src: 3, Dst: 1, Duration: sim.Millisecond}
+	if g.FilterNAV(small, -50) != sim.Millisecond {
+		t.Error("legit CTS clamped")
+	}
+}
+
+func TestFilterNAVRTSAndDataBounds(t *testing.T) {
+	_, g := newGRC(t)
+	rts := &mac.Frame{Type: mac.FrameRTS, Src: 2, Dst: 1, Duration: phys.MaxNAV()}
+	if got := g.FilterNAV(rts, -50); got != g.maxRTSNAV() {
+		t.Errorf("RTS clamp = %v, want %v", got, g.maxRTSNAV())
+	}
+	p := phys.Params80211B()
+	data := &mac.Frame{Type: mac.FrameData, Src: 2, Dst: 1, Duration: phys.MaxNAV()}
+	if got := g.FilterNAV(data, -50); got != mac.DataNAV(p) {
+		t.Errorf("DATA clamp = %v, want %v", got, mac.DataNAV(p))
+	}
+}
+
+func TestFilterNAVDisabled(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	cfg := DefaultConfig()
+	cfg.NAVGuard = false
+	g := New(sched, phys.Params80211B(), cfg)
+	f := &mac.Frame{Type: mac.FrameACK, Src: 2, Dst: 1, Duration: 30 * sim.Millisecond}
+	if got := g.FilterNAV(f, -50); got != f.Duration {
+		t.Error("disabled NAV guard still clamped")
+	}
+}
+
+func TestAcceptACKRejectsSpoofWithCaptureMargin(t *testing.T) {
+	_, g := newGRC(t)
+	// Build RSSI history for the true receiver (node 2) at −50 dBm.
+	for i := 0; i < 10; i++ {
+		g.OnOverheard(&mac.Frame{Type: mac.FrameData, Src: 2, Dst: 1, Seq: uint16(i)}, -50)
+	}
+	ack := &mac.Frame{Type: mac.FrameACK, Src: 2, Dst: 1}
+	// Consistent RSSI: accepted.
+	if !g.AcceptACK(ack, -50.4) {
+		t.Error("consistent ACK rejected")
+	}
+	// 15 dB weaker than the median: suspected and safely ignored.
+	if g.AcceptACK(ack, -65) {
+		t.Error("spoofed ACK (15 dB off) accepted")
+	}
+	st := g.Stats()
+	if st.SpoofSuspected != 1 || st.SpoofIgnored != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// 3 dB off: suspected but not safely ignorable (below capture margin).
+	if !g.AcceptACK(ack, -53) {
+		t.Error("ACK within capture margin rejected (unsafe recovery)")
+	}
+	if g.Stats().SpoofSuspected != 2 {
+		t.Error("second suspicion not counted")
+	}
+	// Stronger than the median by 15 dB: suspected, but the capture rule
+	// (median − rssi) does not allow ignoring.
+	if !g.AcceptACK(ack, -35) {
+		t.Error("stronger-than-median ACK rejected")
+	}
+}
+
+func TestAcceptACKNeedsHistory(t *testing.T) {
+	_, g := newGRC(t)
+	ack := &mac.Frame{Type: mac.FrameACK, Src: 2, Dst: 1}
+	if !g.AcceptACK(ack, -90) {
+		t.Error("ACK rejected without any RSSI history")
+	}
+	// ACK frames must not feed the median (spoofable).
+	for i := 0; i < 20; i++ {
+		g.OnOverheard(&mac.Frame{Type: mac.FrameACK, Src: 2, Dst: 1}, -90)
+	}
+	if !g.AcceptACK(ack, -40) {
+		t.Error("ACK-only history should not enable detection")
+	}
+}
+
+func TestAcceptACKDisabled(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	cfg := DefaultConfig()
+	cfg.SpoofGuard = false
+	g := New(sched, phys.Params80211B(), cfg)
+	for i := 0; i < 10; i++ {
+		g.OnOverheard(&mac.Frame{Type: mac.FrameData, Src: 2, Dst: 1}, -50)
+	}
+	if !g.AcceptACK(&mac.Frame{Type: mac.FrameACK, Src: 2, Dst: 1}, -90) {
+		t.Error("disabled spoof guard rejected an ACK")
+	}
+}
+
+func TestCrossLayerDetector(t *testing.T) {
+	c := NewCrossLayer(16, 3)
+	c.OnMACAcked(1, 10)
+	c.OnMACAcked(1, 11)
+	c.OnTCPRetransmit(1, 10)
+	c.OnTCPRetransmit(1, 11)
+	if c.Detected() {
+		t.Error("detected below threshold")
+	}
+	c.OnMACAcked(1, 12)
+	c.OnTCPRetransmit(1, 12)
+	if !c.Detected() {
+		t.Error("not detected at threshold")
+	}
+	// Retransmits of segments the MAC never acked are not anomalies.
+	c2 := NewCrossLayer(16, 1)
+	c2.OnTCPRetransmit(1, 99)
+	if c2.Detected() {
+		t.Error("non-acked retransmit counted as anomaly")
+	}
+}
+
+func TestCrossLayerWindowEviction(t *testing.T) {
+	c := NewCrossLayer(4, 1)
+	for seq := 0; seq < 10; seq++ {
+		c.OnMACAcked(1, seq)
+	}
+	// Seq 0 was evicted by the rolling window.
+	c.OnTCPRetransmit(1, 0)
+	if c.Anomalies != 0 {
+		t.Error("evicted entry still triggered")
+	}
+	c.OnTCPRetransmit(1, 9)
+	if c.Anomalies != 1 {
+		t.Error("fresh entry did not trigger")
+	}
+}
+
+func TestFakeACKDetectorMath(t *testing.T) {
+	d := NewFakeACKDetector(4, 0.02)
+	// Honest MAC: macLoss 0.5 over 5 attempts → appLoss ≈ 0.03.
+	if got := d.ExpectedAppLoss(0.5); math.Abs(got-0.03125) > 1e-9 {
+		t.Errorf("ExpectedAppLoss(0.5) = %v", got)
+	}
+	if d.ExpectedAppLoss(0) != 0 || d.ExpectedAppLoss(1) != 1 {
+		t.Error("edge losses wrong")
+	}
+	// Honest case: consistent losses → no detection.
+	if d.Evaluate(0.5, 0.04) {
+		t.Error("honest receiver flagged")
+	}
+	// Faking: MAC sees no loss, app sees 30% → detected.
+	if !d.Evaluate(0.0, 0.3) {
+		t.Error("faking receiver not flagged")
+	}
+}
+
+func TestProberAndResponder(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var resp *Responder
+	var prober *Prober
+	lossy := 0
+	// Probe path: every 3rd probe is "corrupted" (dropped before the app).
+	toResponder := transport.OutputFunc(func(p *transport.Packet) bool {
+		lossy++
+		if lossy%3 == 0 {
+			return true // lost in flight
+		}
+		resp.Receive(p)
+		return true
+	})
+	toProber := transport.OutputFunc(func(p *transport.Packet) bool {
+		prober.Receive(p)
+		return true
+	})
+	prober = NewProber(sched, toResponder, 1, 10*sim.Millisecond)
+	resp = NewResponder(1, toProber)
+	prober.Start()
+	sched.RunUntil(sim.Second)
+	prober.Stop()
+
+	if prober.Sent < 100 {
+		t.Fatalf("sent %d probes", prober.Sent)
+	}
+	if got := prober.AppLoss(); math.Abs(got-1.0/3) > 0.05 {
+		t.Errorf("AppLoss = %v, want ≈0.33", got)
+	}
+	if resp.Echoes == 0 {
+		t.Error("responder never echoed")
+	}
+}
+
+func TestProberAppLossNoProbes(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	p := NewProber(sched, transport.OutputFunc(func(*transport.Packet) bool { return true }), 1, sim.Second)
+	if p.AppLoss() != 0 {
+		t.Error("AppLoss before probing should be 0")
+	}
+}
+
+// Property: Evaluate is monotone — increasing appLoss can only turn
+// detection on, never off.
+func TestPropertyEvaluateMonotone(t *testing.T) {
+	d := NewFakeACKDetector(4, 0.02)
+	f := func(macRaw, app1Raw, app2Raw uint8) bool {
+		macLoss := float64(macRaw) / 255
+		a1 := float64(app1Raw) / 255
+		a2 := float64(app2Raw) / 255
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		if d.Evaluate(macLoss, a1) && !d.Evaluate(macLoss, a2) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FilterNAV output is never negative and never exceeds the
+// advertised duration.
+func TestPropertyFilterNAVBounds(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	g := New(sched, phys.Params80211B(), DefaultConfig())
+	f := func(typRaw uint8, durRaw uint16) bool {
+		typ := mac.FrameType(typRaw%4) + 1
+		dur := sim.Time(durRaw) * sim.Microsecond
+		fr := &mac.Frame{Type: typ, Src: 2, Dst: 3, Duration: dur}
+		got := g.FilterNAV(fr, -50)
+		return got >= 0 && got <= dur
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package detect
+
+import (
+	"sort"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+)
+
+// Domino is a minimal reimplementation of the backoff-manipulation test
+// of DOMINO (Raya et al., MobiSys 2004) — the state-of-the-art *sender-
+// side* greedy detector the paper positions itself against. A passive
+// monitor measures each sender's idle time before its channel
+// acquisitions and flags senders whose average backoff is suspiciously
+// small compared to the nominal CWmin/2 slots.
+//
+// Its role in this repository is the paper's motivating negative result:
+// greedy receivers never manipulate their own backoff — their senders
+// contend perfectly normally — so DOMINO observes a compliant network
+// while one flow starves the rest. The experiment "extc" demonstrates
+// this against all three misbehaviors; GRC (package detect's observer)
+// is the countermeasure that actually catches them.
+//
+// Domino implements medium.Tap (it is a passive monitor overhearing the
+// channel).
+type Domino struct {
+	params phys.Params
+	// CheatFactor flags a sender whose average observed backoff is below
+	// CheatFactor × (CWmin/2) slots (DOMINO's threshold parameter).
+	CheatFactor float64
+	// MinSamples before a verdict is rendered for a sender.
+	MinSamples int
+
+	lastBusyEnd sim.Time
+	samples     map[mac.NodeID][]float64
+}
+
+// NewDomino builds the monitor for a band's parameters.
+func NewDomino(params phys.Params, cheatFactor float64, minSamples int) *Domino {
+	if cheatFactor <= 0 {
+		cheatFactor = 0.5
+	}
+	if minSamples <= 0 {
+		minSamples = 20
+	}
+	return &Domino{
+		params:      params,
+		CheatFactor: cheatFactor,
+		MinSamples:  minSamples,
+		samples:     make(map[mac.NodeID][]float64),
+	}
+}
+
+// OnTransmit implements medium.Tap: channel-acquiring frames (RTS and
+// data) yield one backoff observation — the idle slots between the end of
+// the previous busy period and this transmission, minus the DIFS wait.
+// SIFS responses (CTS/ACK) extend the busy period but are not
+// acquisitions.
+func (d *Domino) OnTransmit(src mac.NodeID, f *mac.Frame, start, airtime sim.Time) {
+	defer func() {
+		if end := start + airtime; end > d.lastBusyEnd {
+			d.lastBusyEnd = end
+		}
+	}()
+	if f.Type != mac.FrameRTS && f.Type != mac.FrameData {
+		return
+	}
+	idle := start - d.lastBusyEnd
+	if idle < d.params.DIFS() {
+		// Part of an ongoing exchange (e.g. data after CTS): not a
+		// contention sample.
+		return
+	}
+	slots := float64(idle-d.params.DIFS()) / float64(d.params.SlotTime)
+	d.samples[src] = append(d.samples[src], slots)
+}
+
+// OnReceive implements medium.Tap (unused: DOMINO only times the air).
+func (d *Domino) OnReceive(mac.NodeID, *mac.Frame, mac.RxInfo, sim.Time) {}
+
+// Verdict is one monitored sender's assessment.
+type Verdict struct {
+	Station      mac.NodeID
+	Samples      int
+	AvgBackoff   float64 // observed, in slots
+	Nominal      float64 // CWmin/2
+	FlaggedCheat bool
+}
+
+// Verdicts reports every monitored sender, sorted by station id.
+func (d *Domino) Verdicts() []Verdict {
+	nominal := float64(d.params.CWMin) / 2
+	out := make([]Verdict, 0, len(d.samples))
+	for sta, samples := range d.samples {
+		v := Verdict{Station: sta, Samples: len(samples), Nominal: nominal}
+		if len(samples) >= d.MinSamples {
+			var sum float64
+			for _, s := range samples {
+				sum += s
+			}
+			v.AvgBackoff = sum / float64(len(samples))
+			v.FlaggedCheat = v.AvgBackoff < d.CheatFactor*nominal
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Station < out[j].Station })
+	return out
+}
+
+// AnyCheater reports whether any sufficiently-sampled sender was flagged.
+func (d *Domino) AnyCheater() bool {
+	for _, v := range d.Verdicts() {
+		if v.FlaggedCheat {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package detect
+
+import (
+	"testing"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+)
+
+// feedSender injects a synthetic contention pattern: each acquisition
+// waits DIFS + backoffSlots of idle after the previous busy period.
+func feedSender(d *Domino, sta mac.NodeID, p phys.Params, n int, backoffSlots float64) {
+	now := d.lastBusyEnd // continue after any traffic already injected
+	air := 500 * sim.Microsecond
+	for i := 0; i < n; i++ {
+		start := now + p.DIFS() + sim.Time(backoffSlots*float64(p.SlotTime))
+		d.OnTransmit(sta, &mac.Frame{Type: mac.FrameData, Src: sta, Dst: 99, MACBytes: 1052},
+			start, air)
+		now = start + air
+	}
+}
+
+func TestDominoFlagsBackoffCheater(t *testing.T) {
+	p := phys.Params80211B()
+	d := NewDomino(p, 0.5, 20)
+	feedSender(d, 1, p, 50, 15.5) // nominal: CWmin/2 = 15.5 slots
+	feedSender(d, 2, p, 50, 2)    // cheater: ~2 slots
+
+	verdicts := d.Verdicts()
+	if len(verdicts) != 2 {
+		t.Fatalf("verdicts = %d, want 2", len(verdicts))
+	}
+	if verdicts[0].Station != 1 || verdicts[0].FlaggedCheat {
+		t.Errorf("compliant sender flagged: %+v", verdicts[0])
+	}
+	if !verdicts[1].FlaggedCheat {
+		t.Errorf("cheater not flagged: %+v", verdicts[1])
+	}
+	if !d.AnyCheater() {
+		t.Error("AnyCheater() = false with a cheater present")
+	}
+	// Average estimates should be near the injected values.
+	if v := verdicts[0].AvgBackoff; v < 14 || v > 17 {
+		t.Errorf("compliant avg backoff = %.1f, want ≈15.5", v)
+	}
+	if v := verdicts[1].AvgBackoff; v < 1 || v > 3 {
+		t.Errorf("cheater avg backoff = %.1f, want ≈2", v)
+	}
+}
+
+func TestDominoNeedsSamples(t *testing.T) {
+	p := phys.Params80211B()
+	d := NewDomino(p, 0.5, 20)
+	feedSender(d, 1, p, 5, 0) // blatant cheating but too few samples
+	if d.AnyCheater() {
+		t.Error("verdict rendered below MinSamples")
+	}
+}
+
+func TestDominoIgnoresResponses(t *testing.T) {
+	p := phys.Params80211B()
+	d := NewDomino(p, 0.5, 1)
+	// CTS/ACK frames follow at SIFS — they must not count as acquisitions
+	// (their "backoff" would look like cheating).
+	now := sim.Time(0)
+	for i := 0; i < 30; i++ {
+		start := now + p.DIFS() + 15*p.SlotTime
+		d.OnTransmit(1, &mac.Frame{Type: mac.FrameRTS, Src: 1, Dst: 2, MACBytes: 20},
+			start, 352*sim.Microsecond)
+		ctsStart := start + 352*sim.Microsecond + p.SIFS
+		d.OnTransmit(2, &mac.Frame{Type: mac.FrameCTS, Src: 2, Dst: 1, MACBytes: 14},
+			ctsStart, 304*sim.Microsecond)
+		now = ctsStart + 304*sim.Microsecond
+	}
+	for _, v := range d.Verdicts() {
+		if v.Station == 2 && v.Samples != 0 {
+			t.Errorf("responder accumulated %d contention samples", v.Samples)
+		}
+		if v.Station == 1 && v.FlaggedCheat {
+			t.Errorf("RTS initiator flagged: %+v", v)
+		}
+	}
+}
+
+func TestDominoIgnoresMidExchangeData(t *testing.T) {
+	p := phys.Params80211B()
+	d := NewDomino(p, 0.5, 1)
+	// A data frame SIFS after a CTS is part of the exchange, not a fresh
+	// acquisition.
+	d.OnTransmit(2, &mac.Frame{Type: mac.FrameCTS, Src: 2, Dst: 1, MACBytes: 14},
+		sim.Millisecond, 304*sim.Microsecond)
+	dataStart := sim.Millisecond + 304*sim.Microsecond + p.SIFS
+	d.OnTransmit(1, &mac.Frame{Type: mac.FrameData, Src: 1, Dst: 2, MACBytes: 1052},
+		dataStart, 958*sim.Microsecond)
+	for _, v := range d.Verdicts() {
+		if v.Station == 1 && v.Samples != 0 {
+			t.Errorf("mid-exchange data counted as acquisition: %+v", v)
+		}
+	}
+}
+
+func TestDominoDefaults(t *testing.T) {
+	d := NewDomino(phys.Params80211B(), 0, 0)
+	if d.CheatFactor != 0.5 || d.MinSamples != 20 {
+		t.Errorf("defaults = %v/%v", d.CheatFactor, d.MinSamples)
+	}
+	d.OnReceive(1, &mac.Frame{}, mac.RxInfo{}, 0) // no-op, must not panic
+}

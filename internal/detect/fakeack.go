@@ -1,0 +1,173 @@
+package detect
+
+import (
+	"math"
+
+	"greedy80211/internal/sim"
+	"greedy80211/internal/transport"
+)
+
+// FakeACKDetector implements Section VII-C: a sender compares the loss
+// rate its MAC reports with the application-layer loss rate measured by
+// active probing. With an honest receiver and maxRetries MAC attempts per
+// frame, independent losses give
+//
+//	appLoss ≈ macLoss^(maxRetries+1)
+//
+// A receiver faking ACKs makes macLoss look near zero while application
+// loss stays at the raw channel loss, so appLoss far exceeds the bound.
+type FakeACKDetector struct {
+	// MaxRetries is the MAC retry limit in use.
+	MaxRetries int
+	// Threshold absorbs wireline loss when the connection spans both
+	// wireless and wireline segments.
+	Threshold float64
+}
+
+// NewFakeACKDetector builds a detector for the given MAC retry limit.
+func NewFakeACKDetector(maxRetries int, threshold float64) *FakeACKDetector {
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	if threshold <= 0 {
+		threshold = 0.02
+	}
+	return &FakeACKDetector{MaxRetries: maxRetries, Threshold: threshold}
+}
+
+// ExpectedAppLoss reports the application loss an honest MAC would show.
+func (d *FakeACKDetector) ExpectedAppLoss(macLoss float64) float64 {
+	if macLoss <= 0 {
+		return 0
+	}
+	if macLoss >= 1 {
+		return 1
+	}
+	return math.Pow(macLoss, float64(d.MaxRetries+1))
+}
+
+// Evaluate reports whether the measured application loss is inconsistent
+// with the MAC-reported per-attempt loss — i.e. the receiver is faking
+// ACKs.
+func (d *FakeACKDetector) Evaluate(macLoss, appLoss float64) bool {
+	return appLoss > d.ExpectedAppLoss(macLoss)+d.Threshold
+}
+
+// Prober measures application-layer loss with ping-style probes: it sends
+// a probe every interval and counts echoes. A receiver that never actually
+// got a (corrupted but fake-ACKed) probe cannot echo it. Prober implements
+// transport.Agent to consume echo packets.
+type Prober struct {
+	sched *sim.Scheduler
+	out   transport.Output
+	flow  int
+	every sim.Time
+	timer *sim.Timer
+
+	seq    int
+	echoed map[int]bool
+
+	// Sent and Echoed count probes and their echoes.
+	Sent   int64
+	Echoed int64
+}
+
+var _ transport.Agent = (*Prober)(nil)
+
+// ProbePayloadBytes is the probe packet payload size (ping default).
+const ProbePayloadBytes = 64
+
+// NewProber builds a prober on flow emitting through out every interval.
+func NewProber(sched *sim.Scheduler, out transport.Output, flow int, interval sim.Time) *Prober {
+	if interval <= 0 {
+		panic("detect: probe interval must be positive")
+	}
+	p := &Prober{
+		sched:  sched,
+		out:    out,
+		flow:   flow,
+		every:  interval,
+		echoed: make(map[int]bool),
+	}
+	p.timer = sim.NewTimer(sched, p.tick)
+	return p
+}
+
+// Start begins probing.
+func (p *Prober) Start() { p.timer.Start(0) }
+
+// Stop halts probing.
+func (p *Prober) Stop() { p.timer.Stop() }
+
+func (p *Prober) tick() {
+	pkt := &transport.Packet{
+		Flow:         p.flow,
+		Seq:          p.seq,
+		PayloadBytes: ProbePayloadBytes,
+		WireBytes:    ProbePayloadBytes + transport.UDPIPHeaderBytes,
+	}
+	p.seq++
+	p.Sent++
+	p.out.Output(pkt)
+	p.timer.Start(p.every)
+}
+
+// Receive implements transport.Agent: consumes echoes.
+func (p *Prober) Receive(pkt *transport.Packet) {
+	if pkt.Flow != p.flow || p.echoed[pkt.Seq] {
+		return
+	}
+	p.echoed[pkt.Seq] = true
+	p.Echoed++
+}
+
+// AppLoss reports the measured application loss rate. The last in-flight
+// probe is excluded to avoid counting a probe whose echo has not had time
+// to return.
+func (p *Prober) AppLoss() float64 {
+	counted := p.Sent - 1
+	if counted <= 0 {
+		return 0
+	}
+	lost := counted - p.Echoed
+	if lost < 0 {
+		lost = 0
+	}
+	return float64(lost) / float64(counted)
+}
+
+// Responder echoes probes back; it runs at an honest receiver. A greedy
+// receiver that fake-ACKed a corrupted probe never sees it, so the echo is
+// missing — exactly the signal the detector needs. Responder implements
+// transport.Agent.
+type Responder struct {
+	out  transport.Output
+	flow int
+
+	// Echoes counts probe replies sent.
+	Echoes int64
+}
+
+var _ transport.Agent = (*Responder)(nil)
+
+// NewResponder builds a responder for flow answering through out.
+func NewResponder(flow int, out transport.Output) *Responder {
+	return &Responder{out: out, flow: flow}
+}
+
+// Receive implements transport.Agent.
+func (r *Responder) Receive(pkt *transport.Packet) {
+	if pkt.Flow != r.flow || pkt.IsACK {
+		return
+	}
+	echo := &transport.Packet{
+		Flow:         r.flow,
+		Seq:          pkt.Seq,
+		IsACK:        true, // echoes travel the reverse route
+		AckSeq:       pkt.Seq,
+		PayloadBytes: ProbePayloadBytes,
+		WireBytes:    ProbePayloadBytes + transport.UDPIPHeaderBytes,
+	}
+	r.Echoes++
+	r.out.Output(echo)
+}

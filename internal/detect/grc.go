@@ -1,0 +1,233 @@
+// Package detect implements the paper's Greedy Receiver Countermeasure
+// (GRC, Section VII): detection and mitigation of the three receiver-side
+// misbehaviors.
+//
+//   - Inflated NAV (Section VII-A): stations that overhear the sender's
+//     frame know the exchange's true remaining duration and clamp the
+//     receiver's advertised NAV to it; stations out of the sender's range
+//     bound the NAV by the duration of a maximum-MTU (1500-byte) exchange.
+//     ACK frames must carry a zero NAV without fragmentation.
+//   - Spoofed ACKs (Section VII-B): the sender tracks the median RSSI of
+//     each receiver and flags ACKs whose RSSI deviates by more than a
+//     threshold (1 dB is the paper's sweet spot, Fig 22). When the true
+//     receiver's signal would have captured the spoofed ACK, the sender
+//     safely ignores the ACK and lets the MAC retransmit. A cross-layer
+//     detector (CrossLayer) covers mobile clients with unstable RSSI.
+//   - Fake ACKs (Section VII-C): the sender compares application-layer
+//     loss (via active probing) with the loss its MAC reports; honest MAC
+//     retransmission implies appLoss ≈ macLoss^(maxRetries+1).
+//
+// GRC implements mac.Observer and plugs into any station's MAC; the more
+// stations run it, the higher the detection likelihood.
+package detect
+
+import (
+	"fmt"
+	"math"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+)
+
+// Config parameterizes GRC.
+type Config struct {
+	// MaxMTUBytes bounds the data-frame size assumed when the sender's
+	// frame was not overheard; the paper argues 1500 bytes (Ethernet MTU)
+	// covers Internet traffic.
+	MaxMTUBytes int
+	// RSSIThresholdDB flags ACKs deviating this much from the claimed
+	// sender's median RSSI (the paper selects 1 dB).
+	RSSIThresholdDB float64
+	// CaptureThresholdDB gates safe recovery: an ACK is ignored only when
+	// the true receiver's median RSSI exceeds the ACK's by at least this
+	// much (it would have captured).
+	CaptureThresholdDB float64
+	// MinRSSISamples is how many RSSI observations a link needs before
+	// the spoof detector acts.
+	MinRSSISamples int
+	// MedianWindow sizes the per-link RSSI median tracker.
+	MedianWindow int
+	// NAVGuard and SpoofGuard enable the two mitigations independently.
+	NAVGuard   bool
+	SpoofGuard bool
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		MaxMTUBytes:        1500,
+		RSSIThresholdDB:    1.0,
+		CaptureThresholdDB: phys.CaptureThresholdDB,
+		MinRSSISamples:     8,
+		MedianWindow:       32,
+		NAVGuard:           true,
+		SpoofGuard:         true,
+	}
+}
+
+// Stats counts GRC's decisions.
+type Stats struct {
+	// NAVClamped counts overheard frames whose NAV was reduced.
+	NAVClamped int64
+	// NAVExact counts clamps that used the overheard sender frame (exact
+	// bound) rather than the MTU fallback.
+	NAVExact int64
+	// SpoofSuspected counts ACKs flagged by RSSI deviation; SpoofIgnored
+	// counts those safely discarded (capture condition held).
+	SpoofSuspected int64
+	SpoofIgnored   int64
+	// ACKsChecked counts ACK acceptances evaluated.
+	ACKsChecked int64
+}
+
+// expectedCTS remembers the NAV a receiver's CTS should carry, learned
+// from the sender's overheard RTS.
+type expectedCTS struct {
+	nav     sim.Time
+	expires sim.Time
+}
+
+// GRC is one station's countermeasure instance. It implements
+// mac.Observer. Not safe for concurrent use (scheduler-driven).
+type GRC struct {
+	cfg    Config
+	params phys.Params
+	sched  *sim.Scheduler
+
+	pendingCTS map[mac.NodeID]expectedCTS
+	rssi       map[mac.NodeID]*phys.MedianTracker
+
+	stats Stats
+}
+
+var _ mac.Observer = (*GRC)(nil)
+
+// New builds a GRC observer for a station on the given band.
+func New(sched *sim.Scheduler, params phys.Params, cfg Config) *GRC {
+	if sched == nil {
+		panic("detect: New requires a scheduler")
+	}
+	if cfg.MaxMTUBytes <= 0 {
+		panic(fmt.Sprintf("detect: MaxMTUBytes %d must be positive", cfg.MaxMTUBytes))
+	}
+	return &GRC{
+		cfg:        cfg,
+		params:     params,
+		sched:      sched,
+		pendingCTS: make(map[mac.NodeID]expectedCTS),
+		rssi:       make(map[mac.NodeID]*phys.MedianTracker),
+	}
+}
+
+// Stats reports the accumulated decisions.
+func (g *GRC) Stats() Stats { return g.stats }
+
+// maxCTSNAV is the largest legitimate CTS NAV: an MTU-sized data frame
+// plus its ACK and two SIFS gaps.
+func (g *GRC) maxCTSNAV() sim.Time {
+	dataBytes := g.cfg.MaxMTUBytes + phys.DataHeaderBytes
+	return 2*g.params.SIFS +
+		g.params.TxDuration(dataBytes, g.params.DataRateBps) +
+		g.params.TxDuration(phys.ACKFrameBytes, g.params.BasicRateBps)
+}
+
+// maxRTSNAV is the largest legitimate RTS NAV: a full MTU-sized exchange.
+func (g *GRC) maxRTSNAV() sim.Time {
+	return mac.RTSNAV(g.params, g.cfg.MaxMTUBytes+phys.DataHeaderBytes)
+}
+
+// OnOverheard implements mac.Observer: builds the detection state.
+func (g *GRC) OnOverheard(f *mac.Frame, rssiDBm float64) {
+	// RSSI history for the spoof detector. MAC ACKs are excluded: they are
+	// exactly the frame type a spoofer forges, so they would poison the
+	// median. Data, RTS, and CTS frames cannot usefully be forged under
+	// these misbehaviors (the paper obtains the reference RSSI from the
+	// receiver's TCP ACKs, which are data frames here).
+	if f.Type != mac.FrameACK {
+		tr, ok := g.rssi[f.Src]
+		if !ok {
+			tr = phys.NewMedianTracker(g.cfg.MedianWindow)
+			g.rssi[f.Src] = tr
+		}
+		tr.Add(rssiDBm)
+	}
+	if f.Type == mac.FrameRTS {
+		// The responder's CTS NAV is fully determined by the RTS duration.
+		g.pendingCTS[f.Dst] = expectedCTS{
+			nav: mac.CTSNAVFromRTS(g.params, f.Duration),
+			expires: g.sched.Now() + g.params.SIFS +
+				g.params.TxDuration(phys.CTSFrameBytes, g.params.BasicRateBps) +
+				g.params.SlotTime,
+		}
+	}
+}
+
+// FilterNAV implements mac.Observer: the NAV mitigation. It returns the
+// duration to actually honor for an overheard frame.
+func (g *GRC) FilterNAV(f *mac.Frame, _ float64) sim.Time {
+	if !g.cfg.NAVGuard {
+		return f.Duration
+	}
+	bound := f.Duration
+	exact := false
+	switch f.Type {
+	case mac.FrameACK:
+		// Without fragmentation an ACK reserves nothing.
+		bound = 0
+		exact = true
+	case mac.FrameCTS:
+		if exp, ok := g.pendingCTS[f.Src]; ok && g.sched.Now() <= exp.expires {
+			bound = exp.nav
+			exact = true
+			delete(g.pendingCTS, f.Src)
+		} else if m := g.maxCTSNAV(); m < bound {
+			bound = m
+		}
+	case mac.FrameRTS:
+		if m := g.maxRTSNAV(); m < bound {
+			bound = m
+		}
+	case mac.FrameData:
+		// A non-fragmented data frame reserves exactly SIFS + ACK.
+		bound = mac.DataNAV(g.params)
+		exact = true
+	}
+	if bound < f.Duration {
+		g.stats.NAVClamped++
+		if exact {
+			g.stats.NAVExact++
+		}
+		return bound
+	}
+	return f.Duration
+}
+
+// AcceptACK implements mac.Observer: the spoofed-ACK mitigation at the
+// sender. f.Src is the station the ACK claims to come from.
+func (g *GRC) AcceptACK(f *mac.Frame, rssiDBm float64) bool {
+	if !g.cfg.SpoofGuard {
+		return true
+	}
+	g.stats.ACKsChecked++
+	tr, ok := g.rssi[f.Src]
+	if !ok || tr.Count() < g.cfg.MinRSSISamples {
+		return true // not enough history to judge
+	}
+	median, ok := tr.Median()
+	if !ok {
+		return true
+	}
+	if math.Abs(rssiDBm-median) <= g.cfg.RSSIThresholdDB {
+		return true
+	}
+	g.stats.SpoofSuspected++
+	// Safe recovery: if the true receiver had transmitted, its ACK would
+	// have captured this one — so it did not transmit, and ignoring the
+	// forged ACK lets the MAC retransmit as it should.
+	if median-rssiDBm >= g.cfg.CaptureThresholdDB {
+		g.stats.SpoofIgnored++
+		return false
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"greedy80211/internal/analytic"
+	"greedy80211/internal/stats"
+	"greedy80211/internal/tracestudy"
+)
+
+func registerAnalytic() {
+	register("tab1", "Corrupted frames preserving MAC addresses (testbed measurement)", runTab1)
+	register("tab3", "BER and the corresponding FER", runTab3)
+}
+
+func runTab1(cfg RunConfig) (*Result, error) {
+	cfg = cfg.normalize()
+	res := &Result{ID: "tab1", Title: "Corrupted frames preserve source/destination MAC addresses"}
+	t := stats.Table{
+		Title: "Synthetic reproduction of the paper's capture (see DESIGN.md §2); " +
+			"paper: 11b 1367/1351/1282 of 65536, 11a 7376/6197/5663 of 23068.",
+		Header: []string{"band", "received", "corrupted", "corrupted_dst_ok", "corrupted_srcdst_ok",
+			"dst_preserved", "srcdst_preserved"},
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  tracestudy.CorruptionStudyConfig
+	}{
+		{"802.11b", tracestudy.TableIConfig80211B(cfg.BaseSeed + 1)},
+		{"802.11a", tracestudy.TableIConfig80211A(cfg.BaseSeed + 2)},
+	} {
+		study := tc.cfg
+		if cfg.Quick {
+			study.Frames /= 8
+		}
+		r, err := tracestudy.RunCorruptionStudy(study)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(tc.name, r.Received, r.Corrupted, r.CorruptedDstOK, r.CorruptedSrcDstOK,
+			r.DstPreservedRate, r.SrcDstPreservedRate)
+	}
+	res.AddTable(t)
+	return res, nil
+}
+
+func runTab3(RunConfig) (*Result, error) {
+	res := &Result{ID: "tab3", Title: "BER and the corresponding FER"}
+	t := stats.Table{
+		Title:  "FER = 1 − (1 − BER)^units with units ACK/CTS=38, RTS=44, TCP-ACK=112, TCP-DATA=1130.",
+		Header: []string{"ber", "ack_cts", "rts", "tcp_ack", "tcp_data"},
+	}
+	for _, row := range analytic.TableIII() {
+		t.AddRow(row.BER, row.ACKCTS, row.RTS, row.TCPACK, row.TCPData)
+	}
+	res.AddTable(t)
+	return res, nil
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"greedy80211/internal/greedy"
+	"greedy80211/internal/mac"
+	"greedy80211/internal/phys"
+	"greedy80211/internal/scenario"
+	"greedy80211/internal/stats"
+)
+
+// The auto-rate experiments implement the paper's Section IX future work:
+// how rate adaptation (ARF) interacts with the feedback-forging
+// misbehaviors. Fake ACKs hide failures from ARF, so the greedy flow's
+// sender climbs to rates the channel cannot sustain; spoofed ACKs do the
+// same to the victim's sender.
+
+func registerAutoRate() {
+	register("exta", "Extension: fake ACKs under ARF auto-rate vs fixed rate (UDP)", runExtA)
+	register("extb", "Extension: spoofed ACKs under ARF auto-rate vs fixed rate (TCP)", runExtB)
+}
+
+// marginalLadderFER models a link whose SNR supports 1–2 Mbps cleanly,
+// 5.5 Mbps marginally, and 11 Mbps badly.
+func marginalLadderFER() phys.RateLadderFER {
+	return phys.RateLadderFER{
+		FERByRate: map[int64]float64{
+			1_000_000:  0,
+			2_000_000:  0.01,
+			5_500_000:  0.15,
+			11_000_000: 0.70,
+		},
+		MinUnits: 200, // control frames (basic rate, short) always pass
+	}
+}
+
+// autoratePairs builds 2 pairs on a marginal link; senders optionally run
+// ARF, and the last receiver optionally misbehaves.
+func autoratePairs(seed int64, tr scenario.Transport, useARF bool,
+	policy func(w *scenario.World) mac.ReceiverPolicy) (*scenario.World, error) {
+	return scenario.BuildPairs(scenario.PairsConfig{
+		Config: scenario.Config{
+			Seed:         seed,
+			UseRTSCTS:    true,
+			RateError:    marginalLadderFER(),
+			ForceCapture: tr == scenario.TCP, // spoofing study keeps the paper's capture assumption
+		},
+		N:         2,
+		Transport: tr,
+		SenderOpts: func(w *scenario.World, i int) scenario.StationOpts {
+			if !useARF {
+				return scenario.StationOpts{}
+			}
+			return scenario.StationOpts{
+				AutoRate: mac.NewARF(mac.Rates80211B(), 0, 0),
+			}
+		},
+		ReceiverOpts: func(w *scenario.World, i int) scenario.StationOpts {
+			if i != 1 || policy == nil {
+				return scenario.StationOpts{}
+			}
+			return scenario.StationOpts{Policy: policy(w)}
+		},
+	})
+}
+
+func runExtA(cfg RunConfig) (*Result, error) {
+	cfg = cfg.normalize()
+	res := &Result{ID: "exta", Title: "Fake ACKs × auto-rate: forged feedback pins ARF at unsustainable rates"}
+	t := stats.Table{
+		Title: "Marginal link (11 Mbps FER 0.7, 5.5 Mbps FER 0.15). Under ARF, fake ACKs stop " +
+			"the sender from downshifting, reducing the attack's benefit (Section IX).",
+		Header: []string{"rate_control", "case", "R1_mbps", "R2_mbps"},
+	}
+	for _, rc := range []struct {
+		name string
+		arf  bool
+	}{{"fixed 11 Mbps", false}, {"ARF", true}} {
+		for _, tc := range []struct {
+			name string
+			fake bool
+		}{{"no GR", false}, {"R2 fakes ACKs", true}} {
+			var policy func(w *scenario.World) mac.ReceiverPolicy
+			if tc.fake {
+				policy = func(w *scenario.World) mac.ReceiverPolicy {
+					return greedy.NewFakeACKer(w.Sched.RNG(), 100)
+				}
+			}
+			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+				return autoratePairs(seed, scenario.UDP, rc.arf, policy)
+			}, nil)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(rc.name, tc.name, flows[1], flows[2])
+		}
+	}
+	res.AddTable(t)
+	return res, nil
+}
+
+func runExtB(cfg RunConfig) (*Result, error) {
+	cfg = cfg.normalize()
+	res := &Result{ID: "extb", Title: "Spoofed ACKs × auto-rate: the victim's sender is kept at a bad rate"}
+	t := stats.Table{
+		Title: "Spoofed ACKs hide the victim's losses from its sender's ARF, so it never " +
+			"downshifts — increasing the damage (Section IX).",
+		Header: []string{"rate_control", "case", "NR_mbps", "GR_mbps"},
+	}
+	for _, rc := range []struct {
+		name string
+		arf  bool
+	}{{"fixed 11 Mbps", false}, {"ARF", true}} {
+		for _, tc := range []struct {
+			name  string
+			spoof bool
+		}{{"no GR", false}, {"R2 spoofs for R1", true}} {
+			var policy func(w *scenario.World) mac.ReceiverPolicy
+			if tc.spoof {
+				policy = func(w *scenario.World) mac.ReceiverPolicy {
+					r1, _ := w.Station(scenario.ReceiverName(0))
+					return greedy.NewACKSpoofer(w.Sched.RNG(), 100, r1.ID)
+				}
+			}
+			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+				return autoratePairs(seed, scenario.TCP, rc.arf, policy)
+			}, nil)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(rc.name, tc.name, flows[1], flows[2])
+		}
+	}
+	res.AddTable(t)
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"greedy80211/internal/detect"
+	"greedy80211/internal/greedy"
+	"greedy80211/internal/phys"
+	"greedy80211/internal/scenario"
+	"greedy80211/internal/sim"
+	"greedy80211/internal/stats"
+)
+
+func registerBaseline() {
+	register("extc", "Extension: DOMINO (sender-side detector) is blind to receiver misbehavior", runExtC)
+}
+
+// runExtC pits the paper's three misbehaviors against a DOMINO backoff
+// monitor: the attacks succeed while every sender looks compliant — the
+// motivating observation of the paper. GRC's detections on the same runs
+// are shown for contrast.
+func runExtC(cfg RunConfig) (*Result, error) {
+	cfg = cfg.normalize()
+	res := &Result{ID: "extc", Title: "DOMINO vs receiver misbehaviors: compliant senders, skewed goodput"}
+	t := stats.Table{
+		Title: "DOMINO flags senders whose observed average backoff is below half the nominal " +
+			"CWmin/2; greedy receivers never alter their senders' backoff, so the attacks run " +
+			"unflagged (GRC catches them instead: fig23, fig24, extc's companion runs).",
+		Header: []string{"misbehavior", "NR_mbps", "GR_mbps", "domino_flagged",
+			"GS_avg_backoff_slots"},
+	}
+	cases := []struct {
+		name  string
+		build func(seed int64, dom *detect.Domino) (*scenario.World, error)
+	}{
+		{"nav-inflation +10ms CTS", func(seed int64, dom *detect.Domino) (*scenario.World, error) {
+			return scenario.BuildPairs(scenario.PairsConfig{
+				Config:    scenario.Config{Seed: seed, UseRTSCTS: true, Trace: dom},
+				N:         2,
+				Transport: scenario.UDP,
+				ReceiverOpts: func(w *scenario.World, i int) scenario.StationOpts {
+					if i != 1 {
+						return scenario.StationOpts{}
+					}
+					return scenario.StationOpts{Policy: greedy.NewNAVInflation(
+						w.Sched.RNG(), greedy.CTSOnly, 10*sim.Millisecond, 100)}
+				},
+			})
+		}},
+		{"ack-spoofing BER 2e-4", func(seed int64, dom *detect.Domino) (*scenario.World, error) {
+			return scenario.BuildPairs(scenario.PairsConfig{
+				Config: scenario.Config{
+					Seed: seed, UseRTSCTS: true, DefaultBER: 2e-4,
+					ForceCapture: true, Trace: dom,
+				},
+				N:         2,
+				Transport: scenario.TCP,
+				ReceiverOpts: func(w *scenario.World, i int) scenario.StationOpts {
+					if i != 1 {
+						return scenario.StationOpts{}
+					}
+					victim, _ := w.Station(scenario.ReceiverName(0))
+					return scenario.StationOpts{
+						Policy: greedy.NewACKSpoofer(w.Sched.RNG(), 100, victim.ID),
+					}
+				},
+			})
+		}},
+		{"fake-acks hidden terminals", func(seed int64, dom *detect.Domino) (*scenario.World, error) {
+			base := scenario.Config{Seed: seed, Trace: dom}
+			return scenario.BuildHiddenPairs(base, func(w *scenario.World, i int) scenario.StationOpts {
+				if i != 1 {
+					return scenario.StationOpts{}
+				}
+				return scenario.StationOpts{Policy: greedy.NewFakeACKer(w.Sched.RNG(), 100)}
+			})
+		}},
+	}
+	for _, tc := range cases {
+		// One representative seeded run per misbehavior (the verdicts are
+		// counters, not medians).
+		dom := detect.NewDomino(phys.Params80211B(), 0.5, 20)
+		w, err := tc.build(cfg.BaseSeed+1, dom)
+		if err != nil {
+			return nil, err
+		}
+		w.Run(cfg.Duration)
+		f1, _ := w.Flow(1)
+		f2, _ := w.Flow(2)
+		gs, _ := w.Station(scenario.SenderName(1))
+		var gsBackoff float64
+		for _, v := range dom.Verdicts() {
+			if v.Station == gs.ID {
+				gsBackoff = v.AvgBackoff
+			}
+		}
+		flagged := "no"
+		if dom.AnyCheater() {
+			flagged = "YES"
+		}
+		t.AddRow(tc.name, f1.GoodputMbps(cfg.Duration), f2.GoodputMbps(cfg.Duration),
+			flagged, gsBackoff)
+	}
+	res.AddTable(t)
+	return res, nil
+}

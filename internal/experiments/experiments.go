@@ -1,0 +1,249 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections V, VI, and VIII). Each artifact has a registered
+// runner keyed by its id ("fig1" … "fig24", "tab1" … "tab9"); runners
+// build the matching scenario, run it over several seeds, and emit the
+// same rows or series the paper reports.
+//
+// Absolute numbers differ from the paper's ns-2/testbed values (different
+// substrate); the shapes — who wins, by what factor, where the crossovers
+// fall — are the reproduction target. EXPERIMENTS.md records both.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"greedy80211/internal/scenario"
+	"greedy80211/internal/sim"
+	"greedy80211/internal/stats"
+)
+
+// RunConfig controls how much work each runner does.
+type RunConfig struct {
+	// Seeds is how many seeded repetitions feed each median (the paper
+	// uses 5). Zero means the default.
+	Seeds int
+	// BaseSeed offsets every seed.
+	BaseSeed int64
+	// Duration is the simulated time per run. Zero means the default.
+	Duration sim.Time
+	// Quick trims sweeps to a few representative points (for benchmarks
+	// and smoke tests).
+	Quick bool
+}
+
+// Defaults applied by normalize.
+const (
+	DefaultSeeds    = 5
+	DefaultDuration = 5 * sim.Second
+)
+
+func (c RunConfig) normalize() RunConfig {
+	if c.Seeds == 0 {
+		if c.Quick {
+			c.Seeds = 1
+		} else {
+			c.Seeds = DefaultSeeds
+		}
+	}
+	if c.Duration == 0 {
+		if c.Quick {
+			c.Duration = 2 * sim.Second
+		} else {
+			c.Duration = DefaultDuration
+		}
+	}
+	return c
+}
+
+// Result is one regenerated artifact.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []stats.Table
+	Series []seriesGroup
+}
+
+// seriesGroup is a set of curves sharing an x-axis.
+type seriesGroup struct {
+	Caption string
+	XLabel  string
+	Series  []stats.Series
+}
+
+// AddTable appends a table to the result.
+func (r *Result) AddTable(t stats.Table) { r.Tables = append(r.Tables, t) }
+
+// AddSeries appends a series group to the result.
+func (r *Result) AddSeries(caption, xLabel string, series ...stats.Series) {
+	r.Series = append(r.Series, seriesGroup{Caption: caption, XLabel: xLabel, Series: series})
+}
+
+// String renders the artifact as text.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, g := range r.Series {
+		if g.Caption != "" {
+			b.WriteString(g.Caption)
+			b.WriteByte('\n')
+		}
+		b.WriteString(stats.FormatSeries(g.XLabel, g.Series...))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSVFiles renders the artifact's tables and series groups as CSV
+// documents keyed by a suggested file name (<id>_<kind><k>.csv), for
+// plotting.
+func (r *Result) CSVFiles() (map[string]string, error) {
+	out := make(map[string]string, len(r.Tables)+len(r.Series))
+	for i, t := range r.Tables {
+		doc, err := t.CSV()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s table %d: %w", r.ID, i, err)
+		}
+		out[fmt.Sprintf("%s_table%d.csv", r.ID, i+1)] = doc
+	}
+	for i, g := range r.Series {
+		doc, err := stats.SeriesCSV(g.XLabel, g.Series...)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s series %d: %w", r.ID, i, err)
+		}
+		out[fmt.Sprintf("%s_series%d.csv", r.ID, i+1)] = doc
+	}
+	return out, nil
+}
+
+// Runner regenerates one artifact.
+type Runner func(cfg RunConfig) (*Result, error)
+
+// Registration describes one artifact in the registry.
+type Registration struct {
+	ID     string
+	Title  string
+	Runner Runner
+}
+
+var (
+	registry     = map[string]Registration{}
+	registerOnce sync.Once
+)
+
+// ensureRegistered populates the registry on first use (explicit lazy
+// registration instead of init functions).
+func ensureRegistered() {
+	registerOnce.Do(func() {
+		registerNAV()
+		registerSpoof()
+		registerFake()
+		registerAnalytic()
+		registerTestbed()
+		registerDetection()
+		registerAutoRate()
+		registerBaseline()
+		registerAblation()
+	})
+}
+
+func register(id, title string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = Registration{ID: id, Title: title, Runner: r}
+}
+
+// Lookup finds a registered artifact by id.
+func Lookup(id string) (Registration, bool) {
+	ensureRegistered()
+	r, ok := registry[id]
+	return r, ok
+}
+
+// All lists every registered artifact sorted by id (figures first, then
+// tables, each numerically).
+func All() []Registration {
+	ensureRegistered()
+	out := make([]Registration, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return artifactKey(out[i].ID) < artifactKey(out[j].ID)
+	})
+	return out
+}
+
+// artifactKey sorts "fig2" before "fig10" and figures before tables.
+func artifactKey(id string) string {
+	kind, num := id, 0
+	for i, c := range id {
+		if c >= '0' && c <= '9' {
+			kind = id[:i]
+			fmt.Sscanf(id[i:], "%d", &num)
+			break
+		}
+	}
+	return fmt.Sprintf("%s-%04d", kind, num)
+}
+
+// Run executes one artifact by id.
+func Run(id string, cfg RunConfig) (*Result, error) {
+	reg, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown artifact %q", id)
+	}
+	return reg.Runner(cfg)
+}
+
+// --- shared runners -------------------------------------------------------
+
+// runSeeds builds and runs the scenario once per seed, extracting per-flow
+// goodputs and any additional metrics, then reduces each to its median.
+func runSeeds(cfg RunConfig, build func(seed int64) (*scenario.World, error),
+	extract func(w *scenario.World, metrics map[string]float64)) (map[int]float64, map[string]float64, error) {
+	perFlow := make(map[int][]float64)
+	perMetric := make(map[string][]float64)
+	for i := 0; i < cfg.Seeds; i++ {
+		w, err := build(cfg.BaseSeed + int64(i) + 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		w.Run(cfg.Duration)
+		for _, fl := range w.Flows() {
+			perFlow[fl.ID] = append(perFlow[fl.ID], fl.GoodputMbps(cfg.Duration))
+		}
+		if extract != nil {
+			m := make(map[string]float64)
+			extract(w, m)
+			for k, v := range m {
+				perMetric[k] = append(perMetric[k], v)
+			}
+		}
+	}
+	flows := make(map[int]float64, len(perFlow))
+	for id, vals := range perFlow {
+		flows[id] = stats.Median(vals)
+	}
+	metrics := make(map[string]float64, len(perMetric))
+	for k, vals := range perMetric {
+		metrics[k] = stats.Median(vals)
+	}
+	return flows, metrics, nil
+}
+
+// pick trims a sweep to representative points in Quick mode: first, one
+// middle, and last.
+func pick(cfg RunConfig, full []float64) []float64 {
+	if !cfg.Quick || len(full) <= 3 {
+		return full
+	}
+	return []float64{full[0], full[len(full)/2], full[len(full)-1]}
+}

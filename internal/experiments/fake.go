@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+
+	"greedy80211/internal/greedy"
+	"greedy80211/internal/phys"
+	"greedy80211/internal/scenario"
+	"greedy80211/internal/stats"
+)
+
+func registerFake() {
+	register("fig18", "Fake ACKs under hidden-terminal collisions vs greedy percentage (UDP)", runFig18)
+	register("tab4", "Sender contention window with fake ACKs under hidden terminals (GP 100%)", runTab4)
+	register("tab5", "Fake-ACK goodput under inherent wireless losses (802.11b, UDP)", runTab5)
+	register("fig19", "Fake ACKs: one greedy receiver vs N normal pairs × loss rate (UDP)", runFig19)
+}
+
+// hiddenWorld builds the Fig 18 topology with the last nGreedy receivers
+// faking ACKs at greedy percentage gp.
+func hiddenWorld(seed int64, band phys.Band, gp float64, nGreedy int) (*scenario.World, error) {
+	return scenario.BuildHiddenPairs(scenario.Config{Seed: seed, Band: band},
+		func(w *scenario.World, i int) scenario.StationOpts {
+			if i < 2-nGreedy || gp == 0 {
+				return scenario.StationOpts{}
+			}
+			return scenario.StationOpts{Policy: greedy.NewFakeACKer(w.Sched.RNG(), gp)}
+		})
+}
+
+func runFig18(cfg RunConfig) (*Result, error) {
+	cfg = cfg.normalize()
+	res := &Result{ID: "fig18", Title: "Fake ACKs with hidden-terminal collision losses"}
+	gps := pick(cfg, []float64{0, 25, 50, 75, 100})
+
+	oneR1 := stats.Series{Name: "1 GR: R1 normal (Mbps)"}
+	oneR2 := stats.Series{Name: "1 GR: R2 greedy (Mbps)"}
+	bothR1 := stats.Series{Name: "2 GR: R1 (Mbps)"}
+	bothR2 := stats.Series{Name: "2 GR: R2 (Mbps)"}
+	for _, gp := range gps {
+		one, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+			return hiddenWorld(seed, phys.Band80211B, gp, 1)
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		oneR1.Add(gp, one[1])
+		oneR2.Add(gp, one[2])
+		both, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+			return hiddenWorld(seed, phys.Band80211B, gp, 2)
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		bothR1.Add(gp, both[1])
+		bothR2.Add(gp, both[2])
+	}
+	res.AddSeries("(a) only R2 fakes ACKs: its gain grows with GP.",
+		"greedy_percent", oneR1, oneR2)
+	res.AddSeries("(b) both fake ACKs: disabled backoff breeds collisions and both suffer.",
+		"greedy_percent", bothR1, bothR2)
+	return res, nil
+}
+
+func runTab4(cfg RunConfig) (*Result, error) {
+	cfg = cfg.normalize()
+	res := &Result{ID: "tab4", Title: "Average sender CW, hidden terminals, UDP, GP 100%"}
+	t := stats.Table{
+		Title:  "Fake ACKs pin the greedy flow's sender near CWmin while the normal sender backs off.",
+		Header: []string{"band", "case", "S1_avg_cw", "S2_avg_cw"},
+	}
+	bands := []phys.Band{phys.Band80211B, phys.Band80211A}
+	if cfg.Quick {
+		bands = bands[:1]
+	}
+	for _, band := range bands {
+		for _, tc := range []struct {
+			name    string
+			nGreedy int
+		}{
+			{"no GR", 0},
+			{"R2 GR", 1},
+			{"both GR", 2},
+		} {
+			_, metrics, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+				return hiddenWorld(seed, band, 100, tc.nGreedy)
+			}, cwExtract)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(band.String(), tc.name, metrics["cw_ns"], metrics["cw_gs"])
+		}
+	}
+	res.AddTable(t)
+	return res, nil
+}
+
+// inherentLossPairs builds 2 UDP pairs with a fixed data-frame error rate
+// on every link (inherent medium loss, not collision loss).
+func inherentLossPairs(seed int64, dataFER, gp float64, nGreedy int) (*scenario.World, error) {
+	return scenario.BuildPairs(scenario.PairsConfig{
+		Config: scenario.Config{
+			Seed: seed, UseRTSCTS: true, DefaultDataFER: dataFER,
+		},
+		N:         2,
+		Transport: scenario.UDP,
+		ReceiverOpts: func(w *scenario.World, i int) scenario.StationOpts {
+			if i < 2-nGreedy || gp == 0 {
+				return scenario.StationOpts{}
+			}
+			return scenario.StationOpts{Policy: greedy.NewFakeACKer(w.Sched.RNG(), gp)}
+		},
+	})
+}
+
+func runTab5(cfg RunConfig) (*Result, error) {
+	cfg = cfg.normalize()
+	res := &Result{ID: "tab5", Title: "Fake-ACK goodput under inherent wireless losses"}
+	t := stats.Table{
+		Title:  "Under non-collision losses, backoff is pure waste: faking ACKs helps modestly.",
+		Header: []string{"data_fer", "noGR_R1", "noGR_R2", "1GR_R1", "1GR_R2(GR)", "2GR_R1", "2GR_R2"},
+	}
+	fers := pick(cfg, []float64{0.2, 0.5, 0.8})
+	for _, fer := range fers {
+		base, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+			return inherentLossPairs(seed, fer, 0, 0)
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		one, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+			return inherentLossPairs(seed, fer, 100, 1)
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		two, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+			return inherentLossPairs(seed, fer, 100, 2)
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fer, base[1], base[2], one[1], one[2], two[1], two[2])
+	}
+	res.AddTable(t)
+	return res, nil
+}
+
+func runFig19(cfg RunConfig) (*Result, error) {
+	cfg = cfg.normalize()
+	res := &Result{ID: "fig19", Title: "Fake ACKs: one greedy receiver vs N normal pairs × loss"}
+	ns := []int{1, 2, 3, 5}
+	if cfg.Quick {
+		ns = []int{1, 3}
+	}
+	for _, fer := range []float64{0.2, 0.5} {
+		nrAvg := stats.Series{Name: "normal avg (Mbps)"}
+		gr := stats.Series{Name: "greedy (Mbps)"}
+		for _, n := range ns {
+			total := n + 1
+			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+				return scenario.BuildPairs(scenario.PairsConfig{
+					Config: scenario.Config{
+						Seed: seed, UseRTSCTS: true, DefaultDataFER: fer,
+					},
+					N:         total,
+					Transport: scenario.UDP,
+					ReceiverOpts: func(w *scenario.World, i int) scenario.StationOpts {
+						if i != total-1 {
+							return scenario.StationOpts{}
+						}
+						return scenario.StationOpts{Policy: greedy.NewFakeACKer(w.Sched.RNG(), 100)}
+					},
+				})
+			}, nil)
+			if err != nil {
+				return nil, err
+			}
+			var sum float64
+			for id := 1; id < total; id++ {
+				sum += flows[id]
+			}
+			nrAvg.Add(float64(n), sum/float64(n))
+			gr.Add(float64(n), flows[total])
+		}
+		res.AddSeries(fmt.Sprintf("data frame error rate %.1f", fer),
+			"normal_pairs", nrAvg, gr)
+	}
+	return res, nil
+}

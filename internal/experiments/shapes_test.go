@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"greedy80211/internal/sim"
+	"greedy80211/internal/stats"
+)
+
+// The tests in this file assert the paper's *claims* — orderings,
+// factors, thresholds — on moderate-fidelity runs (2 seeds × 3 s, full
+// sweeps). They are the regression suite for the reproduction itself.
+// Skipped with -short.
+
+func shapeCfg() RunConfig {
+	return RunConfig{Seeds: 2, Duration: 3 * sim.Second, BaseSeed: 41}
+}
+
+func shapeRun(t *testing.T, id string) *Result {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("shape assertions skipped in -short mode")
+	}
+	res, err := Run(id, shapeCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return res
+}
+
+// at returns the y value of series s at x, failing if absent.
+func at(t *testing.T, s stats.Series, x float64) float64 {
+	t.Helper()
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
+	}
+	t.Fatalf("series %q has no point at x=%v", s.Name, x)
+	return 0
+}
+
+// Fig 1 claim: starvation by 0.6 ms of CTS NAV inflation.
+func TestShapeFig1StarvationThreshold(t *testing.T) {
+	res := shapeRun(t, "fig1")
+	nr, gr := res.Series[0].Series[0], res.Series[0].Series[1]
+	if v := at(t, nr, 0) / at(t, gr, 0); v < 0.75 || v > 1.33 {
+		t.Errorf("zero-inflation baseline unfair: ratio %.2f", v)
+	}
+	if nrAt06 := at(t, nr, 0.6); nrAt06 > 0.1 {
+		t.Errorf("victim still at %.2f Mbps at +0.6 ms; paper claims starvation", nrAt06)
+	}
+	if grAt06 := at(t, gr, 0.6); grAt06 < 3.0 {
+		t.Errorf("greedy only %.2f Mbps at +0.6 ms; should hold the channel", grAt06)
+	}
+}
+
+// Fig 4 claim: greedy wins at every inflation; RTS+CTS starves at 1 ms;
+// all-frames is at least as damaging as CTS-only everywhere.
+func TestShapeFig4Ordering(t *testing.T) {
+	res := shapeRun(t, "fig4")
+	cts := res.Series[0]
+	rtscts := res.Series[1]
+	all := res.Series[3]
+	for _, x := range []float64{1, 2, 5, 10, 31} {
+		if at(t, cts.Series[0], x) >= at(t, cts.Series[1], x) {
+			t.Errorf("CTS panel at %vms: victim ≥ greedy", x)
+		}
+	}
+	if v := at(t, rtscts.Series[0], 1); v > 0.35 {
+		t.Errorf("RTS+CTS at 1ms leaves victim %.2f Mbps; paper claims near-starvation", v)
+	}
+	for _, x := range []float64{1, 5, 31} {
+		if at(t, all.Series[0], x) > at(t, cts.Series[0], x)+0.15 {
+			t.Errorf("all-frames leaves victim more than CTS-only at %vms", x)
+		}
+	}
+}
+
+// Fig 6 claim: ~10 ms CTS inflation dominates 7 competitors.
+func TestShapeFig6Domination(t *testing.T) {
+	res := shapeRun(t, "fig6")
+	gr, nr := res.Series[0].Series[0], res.Series[0].Series[1]
+	if g, n := at(t, gr, 10), at(t, nr, 10); g < 20*n {
+		t.Errorf("at 10ms greedy %.2f vs normal-avg %.2f; paper claims domination", g, n)
+	}
+	if g0, n0 := at(t, gr, 0), at(t, nr, 0); g0 > 3*n0 {
+		t.Errorf("baseline already skewed: %.2f vs %.2f", g0, n0)
+	}
+}
+
+// Fig 7 claim: GP=50% already yields a substantial gain at 5/10 ms and a
+// full grab at 31 ms.
+func TestShapeFig7GreedyPercent(t *testing.T) {
+	res := shapeRun(t, "fig7")
+	for i, wantGapAt50 := range []float64{0.7, 1.2, 1.5} {
+		nr, gr := res.Series[i].Series[0], res.Series[i].Series[1]
+		gap := at(t, gr, 50) - at(t, nr, 50)
+		if gap < wantGapAt50 {
+			t.Errorf("panel %d GP=50 gap %.2f Mbps, want ≥ %.2f", i, gap, wantGapAt50)
+		}
+		// Monotone in GP for the greedy side (within noise).
+		if at(t, gr, 100) < at(t, gr, 25) {
+			t.Errorf("panel %d: greedy goodput fell from GP 25 to 100", i)
+		}
+	}
+}
+
+// Fig 9 claim: with k ≥ 1 greedy receivers at +31 ms, the channel is
+// monopolized — one flow dominates (leadership can change hands after a
+// packet loss, as the paper notes, so over a finite run the top two
+// flows may split the epochs) and the rest of the field starves.
+func TestShapeFig9SingleSurvivor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape assertions skipped in -short mode")
+	}
+	cfg := shapeCfg()
+	cfg.Duration = 6 * sim.Second
+	res, err := Run("fig9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	for _, row := range rows[1:] { // skip the k=0 baseline row
+		vals := make([]float64, 0, 8)
+		total := 0.0
+		for _, cell := range row[1:] {
+			v := parseCell(t, cell)
+			vals = append(vals, v)
+			total += v
+		}
+		top, second, starved := 0.0, 0.0, 0
+		for _, v := range vals {
+			switch {
+			case v > top:
+				second = top
+				top = v
+			case v > second:
+				second = v
+			}
+			if v < 0.05*total {
+				starved++
+			}
+		}
+		if top+second < 0.7*total {
+			t.Errorf("row %v: top-2 hold %.0f%% of goodput, want ≥70%%",
+				row[0], 100*(top+second)/total)
+		}
+		if starved < 4 {
+			t.Errorf("row %v: only %d of 8 flows starved; want ≥4", row[0], starved)
+		}
+	}
+}
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad cell %q: %v", s, err)
+	}
+	return v
+}
+
+// Fig 11 claim: the greedy gain rises with loss up to moderate BER then
+// shrinks; at extreme loss both flows die.
+func TestShapeFig11GainProfile(t *testing.T) {
+	res := shapeRun(t, "fig11")
+	g := res.Series[0].Series // 802.11b panel
+	wNR, wGR := g[2], g[3]
+	gainAt := func(x float64) float64 { return at(t, wGR, x) - at(t, wNR, x) }
+	if gainAt(2) < 1.0 {
+		t.Errorf("gain at BER 2e-4 = %.2f Mbps, want ≥1", gainAt(2))
+	}
+	if gainAt(2) <= gainAt(0.1) {
+		t.Error("gain should grow from negligible to moderate loss")
+	}
+	if gainAt(14) > 0.3 {
+		t.Errorf("gain at extreme loss = %.2f, want collapse", gainAt(14))
+	}
+	if both := at(t, wGR, 14) + at(t, wNR, 14); both > 0.3 {
+		t.Errorf("flows alive at BER 1.4e-3: %.2f total", both)
+	}
+}
+
+// Fig 13 claim: mutual spoofing at GP 100% destroys most of the total.
+func TestShapeFig13MutualDestruction(t *testing.T) {
+	res := shapeRun(t, "fig13")
+	rows := res.Tables[0].Rows
+	var baseline, mutual100 float64
+	for _, row := range rows {
+		gp := parseCell(t, row[0])
+		k := parseCell(t, row[1])
+		total := parseCell(t, row[4])
+		if k == 0 {
+			baseline = total
+		}
+		if k == 2 && gp == 100 {
+			mutual100 = total
+		}
+	}
+	if mutual100 > baseline/2 {
+		t.Errorf("mutual spoofing total %.2f vs baseline %.2f; want ≥50%% destruction",
+			mutual100, baseline)
+	}
+}
+
+// Fig 15 claim: the greedy/victim ratio grows with wireline latency up
+// to ≈200 ms.
+func TestShapeFig15LatencyAmplifies(t *testing.T) {
+	res := shapeRun(t, "fig15")
+	g := res.Series[0].Series
+	wNR, wGR := g[2], g[3]
+	r2 := at(t, wGR, 2) / at(t, wNR, 2)
+	r200 := at(t, wGR, 200) / at(t, wNR, 200)
+	if r200 <= r2 {
+		t.Errorf("gain ratio did not grow with latency: %.2f at 2ms vs %.2f at 200ms", r2, r200)
+	}
+	// The attack must hurt at every latency.
+	for _, x := range []float64{2, 50, 100, 200} {
+		if at(t, wGR, x) <= at(t, wNR, x) {
+			t.Errorf("no greedy gain at %vms", x)
+		}
+	}
+}
+
+// Fig 18 claim: one faker's gain grows with GP; two fakers both lose.
+func TestShapeFig18(t *testing.T) {
+	res := shapeRun(t, "fig18")
+	oneNR, oneGR := res.Series[0].Series[0], res.Series[0].Series[1]
+	if at(t, oneGR, 100) < 4*at(t, oneNR, 100) {
+		t.Errorf("GP100 faker %.2f vs normal %.2f; want dominance",
+			at(t, oneGR, 100), at(t, oneNR, 100))
+	}
+	if at(t, oneGR, 100) < at(t, oneGR, 25) {
+		t.Error("faker gain not monotone in GP")
+	}
+	bothR1, bothR2 := res.Series[1].Series[0], res.Series[1].Series[1]
+	base := at(t, bothR1, 0) + at(t, bothR2, 0)
+	end := at(t, bothR1, 100) + at(t, bothR2, 100)
+	if end > 0.8*base {
+		t.Errorf("mutual faking total %.2f vs %.2f baseline; want joint loss", end, base)
+	}
+}
+
+// Table 5 claim: under inherent losses, faking helps the greedy flow and
+// mutual faking is not harmful.
+func TestShapeTab5InherentLoss(t *testing.T) {
+	res := shapeRun(t, "tab5")
+	for _, row := range res.Tables[0].Rows {
+		noGR2 := parseCell(t, row[2])
+		gr := parseCell(t, row[4])
+		if gr < noGR2 {
+			t.Errorf("FER %s: faking receiver %.2f below its baseline %.2f", row[0], gr, noGR2)
+		}
+		bothR1 := parseCell(t, row[5])
+		noGR1 := parseCell(t, row[1])
+		if bothR1 < 0.7*noGR1 {
+			t.Errorf("FER %s: mutual faking hurt under inherent loss (%.2f vs %.2f)",
+				row[0], bothR1, noGR1)
+		}
+	}
+}
+
+// Fig 23 claim: three spatial regimes (exact clamp / MTU fallback /
+// out of range) for the GRC NAV guard.
+func TestShapeFig23Regimes(t *testing.T) {
+	res := shapeRun(t, "fig23")
+	g := res.Series[0].Series // UDP panel
+	noGR, attR1, grcR1, grcR2 := g[0], g[1], g[3], g[4]
+	// In range without GRC: dead victim.
+	if at(t, attR1, 25) > 0.2 {
+		t.Errorf("victim alive without GRC in range: %.2f", at(t, attR1, 25))
+	}
+	// Exact-clamp region: GRC restores to ≈ baseline.
+	if v := at(t, grcR1, 25); v < 0.7*at(t, noGR, 25) {
+		t.Errorf("GRC restoration at 25m = %.2f vs baseline %.2f", v, at(t, noGR, 25))
+	}
+	// MTU-fallback region (52m): victim alive but below the greedy flow.
+	v52, g52 := at(t, grcR1, 52), at(t, grcR2, 52)
+	if v52 < 0.15 {
+		t.Errorf("MTU-fallback victim starved: %.2f", v52)
+	}
+	if v52 > g52 {
+		t.Errorf("MTU-fallback should leave the greedy flow an edge: %.2f vs %.2f", v52, g52)
+	}
+	// Out of range: attack inert.
+	if v := at(t, attR1, 85); v < 0.7*at(t, noGR, 85) {
+		t.Errorf("attack affected an out-of-range victim: %.2f vs %.2f", v, at(t, noGR, 85))
+	}
+}
+
+// Fig 24 claim: with GRC both flows track the no-attack curves.
+func TestShapeFig24Recovery(t *testing.T) {
+	res := shapeRun(t, "fig24")
+	g := res.Series[0].Series
+	noGR1, attR1, grcR1 := g[0], g[2], g[4]
+	const x = 2 // BER 2e-4
+	if at(t, attR1, x) > 0.4*at(t, noGR1, x) {
+		t.Errorf("attack ineffective: %.2f vs %.2f", at(t, attR1, x), at(t, noGR1, x))
+	}
+	if at(t, grcR1, x) < 0.6*at(t, noGR1, x) {
+		t.Errorf("GRC recovery incomplete: %.2f vs baseline %.2f",
+			at(t, grcR1, x), at(t, noGR1, x))
+	}
+}
+
+// Extension claims (Section IX): fake ACKs backfire under ARF; spoofing
+// worsens under ARF.
+func TestShapeAutoRateExtensions(t *testing.T) {
+	resA := shapeRun(t, "exta")
+	rows := resA.Tables[0].Rows
+	// rows: fixed/noGR, fixed/fake, ARF/noGR, ARF/fake — columns R1, R2.
+	fixedFakeR2 := parseCell(t, rows[1][3])
+	fixedNoR2 := parseCell(t, rows[0][3])
+	arfFakeR2 := parseCell(t, rows[3][3])
+	arfNoR2 := parseCell(t, rows[2][3])
+	if fixedFakeR2 <= fixedNoR2 {
+		t.Errorf("fixed rate: faking should pay (%.2f vs %.2f)", fixedFakeR2, fixedNoR2)
+	}
+	if arfFakeR2 >= arfNoR2 {
+		t.Errorf("ARF: faking should backfire (%.2f vs honest %.2f)", arfFakeR2, arfNoR2)
+	}
+
+	resB := shapeRun(t, "extb")
+	rowsB := resB.Tables[0].Rows
+	arfSpoofNR := parseCell(t, rowsB[3][2])
+	arfNoNR := parseCell(t, rowsB[2][2])
+	arfSpoofGR := parseCell(t, rowsB[3][3])
+	if arfSpoofNR > 0.5*arfNoNR {
+		t.Errorf("ARF spoofing victim %.2f vs baseline %.2f; want heavy damage", arfSpoofNR, arfNoNR)
+	}
+	if arfSpoofGR <= arfSpoofNR {
+		t.Error("ARF spoofing should benefit the attacker")
+	}
+}

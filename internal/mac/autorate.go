@@ -1,0 +1,110 @@
+package mac
+
+import (
+	"fmt"
+)
+
+// RateController selects the PHY rate for data frames and learns from
+// per-attempt transmission outcomes. It is the hook for the auto-rate
+// extension (the paper's Section IX future work): misbehaviors that forge
+// positive feedback — fake ACKs (misbehavior 3) and spoofed ACKs
+// (misbehavior 2) — also corrupt the sender's rate adaptation, because the
+// controller sees successes that never happened.
+type RateController interface {
+	// DataRate reports the PHY rate (bits/s) for the next data frame to
+	// dst.
+	DataRate(dst NodeID) int64
+	// OnTxOutcome feeds back one data-frame attempt toward dst: ok is
+	// whether a MAC ACK (genuine or forged) was received.
+	OnTxOutcome(dst NodeID, ok bool)
+}
+
+// ARF implements Automatic Rate Fallback, the classic 802.11 controller:
+// step the rate up after SuccessThreshold consecutive successes, step it
+// down after FailureThreshold consecutive failures. State is tracked per
+// destination.
+type ARF struct {
+	rates            []int64
+	successThreshold int
+	failureThreshold int
+	state            map[NodeID]*arfState
+}
+
+type arfState struct {
+	idx       int
+	successes int
+	failures  int
+}
+
+var _ RateController = (*ARF)(nil)
+
+// ARF defaults per the original Lucent design.
+const (
+	DefaultARFSuccessThreshold = 10
+	DefaultARFFailureThreshold = 2
+)
+
+// Rates80211B is the 802.11b rate ladder.
+func Rates80211B() []int64 { return []int64{1_000_000, 2_000_000, 5_500_000, 11_000_000} }
+
+// Rates80211A is the 802.11a rate ladder (subset the paper's rates span).
+func Rates80211A() []int64 {
+	return []int64{6_000_000, 9_000_000, 12_000_000, 18_000_000, 24_000_000, 36_000_000, 48_000_000, 54_000_000}
+}
+
+// NewARF builds an ARF controller over the given ascending rate ladder,
+// starting every destination at the highest rate.
+func NewARF(rates []int64, successThreshold, failureThreshold int) *ARF {
+	if len(rates) == 0 {
+		panic("mac: NewARF with empty rate ladder")
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] <= rates[i-1] {
+			panic(fmt.Sprintf("mac: ARF ladder not ascending at %d", i))
+		}
+	}
+	if successThreshold <= 0 {
+		successThreshold = DefaultARFSuccessThreshold
+	}
+	if failureThreshold <= 0 {
+		failureThreshold = DefaultARFFailureThreshold
+	}
+	return &ARF{
+		rates:            rates,
+		successThreshold: successThreshold,
+		failureThreshold: failureThreshold,
+		state:            make(map[NodeID]*arfState),
+	}
+}
+
+func (a *ARF) stateFor(dst NodeID) *arfState {
+	s, ok := a.state[dst]
+	if !ok {
+		s = &arfState{idx: len(a.rates) - 1}
+		a.state[dst] = s
+	}
+	return s
+}
+
+// DataRate implements RateController.
+func (a *ARF) DataRate(dst NodeID) int64 { return a.rates[a.stateFor(dst).idx] }
+
+// OnTxOutcome implements RateController.
+func (a *ARF) OnTxOutcome(dst NodeID, ok bool) {
+	s := a.stateFor(dst)
+	if ok {
+		s.failures = 0
+		s.successes++
+		if s.successes >= a.successThreshold && s.idx < len(a.rates)-1 {
+			s.idx++
+			s.successes = 0
+		}
+		return
+	}
+	s.successes = 0
+	s.failures++
+	if s.failures >= a.failureThreshold && s.idx > 0 {
+		s.idx--
+		s.failures = 0
+	}
+}

@@ -1,0 +1,126 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestARFStartsAtTop(t *testing.T) {
+	a := NewARF(Rates80211B(), 0, 0)
+	if got := a.DataRate(1); got != 11_000_000 {
+		t.Errorf("initial rate = %d, want 11M", got)
+	}
+}
+
+func TestARFDownshiftOnFailures(t *testing.T) {
+	a := NewARF(Rates80211B(), 10, 2)
+	a.OnTxOutcome(1, false)
+	if a.DataRate(1) != 11_000_000 {
+		t.Error("downshifted after a single failure")
+	}
+	a.OnTxOutcome(1, false)
+	if a.DataRate(1) != 5_500_000 {
+		t.Errorf("rate after 2 failures = %d, want 5.5M", a.DataRate(1))
+	}
+	// Keep failing to the floor; never below the lowest rate.
+	for i := 0; i < 20; i++ {
+		a.OnTxOutcome(1, false)
+	}
+	if a.DataRate(1) != 1_000_000 {
+		t.Errorf("floor rate = %d, want 1M", a.DataRate(1))
+	}
+}
+
+func TestARFUpshiftAfterSuccesses(t *testing.T) {
+	a := NewARF(Rates80211B(), 10, 2)
+	// Drop to 5.5M first.
+	a.OnTxOutcome(1, false)
+	a.OnTxOutcome(1, false)
+	for i := 0; i < 9; i++ {
+		a.OnTxOutcome(1, true)
+	}
+	if a.DataRate(1) != 5_500_000 {
+		t.Error("upshifted before the success threshold")
+	}
+	a.OnTxOutcome(1, true)
+	if a.DataRate(1) != 11_000_000 {
+		t.Errorf("rate after 10 successes = %d, want 11M", a.DataRate(1))
+	}
+	// The ceiling holds.
+	for i := 0; i < 30; i++ {
+		a.OnTxOutcome(1, true)
+	}
+	if a.DataRate(1) != 11_000_000 {
+		t.Error("exceeded the ladder ceiling")
+	}
+}
+
+func TestARFFailureResetsSuccessStreak(t *testing.T) {
+	a := NewARF(Rates80211B(), 10, 2)
+	a.OnTxOutcome(1, false)
+	a.OnTxOutcome(1, false) // at 5.5M
+	for i := 0; i < 9; i++ {
+		a.OnTxOutcome(1, true)
+	}
+	a.OnTxOutcome(1, false) // streak broken
+	for i := 0; i < 9; i++ {
+		a.OnTxOutcome(1, true)
+	}
+	if a.DataRate(1) != 5_500_000 {
+		t.Error("success streak survived a failure")
+	}
+}
+
+func TestARFPerDestinationState(t *testing.T) {
+	a := NewARF(Rates80211B(), 10, 2)
+	a.OnTxOutcome(1, false)
+	a.OnTxOutcome(1, false)
+	if a.DataRate(1) == a.DataRate(2) {
+		t.Error("destination 2 shares destination 1's state")
+	}
+	if a.DataRate(2) != 11_000_000 {
+		t.Error("fresh destination not at the top rate")
+	}
+}
+
+func TestARFValidation(t *testing.T) {
+	for _, tt := range []struct {
+		name  string
+		rates []int64
+	}{
+		{"empty ladder", nil},
+		{"non-ascending", []int64{2_000_000, 1_000_000}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			NewARF(tt.rates, 0, 0)
+		})
+	}
+}
+
+// Property: the selected rate is always a ladder member, under any
+// outcome sequence.
+func TestPropertyARFRateInLadder(t *testing.T) {
+	ladder := Rates80211A()
+	member := make(map[int64]bool, len(ladder))
+	for _, r := range ladder {
+		member[r] = true
+	}
+	f := func(outcomes []bool) bool {
+		a := NewARF(ladder, 5, 2)
+		for _, ok := range outcomes {
+			a.OnTxOutcome(3, ok)
+			if !member[a.DataRate(3)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package mac
+
+// Counters accumulates per-station MAC statistics. The paper's figures use
+// several of these directly: average contention window (Fig 2, Table IV),
+// RTS sending ratios (Fig 3), and retransmission/timeout behavior.
+type Counters struct {
+	// Transmission counts by frame type.
+	RTSSent  int64
+	CTSSent  int64
+	DataSent int64
+	ACKSent  int64
+
+	// SpoofedACKsSent counts ACKs transmitted on behalf of another station
+	// (misbehavior 2) and FakeACKsSent counts ACKs for corrupted frames
+	// (misbehavior 3).
+	SpoofedACKsSent int64
+	FakeACKsSent    int64
+
+	// MSDU-level outcomes.
+	MSDUEnqueued  int64
+	MSDUQueueDrop int64
+	MSDUSuccess   int64
+	MSDURetryDrop int64
+
+	// Retransmission behavior.
+	DataRetries int64
+	RTSRetries  int64
+	CTSTimeouts int64
+	ACKTimeouts int64
+
+	// Receive-side outcomes.
+	DataDelivered  int64 // non-duplicate data frames passed up
+	DataDuplicates int64
+	CorruptedRx    int64
+	ACKIgnored     int64 // ACKs discarded by the Observer (GRC mitigation)
+	NAVCorrections int64 // NAV values clamped by the Observer (GRC)
+
+	// Contention-window sampling: CWSum accumulates the CW value at every
+	// backoff draw so AvgCW reports the station's average contention
+	// window in slots. CWHist is the full draw histogram, which the
+	// analytic model of Equations 1–2 consumes (Fig 3).
+	CWSum     int64
+	CWSamples int64
+	CWHist    map[int]int64
+}
+
+// AvgCW reports the average contention window over all backoff draws, in
+// slots (e.g. 31 means the station never left CWmin on 802.11b).
+func (c *Counters) AvgCW() float64 {
+	if c.CWSamples == 0 {
+		return 0
+	}
+	return float64(c.CWSum) / float64(c.CWSamples)
+}
+
+// Attempts reports the total channel acquisitions attempted (RTS for
+// protected exchanges, data frames otherwise).
+func (c *Counters) Attempts() int64 { return c.RTSSent + c.DataSent }

@@ -1,0 +1,667 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+)
+
+// accessState tracks the DCF's transmitter-side progress for the MSDU at
+// the head of its queue.
+type accessState int
+
+const (
+	accessIdle    accessState = iota + 1 // nothing to send
+	accessContend                        // waiting out IFS + backoff
+	accessTxRTS                          // RTS on the air
+	accessWaitCTS                        // CTS timeout armed
+	accessTxData                         // data frame on the air
+	accessWaitACK                        // ACK timeout armed
+)
+
+// respKind labels the SIFS-scheduled response a station owes.
+type respKind int
+
+const (
+	respNone respKind = iota
+	respCTS
+	respACK
+	respFakeACK    // ACK for a corrupted frame (misbehavior 3)
+	respSpoofedACK // ACK impersonating another receiver (misbehavior 2)
+	respOwnData    // our data frame following a received CTS
+)
+
+// Config parameterizes a DCF instance.
+type Config struct {
+	// ID is the station's address on the medium.
+	ID NodeID
+	// Params carries the band constants (timings, CW bounds, rates).
+	Params phys.Params
+	// UseRTSCTS enables the RTS/CTS exchange for MSDUs of at least
+	// RTSThresholdBytes MAC bytes. The paper's simulations enable it.
+	UseRTSCTS bool
+	// RTSThresholdBytes is the minimum MAC frame size protected by
+	// RTS/CTS; zero protects everything (ns-2's default).
+	RTSThresholdBytes int
+	// QueueCap bounds the MSDU queue; zero means the default of 50
+	// (ns-2's DropTail default).
+	QueueCap int
+	// Policy is the station's feedback behavior; nil means NormalPolicy.
+	Policy ReceiverPolicy
+	// Observer vets incoming NAV values and ACKs; nil means
+	// PassiveObserver.
+	Observer Observer
+	// SpoofEmulationTo lists destinations for which an ACK timeout is
+	// treated as success without retransmission — the testbed's emulation
+	// of a spoofed-ACK victim (Table VIII).
+	SpoofEmulationTo map[NodeID]bool
+	// CWMinCapTo lists destinations for which the contention window is
+	// pinned at CWMin — the testbed's emulation of a fake-ACK beneficiary
+	// (Table IX).
+	CWMinCapTo map[NodeID]bool
+	// AutoRate selects per-destination data rates when non-nil (auto-rate
+	// extension); nil uses Params.DataRateBps for every data frame.
+	AutoRate RateController
+}
+
+// DCF is one station's 802.11 distributed coordination function. It is
+// driven entirely by the simulation scheduler: not safe for concurrent use.
+type DCF struct {
+	cfg      Config
+	sched    *sim.Scheduler
+	channel  Channel
+	upper    Upper
+	rng      *rand.Rand
+	policy   ReceiverPolicy
+	observer Observer
+
+	// Medium state.
+	busyPhys    bool
+	txUntil     sim.Time
+	navUntil    sim.Time
+	wasIdle     bool
+	lastBusyEnd sim.Time
+	useEIFS     bool
+
+	// Transmit-side state.
+	access           accessState
+	queue            []*Frame
+	current          *Frame
+	seq              uint16
+	shortRetries     int
+	longRetries      int
+	cw               int
+	backoffRemaining int
+	drawPending      bool
+	needBackoff      bool
+	inCountdown      bool
+	countdownStart   sim.Time
+
+	// Pending SIFS response.
+	respFrame *Frame
+	respWhat  respKind
+
+	// Duplicate detection: last accepted sequence number per source.
+	lastSeq map[NodeID]uint16
+
+	accessTimer *sim.Timer
+	waitTimer   *sim.Timer
+	respTimer   *sim.Timer
+	txTimer     *sim.Timer
+	navTimer    *sim.Timer
+
+	counters Counters
+}
+
+// New constructs a DCF bound to the scheduler, medium, and upper layer.
+func New(sched *sim.Scheduler, channel Channel, upper Upper, cfg Config) *DCF {
+	if sched == nil || channel == nil || upper == nil {
+		panic("mac: New requires scheduler, channel, and upper layer")
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 50
+	}
+	d := &DCF{
+		cfg:      cfg,
+		sched:    sched,
+		channel:  channel,
+		upper:    upper,
+		rng:      sched.RNG(),
+		policy:   cfg.Policy,
+		observer: cfg.Observer,
+		access:   accessIdle,
+		cw:       cfg.Params.CWMin,
+		wasIdle:  true,
+		lastSeq:  make(map[NodeID]uint16),
+	}
+	if d.policy == nil {
+		d.policy = NormalPolicy{}
+	}
+	if d.observer == nil {
+		d.observer = PassiveObserver{}
+	}
+	d.accessTimer = sim.NewTimer(sched, d.onAccessTimer)
+	d.waitTimer = sim.NewTimer(sched, d.onResponseTimeout)
+	d.respTimer = sim.NewTimer(sched, d.onRespond)
+	d.txTimer = sim.NewTimer(sched, d.onTxDone)
+	d.navTimer = sim.NewTimer(sched, d.refresh)
+	return d
+}
+
+// ID reports the station address.
+func (d *DCF) ID() NodeID { return d.cfg.ID }
+
+// Counters exposes the station's accumulated MAC statistics.
+func (d *DCF) Counters() *Counters { return &d.counters }
+
+// QueueLen reports the number of MSDUs queued behind the one in service.
+func (d *DCF) QueueLen() int { return len(d.queue) }
+
+// NAVUntil reports when the station's virtual carrier sense clears.
+func (d *DCF) NAVUntil() sim.Time { return d.navUntil }
+
+// Send enqueues an upper-layer packet for transmission to dst. It reports
+// false when the queue is full and the packet was dropped.
+func (d *DCF) Send(dst NodeID, payload any, payloadBytes int) bool {
+	if dst == d.cfg.ID {
+		panic(fmt.Sprintf("mac: station %d sending to itself", d.cfg.ID))
+	}
+	d.counters.MSDUEnqueued++
+	if len(d.queue) >= d.cfg.QueueCap {
+		d.counters.MSDUQueueDrop++
+		return false
+	}
+	d.seq++
+	f := &Frame{
+		Type:         FrameData,
+		Src:          d.cfg.ID,
+		Dst:          dst,
+		MACBytes:     payloadBytes + phys.DataHeaderBytes,
+		Seq:          d.seq,
+		Payload:      payload,
+		PayloadBytes: payloadBytes,
+	}
+	d.queue = append(d.queue, f)
+	if d.access == accessIdle {
+		d.access = accessContend
+		// IEEE 802.11 §9.2.5.1: immediate transmission is allowed only
+		// when the medium has been idle for at least an IFS; a packet
+		// arriving to a busy (or too-recently-busy) medium owes a backoff.
+		if !d.needBackoff &&
+			(!d.mediumIdle() || d.sched.Now() < d.lastBusyEnd+d.currentIFS()) {
+			d.needBackoff = true
+			d.drawPending = true
+		}
+		d.kickAccess()
+	}
+	return true
+}
+
+// --- medium-state bookkeeping -------------------------------------------
+
+func (d *DCF) mediumIdle() bool {
+	now := d.sched.Now()
+	return !d.busyPhys && now >= d.txUntil && now >= d.navUntil
+}
+
+// refresh recomputes the idle/busy view of the medium and reacts to
+// transitions. It is called after any change to the inputs of mediumIdle.
+func (d *DCF) refresh() {
+	idle := d.mediumIdle()
+	switch {
+	case idle && !d.wasIdle:
+		d.wasIdle = true
+		d.lastBusyEnd = d.sched.Now()
+		d.kickAccess()
+	case !idle && d.wasIdle:
+		d.wasIdle = false
+		d.pauseCountdown()
+	}
+}
+
+// ChannelBusy implements Receiver.
+func (d *DCF) ChannelBusy(busy bool) {
+	d.busyPhys = busy
+	d.refresh()
+}
+
+func (d *DCF) updateNAV(dur sim.Time) {
+	if dur <= 0 {
+		return
+	}
+	expiry := d.sched.Now() + dur
+	if expiry <= d.navUntil {
+		return
+	}
+	d.navUntil = expiry
+	d.navTimer.StartAt(expiry)
+	d.refresh()
+}
+
+// currentIFS is DIFS normally, EIFS after a corrupted reception.
+func (d *DCF) currentIFS() sim.Time {
+	if d.useEIFS {
+		return d.cfg.Params.EIFS()
+	}
+	return d.cfg.Params.DIFS()
+}
+
+// --- contention ----------------------------------------------------------
+
+func (d *DCF) drawBackoff() {
+	cw := d.cw
+	// Table IX emulation: the contention window is pinned at CWmin for
+	// transmissions toward the capped destination.
+	if d.current != nil && d.cfg.CWMinCapTo[d.current.Dst] && cw > d.cfg.Params.CWMin {
+		cw = d.cfg.Params.CWMin
+	}
+	d.counters.CWSum += int64(cw)
+	d.counters.CWSamples++
+	if d.counters.CWHist == nil {
+		d.counters.CWHist = make(map[int]int64)
+	}
+	d.counters.CWHist[cw]++
+	d.backoffRemaining = d.rng.Intn(cw + 1)
+	d.drawPending = false
+}
+
+func (d *DCF) pauseCountdown() {
+	if d.inCountdown {
+		elapsed := int((d.sched.Now() - d.countdownStart) / d.cfg.Params.SlotTime)
+		if elapsed > d.backoffRemaining {
+			elapsed = d.backoffRemaining
+		}
+		d.backoffRemaining -= elapsed
+		d.inCountdown = false
+	}
+	d.accessTimer.Stop()
+}
+
+// kickAccess advances the transmit side toward the next transmission
+// whenever the medium is idle. It implements: wait IFS, then count down the
+// backoff, then transmit; stations with no backoff owed (fresh arrival to a
+// long-idle medium) may transmit right after IFS.
+func (d *DCF) kickAccess() {
+	if d.access != accessContend && !(d.access == accessIdle && d.needBackoff) {
+		return
+	}
+	if !d.mediumIdle() {
+		return
+	}
+	if d.inCountdown && d.accessTimer.Pending() {
+		return // countdown already in progress; let it run
+	}
+	now := d.sched.Now()
+	ifsEnd := d.lastBusyEnd + d.currentIFS()
+	if now < ifsEnd {
+		d.inCountdown = false
+		d.accessTimer.StartAt(ifsEnd)
+		return
+	}
+	if d.needBackoff {
+		if d.drawPending {
+			d.drawBackoff()
+		}
+		if d.backoffRemaining > 0 {
+			d.inCountdown = true
+			d.countdownStart = now
+			d.accessTimer.Start(sim.Time(d.backoffRemaining) * d.cfg.Params.SlotTime)
+			return
+		}
+		d.needBackoff = false // post-backoff complete
+	}
+	if d.access != accessContend {
+		return // post-backoff finished with nothing to send
+	}
+	d.transmitCurrent()
+}
+
+func (d *DCF) onAccessTimer() {
+	if !d.mediumIdle() {
+		// A busy transition should have cancelled us; be defensive.
+		d.inCountdown = false
+		return
+	}
+	if d.inCountdown {
+		d.backoffRemaining = 0
+		d.inCountdown = false
+		d.needBackoff = false
+	}
+	d.kickAccess()
+}
+
+func (d *DCF) useRTSFor(f *Frame) bool {
+	return d.cfg.UseRTSCTS && f.MACBytes >= d.cfg.RTSThresholdBytes
+}
+
+func (d *DCF) transmitCurrent() {
+	if d.current == nil {
+		if len(d.queue) == 0 {
+			d.access = accessIdle
+			return
+		}
+		d.current = d.queue[0]
+		copy(d.queue, d.queue[1:])
+		d.queue[len(d.queue)-1] = nil
+		d.queue = d.queue[:len(d.queue)-1]
+		d.shortRetries = 0
+		d.longRetries = 0
+	}
+	if d.useRTSFor(d.current) {
+		rts := &Frame{
+			Type:     FrameRTS,
+			Src:      d.cfg.ID,
+			Dst:      d.current.Dst,
+			MACBytes: phys.RTSFrameBytes,
+			Duration: ClampNAV(d.policy.OutgoingDuration(FrameRTS,
+				RTSNAVAtRate(d.cfg.Params, d.current.MACBytes, d.dataRateFor(d.current.Dst)))),
+		}
+		d.counters.RTSSent++
+		d.access = accessTxRTS
+		d.transmit(rts, d.cfg.Params.BasicRateBps)
+		return
+	}
+	d.startDataTx()
+}
+
+// dataRateFor reports the PHY rate for data frames toward dst.
+func (d *DCF) dataRateFor(dst NodeID) int64 {
+	if d.cfg.AutoRate != nil {
+		return d.cfg.AutoRate.DataRate(dst)
+	}
+	return d.cfg.Params.DataRateBps
+}
+
+func (d *DCF) startDataTx() {
+	d.current.Duration = ClampNAV(d.policy.OutgoingDuration(FrameData, DataNAV(d.cfg.Params)))
+	d.current.Retry = d.longRetries > 0 || d.shortRetries > 0
+	d.counters.DataSent++
+	if d.current.Retry {
+		d.counters.DataRetries++
+	}
+	d.access = accessTxData
+	d.transmit(d.current, d.dataRateFor(d.current.Dst))
+}
+
+// transmit puts f on the air and arms the tx-done timer.
+func (d *DCF) transmit(f *Frame, bps int64) {
+	f.TxRate = bps
+	airtime := d.cfg.Params.TxDuration(f.MACBytes, bps)
+	d.txUntil = d.sched.Now() + airtime
+	d.txTimer.StartAt(d.txUntil)
+	d.channel.Transmit(d.cfg.ID, f, airtime)
+	d.refresh()
+}
+
+func (d *DCF) onTxDone() {
+	switch d.access {
+	case accessTxRTS:
+		d.access = accessWaitCTS
+		d.waitTimer.Start(d.cfg.Params.CTSTimeout())
+	case accessTxData:
+		if d.cfg.SpoofEmulationTo[d.current.Dst] {
+			if d.cfg.AutoRate != nil {
+				d.cfg.AutoRate.OnTxOutcome(d.current.Dst, true)
+			}
+			// Testbed emulation: the victim sender believes every data
+			// frame is acknowledged (Table VIII). The frame itself may or
+			// may not have been delivered — the medium decided that.
+			d.refresh()
+			d.finishCurrent(true)
+			return
+		}
+		d.access = accessWaitACK
+		d.waitTimer.Start(d.cfg.Params.ACKTimeout())
+	}
+	d.refresh()
+}
+
+// effectiveCWMax honors the per-destination CWMin pin used by the fake-ACK
+// testbed emulation (Table IX).
+func (d *DCF) effectiveCWMax() int {
+	if d.current != nil && d.cfg.CWMinCapTo[d.current.Dst] {
+		return d.cfg.Params.CWMin
+	}
+	return d.cfg.Params.CWMax
+}
+
+func (d *DCF) doubleCW() {
+	d.cw = 2*(d.cw+1) - 1
+	if max := d.effectiveCWMax(); d.cw > max {
+		d.cw = max
+	}
+}
+
+func (d *DCF) resetCW() { d.cw = d.cfg.Params.CWMin }
+
+// onResponseTimeout handles a missing CTS or ACK.
+func (d *DCF) onResponseTimeout() {
+	switch d.access {
+	case accessWaitCTS:
+		d.counters.CTSTimeouts++
+		d.shortRetries++
+		d.counters.RTSRetries++
+		if d.shortRetries > d.cfg.Params.ShortRetryLimit {
+			d.finishCurrent(false)
+			return
+		}
+	case accessWaitACK:
+		d.counters.ACKTimeouts++
+		if d.cfg.AutoRate != nil && d.current != nil {
+			d.cfg.AutoRate.OnTxOutcome(d.current.Dst, false)
+		}
+		d.longRetries++
+		if d.longRetries > d.cfg.Params.LongRetryLimit {
+			d.finishCurrent(false)
+			return
+		}
+	default:
+		return
+	}
+	d.doubleCW()
+	d.retryAccess()
+}
+
+func (d *DCF) retryAccess() {
+	d.access = accessContend
+	d.needBackoff = true
+	d.drawPending = true
+	d.kickAccess()
+}
+
+// finishCurrent completes service of the in-flight MSDU.
+func (d *DCF) finishCurrent(ok bool) {
+	f := d.current
+	d.current = nil
+	d.waitTimer.Stop()
+	if ok {
+		d.counters.MSDUSuccess++
+	} else {
+		d.counters.MSDURetryDrop++
+	}
+	d.resetCW()
+	d.shortRetries = 0
+	d.longRetries = 0
+	d.needBackoff = true // post-backoff
+	d.drawPending = true
+	if len(d.queue) > 0 {
+		d.access = accessContend
+	} else {
+		d.access = accessIdle
+	}
+	d.upper.TxDone(f, ok)
+	d.kickAccess()
+}
+
+// --- reception -----------------------------------------------------------
+
+// RxEnd implements Receiver.
+func (d *DCF) RxEnd(f *Frame, info RxInfo) {
+	if !info.Decoded {
+		d.counters.CorruptedRx++
+		d.useEIFS = true
+		// Misbehavior 3 hook: a corrupted data frame whose addressing
+		// survived shows this station it was the intended receiver.
+		if f.Type == FrameData && f.Dst == d.cfg.ID &&
+			!info.Corruption.DstHit && !info.Corruption.SrcHit &&
+			d.policy.AckCorrupted(f.Src, info.Corruption) {
+			d.scheduleResponse(d.ackFrameFor(f.Src), respFakeACK)
+		}
+		return
+	}
+	d.useEIFS = false
+	d.observer.OnOverheard(f, info.RSSIDBm)
+	if f.Dst == d.cfg.ID {
+		switch f.Type {
+		case FrameRTS:
+			d.handleRTS(f)
+		case FrameCTS:
+			d.handleCTS(f)
+		case FrameData:
+			d.handleData(f, info)
+		case FrameACK:
+			d.handleACK(f, info)
+		}
+		return
+	}
+	// Overheard frame: virtual carrier sense, via the observer's filter
+	// (GRC clamps inflated NAVs here).
+	dur := d.observer.FilterNAV(f, info.RSSIDBm)
+	if dur < f.Duration {
+		d.counters.NAVCorrections++
+	}
+	d.updateNAV(dur)
+	// Misbehavior 2 hook: spoof a MAC ACK on behalf of the addressee.
+	if f.Type == FrameData && d.policy.SpoofSniffedData(f) {
+		spoof := &Frame{
+			Type:     FrameACK,
+			Src:      f.Dst, // impersonate the true receiver
+			Dst:      f.Src,
+			MACBytes: phys.ACKFrameBytes,
+			Duration: 0,
+		}
+		d.scheduleResponse(spoof, respSpoofedACK)
+	}
+}
+
+func (d *DCF) ackFrameFor(dst NodeID) *Frame {
+	return &Frame{
+		Type:     FrameACK,
+		Src:      d.cfg.ID,
+		Dst:      dst,
+		MACBytes: phys.ACKFrameBytes,
+		Duration: ClampNAV(d.policy.OutgoingDuration(FrameACK, ACKNAV())),
+	}
+}
+
+func (d *DCF) handleRTS(f *Frame) {
+	// A station answers an RTS only if its virtual carrier sense is idle
+	// (IEEE 802.11 §9.2.5.7) — this is how an inflated NAV strangles a
+	// co-located normal receiver sharing the sender (Fig 10).
+	if d.sched.Now() < d.navUntil || d.busyPhys {
+		return
+	}
+	cts := &Frame{
+		Type:     FrameCTS,
+		Src:      d.cfg.ID,
+		Dst:      f.Src,
+		MACBytes: phys.CTSFrameBytes,
+		Duration: ClampNAV(d.policy.OutgoingDuration(FrameCTS, CTSNAVFromRTS(d.cfg.Params, f.Duration))),
+	}
+	d.scheduleResponse(cts, respCTS)
+}
+
+func (d *DCF) handleCTS(f *Frame) {
+	if d.access != accessWaitCTS || d.current == nil || f.Src != d.current.Dst {
+		return
+	}
+	if d.respTimer.Pending() {
+		// The response slot is occupied; let the CTS timeout drive a retry.
+		return
+	}
+	d.waitTimer.Stop()
+	d.shortRetries = 0
+	d.scheduleResponse(d.current, respOwnData)
+}
+
+func (d *DCF) handleData(f *Frame, info RxInfo) {
+	// Always acknowledge, even duplicates (the sender missed our ACK).
+	d.scheduleResponse(d.ackFrameFor(f.Src), respACK)
+	if last, ok := d.lastSeq[f.Src]; ok && last == f.Seq {
+		d.counters.DataDuplicates++
+		return
+	}
+	d.lastSeq[f.Src] = f.Seq
+	d.counters.DataDelivered++
+	d.upper.DeliverData(f, info.RSSIDBm)
+}
+
+func (d *DCF) handleACK(f *Frame, info RxInfo) {
+	if d.access != accessWaitACK || d.current == nil {
+		return
+	}
+	if !d.observer.AcceptACK(f, info.RSSIDBm) {
+		// GRC mitigation: a suspected spoofed ACK is ignored; the ACK
+		// timeout will drive the retransmission the spoofer suppressed.
+		d.counters.ACKIgnored++
+		return
+	}
+	if d.cfg.AutoRate != nil {
+		// Forged ACKs (spoofed or fake) poison this feedback — that is
+		// the auto-rate interaction the paper's Section IX predicts.
+		d.cfg.AutoRate.OnTxOutcome(d.current.Dst, true)
+	}
+	d.waitTimer.Stop()
+	d.finishCurrent(true)
+}
+
+// --- SIFS responses ------------------------------------------------------
+
+// scheduleResponse arms the single SIFS-response slot. Responses never
+// carrier-sense (they own the medium by protocol timing). A station owes at
+// most one response at a time; conflicting demands drop the newcomer.
+func (d *DCF) scheduleResponse(f *Frame, what respKind) {
+	if d.respTimer.Pending() {
+		return
+	}
+	d.respFrame = f
+	d.respWhat = what
+	d.respTimer.Start(d.cfg.Params.SIFS)
+}
+
+func (d *DCF) onRespond() {
+	f := d.respFrame
+	what := d.respWhat
+	d.respFrame = nil
+	d.respWhat = respNone
+	if f == nil {
+		return
+	}
+	if d.sched.Now() < d.txUntil {
+		// Already transmitting. Control responses are simply dropped (the
+		// peer times out); our own post-CTS data frame must not be lost
+		// silently or the exchange would hang, so retry it.
+		if what == respOwnData {
+			d.retryAccess()
+		}
+		return
+	}
+	switch what {
+	case respCTS:
+		d.counters.CTSSent++
+		d.transmit(f, d.cfg.Params.BasicRateBps)
+	case respACK:
+		d.counters.ACKSent++
+		d.transmit(f, d.cfg.Params.BasicRateBps)
+	case respFakeACK:
+		d.counters.FakeACKsSent++
+		d.transmit(f, d.cfg.Params.BasicRateBps)
+	case respSpoofedACK:
+		d.counters.SpoofedACKsSent++
+		d.transmit(f, d.cfg.Params.BasicRateBps)
+	case respOwnData:
+		d.startDataTx()
+	}
+}

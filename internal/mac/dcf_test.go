@@ -1,0 +1,478 @@
+package mac
+
+import (
+	"testing"
+
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+)
+
+// blackHoleChannel swallows every transmission (nothing is ever received),
+// recording what was sent. It drives the sender's timeout/retry machinery.
+type blackHoleChannel struct {
+	sent []*Frame
+}
+
+func (c *blackHoleChannel) Transmit(_ NodeID, f *Frame, _ sim.Time) {
+	c.sent = append(c.sent, f)
+}
+
+type recordingUpper struct {
+	delivered []*Frame
+	done      []bool
+}
+
+func (u *recordingUpper) DeliverData(f *Frame, _ float64) { u.delivered = append(u.delivered, f) }
+func (u *recordingUpper) TxDone(_ *Frame, ok bool)        { u.done = append(u.done, ok) }
+
+func newTestDCF(t *testing.T, ch Channel, up Upper, cfg Config) (*sim.Scheduler, *DCF) {
+	t.Helper()
+	sched := sim.NewScheduler(42)
+	if cfg.Params.Band == 0 {
+		cfg.Params = phys.Params80211B()
+	}
+	if cfg.ID == 0 {
+		cfg.ID = 1
+	}
+	return sched, New(sched, ch, up, cfg)
+}
+
+func TestRetryLimitDropsMSDUWithoutRTS(t *testing.T) {
+	ch := &blackHoleChannel{}
+	up := &recordingUpper{}
+	sched, d := newTestDCF(t, ch, up, Config{})
+	if !d.Send(2, nil, 1024) {
+		t.Fatal("Send rejected")
+	}
+	sched.RunUntil(2 * sim.Second)
+
+	// LongRetryLimit = 4: initial + 4 retries = 5 data transmissions.
+	if got := len(ch.sent); got != 5 {
+		t.Errorf("sent %d data frames, want 5 (1 + 4 retries)", got)
+	}
+	if len(up.done) != 1 || up.done[0] {
+		t.Errorf("TxDone = %v, want one failure", up.done)
+	}
+	c := d.Counters()
+	if c.MSDURetryDrop != 1 || c.ACKTimeouts != 5 {
+		t.Errorf("drop=%d timeouts=%d, want 1 and 5", c.MSDURetryDrop, c.ACKTimeouts)
+	}
+	// Retransmitted frames carry the Retry flag and the same sequence.
+	for i, f := range ch.sent {
+		if i > 0 && !f.Retry {
+			t.Errorf("frame %d missing retry flag", i)
+		}
+		if f.Seq != ch.sent[0].Seq {
+			t.Errorf("retransmission changed sequence number")
+		}
+	}
+}
+
+func TestRetryLimitDropsMSDUWithRTS(t *testing.T) {
+	ch := &blackHoleChannel{}
+	up := &recordingUpper{}
+	sched, d := newTestDCF(t, ch, up, Config{UseRTSCTS: true})
+	d.Send(2, nil, 1024)
+	sched.RunUntil(2 * sim.Second)
+
+	// ShortRetryLimit = 7: 8 RTS attempts, no data ever sent.
+	rts := 0
+	for _, f := range ch.sent {
+		if f.Type == FrameRTS {
+			rts++
+		} else {
+			t.Errorf("unexpected %v frame on a dead channel", f.Type)
+		}
+	}
+	if rts != 8 {
+		t.Errorf("sent %d RTS, want 8 (1 + 7 retries)", rts)
+	}
+	if d.Counters().MSDURetryDrop != 1 {
+		t.Error("MSDU not dropped after RTS retries")
+	}
+}
+
+func TestCWDoublingAndBounds(t *testing.T) {
+	ch := &blackHoleChannel{}
+	up := &recordingUpper{}
+	sched, d := newTestDCF(t, ch, up, Config{})
+	// Saturate so CW history spans many failures.
+	for i := 0; i < 5; i++ {
+		d.Send(2, nil, 1024)
+	}
+	sched.RunUntil(10 * sim.Second)
+
+	c := d.Counters()
+	p := phys.Params80211B()
+	// Average CW must exceed CWmin (failures double it) and no draw may
+	// exceed CWmax.
+	if c.AvgCW() <= float64(p.CWMin) {
+		t.Errorf("avg CW %.1f did not grow beyond CWmin on a dead channel", c.AvgCW())
+	}
+	if c.AvgCW() > float64(p.CWMax) {
+		t.Errorf("avg CW %.1f exceeds CWmax", c.AvgCW())
+	}
+}
+
+func TestCWMinCapEmulation(t *testing.T) {
+	// Table IX emulation: CW pinned at CWmin toward the greedy receiver.
+	ch := &blackHoleChannel{}
+	up := &recordingUpper{}
+	sched, d := newTestDCF(t, ch, up, Config{
+		CWMinCapTo: map[NodeID]bool{2: true},
+	})
+	for i := 0; i < 5; i++ {
+		d.Send(2, nil, 1024)
+	}
+	sched.RunUntil(10 * sim.Second)
+
+	c := d.Counters()
+	if got := c.AvgCW(); got != float64(phys.Params80211B().CWMin) {
+		t.Errorf("avg CW with CWMin cap = %.1f, want %d", got, phys.Params80211B().CWMin)
+	}
+}
+
+func TestSpoofEmulationSkipsRetries(t *testing.T) {
+	// Table VIII emulation: ACK timeouts to the victim destination are
+	// treated as success — exactly one transmission per MSDU, reported ok.
+	ch := &blackHoleChannel{}
+	up := &recordingUpper{}
+	sched, d := newTestDCF(t, ch, up, Config{
+		SpoofEmulationTo: map[NodeID]bool{2: true},
+	})
+	d.Send(2, nil, 1024)
+	d.Send(2, nil, 1024)
+	sched.RunUntil(1 * sim.Second)
+
+	if got := len(ch.sent); got != 2 {
+		t.Errorf("sent %d frames, want 2 (no retransmissions)", got)
+	}
+	if len(up.done) != 2 || !up.done[0] || !up.done[1] {
+		t.Errorf("TxDone = %v, want two successes", up.done)
+	}
+	if d.Counters().ACKTimeouts != 0 {
+		t.Error("spoof emulation should not count ACK timeouts")
+	}
+}
+
+func TestQueueCapacityDrops(t *testing.T) {
+	ch := &blackHoleChannel{}
+	up := &recordingUpper{}
+	_, d := newTestDCF(t, ch, up, Config{QueueCap: 3})
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if d.Send(2, nil, 100) {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Errorf("accepted %d, want 3 (queue cap)", accepted)
+	}
+	if d.Counters().MSDUQueueDrop != 7 {
+		t.Errorf("queue drops = %d, want 7", d.Counters().MSDUQueueDrop)
+	}
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	ch := &blackHoleChannel{}
+	_, d := newTestDCF(t, ch, &recordingUpper{}, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("sending to self did not panic")
+		}
+	}()
+	d.Send(1, nil, 100)
+}
+
+func TestNewValidation(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("New with nil channel did not panic")
+		}
+	}()
+	New(sched, nil, &recordingUpper{}, Config{ID: 1, Params: phys.Params80211B()})
+}
+
+// loopChannel wires two DCFs together with perfect reception and correct
+// airtime/busy signaling — a minimal two-station medium.
+type loopChannel struct {
+	sched *sim.Scheduler
+	peers map[NodeID]Receiver
+	rssi  float64
+}
+
+func (c *loopChannel) Transmit(src NodeID, f *Frame, airtime sim.Time) {
+	for id, rcv := range c.peers {
+		if id == src {
+			continue
+		}
+		rcv := rcv
+		c.sched.Schedule(0, func() { rcv.ChannelBusy(true) })
+		c.sched.Schedule(airtime, func() {
+			rcv.ChannelBusy(false)
+			rcv.RxEnd(f, RxInfo{Decoded: true, RSSIDBm: c.rssi})
+		})
+	}
+}
+
+func TestDataAckExchange(t *testing.T) {
+	sched := sim.NewScheduler(42)
+	ch := &loopChannel{sched: sched, peers: make(map[NodeID]Receiver), rssi: -50}
+	upA, upB := &recordingUpper{}, &recordingUpper{}
+	p := phys.Params80211B()
+	a := New(sched, ch, upA, Config{ID: 1, Params: p})
+	b := New(sched, ch, upB, Config{ID: 2, Params: p})
+	ch.peers[1] = a
+	ch.peers[2] = b
+
+	payload := "hello"
+	a.Send(2, payload, 1024)
+	sched.RunUntil(sim.Second)
+
+	if len(upB.delivered) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(upB.delivered))
+	}
+	if got := upB.delivered[0].Payload; got != payload {
+		t.Errorf("payload = %v, want %v", got, payload)
+	}
+	if len(upA.done) != 1 || !upA.done[0] {
+		t.Errorf("TxDone = %v, want one success", upA.done)
+	}
+	if b.Counters().ACKSent != 1 {
+		t.Errorf("receiver sent %d ACKs, want 1", b.Counters().ACKSent)
+	}
+	if a.Counters().ACKTimeouts != 0 {
+		t.Error("sender timed out despite delivered ACK")
+	}
+}
+
+func TestRTSCTSExchange(t *testing.T) {
+	sched := sim.NewScheduler(42)
+	ch := &loopChannel{sched: sched, peers: make(map[NodeID]Receiver), rssi: -50}
+	upA, upB := &recordingUpper{}, &recordingUpper{}
+	p := phys.Params80211B()
+	a := New(sched, ch, upA, Config{ID: 1, Params: p, UseRTSCTS: true})
+	b := New(sched, ch, upB, Config{ID: 2, Params: p, UseRTSCTS: true})
+	ch.peers[1] = a
+	ch.peers[2] = b
+
+	a.Send(2, nil, 1024)
+	sched.RunUntil(sim.Second)
+
+	ca, cb := a.Counters(), b.Counters()
+	if ca.RTSSent != 1 || cb.CTSSent != 1 || ca.DataSent != 1 || cb.ACKSent != 1 {
+		t.Errorf("exchange counts RTS=%d CTS=%d DATA=%d ACK=%d, want all 1",
+			ca.RTSSent, cb.CTSSent, ca.DataSent, cb.ACKSent)
+	}
+	if len(upB.delivered) != 1 {
+		t.Errorf("delivered %d, want 1", len(upB.delivered))
+	}
+}
+
+func TestDuplicateDataDetected(t *testing.T) {
+	sched := sim.NewScheduler(42)
+	ch := &loopChannel{sched: sched, peers: make(map[NodeID]Receiver), rssi: -50}
+	up := &recordingUpper{}
+	p := phys.Params80211B()
+	b := New(sched, ch, up, Config{ID: 2, Params: p})
+	ch.peers[2] = b
+
+	f := &Frame{Type: FrameData, Src: 9, Dst: 2, Seq: 5, MACBytes: 1052, PayloadBytes: 1024}
+	b.RxEnd(f, RxInfo{Decoded: true, RSSIDBm: -50})
+	b.RxEnd(f, RxInfo{Decoded: true, RSSIDBm: -50}) // retransmission
+	sched.RunUntil(sim.Millisecond)
+
+	if len(up.delivered) != 1 {
+		t.Errorf("delivered %d, want 1 (duplicate suppressed)", len(up.delivered))
+	}
+	if b.Counters().DataDuplicates != 1 {
+		t.Errorf("duplicates = %d, want 1", b.Counters().DataDuplicates)
+	}
+}
+
+func TestNAVSuppressesCTSResponse(t *testing.T) {
+	sched := sim.NewScheduler(42)
+	ch := &blackHoleChannel{}
+	p := phys.Params80211B()
+	b := New(sched, ch, &recordingUpper{}, Config{ID: 2, Params: p})
+
+	// Set B's NAV via an overheard frame, then deliver an RTS for B.
+	b.RxEnd(&Frame{Type: FrameCTS, Src: 7, Dst: 8, Duration: 5 * sim.Millisecond, MACBytes: 14},
+		RxInfo{Decoded: true, RSSIDBm: -50})
+	b.RxEnd(&Frame{Type: FrameRTS, Src: 9, Dst: 2, Duration: 2 * sim.Millisecond, MACBytes: 20},
+		RxInfo{Decoded: true, RSSIDBm: -50})
+	sched.RunUntil(sim.Millisecond)
+
+	if len(ch.sent) != 0 {
+		t.Errorf("station with active NAV answered RTS: sent %v", ch.sent)
+	}
+	// After NAV expiry a fresh RTS must be answered.
+	sched.RunUntil(6 * sim.Millisecond)
+	b.RxEnd(&Frame{Type: FrameRTS, Src: 9, Dst: 2, Duration: 2 * sim.Millisecond, MACBytes: 20},
+		RxInfo{Decoded: true, RSSIDBm: -50})
+	sched.RunUntil(7 * sim.Millisecond)
+	if len(ch.sent) != 1 || ch.sent[0].Type != FrameCTS {
+		t.Errorf("idle-NAV station did not CTS: %v", ch.sent)
+	}
+}
+
+func TestNAVIgnoredWhenAddressedToSelf(t *testing.T) {
+	sched := sim.NewScheduler(42)
+	ch := &blackHoleChannel{}
+	p := phys.Params80211B()
+	b := New(sched, ch, &recordingUpper{}, Config{ID: 2, Params: p})
+
+	// A CTS addressed to this station must not set its NAV — the rule
+	// that makes NAV inflation a *greedy* attack rather than self-harm.
+	b.RxEnd(&Frame{Type: FrameCTS, Src: 7, Dst: 2, Duration: 30 * sim.Millisecond, MACBytes: 14},
+		RxInfo{Decoded: true, RSSIDBm: -50})
+	if nav := b.NAVUntil(); nav != 0 {
+		t.Errorf("NAV set to %v by a self-addressed frame", nav)
+	}
+	// An overheard CTS (addressed elsewhere) must set it.
+	b.RxEnd(&Frame{Type: FrameCTS, Src: 7, Dst: 9, Duration: 30 * sim.Millisecond, MACBytes: 14},
+		RxInfo{Decoded: true, RSSIDBm: -50})
+	if nav := b.NAVUntil(); nav != sched.Now()+30*sim.Millisecond {
+		t.Errorf("NAV = %v, want 30ms out", nav)
+	}
+}
+
+func TestNAVOnlyGrows(t *testing.T) {
+	sched := sim.NewScheduler(42)
+	ch := &blackHoleChannel{}
+	b := New(sched, ch, &recordingUpper{}, Config{ID: 2, Params: phys.Params80211B()})
+
+	b.RxEnd(&Frame{Type: FrameCTS, Src: 7, Dst: 9, Duration: 20 * sim.Millisecond, MACBytes: 14},
+		RxInfo{Decoded: true, RSSIDBm: -50})
+	first := b.NAVUntil()
+	b.RxEnd(&Frame{Type: FrameCTS, Src: 8, Dst: 9, Duration: 5 * sim.Millisecond, MACBytes: 14},
+		RxInfo{Decoded: true, RSSIDBm: -50})
+	if b.NAVUntil() != first {
+		t.Error("shorter NAV overwrote a longer one")
+	}
+}
+
+// rejectingObserver refuses every ACK — the GRC mitigation path.
+type rejectingObserver struct{ PassiveObserver }
+
+func (rejectingObserver) AcceptACK(*Frame, float64) bool { return false }
+
+func TestObserverRejectedACKTriggersRetry(t *testing.T) {
+	sched := sim.NewScheduler(42)
+	ch := &loopChannel{sched: sched, peers: make(map[NodeID]Receiver), rssi: -50}
+	upA, upB := &recordingUpper{}, &recordingUpper{}
+	p := phys.Params80211B()
+	a := New(sched, ch, upA, Config{ID: 1, Params: p, Observer: rejectingObserver{}})
+	b := New(sched, ch, upB, Config{ID: 2, Params: p})
+	ch.peers[1] = a
+	ch.peers[2] = b
+
+	a.Send(2, nil, 1024)
+	sched.RunUntil(2 * sim.Second)
+
+	c := a.Counters()
+	if c.ACKIgnored == 0 {
+		t.Error("observer never consulted / ACKs never ignored")
+	}
+	if c.ACKTimeouts == 0 {
+		t.Error("ignored ACKs should surface as timeouts and retries")
+	}
+	if len(upA.done) != 1 || upA.done[0] {
+		t.Errorf("MSDU should eventually drop when every ACK is rejected: %v", upA.done)
+	}
+}
+
+// spoofingPolicy spoofs an ACK for every sniffed data frame.
+type spoofingPolicy struct{ NormalPolicy }
+
+func (spoofingPolicy) SpoofSniffedData(*Frame) bool { return true }
+
+func TestSpoofedACKFrameClaimsReceiverAddress(t *testing.T) {
+	sched := sim.NewScheduler(42)
+	ch := &blackHoleChannel{}
+	p := phys.Params80211B()
+	g := New(sched, ch, &recordingUpper{}, Config{ID: 3, Params: p, Policy: spoofingPolicy{}})
+
+	g.RxEnd(&Frame{Type: FrameData, Src: 1, Dst: 2, Seq: 1, MACBytes: 1052},
+		RxInfo{Decoded: true, RSSIDBm: -50})
+	sched.RunUntil(sim.Millisecond)
+
+	if len(ch.sent) != 1 {
+		t.Fatalf("spoofed %d frames, want 1", len(ch.sent))
+	}
+	ack := ch.sent[0]
+	if ack.Type != FrameACK || ack.Src != 2 || ack.Dst != 1 {
+		t.Errorf("spoofed ACK = %v, want ACK claiming 2->1", ack)
+	}
+	if g.Counters().SpoofedACKsSent != 1 {
+		t.Error("spoofed ACK not counted")
+	}
+}
+
+// fakingPolicy ACKs corrupted frames destined to the station.
+type fakingPolicy struct{ NormalPolicy }
+
+func (fakingPolicy) AckCorrupted(NodeID, phys.FrameCorruption) bool { return true }
+
+func TestFakeACKOnCorruptedFrame(t *testing.T) {
+	sched := sim.NewScheduler(42)
+	ch := &blackHoleChannel{}
+	p := phys.Params80211B()
+	g := New(sched, ch, &recordingUpper{}, Config{ID: 2, Params: p, Policy: fakingPolicy{}})
+
+	// Corrupted frame with preserved addressing: fake ACK expected.
+	g.RxEnd(&Frame{Type: FrameData, Src: 1, Dst: 2, Seq: 1, MACBytes: 1052},
+		RxInfo{Decoded: false, Corruption: phys.FrameCorruption{Corrupted: true}, RSSIDBm: -50})
+	sched.RunUntil(sim.Millisecond)
+	if len(ch.sent) != 1 || ch.sent[0].Type != FrameACK {
+		t.Fatalf("fake ACK not sent: %v", ch.sent)
+	}
+	if g.Counters().FakeACKsSent != 1 {
+		t.Error("fake ACK not counted")
+	}
+
+	// Corrupted addressing: the greedy receiver cannot tell the frame was
+	// for it, so no fake ACK.
+	g.RxEnd(&Frame{Type: FrameData, Src: 1, Dst: 2, Seq: 2, MACBytes: 1052},
+		RxInfo{Decoded: false, Corruption: phys.FrameCorruption{Corrupted: true, DstHit: true}, RSSIDBm: -50})
+	sched.RunUntil(2 * sim.Millisecond)
+	if len(ch.sent) != 1 {
+		t.Error("fake ACK sent despite corrupted destination address")
+	}
+}
+
+func TestEIFSAfterCorruption(t *testing.T) {
+	// After a corrupted reception the next access waits EIFS, not DIFS.
+	sched := sim.NewScheduler(42)
+	ch := &blackHoleChannel{}
+	p := phys.Params80211B()
+	d := New(sched, ch, &recordingUpper{}, Config{ID: 1, Params: p})
+
+	d.RxEnd(&Frame{Type: FrameData, Src: 3, Dst: 4, Seq: 1, MACBytes: 1052},
+		RxInfo{Decoded: false, Corruption: phys.FrameCorruption{Corrupted: true}})
+	d.Send(2, nil, 1024)
+	sched.Run()
+
+	if len(ch.sent) != 0 {
+		// The frame will eventually send; what matters is when.
+		t.Log("frame sent during Run, checking timing")
+	}
+	// Find the first transmission time by re-running deterministically.
+	sched2 := sim.NewScheduler(42)
+	ch2 := &blackHoleChannel{}
+	d2 := New(sched2, ch2, &recordingUpper{}, Config{ID: 1, Params: p})
+	var firstTx sim.Time = -1
+	d2.RxEnd(&Frame{Type: FrameData, Src: 3, Dst: 4, Seq: 1, MACBytes: 1052},
+		RxInfo{Decoded: false, Corruption: phys.FrameCorruption{Corrupted: true}})
+	d2.Send(2, nil, 1024)
+	for firstTx < 0 && sched2.Pending() > 0 {
+		sched2.RunUntil(sched2.Now() + sim.Microsecond)
+		if len(ch2.sent) > 0 && firstTx < 0 {
+			firstTx = sched2.Now()
+		}
+	}
+	if firstTx < p.EIFS() {
+		t.Errorf("first tx at %v, want ≥ EIFS %v after corruption", firstTx, p.EIFS())
+	}
+}

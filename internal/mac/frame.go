@@ -1,0 +1,141 @@
+// Package mac implements the IEEE 802.11 DCF MAC layer: RTS/CTS/DATA/ACK
+// exchanges, physical + virtual carrier sense (NAV), binary exponential
+// backoff, retransmission limits, and EIFS deferral. It exposes the two
+// hook surfaces the paper's contribution plugs into:
+//
+//   - ReceiverPolicy: how a node fills the duration (NAV) field of frames it
+//     transmits and how it reacts to corrupted or overheard frames. The
+//     greedy misbehaviors (package greedy) are ReceiverPolicies.
+//   - Observer: how a node vets NAV values and MAC ACKs it receives. The
+//     GRC countermeasure (package detect) is an Observer.
+package mac
+
+import (
+	"fmt"
+
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+)
+
+// NodeID identifies a station on the shared medium.
+type NodeID int
+
+// BroadcastID addresses a frame to every station.
+const BroadcastID NodeID = -1
+
+// FrameType enumerates the 802.11 frame types the DCF exchanges.
+type FrameType int
+
+const (
+	// FrameRTS is a request-to-send control frame.
+	FrameRTS FrameType = iota + 1
+	// FrameCTS is a clear-to-send control frame.
+	FrameCTS
+	// FrameData is a data frame (MSDU + MAC header).
+	FrameData
+	// FrameACK is a MAC-layer acknowledgment.
+	FrameACK
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameRTS:
+		return "RTS"
+	case FrameCTS:
+		return "CTS"
+	case FrameData:
+		return "DATA"
+	case FrameACK:
+		return "ACK"
+	default:
+		return fmt.Sprintf("FrameType(%d)", int(t))
+	}
+}
+
+// Frame is an on-air 802.11 frame. Control frames carry no payload.
+//
+// Src is the transmitter address the frame *claims* (Address2); for a
+// spoofed ACK it names the impersonated receiver, not the actual
+// transmitter. The medium computes signal strength from the actual
+// transmitting radio, which is what makes RSSI-based spoof detection
+// possible.
+type Frame struct {
+	Type FrameType
+	Src  NodeID
+	Dst  NodeID
+	// Duration is the NAV value carried in the MAC duration field.
+	Duration sim.Time
+	// MACBytes is the frame size on the air, including MAC header and FCS.
+	MACBytes int
+	// Seq is the MAC sequence number, used for duplicate detection on
+	// retransmitted data frames.
+	Seq uint16
+	// Retry marks a retransmission.
+	Retry bool
+	// TxRate is the PHY rate (bits/s) the frame was transmitted at, set
+	// by the MAC at transmission time. Rate-aware channel error models
+	// use it (auto-rate extension).
+	TxRate int64
+	// Payload carries the upper-layer packet for data frames.
+	Payload any
+	// PayloadBytes is the upper-layer packet size carried by a data frame.
+	PayloadBytes int
+}
+
+// String implements fmt.Stringer for debugging traces.
+func (f *Frame) String() string {
+	return fmt.Sprintf("%s %d->%d seq=%d dur=%v len=%dB",
+		f.Type, f.Src, f.Dst, f.Seq, f.Duration, f.MACBytes)
+}
+
+// IsControl reports whether the frame is RTS, CTS, or ACK.
+func (f *Frame) IsControl() bool { return f.Type != FrameData }
+
+// Durations of the standard 802.11 virtual-carrier-sense reservations.
+// These are the *correct* values; greedy receivers inflate them.
+
+// RTSNAV is the duration an RTS reserves: CTS + DATA + ACK + 3 SIFS, with
+// the data frame at the band's configured data rate.
+func RTSNAV(p phys.Params, dataMACBytes int) sim.Time {
+	return RTSNAVAtRate(p, dataMACBytes, p.DataRateBps)
+}
+
+// RTSNAVAtRate is RTSNAV with an explicit data rate (auto-rate senders
+// reserve airtime for the rate they are about to use).
+func RTSNAVAtRate(p phys.Params, dataMACBytes int, dataRateBps int64) sim.Time {
+	return 3*p.SIFS +
+		p.TxDuration(phys.CTSFrameBytes, p.BasicRateBps) +
+		p.TxDuration(dataMACBytes, dataRateBps) +
+		p.TxDuration(phys.ACKFrameBytes, p.BasicRateBps)
+}
+
+// CTSNAVFromRTS is the duration a CTS should carry in response to an RTS
+// with the given duration field: the RTS reservation minus SIFS and the CTS
+// airtime itself.
+func CTSNAVFromRTS(p phys.Params, rtsDuration sim.Time) sim.Time {
+	nav := rtsDuration - p.SIFS - p.TxDuration(phys.CTSFrameBytes, p.BasicRateBps)
+	if nav < 0 {
+		nav = 0
+	}
+	return nav
+}
+
+// DataNAV is the duration a non-fragmented data frame reserves: SIFS + ACK.
+func DataNAV(p phys.Params) sim.Time {
+	return p.SIFS + p.TxDuration(phys.ACKFrameBytes, p.BasicRateBps)
+}
+
+// ACKNAV is the duration a final (non-fragment) ACK reserves: zero.
+func ACKNAV() sim.Time { return 0 }
+
+// ClampNAV bounds a duration field to the protocol maximum of 32767 µs.
+func ClampNAV(d sim.Time) sim.Time {
+	if d < 0 {
+		return 0
+	}
+	if max := phys.MaxNAV(); d > max {
+		return max
+	}
+	return d
+}

@@ -1,0 +1,145 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+)
+
+func TestFrameTypeString(t *testing.T) {
+	tests := []struct {
+		ft   FrameType
+		want string
+	}{
+		{FrameRTS, "RTS"}, {FrameCTS, "CTS"}, {FrameData, "DATA"},
+		{FrameACK, "ACK"}, {FrameType(42), "FrameType(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.ft.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.ft), got, tt.want)
+		}
+	}
+}
+
+func TestFrameHelpers(t *testing.T) {
+	f := &Frame{Type: FrameRTS, Src: 1, Dst: 2, Seq: 7, Duration: sim.Millisecond, MACBytes: 20}
+	if !f.IsControl() {
+		t.Error("RTS should be control")
+	}
+	if (&Frame{Type: FrameData}).IsControl() {
+		t.Error("DATA should not be control")
+	}
+	if s := f.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestNAVChain80211B(t *testing.T) {
+	p := phys.Params80211B()
+	dataBytes := 1024 + phys.DataHeaderBytes
+	// RTS NAV covers CTS + DATA + ACK + 3 SIFS.
+	rtsNAV := RTSNAV(p, dataBytes)
+	want := 3*p.SIFS +
+		p.TxDuration(phys.CTSFrameBytes, p.BasicRateBps) +
+		p.TxDuration(dataBytes, p.DataRateBps) +
+		p.TxDuration(phys.ACKFrameBytes, p.BasicRateBps)
+	if rtsNAV != want {
+		t.Errorf("RTSNAV = %v, want %v", rtsNAV, want)
+	}
+	// The CTS NAV in response should cover exactly DATA + ACK + 2 SIFS.
+	ctsNAV := CTSNAVFromRTS(p, rtsNAV)
+	wantCTS := 2*p.SIFS +
+		p.TxDuration(dataBytes, p.DataRateBps) +
+		p.TxDuration(phys.ACKFrameBytes, p.BasicRateBps)
+	if ctsNAV != wantCTS {
+		t.Errorf("CTSNAVFromRTS = %v, want %v", ctsNAV, wantCTS)
+	}
+	// The data NAV covers SIFS + ACK; the final ACK reserves nothing.
+	if got := DataNAV(p); got != p.SIFS+p.TxDuration(phys.ACKFrameBytes, p.BasicRateBps) {
+		t.Errorf("DataNAV = %v", got)
+	}
+	if ACKNAV() != 0 {
+		t.Error("ACKNAV should be zero without fragmentation")
+	}
+}
+
+func TestCTSNAVFromRTSNeverNegative(t *testing.T) {
+	p := phys.Params80211B()
+	if got := CTSNAVFromRTS(p, 0); got != 0 {
+		t.Errorf("CTSNAVFromRTS(0) = %v, want 0", got)
+	}
+}
+
+func TestClampNAV(t *testing.T) {
+	tests := []struct {
+		name string
+		in   sim.Time
+		want sim.Time
+	}{
+		{"negative", -sim.Second, 0},
+		{"in range", 5 * sim.Millisecond, 5 * sim.Millisecond},
+		{"at max", phys.MaxNAV(), phys.MaxNAV()},
+		{"above max", sim.Second, phys.MaxNAV()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ClampNAV(tt.in); got != tt.want {
+				t.Errorf("ClampNAV(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPropertyClampNAVBounds(t *testing.T) {
+	f := func(raw int64) bool {
+		got := ClampNAV(sim.Time(raw))
+		return got >= 0 && got <= phys.MaxNAV()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalPolicyIsTransparent(t *testing.T) {
+	var p NormalPolicy
+	for _, ft := range []FrameType{FrameRTS, FrameCTS, FrameData, FrameACK} {
+		if got := p.OutgoingDuration(ft, 123*sim.Microsecond); got != 123*sim.Microsecond {
+			t.Errorf("NormalPolicy changed %v duration", ft)
+		}
+	}
+	if p.AckCorrupted(1, phys.FrameCorruption{Corrupted: true}) {
+		t.Error("NormalPolicy acked a corrupted frame")
+	}
+	if p.SpoofSniffedData(&Frame{Type: FrameData, Src: 1, Dst: 2}) {
+		t.Error("NormalPolicy spoofed an ACK")
+	}
+}
+
+func TestPassiveObserver(t *testing.T) {
+	var o PassiveObserver
+	f := &Frame{Type: FrameCTS, Duration: 9 * sim.Millisecond}
+	if got := o.FilterNAV(f, -50); got != f.Duration {
+		t.Error("PassiveObserver altered NAV")
+	}
+	if !o.AcceptACK(&Frame{Type: FrameACK}, -50) {
+		t.Error("PassiveObserver rejected an ACK")
+	}
+	o.OnOverheard(f, -50) // must not panic
+}
+
+func TestCountersAvgCW(t *testing.T) {
+	var c Counters
+	if c.AvgCW() != 0 {
+		t.Error("empty AvgCW should be 0")
+	}
+	c.CWSum, c.CWSamples = 62, 2
+	if c.AvgCW() != 31 {
+		t.Errorf("AvgCW = %v, want 31", c.AvgCW())
+	}
+	c.RTSSent, c.DataSent = 3, 4
+	if c.Attempts() != 7 {
+		t.Errorf("Attempts = %d, want 7", c.Attempts())
+	}
+}

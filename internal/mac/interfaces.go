@@ -1,0 +1,49 @@
+package mac
+
+import (
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+)
+
+// Channel is the MAC's transmit path onto the shared medium. It is
+// implemented by package medium; the MAC never imports medium directly.
+type Channel interface {
+	// Transmit puts f on the air from the radio identified by src for
+	// airtime. src names the actual transmitting radio — f.Src may claim a
+	// different station when the transmitter is spoofing.
+	Transmit(src NodeID, f *Frame, airtime sim.Time)
+}
+
+// RxInfo describes the outcome of one frame reception at one radio.
+type RxInfo struct {
+	// Decoded reports whether the frame was received intact.
+	Decoded bool
+	// Corruption describes where errors landed when Decoded is false.
+	Corruption phys.FrameCorruption
+	// RSSIDBm is the sampled received signal strength of this frame.
+	RSSIDBm float64
+}
+
+// Receiver is the medium-to-MAC delivery interface, implemented by *DCF.
+type Receiver interface {
+	// ChannelBusy signals physical-carrier-sense transitions: true when
+	// energy from another radio first appears, false when the last
+	// overlapping transmission ends.
+	ChannelBusy(busy bool)
+	// RxEnd delivers a frame at the end of its airtime with its outcome.
+	// Frames below the reception threshold are never delivered (they only
+	// contribute carrier sense).
+	RxEnd(f *Frame, info RxInfo)
+}
+
+// Upper is the MAC-to-upper-layer interface implemented by package node.
+type Upper interface {
+	// DeliverData hands up a decoded, non-duplicate data frame addressed
+	// to this station.
+	DeliverData(f *Frame, rssiDBm float64)
+	// TxDone reports that the MAC finished serving a queued MSDU: ok is
+	// true when the frame was acknowledged (or the MAC was configured to
+	// treat it as acknowledged), false when it was dropped after
+	// exhausting retries.
+	TxDone(f *Frame, ok bool)
+}

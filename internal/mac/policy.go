@@ -1,0 +1,71 @@
+package mac
+
+import (
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+)
+
+// ReceiverPolicy decides the feedback behavior of a station: the duration
+// (NAV) values it advertises and how it acknowledges frames. A compliant
+// station uses NormalPolicy; the paper's three greedy misbehaviors are
+// implemented as ReceiverPolicies in package greedy.
+type ReceiverPolicy interface {
+	// OutgoingDuration returns the duration field to put in an outgoing
+	// frame whose correct value is normal. A greedy receiver inflates it.
+	OutgoingDuration(t FrameType, normal sim.Time) sim.Time
+	// AckCorrupted reports whether to send a MAC ACK for a corrupted frame
+	// whose preserved addressing shows it was destined to this station
+	// (misbehavior 3: fake ACKs).
+	AckCorrupted(src NodeID, c phys.FrameCorruption) bool
+	// SpoofSniffedData reports whether to transmit a MAC ACK impersonating
+	// dst in response to an overheard data frame addressed to dst
+	// (misbehavior 2: spoofed ACKs).
+	SpoofSniffedData(f *Frame) bool
+}
+
+// NormalPolicy is the protocol-compliant receiver behavior.
+type NormalPolicy struct{}
+
+var _ ReceiverPolicy = NormalPolicy{}
+
+// OutgoingDuration implements ReceiverPolicy: no inflation.
+func (NormalPolicy) OutgoingDuration(_ FrameType, normal sim.Time) sim.Time { return normal }
+
+// AckCorrupted implements ReceiverPolicy: never acknowledge corrupt frames.
+func (NormalPolicy) AckCorrupted(NodeID, phys.FrameCorruption) bool { return false }
+
+// SpoofSniffedData implements ReceiverPolicy: never spoof.
+func (NormalPolicy) SpoofSniffedData(*Frame) bool { return false }
+
+// Observer vets incoming protocol feedback. It is the hook surface for the
+// GRC detection/mitigation scheme (package detect); PassiveObserver accepts
+// everything, which is the behavior of an unprotected station.
+type Observer interface {
+	// FilterNAV is consulted before the station applies the NAV from an
+	// overheard frame. It returns the duration to actually use; GRC clamps
+	// inflated values to the maximum consistent with the observed exchange.
+	FilterNAV(f *Frame, rssiDBm float64) sim.Time
+	// AcceptACK is consulted when a MAC ACK arrives for the station's own
+	// in-flight data frame. Returning false discards the ACK (treating the
+	// transmission as unacknowledged); GRC uses this to ignore spoofed
+	// ACKs whose RSSI is inconsistent with the true receiver.
+	AcceptACK(f *Frame, rssiDBm float64) bool
+	// OnOverheard is informed of every decoded frame, including those
+	// addressed to other stations, with its received signal strength.
+	// Detection state (median RSSI, RTS→CTS pairing) is built here.
+	OnOverheard(f *Frame, rssiDBm float64)
+}
+
+// PassiveObserver applies protocol values verbatim and accepts every ACK.
+type PassiveObserver struct{}
+
+var _ Observer = PassiveObserver{}
+
+// FilterNAV implements Observer: use the advertised duration unchanged.
+func (PassiveObserver) FilterNAV(f *Frame, _ float64) sim.Time { return f.Duration }
+
+// AcceptACK implements Observer: accept every ACK.
+func (PassiveObserver) AcceptACK(*Frame, float64) bool { return true }
+
+// OnOverheard implements Observer: ignore.
+func (PassiveObserver) OnOverheard(*Frame, float64) {}

@@ -1,0 +1,330 @@
+// Package medium models the shared wireless channel: it broadcasts every
+// transmission to all radios in carrier-sense range, tracks overlapping
+// receptions, resolves collisions with the capture effect, applies
+// independent per-link channel errors, and reports physical-carrier-sense
+// transitions to each station's MAC.
+package medium
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+)
+
+// LinkKey identifies a directed radio link for per-link overrides.
+type LinkKey struct {
+	From, To mac.NodeID
+}
+
+// AddrModel draws whether a corrupted frame's MAC address fields survive.
+// Table I of the paper measures that most corrupted frames preserve both
+// addresses (98.8%/94.9% on 802.11b, 84%/91.4% on 802.11a), which is what
+// makes fake ACKs (misbehavior 3) feasible.
+type AddrModel struct {
+	// PDstPreserved is the probability the destination address of a
+	// corrupted frame is intact.
+	PDstPreserved float64
+	// PSrcPreservedGivenDst is the probability the source address is also
+	// intact, given the destination was.
+	PSrcPreservedGivenDst float64
+}
+
+// AddrModel80211B returns Table I's 802.11b address-preservation rates.
+func AddrModel80211B() AddrModel {
+	return AddrModel{PDstPreserved: 0.988, PSrcPreservedGivenDst: 0.949}
+}
+
+// AddrModel80211A returns Table I's 802.11a address-preservation rates.
+func AddrModel80211A() AddrModel {
+	return AddrModel{PDstPreserved: 0.840, PSrcPreservedGivenDst: 0.914}
+}
+
+// Draw samples a corruption record for a frame already known corrupted.
+func (m AddrModel) Draw(rng *rand.Rand) phys.FrameCorruption {
+	return phys.FrameCorruption{
+		Corrupted: true,
+		DstHit:    rng.Float64() >= m.PDstPreserved,
+		SrcHit:    rng.Float64() >= m.PSrcPreservedGivenDst,
+	}
+}
+
+// Config parameterizes the medium.
+type Config struct {
+	// Propagation defines ranges and received power.
+	Propagation phys.Propagation
+	// RSSI generates per-frame signal-strength samples.
+	RSSI phys.RSSIModel
+	// DefaultError is the channel error model applied to every link
+	// without an override; nil means a loss-free channel.
+	DefaultError phys.ErrorModel
+	// LinkError overrides the error model on specific directed links —
+	// the paper injects loss on only one flow in several experiments.
+	LinkError map[LinkKey]phys.ErrorModel
+	// RateError, when non-nil, takes precedence for frames that carry a
+	// transmission rate: loss depends on the PHY rate chosen (auto-rate
+	// extension).
+	RateError phys.RateErrorModel
+	// Addr decides address preservation in corrupted frames; the zero
+	// value preserves addresses always.
+	Addr AddrModel
+	// CaptureEnabled turns on the capture effect.
+	CaptureEnabled bool
+	// CaptureThresholdDB is the power ratio (dB) the stronger of two
+	// overlapping frames needs to be decoded; zero means the ns-2 default
+	// of 10 dB.
+	CaptureThresholdDB float64
+	// ForceCapture resolves every overlap to the strongest frame
+	// regardless of ratio. Section IV-B of the paper evaluates spoofed
+	// ACKs under the assumption that capture always resolves the
+	// two-simultaneous-ACKs case; this switch mirrors that assumption.
+	ForceCapture bool
+	// Tap observes every transmission and per-receiver outcome when
+	// non-nil (tracing, airtime accounting). It must not mutate frames.
+	Tap Tap
+}
+
+// Tap receives channel events for tracing and accounting.
+type Tap interface {
+	// OnTransmit fires when a radio puts a frame on the air.
+	OnTransmit(src mac.NodeID, f *mac.Frame, start, airtime sim.Time)
+	// OnReceive fires at each radio's reception outcome at time at.
+	// Outcomes other than decoded/corrupted (energy only, half-duplex
+	// deafness) are not reported.
+	OnReceive(dst mac.NodeID, f *mac.Frame, info mac.RxInfo, at sim.Time)
+}
+
+// DefaultConfig returns the paper's baseline channel: all nodes in range,
+// capture at 10 dB, loss-free.
+func DefaultConfig() Config {
+	return Config{
+		Propagation:        phys.DefaultPropagation(),
+		RSSI:               phys.DefaultRSSIModel(),
+		CaptureEnabled:     true,
+		CaptureThresholdDB: phys.CaptureThresholdDB,
+		Addr:               AddrModel{PDstPreserved: 1, PSrcPreservedGivenDst: 1},
+	}
+}
+
+// arrival is one frame in flight at one receiving radio.
+type arrival struct {
+	frame          *mac.Frame
+	from           mac.NodeID
+	rssi           float64
+	inComm         bool
+	start, end     sim.Time
+	overlapped     bool
+	strongestOther float64
+	selfTx         bool
+}
+
+type radio struct {
+	id       mac.NodeID
+	pos      phys.Position
+	rcv      mac.Receiver
+	inflight []*arrival
+	txUntil  sim.Time
+}
+
+// Medium is the shared channel. Not safe for concurrent use; it is driven
+// by the single-goroutine simulation scheduler.
+type Medium struct {
+	sched  *sim.Scheduler
+	cfg    Config
+	rng    *rand.Rand
+	radios map[mac.NodeID]*radio
+	order  []*radio // deterministic iteration order
+}
+
+var _ mac.Channel = (*Medium)(nil)
+
+// New constructs a medium. The configuration is validated.
+func New(sched *sim.Scheduler, cfg Config) (*Medium, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("medium: nil scheduler")
+	}
+	if err := cfg.Propagation.Validate(); err != nil {
+		return nil, fmt.Errorf("medium: %w", err)
+	}
+	if cfg.CaptureThresholdDB == 0 {
+		cfg.CaptureThresholdDB = phys.CaptureThresholdDB
+	}
+	if cfg.Addr == (AddrModel{}) {
+		cfg.Addr = AddrModel{PDstPreserved: 1, PSrcPreservedGivenDst: 1}
+	}
+	return &Medium{
+		sched:  sched,
+		cfg:    cfg,
+		rng:    sched.RNG(),
+		radios: make(map[mac.NodeID]*radio),
+	}, nil
+}
+
+// AddRadio registers a station's radio at a fixed position.
+func (m *Medium) AddRadio(id mac.NodeID, pos phys.Position, rcv mac.Receiver) error {
+	if rcv == nil {
+		return fmt.Errorf("medium: radio %d has nil receiver", id)
+	}
+	if _, dup := m.radios[id]; dup {
+		return fmt.Errorf("medium: duplicate radio %d", id)
+	}
+	r := &radio{id: id, pos: pos, rcv: rcv}
+	m.radios[id] = r
+	m.order = append(m.order, r)
+	return nil
+}
+
+// Position reports a registered radio's location.
+func (m *Medium) Position(id mac.NodeID) (phys.Position, bool) {
+	r, ok := m.radios[id]
+	if !ok {
+		return phys.Position{}, false
+	}
+	return r.pos, true
+}
+
+// MeanRSSDBm reports the mean received power on a directed link, as the
+// propagation model computes it. Detection calibration uses this.
+func (m *Medium) MeanRSSDBm(from, to mac.NodeID) (float64, bool) {
+	a, okA := m.radios[from]
+	b, okB := m.radios[to]
+	if !okA || !okB {
+		return 0, false
+	}
+	return m.cfg.Propagation.RxPowerDBm(a.pos.DistanceTo(b.pos)), true
+}
+
+// SetLinkError installs (or replaces) the error model of one directed
+// link, overriding the default. Several experiments inject loss on only
+// one flow's links.
+func (m *Medium) SetLinkError(from, to mac.NodeID, em phys.ErrorModel) {
+	if em == nil {
+		panic("medium: SetLinkError with nil model")
+	}
+	if m.cfg.LinkError == nil {
+		m.cfg.LinkError = make(map[LinkKey]phys.ErrorModel)
+	}
+	m.cfg.LinkError[LinkKey{From: from, To: to}] = em
+}
+
+func (m *Medium) errorModelFor(from, to mac.NodeID) phys.ErrorModel {
+	if em, ok := m.cfg.LinkError[LinkKey{From: from, To: to}]; ok {
+		return em
+	}
+	if m.cfg.DefaultError != nil {
+		return m.cfg.DefaultError
+	}
+	return phys.NoError{}
+}
+
+// Transmit implements mac.Channel: src's frame occupies the air for
+// airtime, reaching every radio within carrier-sense range.
+func (m *Medium) Transmit(src mac.NodeID, f *mac.Frame, airtime sim.Time) {
+	tx, ok := m.radios[src]
+	if !ok {
+		panic(fmt.Sprintf("medium: transmit from unregistered radio %d", src))
+	}
+	if airtime <= 0 {
+		panic(fmt.Sprintf("medium: non-positive airtime %v", airtime))
+	}
+	now := m.sched.Now()
+	tx.txUntil = now + airtime
+	if m.cfg.Tap != nil {
+		m.cfg.Tap.OnTransmit(src, f, now, airtime)
+	}
+	// A radio is deaf while transmitting: anything arriving at it is lost.
+	for _, a := range tx.inflight {
+		a.selfTx = true
+	}
+	for _, o := range m.order {
+		if o.id == src {
+			continue
+		}
+		dist := tx.pos.DistanceTo(o.pos)
+		if dist > m.cfg.Propagation.CSRange {
+			continue
+		}
+		o := o
+		a := &arrival{
+			frame:          f,
+			from:           src,
+			rssi:           m.cfg.RSSI.Sample(m.rng, m.cfg.Propagation.RxPowerDBm(dist)),
+			inComm:         dist <= m.cfg.Propagation.CommRange,
+			strongestOther: math.Inf(-1),
+		}
+		delay := phys.PropagationDelay(dist)
+		a.start = now + delay
+		a.end = a.start + airtime
+		m.sched.At(a.start, func() { m.beginArrival(o, a) })
+	}
+}
+
+func (m *Medium) beginArrival(o *radio, a *arrival) {
+	for _, b := range o.inflight {
+		b.overlapped = true
+		if a.rssi > b.strongestOther {
+			b.strongestOther = a.rssi
+		}
+		a.overlapped = true
+		if b.rssi > a.strongestOther {
+			a.strongestOther = b.rssi
+		}
+	}
+	if m.sched.Now() < o.txUntil {
+		a.selfTx = true
+	}
+	o.inflight = append(o.inflight, a)
+	if len(o.inflight) == 1 {
+		o.rcv.ChannelBusy(true)
+	}
+	m.sched.At(a.end, func() { m.endArrival(o, a) })
+}
+
+func (m *Medium) endArrival(o *radio, a *arrival) {
+	for i, b := range o.inflight {
+		if b == a {
+			o.inflight = append(o.inflight[:i], o.inflight[i+1:]...)
+			break
+		}
+	}
+	// Report the carrier-sense transition before delivering the frame so
+	// the MAC sees a consistent idle state while handling it.
+	if len(o.inflight) == 0 {
+		o.rcv.ChannelBusy(false)
+	}
+	if a.selfTx || !a.inComm {
+		return // deaf or below reception threshold: energy only
+	}
+	info := mac.RxInfo{Decoded: true, RSSIDBm: a.rssi}
+	switch {
+	case a.overlapped && !m.captures(a):
+		info.Decoded = false
+	default:
+		units := phys.ErrorUnits(a.frame.MACBytes)
+		if m.cfg.RateError != nil && a.frame.TxRate > 0 {
+			info.Decoded = !m.cfg.RateError.FrameErrorAtRate(m.rng, a.frame.TxRate, units)
+		} else {
+			info.Decoded = !m.errorModelFor(a.from, o.id).FrameError(m.rng, units)
+		}
+	}
+	if !info.Decoded {
+		info.Corruption = m.cfg.Addr.Draw(m.rng)
+	}
+	if m.cfg.Tap != nil {
+		m.cfg.Tap.OnReceive(o.id, a.frame, info, m.sched.Now())
+	}
+	o.rcv.RxEnd(a.frame, info)
+}
+
+func (m *Medium) captures(a *arrival) bool {
+	if !m.cfg.CaptureEnabled {
+		return false
+	}
+	if m.cfg.ForceCapture {
+		return a.rssi > a.strongestOther
+	}
+	return phys.Captures(a.rssi, a.strongestOther, m.cfg.CaptureThresholdDB)
+}

@@ -1,0 +1,380 @@
+package medium
+
+import (
+	"testing"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+)
+
+// satUpper is a saturated upper layer: it keeps the MAC queue topped up
+// with fixed-size packets to one destination and counts deliveries.
+type satUpper struct {
+	dcf       *mac.DCF
+	dst       mac.NodeID
+	bytes     int
+	delivered int
+	rxBytes   int
+	txOK      int
+	txFail    int
+	sending   bool
+}
+
+func (u *satUpper) pump() {
+	if !u.sending {
+		return
+	}
+	for u.dcf.QueueLen() < 10 {
+		if !u.dcf.Send(u.dst, nil, u.bytes) {
+			break
+		}
+	}
+}
+
+func (u *satUpper) DeliverData(f *mac.Frame, _ float64) {
+	u.delivered++
+	u.rxBytes += f.PayloadBytes
+}
+
+func (u *satUpper) TxDone(_ *mac.Frame, ok bool) {
+	if ok {
+		u.txOK++
+	} else {
+		u.txFail++
+	}
+	u.pump()
+}
+
+// station bundles a DCF and its saturated upper for tests.
+type station struct {
+	dcf   *mac.DCF
+	upper *satUpper
+}
+
+type harness struct {
+	sched    *sim.Scheduler
+	med      *Medium
+	stations map[mac.NodeID]*station
+}
+
+func newHarness(t *testing.T, cfg Config, seed int64) *harness {
+	t.Helper()
+	sched := sim.NewScheduler(seed)
+	med, err := New(sched, cfg)
+	if err != nil {
+		t.Fatalf("New medium: %v", err)
+	}
+	return &harness{sched: sched, med: med, stations: make(map[mac.NodeID]*station)}
+}
+
+func (h *harness) addStation(t *testing.T, id mac.NodeID, pos phys.Position, mcfg mac.Config) *station {
+	t.Helper()
+	mcfg.ID = id
+	if mcfg.Params.Band == 0 {
+		mcfg.Params = phys.Params80211B()
+	}
+	u := &satUpper{bytes: 1024}
+	dcf := mac.New(h.sched, h.med, u, mcfg)
+	u.dcf = dcf
+	if err := h.med.AddRadio(id, pos, dcf); err != nil {
+		t.Fatalf("AddRadio(%d): %v", id, err)
+	}
+	s := &station{dcf: dcf, upper: u}
+	h.stations[id] = s
+	return s
+}
+
+// startFlow makes station src saturate traffic toward dst.
+func (h *harness) startFlow(src, dst mac.NodeID) {
+	s := h.stations[src]
+	s.upper.dst = dst
+	s.upper.sending = true
+	s.upper.pump()
+}
+
+func (h *harness) run(d sim.Time) { h.sched.RunUntil(d) }
+
+func TestSingleFlowDeliversEverything(t *testing.T) {
+	h := newHarness(t, DefaultConfig(), 1)
+	h.addStation(t, 1, phys.Position{X: 0}, mac.Config{UseRTSCTS: true})
+	h.addStation(t, 2, phys.Position{X: 5}, mac.Config{UseRTSCTS: true})
+	h.startFlow(1, 2)
+	h.run(2 * sim.Second)
+
+	tx := h.stations[1].upper
+	rx := h.stations[2].upper
+	if tx.txOK == 0 {
+		t.Fatal("no MSDUs completed")
+	}
+	if tx.txFail != 0 {
+		t.Errorf("MSDU drops on a clean channel: %d", tx.txFail)
+	}
+	if rx.delivered != tx.txOK {
+		t.Errorf("delivered %d != acked %d on a clean channel", rx.delivered, tx.txOK)
+	}
+	// Throughput sanity for 802.11b, 1024-byte MSDUs, RTS/CTS on, basic
+	// rate 1 Mbps: per-packet airtime is roughly DIFS(50) + backoff(~310)
+	// + RTS(352) + CTS(304) + DATA(958) + ACK(304) + 3×SIFS(30) ≈ 2.3 ms,
+	// so ≈ 430 pkt/s. Accept a generous band.
+	pps := float64(rx.delivered) / 2.0
+	if pps < 350 || pps > 520 {
+		t.Errorf("single-flow rate = %.0f pkt/s, want ≈ 430", pps)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	h := newHarness(t, DefaultConfig(), 3)
+	h.addStation(t, 1, phys.Position{X: 0}, mac.Config{UseRTSCTS: true})
+	h.addStation(t, 2, phys.Position{X: 5}, mac.Config{UseRTSCTS: true})
+	h.addStation(t, 3, phys.Position{X: 0, Y: 5}, mac.Config{UseRTSCTS: true})
+	h.addStation(t, 4, phys.Position{X: 5, Y: 5}, mac.Config{UseRTSCTS: true})
+	h.startFlow(1, 2)
+	h.startFlow(3, 4)
+	h.run(5 * sim.Second)
+
+	d1 := h.stations[2].upper.delivered
+	d2 := h.stations[4].upper.delivered
+	if d1 == 0 || d2 == 0 {
+		t.Fatalf("a flow starved on a clean channel: %d vs %d", d1, d2)
+	}
+	ratio := float64(d1) / float64(d2)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("normal flows unfair: %d vs %d (ratio %.2f)", d1, d2, ratio)
+	}
+	// Aggregate should be near the single-flow capacity (same medium).
+	if total := d1 + d2; total < 1700 {
+		t.Errorf("aggregate %d pkts in 5s too low", total)
+	}
+}
+
+// inflatePolicy inflates the NAV of chosen frame types by a fixed amount.
+type inflatePolicy struct {
+	mac.NormalPolicy
+	types map[mac.FrameType]bool
+	extra sim.Time
+}
+
+func (p inflatePolicy) OutgoingDuration(t mac.FrameType, normal sim.Time) sim.Time {
+	if p.types[t] {
+		return normal + p.extra
+	}
+	return normal
+}
+
+func TestCTSNAVInflationStarvesCompetitor(t *testing.T) {
+	h := newHarness(t, DefaultConfig(), 5)
+	greedy := inflatePolicy{
+		types: map[mac.FrameType]bool{mac.FrameCTS: true, mac.FrameACK: true},
+		extra: 10 * sim.Millisecond,
+	}
+	h.addStation(t, 1, phys.Position{X: 0}, mac.Config{UseRTSCTS: true})                 // GS
+	h.addStation(t, 2, phys.Position{X: 5}, mac.Config{UseRTSCTS: true, Policy: greedy}) // GR
+	h.addStation(t, 3, phys.Position{X: 0, Y: 5}, mac.Config{UseRTSCTS: true})           // NS
+	h.addStation(t, 4, phys.Position{X: 5, Y: 5}, mac.Config{UseRTSCTS: true})           // NR
+	h.startFlow(1, 2)
+	h.startFlow(3, 4)
+	h.run(5 * sim.Second)
+
+	gr := h.stations[2].upper.delivered
+	nr := h.stations[4].upper.delivered
+	if gr < 10*nr {
+		t.Errorf("10ms CTS/ACK NAV inflation: greedy %d vs normal %d, want ≥10× gap", gr, nr)
+	}
+	if gr < 1000 {
+		t.Errorf("greedy flow only delivered %d pkts in 5s; inflation should not hurt it", gr)
+	}
+}
+
+func TestNAVInflationIgnoredBySender(t *testing.T) {
+	// The inflated CTS is addressed to GS, so GS must not set its own NAV
+	// from it — otherwise the attack would throttle its own flow.
+	h := newHarness(t, DefaultConfig(), 7)
+	greedy := inflatePolicy{
+		types: map[mac.FrameType]bool{mac.FrameCTS: true},
+		extra: 30 * sim.Millisecond,
+	}
+	h.addStation(t, 1, phys.Position{X: 0}, mac.Config{UseRTSCTS: true})
+	h.addStation(t, 2, phys.Position{X: 5}, mac.Config{UseRTSCTS: true, Policy: greedy})
+	h.startFlow(1, 2)
+	h.run(2 * sim.Second)
+
+	if nav := h.stations[1].dcf.NAVUntil(); nav > 0 {
+		// GS's NAV may have been set by... nothing: only frames addressed
+		// to it ever reach it in this 2-node topology.
+		t.Errorf("GS NAV set to %v by its own receiver's CTS", nav)
+	}
+	got := h.stations[2].upper.delivered
+	if got < 700 {
+		t.Errorf("GS-GR flow delivered %d pkts in 2s; inflation must not slow its own flow", got)
+	}
+}
+
+func TestHiddenTerminalsCollide(t *testing.T) {
+	// Senders 200m apart (outside each other's 99m CS range in the GRC
+	// propagation), receivers co-located midway: classic hidden terminals.
+	cfg := DefaultConfig()
+	cfg.Propagation = phys.GRCPropagation()
+	h := newHarness(t, cfg, 9)
+	h.addStation(t, 1, phys.Position{X: 0}, mac.Config{})   // S1 (no RTS/CTS)
+	h.addStation(t, 2, phys.Position{X: 50}, mac.Config{})  // R1: 50m from S1, hears S2's energy
+	h.addStation(t, 3, phys.Position{X: 130}, mac.Config{}) // S2: 130m from S1 — hidden
+	h.addStation(t, 4, phys.Position{X: 80}, mac.Config{})  // R2: 50m from S2, hears S1's energy
+	h.startFlow(1, 2)
+	h.startFlow(3, 4)
+	h.run(3 * sim.Second)
+
+	c1 := h.stations[2].dcf.Counters()
+	c2 := h.stations[4].dcf.Counters()
+	if c1.CorruptedRx == 0 && c2.CorruptedRx == 0 {
+		t.Error("hidden terminals produced no collisions")
+	}
+	s1 := h.stations[1].dcf.Counters()
+	if s1.ACKTimeouts == 0 {
+		t.Error("hidden-terminal sender saw no ACK timeouts")
+	}
+	// Exponential backoff must have kicked in.
+	if s1.AvgCW() <= float64(phys.Params80211B().CWMin) {
+		t.Errorf("hidden-terminal sender avg CW = %.1f, want > CWmin", s1.AvgCW())
+	}
+}
+
+func TestOutOfRangeNodesUnaffected(t *testing.T) {
+	// Two pairs far apart (beyond CS range): both should get full
+	// single-flow throughput.
+	cfg := DefaultConfig()
+	cfg.Propagation = phys.GRCPropagation() // 55m/99m
+	h := newHarness(t, cfg, 11)
+	h.addStation(t, 1, phys.Position{X: 0}, mac.Config{UseRTSCTS: true})
+	h.addStation(t, 2, phys.Position{X: 5}, mac.Config{UseRTSCTS: true})
+	h.addStation(t, 3, phys.Position{X: 300}, mac.Config{UseRTSCTS: true})
+	h.addStation(t, 4, phys.Position{X: 305}, mac.Config{UseRTSCTS: true})
+	h.startFlow(1, 2)
+	h.startFlow(3, 4)
+	h.run(2 * sim.Second)
+
+	d1 := h.stations[2].upper.delivered
+	d2 := h.stations[4].upper.delivered
+	for _, d := range []int{d1, d2} {
+		if pps := float64(d) / 2.0; pps < 350 {
+			t.Errorf("isolated flow rate %.0f pkt/s, want near single-flow capacity", pps)
+		}
+	}
+}
+
+func TestChannelErrorsCauseRetries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DefaultError = phys.UnitErrorModel{BER: 2e-4} // ≈20% FER on data
+	h := newHarness(t, cfg, 13)
+	h.addStation(t, 1, phys.Position{X: 0}, mac.Config{UseRTSCTS: true})
+	h.addStation(t, 2, phys.Position{X: 5}, mac.Config{UseRTSCTS: true})
+	h.startFlow(1, 2)
+	h.run(2 * sim.Second)
+
+	c := h.stations[1].dcf.Counters()
+	if c.DataRetries == 0 {
+		t.Error("lossy channel produced no data retries")
+	}
+	rx := h.stations[2].dcf.Counters()
+	if rx.CorruptedRx == 0 {
+		t.Error("receiver saw no corrupted frames at BER 2e-4")
+	}
+	// MAC retransmissions should recover nearly all losses.
+	tx := h.stations[1].upper
+	if tx.txOK == 0 || float64(tx.txFail)/float64(tx.txOK+tx.txFail) > 0.01 {
+		t.Errorf("too many MSDU drops: %d ok, %d fail", tx.txOK, tx.txFail)
+	}
+}
+
+func TestPerLinkErrorOverride(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LinkError = map[LinkKey]phys.ErrorModel{
+		{From: 1, To: 2}: phys.FixedFERModel{Rate: 1}, // everything lost
+	}
+	h := newHarness(t, cfg, 15)
+	h.addStation(t, 1, phys.Position{X: 0}, mac.Config{}) // no RTS so data is what fails
+	h.addStation(t, 2, phys.Position{X: 5}, mac.Config{})
+	h.startFlow(1, 2)
+	h.run(1 * sim.Second)
+
+	if got := h.stations[2].upper.delivered; got != 0 {
+		t.Errorf("fully lossy link delivered %d frames", got)
+	}
+	if h.stations[1].upper.txFail == 0 {
+		t.Error("sender never gave up on a fully lossy link")
+	}
+}
+
+func TestCaptureStrongerFrameSurvives(t *testing.T) {
+	// Two senders transmit to a common receiver without carrier sense of
+	// each other being possible to avoid — force simultaneous starts by
+	// hidden placement. The near sender (5m) is ≥10dB stronger than the
+	// far one (50m) under exponent-4 path loss (40 dB), so its frames
+	// should capture.
+	cfg := DefaultConfig()
+	cfg.Propagation = phys.GRCPropagation()
+	h := newHarness(t, cfg, 17)
+	h.addStation(t, 1, phys.Position{X: 0}, mac.Config{})   // S1
+	h.addStation(t, 2, phys.Position{X: 20}, mac.Config{})  // R2: 20m from S1, 95m from S3
+	h.addStation(t, 3, phys.Position{X: 115}, mac.Config{}) // S3: hidden from S1 (115m > 99m)
+	h.addStation(t, 4, phys.Position{X: 61}, mac.Config{})  // R4: 54m from S3, 61m from S1
+	h.startFlow(1, 2)
+	h.startFlow(3, 4)
+	h.run(3 * sim.Second)
+
+	near := h.stations[2].upper.delivered
+	far := h.stations[4].upper.delivered
+	if near == 0 {
+		t.Fatal("near flow starved")
+	}
+	// At R2, S1's frames are 27 dB above S3's interference (20m vs 95m at
+	// path-loss exponent 4): every overlap captures, so the near flow
+	// never drops an MSDU. At R4 the margin is only ~2 dB, so overlaps
+	// corrupt and the far flow suffers.
+	if h.stations[1].upper.txFail > 0 {
+		t.Errorf("near flow with capture advantage dropped %d MSDUs", h.stations[1].upper.txFail)
+	}
+	if far >= near {
+		t.Errorf("capture-protected flow (%d) should beat the unprotected one (%d)", near, far)
+	}
+}
+
+func TestMediumValidation(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	bad := DefaultConfig()
+	bad.Propagation.CommRange = -1
+	if _, err := New(sched, bad); err == nil {
+		t.Error("invalid propagation accepted")
+	}
+	m, err := New(sched, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mac.New(sched, m, nopUpper{}, mac.Config{ID: 1, Params: phys.Params80211B()})
+	if err := m.AddRadio(1, phys.Position{}, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddRadio(1, phys.Position{}, d); err == nil {
+		t.Error("duplicate radio accepted")
+	}
+	if err := m.AddRadio(2, phys.Position{}, nil); err == nil {
+		t.Error("nil receiver accepted")
+	}
+	if _, ok := m.Position(1); !ok {
+		t.Error("registered radio position missing")
+	}
+	if _, ok := m.Position(99); ok {
+		t.Error("unregistered radio has a position")
+	}
+	if _, ok := m.MeanRSSDBm(1, 99); ok {
+		t.Error("MeanRSS for unregistered radio")
+	}
+}
+
+type nopUpper struct{}
+
+func (nopUpper) DeliverData(*mac.Frame, float64) {}
+func (nopUpper) TxDone(*mac.Frame, bool)         {}

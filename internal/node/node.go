@@ -1,0 +1,141 @@
+// Package node composes the pieces of a station: a MAC, transport agents,
+// and per-flow routing. It implements mac.Upper (delivering received frames
+// to agents) and provides transport.Output shims that push agent traffic to
+// the right next hop — a wireless destination or a wireline endpoint (the
+// AP-bridging case of the paper's remote-sender experiments).
+package node
+
+import (
+	"fmt"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/transport"
+)
+
+// Route forwards a packet one hop toward its destination. It reports false
+// when the packet was dropped (full queue).
+type Route interface {
+	Forward(p *transport.Packet) bool
+}
+
+// RouteFunc adapts a function to Route.
+type RouteFunc func(p *transport.Packet) bool
+
+// Forward implements Route.
+func (f RouteFunc) Forward(p *transport.Packet) bool { return f(p) }
+
+// Node is a host: wireless station, access point, or wired-only remote
+// host (no MAC). The zero value is unusable; construct with New.
+type Node struct {
+	name   string
+	dcf    *mac.DCF
+	agents map[int]transport.Agent
+	routes map[int]Route
+
+	// UnroutedDrops counts packets that arrived for a flow with neither a
+	// local agent nor a route.
+	UnroutedDrops int64
+
+	// TxDoneHook, when non-nil, observes every MAC MSDU completion (the
+	// cross-layer spoofed-ACK detector correlates MAC-acknowledged TCP
+	// segments with later TCP retransmissions).
+	TxDoneHook func(f *mac.Frame, ok bool)
+}
+
+var _ mac.Upper = (*Node)(nil)
+
+// New creates a node with the given diagnostic name.
+func New(name string) *Node {
+	return &Node{
+		name:   name,
+		agents: make(map[int]transport.Agent),
+		routes: make(map[int]Route),
+	}
+}
+
+// Name reports the node's diagnostic name.
+func (n *Node) Name() string { return n.name }
+
+// AttachMAC binds the node's wireless MAC. It may be omitted for
+// wired-only hosts.
+func (n *Node) AttachMAC(d *mac.DCF) { n.dcf = d }
+
+// MAC reports the attached MAC, or nil for a wired-only host.
+func (n *Node) MAC() *mac.DCF { return n.dcf }
+
+// AddAgent registers the local consumer for a flow's packets.
+func (n *Node) AddAgent(flow int, a transport.Agent) {
+	if a == nil {
+		panic(fmt.Sprintf("node %s: nil agent for flow %d", n.name, flow))
+	}
+	if _, dup := n.agents[flow]; dup {
+		panic(fmt.Sprintf("node %s: duplicate agent for flow %d", n.name, flow))
+	}
+	n.agents[flow] = a
+}
+
+// SetRoute registers the next hop for a flow's packets originated or
+// forwarded by this node.
+func (n *Node) SetRoute(flow int, r Route) {
+	if r == nil {
+		panic(fmt.Sprintf("node %s: nil route for flow %d", n.name, flow))
+	}
+	n.routes[flow] = r
+}
+
+// WirelessTo returns a Route that transmits packets over this node's MAC
+// to the given station.
+func (n *Node) WirelessTo(dst mac.NodeID) Route {
+	if n.dcf == nil {
+		panic(fmt.Sprintf("node %s: WirelessTo without a MAC", n.name))
+	}
+	return RouteFunc(func(p *transport.Packet) bool {
+		return n.dcf.Send(dst, p, p.WireBytes)
+	})
+}
+
+// OutputFor returns the transport.Output a local agent should emit into:
+// packets are forwarded along the flow's route.
+func (n *Node) OutputFor(flow int) transport.Output {
+	return transport.OutputFunc(func(p *transport.Packet) bool {
+		r, ok := n.routes[flow]
+		if !ok {
+			n.UnroutedDrops++
+			return false
+		}
+		return r.Forward(p)
+	})
+}
+
+// Inject delivers a packet arriving at this node from any medium: local
+// agents consume it, otherwise it is forwarded along the flow route (AP
+// bridging), otherwise dropped.
+func (n *Node) Inject(p *transport.Packet) {
+	if a, ok := n.agents[p.Flow]; ok {
+		a.Receive(p)
+		return
+	}
+	if r, ok := n.routes[p.Flow]; ok {
+		r.Forward(p)
+		return
+	}
+	n.UnroutedDrops++
+}
+
+// DeliverData implements mac.Upper.
+func (n *Node) DeliverData(f *mac.Frame, _ float64) {
+	p, ok := f.Payload.(*transport.Packet)
+	if !ok {
+		n.UnroutedDrops++
+		return
+	}
+	n.Inject(p)
+}
+
+// TxDone implements mac.Upper. Transport agents drive their own timers;
+// MAC completion feeds only the optional observation hook.
+func (n *Node) TxDone(f *mac.Frame, ok bool) {
+	if n.TxDoneHook != nil {
+		n.TxDoneHook(f, ok)
+	}
+}

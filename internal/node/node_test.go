@@ -1,0 +1,112 @@
+package node
+
+import (
+	"testing"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/transport"
+)
+
+type captureAgent struct {
+	got []*transport.Packet
+}
+
+func (a *captureAgent) Receive(p *transport.Packet) { a.got = append(a.got, p) }
+
+func TestInjectToAgent(t *testing.T) {
+	n := New("sta")
+	a := &captureAgent{}
+	n.AddAgent(5, a)
+	p := &transport.Packet{Flow: 5, Seq: 1}
+	n.Inject(p)
+	if len(a.got) != 1 || a.got[0] != p {
+		t.Fatalf("agent got %v", a.got)
+	}
+}
+
+func TestInjectForwardsViaRoute(t *testing.T) {
+	n := New("ap")
+	var forwarded []*transport.Packet
+	n.SetRoute(7, RouteFunc(func(p *transport.Packet) bool {
+		forwarded = append(forwarded, p)
+		return true
+	}))
+	n.Inject(&transport.Packet{Flow: 7})
+	if len(forwarded) != 1 {
+		t.Fatal("route not used for non-local flow")
+	}
+}
+
+func TestInjectDropsUnrouted(t *testing.T) {
+	n := New("sta")
+	n.Inject(&transport.Packet{Flow: 9})
+	if n.UnroutedDrops != 1 {
+		t.Errorf("UnroutedDrops = %d, want 1", n.UnroutedDrops)
+	}
+}
+
+func TestOutputForRoutes(t *testing.T) {
+	n := New("sta")
+	sent := 0
+	n.SetRoute(3, RouteFunc(func(*transport.Packet) bool { sent++; return true }))
+	out := n.OutputFor(3)
+	if !out.Output(&transport.Packet{Flow: 3}) || sent != 1 {
+		t.Error("OutputFor did not forward")
+	}
+	// Unrouted flow: drop reported.
+	out9 := n.OutputFor(9)
+	if out9.Output(&transport.Packet{Flow: 9}) {
+		t.Error("unrouted output claimed success")
+	}
+	if n.UnroutedDrops != 1 {
+		t.Errorf("UnroutedDrops = %d", n.UnroutedDrops)
+	}
+}
+
+func TestDeliverDataUnwrapsPayload(t *testing.T) {
+	n := New("sta")
+	a := &captureAgent{}
+	n.AddAgent(2, a)
+	pkt := &transport.Packet{Flow: 2, Seq: 4}
+	n.DeliverData(&mac.Frame{Type: mac.FrameData, Payload: pkt}, -50)
+	if len(a.got) != 1 || a.got[0].Seq != 4 {
+		t.Fatal("payload not delivered to agent")
+	}
+	// Non-packet payloads are dropped, not panicked on.
+	n.DeliverData(&mac.Frame{Type: mac.FrameData, Payload: "junk"}, -50)
+	if n.UnroutedDrops != 1 {
+		t.Errorf("junk payload drops = %d", n.UnroutedDrops)
+	}
+	n.TxDone(nil, true) // no-op, must not panic
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		fn   func(n *Node)
+	}{
+		{"nil agent", func(n *Node) { n.AddAgent(1, nil) }},
+		{"dup agent", func(n *Node) { n.AddAgent(1, &captureAgent{}); n.AddAgent(1, &captureAgent{}) }},
+		{"nil route", func(n *Node) { n.SetRoute(1, nil) }},
+		{"wireless without MAC", func(n *Node) { n.WirelessTo(2) }},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			tt.fn(New("x"))
+		})
+	}
+}
+
+func TestNameAndMAC(t *testing.T) {
+	n := New("ap-1")
+	if n.Name() != "ap-1" {
+		t.Errorf("Name = %q", n.Name())
+	}
+	if n.MAC() != nil {
+		t.Error("fresh node has a MAC")
+	}
+}

@@ -1,0 +1,167 @@
+// Package phys models the 802.11 physical layer pieces the paper's
+// evaluation depends on: per-band (802.11b DSSS / 802.11a OFDM) timing
+// parameters and frame durations, a threshold-based propagation model with
+// distinct communication and carrier-sense ranges, a per-packet RSSI
+// process, the capture effect, and frame-error models calibrated to the
+// paper's Table III.
+package phys
+
+import (
+	"fmt"
+
+	"greedy80211/internal/sim"
+)
+
+// Band selects an 802.11 PHY. The paper evaluates 802.11b at 11 Mbps and
+// 802.11a at 6 Mbps.
+type Band int
+
+const (
+	// Band80211B is DSSS 802.11b: long preamble, 20 µs slots.
+	Band80211B Band = iota + 1
+	// Band80211A is OFDM 802.11a: 9 µs slots, 4 µs symbols.
+	Band80211A
+)
+
+// String implements fmt.Stringer.
+func (b Band) String() string {
+	switch b {
+	case Band80211B:
+		return "802.11b"
+	case Band80211A:
+		return "802.11a"
+	default:
+		return fmt.Sprintf("Band(%d)", int(b))
+	}
+}
+
+// Params carries the per-band MAC/PHY constants of IEEE 802.11-1999.
+type Params struct {
+	Band     Band
+	SlotTime sim.Time
+	SIFS     sim.Time
+	// CWMin and CWMax are the minimum and maximum contention windows,
+	// expressed as the inclusive upper bound of the uniform backoff draw
+	// (31 and 1023 for 802.11b; 15 and 1023 for 802.11a).
+	CWMin int
+	CWMax int
+	// DataRateBps is the PHY rate for data frames; BasicRateBps the rate
+	// for control frames (RTS/CTS/ACK) and PLCP-protected responses.
+	DataRateBps  int64
+	BasicRateBps int64
+	// PLCPOverhead is the preamble + PLCP header airtime prepended to
+	// every frame (192 µs long preamble for 11b; 20 µs for 11a).
+	PLCPOverhead sim.Time
+	// OFDM reports whether durations quantize to 4 µs symbols (802.11a).
+	OFDM bool
+	// ShortRetryLimit and LongRetryLimit are dot11ShortRetryLimit and
+	// dot11LongRetryLimit (7 and 4).
+	ShortRetryLimit int
+	LongRetryLimit  int
+}
+
+// Default PHY rates used throughout the paper's evaluation.
+const (
+	Rate1Mbps  int64 = 1_000_000
+	Rate2Mbps  int64 = 2_000_000
+	Rate6Mbps  int64 = 6_000_000
+	Rate11Mbps int64 = 11_000_000
+)
+
+// Params80211B returns the 802.11b configuration the paper simulates:
+// 11 Mbps data rate, 1 Mbps basic rate (ns-2 default), long preamble.
+func Params80211B() Params {
+	return Params{
+		Band:            Band80211B,
+		SlotTime:        20 * sim.Microsecond,
+		SIFS:            10 * sim.Microsecond,
+		CWMin:           31,
+		CWMax:           1023,
+		DataRateBps:     Rate11Mbps,
+		BasicRateBps:    Rate1Mbps,
+		PLCPOverhead:    192 * sim.Microsecond,
+		OFDM:            false,
+		ShortRetryLimit: 7,
+		LongRetryLimit:  4,
+	}
+}
+
+// Params80211A returns the 802.11a configuration the paper evaluates:
+// 6 Mbps for both data and control frames (the testbed's fixed rate).
+func Params80211A() Params {
+	return Params{
+		Band:            Band80211A,
+		SlotTime:        9 * sim.Microsecond,
+		SIFS:            16 * sim.Microsecond,
+		CWMin:           15,
+		CWMax:           1023,
+		DataRateBps:     Rate6Mbps,
+		BasicRateBps:    Rate6Mbps,
+		PLCPOverhead:    20 * sim.Microsecond,
+		OFDM:            true,
+		ShortRetryLimit: 7,
+		LongRetryLimit:  4,
+	}
+}
+
+// DIFS is SIFS + 2 slots.
+func (p Params) DIFS() sim.Time { return p.SIFS + 2*p.SlotTime }
+
+// EIFS is the extended inter-frame space used after a corrupted reception:
+// SIFS + basic-rate ACK airtime + DIFS.
+func (p Params) EIFS() sim.Time {
+	return p.SIFS + p.TxDuration(ACKFrameBytes, p.BasicRateBps) + p.DIFS()
+}
+
+// Control-frame MAC sizes (bytes, including FCS) per IEEE 802.11-1999.
+const (
+	RTSFrameBytes = 20
+	CTSFrameBytes = 14
+	ACKFrameBytes = 14
+	// DataHeaderBytes is the data-frame MAC overhead: 24-byte header +
+	// 4-byte FCS (ns-2's 802.11 model uses the same 28 bytes).
+	DataHeaderBytes = 28
+)
+
+// TxDuration reports the airtime of a frame of the given MAC size (bytes,
+// including MAC header and FCS) at the given PHY rate, including PLCP
+// preamble and header. For OFDM bands the payload airtime quantizes to
+// 4 µs symbols and includes the 16-bit SERVICE and 6-bit tail fields.
+func (p Params) TxDuration(bytes int, bps int64) sim.Time {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("phys: TxDuration of %d bytes", bytes))
+	}
+	if bps <= 0 {
+		panic(fmt.Sprintf("phys: TxDuration at %d bps", bps))
+	}
+	if p.OFDM {
+		const symbolDur = 4 * sim.Microsecond
+		bitsPerSymbol := bps * 4 / 1_000_000 // NDBPS: 24 at 6 Mbps, 48 at 12, ...
+		payloadBits := int64(16 + 8*bytes + 6)
+		symbols := (payloadBits + bitsPerSymbol - 1) / bitsPerSymbol
+		return p.PLCPOverhead + sim.Time(symbols)*symbolDur
+	}
+	bits := int64(bytes) * 8
+	// Round up to whole microseconds, as the PHY pads to its clock.
+	us := (bits*1_000_000 + bps - 1) / bps
+	return p.PLCPOverhead + sim.FromMicroseconds(us)
+}
+
+// CTSTimeout is how long a sender waits for a CTS after finishing its RTS
+// before treating the exchange as failed: SIFS + slot + CTS airtime at the
+// basic rate, plus a small margin for propagation.
+func (p Params) CTSTimeout() sim.Time {
+	return p.SIFS + p.SlotTime + p.TxDuration(CTSFrameBytes, p.BasicRateBps) + 5*sim.Microsecond
+}
+
+// ACKTimeout is the analogous wait for a MAC ACK after a data frame.
+func (p Params) ACKTimeout() sim.Time {
+	return p.SIFS + p.SlotTime + p.TxDuration(ACKFrameBytes, p.BasicRateBps) + 5*sim.Microsecond
+}
+
+// MaxNAV is the largest NAV value a duration field can carry (the paper's
+// misbehaving receivers inflate up to this), in microseconds.
+const MaxNAVMicros = 32767
+
+// MaxNAV as a sim.Time.
+func MaxNAV() sim.Time { return sim.FromMicroseconds(MaxNAVMicros) }

@@ -1,0 +1,136 @@
+package phys
+
+import (
+	"testing"
+
+	"greedy80211/internal/sim"
+)
+
+func TestBandString(t *testing.T) {
+	if Band80211B.String() != "802.11b" || Band80211A.String() != "802.11a" {
+		t.Error("band names wrong")
+	}
+	if Band(99).String() != "Band(99)" {
+		t.Error("unknown band name wrong")
+	}
+}
+
+func TestParams80211BTimings(t *testing.T) {
+	p := Params80211B()
+	if got := p.DIFS(); got != 50*sim.Microsecond {
+		t.Errorf("11b DIFS = %v, want 50µs", got)
+	}
+	if p.SIFS != 10*sim.Microsecond || p.SlotTime != 20*sim.Microsecond {
+		t.Errorf("11b SIFS/slot = %v/%v", p.SIFS, p.SlotTime)
+	}
+	if p.CWMin != 31 || p.CWMax != 1023 {
+		t.Errorf("11b CW = %d..%d", p.CWMin, p.CWMax)
+	}
+}
+
+func TestParams80211ATimings(t *testing.T) {
+	p := Params80211A()
+	if got := p.DIFS(); got != 34*sim.Microsecond {
+		t.Errorf("11a DIFS = %v, want 34µs", got)
+	}
+	if p.CWMin != 15 {
+		t.Errorf("11a CWMin = %d, want 15", p.CWMin)
+	}
+}
+
+func TestTxDurationDSSS(t *testing.T) {
+	p := Params80211B()
+	tests := []struct {
+		name  string
+		bytes int
+		bps   int64
+		want  sim.Time
+	}{
+		// 192µs preamble + payload bits / rate, rounded up to µs.
+		{"RTS at basic", RTSFrameBytes, Rate1Mbps, (192 + 160) * sim.Microsecond},
+		{"CTS at basic", CTSFrameBytes, Rate1Mbps, (192 + 112) * sim.Microsecond},
+		{"ACK at basic", ACKFrameBytes, Rate1Mbps, (192 + 112) * sim.Microsecond},
+		// 1052 bytes = 8416 bits at 11 Mbps = 765.09... → 766 µs.
+		{"1024B data at 11M", 1024 + DataHeaderBytes, Rate11Mbps, (192 + 766) * sim.Microsecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := p.TxDuration(tt.bytes, tt.bps); got != tt.want {
+				t.Errorf("TxDuration(%d, %d) = %v, want %v", tt.bytes, tt.bps, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTxDurationOFDM(t *testing.T) {
+	p := Params80211A()
+	// 6 Mbps → 24 data bits per 4µs symbol. ACK: 16+112+6 = 134 bits →
+	// ceil(134/24) = 6 symbols = 24µs, plus 20µs preamble/SIGNAL.
+	if got := p.TxDuration(ACKFrameBytes, Rate6Mbps); got != 44*sim.Microsecond {
+		t.Errorf("11a ACK duration = %v, want 44µs", got)
+	}
+	// 1052-byte data frame: 16+8416+6 = 8438 bits → ceil/24 = 352 symbols
+	// = 1408µs + 20µs.
+	if got := p.TxDuration(1024+DataHeaderBytes, Rate6Mbps); got != 1428*sim.Microsecond {
+		t.Errorf("11a data duration = %v, want 1428µs", got)
+	}
+}
+
+func TestTxDurationMonotonicInSize(t *testing.T) {
+	for _, p := range []Params{Params80211B(), Params80211A()} {
+		prev := sim.Time(0)
+		for bytes := 1; bytes < 2000; bytes += 13 {
+			d := p.TxDuration(bytes, p.DataRateBps)
+			if d < prev {
+				t.Fatalf("%v: duration decreased at %d bytes", p.Band, bytes)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestTxDurationPanics(t *testing.T) {
+	p := Params80211B()
+	for _, tt := range []struct {
+		name  string
+		bytes int
+		bps   int64
+	}{
+		{"zero bytes", 0, Rate1Mbps},
+		{"zero rate", 10, 0},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			p.TxDuration(tt.bytes, tt.bps)
+		})
+	}
+}
+
+func TestEIFS(t *testing.T) {
+	p := Params80211B()
+	// SIFS(10) + ACK at 1Mbps (304) + DIFS(50) = 364µs.
+	if got := p.EIFS(); got != 364*sim.Microsecond {
+		t.Errorf("11b EIFS = %v, want 364µs", got)
+	}
+}
+
+func TestTimeoutsCoverResponse(t *testing.T) {
+	for _, p := range []Params{Params80211B(), Params80211A()} {
+		if p.CTSTimeout() < p.SIFS+p.TxDuration(CTSFrameBytes, p.BasicRateBps) {
+			t.Errorf("%v: CTS timeout shorter than SIFS+CTS", p.Band)
+		}
+		if p.ACKTimeout() < p.SIFS+p.TxDuration(ACKFrameBytes, p.BasicRateBps) {
+			t.Errorf("%v: ACK timeout shorter than SIFS+ACK", p.Band)
+		}
+	}
+}
+
+func TestMaxNAV(t *testing.T) {
+	if MaxNAV() != 32767*sim.Microsecond {
+		t.Errorf("MaxNAV = %v", MaxNAV())
+	}
+}

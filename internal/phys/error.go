@@ -1,0 +1,312 @@
+package phys
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrorModel decides whether a frame of a given size is corrupted by the
+// channel, independently at each receiver. The paper's simulations inject
+// "random loss of bit-error-rate" via ns-2's error model; Table III records
+// the BER→FER mapping that model produced. UnitErrorModel reproduces that
+// mapping (see DESIGN.md §2 and §5): the frame error rate is
+//
+//	FER = 1 − (1 − BER)^U
+//
+// where U is the frame's error-unit count: its MAC size in bytes plus
+// PLCPErrorUnits of preamble/PLCP overhead.
+type ErrorModel interface {
+	// FER reports the frame error rate for a frame with the given number
+	// of error units.
+	FER(units int) float64
+	// FrameError draws whether such a frame is corrupted.
+	FrameError(rng *rand.Rand, units int) bool
+}
+
+// PLCPErrorUnits is the preamble/PLCP contribution to a frame's error-unit
+// count; 24 units reproduces the control-frame rows of Table III exactly
+// (ACK/CTS: 14 + 24 = 38; RTS: 20 + 24 = 44).
+const PLCPErrorUnits = 24
+
+// ErrorUnits reports the error-unit count for a MAC frame of the given size
+// (bytes including MAC header and FCS).
+func ErrorUnits(macBytes int) int { return macBytes + PLCPErrorUnits }
+
+// UnitErrorModel is the default channel error model: independent per-unit
+// errors at rate BER. A BER of zero yields a loss-free channel.
+type UnitErrorModel struct {
+	BER float64
+}
+
+var _ ErrorModel = UnitErrorModel{}
+
+// FER implements ErrorModel.
+func (m UnitErrorModel) FER(units int) float64 {
+	if m.BER <= 0 || units <= 0 {
+		return 0
+	}
+	if m.BER >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-m.BER, float64(units))
+}
+
+// FrameError implements ErrorModel.
+func (m UnitErrorModel) FrameError(rng *rand.Rand, units int) bool {
+	if m.BER <= 0 {
+		return false
+	}
+	return rng.Float64() < m.FER(units)
+}
+
+// FixedFERModel corrupts every frame with the same probability regardless
+// of size. Table V's "data error rate 0.2/0.5/0.8" rows and the testbed
+// emulations use it.
+type FixedFERModel struct {
+	Rate float64
+}
+
+var _ ErrorModel = FixedFERModel{}
+
+// FER implements ErrorModel.
+func (m FixedFERModel) FER(int) float64 {
+	switch {
+	case m.Rate < 0:
+		return 0
+	case m.Rate > 1:
+		return 1
+	default:
+		return m.Rate
+	}
+}
+
+// FrameError implements ErrorModel.
+func (m FixedFERModel) FrameError(rng *rand.Rand, units int) bool {
+	return m.Rate > 0 && rng.Float64() < m.FER(units)
+}
+
+// SizeGatedFER corrupts only frames of at least MinUnits error units, each
+// with probability Rate. It models the "data frame error rate" knobs of
+// the paper's fake-ACK experiments (Table V, Fig 19), where loss is quoted
+// for data frames while short control frames get through.
+type SizeGatedFER struct {
+	Rate     float64
+	MinUnits int
+}
+
+var _ ErrorModel = SizeGatedFER{}
+
+// FER implements ErrorModel.
+func (m SizeGatedFER) FER(units int) float64 {
+	if units < m.MinUnits {
+		return 0
+	}
+	return FixedFERModel{Rate: m.Rate}.FER(units)
+}
+
+// FrameError implements ErrorModel.
+func (m SizeGatedFER) FrameError(rng *rand.Rand, units int) bool {
+	return m.FER(units) > 0 && rng.Float64() < m.FER(units)
+}
+
+// RateErrorModel corrupts frames as a function of the PHY rate they were
+// transmitted at — higher rates need more SNR and fail more often on a
+// marginal link. It backs the auto-rate extension experiments.
+type RateErrorModel interface {
+	// FERAtRate reports the frame error rate at the given PHY rate.
+	FERAtRate(rateBps int64, units int) float64
+	// FrameErrorAtRate draws whether such a frame is corrupted.
+	FrameErrorAtRate(rng *rand.Rand, rateBps int64, units int) bool
+}
+
+// RateLadderFER assigns a fixed frame error rate to each PHY rate,
+// modeling a link whose SNR supports the low rates cleanly while the high
+// rates are marginal. Frames below MinUnits (control frames) always pass.
+type RateLadderFER struct {
+	// FERByRate maps PHY rate (bits/s) to frame error rate; rates absent
+	// from the map are loss-free.
+	FERByRate map[int64]float64
+	// MinUnits gates small frames out of the loss process.
+	MinUnits int
+}
+
+var _ RateErrorModel = RateLadderFER{}
+
+// FERAtRate implements RateErrorModel.
+func (m RateLadderFER) FERAtRate(rateBps int64, units int) float64 {
+	if units < m.MinUnits {
+		return 0
+	}
+	fer := m.FERByRate[rateBps]
+	switch {
+	case fer < 0:
+		return 0
+	case fer > 1:
+		return 1
+	default:
+		return fer
+	}
+}
+
+// FrameErrorAtRate implements RateErrorModel.
+func (m RateLadderFER) FrameErrorAtRate(rng *rand.Rand, rateBps int64, units int) bool {
+	fer := m.FERAtRate(rateBps, units)
+	return fer > 0 && rng.Float64() < fer
+}
+
+// NoError is a loss-free channel.
+type NoError struct{}
+
+var _ ErrorModel = NoError{}
+
+// FER implements ErrorModel.
+func (NoError) FER(int) float64 { return 0 }
+
+// FrameError implements ErrorModel.
+func (NoError) FrameError(*rand.Rand, int) bool { return false }
+
+// ByteErrorProcess corrupts individual bytes of a frame, tracking whether
+// the corruption touched the destination or source MAC address fields. It
+// backs the Table I study: misbehavior 3 (fake ACKs) is feasible because
+// most corrupted frames still carry intact MAC addresses.
+type ByteErrorProcess interface {
+	// CorruptFrame draws the error pattern for a frame of n bytes and
+	// reports whether any byte was corrupted and whether the corruption
+	// hit the destination (bytes 4–9) or source (bytes 10–15) address.
+	CorruptFrame(rng *rand.Rand, n int) FrameCorruption
+}
+
+// FrameCorruption describes where channel errors landed within one frame.
+type FrameCorruption struct {
+	Corrupted bool
+	DstHit    bool
+	SrcHit    bool
+}
+
+// MAC data-frame address field offsets (bytes): Frame Control (2) +
+// Duration (2), then Address1 = destination, Address2 = source.
+const (
+	dstAddrStart = 4
+	dstAddrEnd   = 10 // exclusive
+	srcAddrStart = 10
+	srcAddrEnd   = 16 // exclusive
+)
+
+// UniformByteErrors corrupts each byte independently with probability P.
+// It models 802.11b's near-memoryless residual errors.
+type UniformByteErrors struct {
+	P float64
+}
+
+var _ ByteErrorProcess = UniformByteErrors{}
+
+// CorruptFrame implements ByteErrorProcess. It avoids an O(n) scan in the
+// common no-error case by first drawing whether the frame is hit at all.
+func (u UniformByteErrors) CorruptFrame(rng *rand.Rand, n int) FrameCorruption {
+	var c FrameCorruption
+	if u.P <= 0 || n <= 0 {
+		return c
+	}
+	pFrame := 1 - math.Pow(1-u.P, float64(n))
+	if rng.Float64() >= pFrame {
+		return c
+	}
+	c.Corrupted = true
+	// At least one byte is corrupted; resample positions until the draw is
+	// consistent (cheap: P(no byte hit | frame hit) already excluded).
+	for {
+		hitAny := false
+		for i := 0; i < n; i++ {
+			if rng.Float64() < u.P {
+				hitAny = true
+				switch {
+				case i >= dstAddrStart && i < dstAddrEnd:
+					c.DstHit = true
+				case i >= srcAddrStart && i < srcAddrEnd:
+					c.SrcHit = true
+				}
+			}
+		}
+		if hitAny {
+			return c
+		}
+	}
+}
+
+// GilbertElliott is a two-state burst-error process: a good state with
+// near-zero byte error probability and a bad state with high error
+// probability, with geometric sojourn times. OFDM (802.11a) corruption is
+// bursty — whole symbols fail together — which is why the paper measures a
+// markedly lower address-preservation rate on 802.11a (84%) than on
+// 802.11b (98.8%).
+type GilbertElliott struct {
+	// PGoodToBad and PBadToGood are per-byte state transition probabilities.
+	PGoodToBad float64
+	PBadToGood float64
+	// PErrGood and PErrBad are byte corruption probabilities per state.
+	PErrGood float64
+	PErrBad  float64
+	// PStartBad is the stationary probability of starting a frame in the
+	// bad state; if negative, the stationary distribution is used.
+	PStartBad float64
+}
+
+var _ ByteErrorProcess = GilbertElliott{}
+
+// Validate reports an error for out-of-range probabilities.
+func (g GilbertElliott) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PGoodToBad", g.PGoodToBad}, {"PBadToGood", g.PBadToGood},
+		{"PErrGood", g.PErrGood}, {"PErrBad", g.PErrBad},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("phys: GilbertElliott.%s = %v out of [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+func (g GilbertElliott) startBad(rng *rand.Rand) bool {
+	p := g.PStartBad
+	if p < 0 {
+		denom := g.PGoodToBad + g.PBadToGood
+		if denom == 0 {
+			return false
+		}
+		p = g.PGoodToBad / denom
+	}
+	return rng.Float64() < p
+}
+
+// CorruptFrame implements ByteErrorProcess.
+func (g GilbertElliott) CorruptFrame(rng *rand.Rand, n int) FrameCorruption {
+	var c FrameCorruption
+	bad := g.startBad(rng)
+	for i := 0; i < n; i++ {
+		pErr := g.PErrGood
+		if bad {
+			pErr = g.PErrBad
+		}
+		if pErr > 0 && rng.Float64() < pErr {
+			c.Corrupted = true
+			switch {
+			case i >= dstAddrStart && i < dstAddrEnd:
+				c.DstHit = true
+			case i >= srcAddrStart && i < srcAddrEnd:
+				c.SrcHit = true
+			}
+		}
+		if bad {
+			if rng.Float64() < g.PBadToGood {
+				bad = false
+			}
+		} else if rng.Float64() < g.PGoodToBad {
+			bad = true
+		}
+	}
+	return c
+}

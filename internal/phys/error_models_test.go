@@ -1,0 +1,84 @@
+package phys
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSizeGatedFER(t *testing.T) {
+	m := SizeGatedFER{Rate: 0.5, MinUnits: 200}
+	if m.FER(199) != 0 {
+		t.Error("control-sized frame gated incorrectly")
+	}
+	if m.FER(200) != 0.5 || m.FER(2000) != 0.5 {
+		t.Error("data-sized frame rate wrong")
+	}
+	// Clamping mirrors FixedFERModel.
+	if (SizeGatedFER{Rate: -1}).FER(500) != 0 {
+		t.Error("negative rate not clamped")
+	}
+	if (SizeGatedFER{Rate: 2}).FER(500) != 1 {
+		t.Error("rate >1 not clamped")
+	}
+	rng := rand.New(rand.NewSource(1))
+	hitsSmall, hitsBig := 0, 0
+	for i := 0; i < 4000; i++ {
+		if m.FrameError(rng, 100) {
+			hitsSmall++
+		}
+		if m.FrameError(rng, 1000) {
+			hitsBig++
+		}
+	}
+	if hitsSmall != 0 {
+		t.Errorf("gated frames corrupted %d times", hitsSmall)
+	}
+	if hitsBig < 1800 || hitsBig > 2200 {
+		t.Errorf("data frames corrupted %d/4000, want ≈2000", hitsBig)
+	}
+}
+
+func TestRateLadderFER(t *testing.T) {
+	m := RateLadderFER{
+		FERByRate: map[int64]float64{
+			11_000_000: 0.7,
+			5_500_000:  0.15,
+			2_000_000:  -0.5, // clamps to 0
+			1_000_000:  1.5,  // clamps to 1
+		},
+		MinUnits: 200,
+	}
+	if got := m.FERAtRate(11_000_000, 1000); got != 0.7 {
+		t.Errorf("11M FER = %v", got)
+	}
+	if got := m.FERAtRate(5_500_000, 1000); got != 0.15 {
+		t.Errorf("5.5M FER = %v", got)
+	}
+	if got := m.FERAtRate(2_000_000, 1000); got != 0 {
+		t.Errorf("negative FER not clamped: %v", got)
+	}
+	if got := m.FERAtRate(1_000_000, 1000); got != 1 {
+		t.Errorf("FER >1 not clamped: %v", got)
+	}
+	// Unknown rate: loss-free.
+	if got := m.FERAtRate(54_000_000, 1000); got != 0 {
+		t.Errorf("unknown rate FER = %v", got)
+	}
+	// Control frames pass at any rate.
+	if got := m.FERAtRate(11_000_000, 38); got != 0 {
+		t.Errorf("control frame FER = %v", got)
+	}
+	rng := rand.New(rand.NewSource(2))
+	hits := 0
+	for i := 0; i < 4000; i++ {
+		if m.FrameErrorAtRate(rng, 11_000_000, 1000) {
+			hits++
+		}
+	}
+	if hits < 2600 || hits > 3000 {
+		t.Errorf("11M corrupted %d/4000, want ≈2800", hits)
+	}
+	if m.FrameErrorAtRate(rng, 2_000_000, 1000) {
+		t.Error("clamped-to-zero rate corrupted a frame")
+	}
+}

@@ -1,0 +1,235 @@
+package phys
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Table III of the paper: BER → FER for each frame type, under the error
+// model FER = 1-(1-BER)^units with the paper's unit counts.
+func TestUnitErrorModelReproducesTableIII(t *testing.T) {
+	// Unit counts that reproduce the paper's table: control frames are
+	// MAC bytes + 24 PLCP units; the TCP rows use the paper's own counts.
+	const (
+		unitsACKCTS  = CTSFrameBytes + PLCPErrorUnits // 38
+		unitsRTS     = RTSFrameBytes + PLCPErrorUnits // 44
+		unitsTCPACK  = 112
+		unitsTCPData = 1130
+	)
+	tests := []struct {
+		ber                            float64
+		ackCTS, rts, tcpACK, tcpDataLo float64
+	}{
+		{1e-5, 3.799e-4, 4.399e-4, 1.119e-3, 1.130e-2},
+		{2e-4, 7.519e-3, 8.762e-3, 2.235e-2, 2.033e-1},
+		{3.2e-4, 1.121e-2, 1.398e-2, 3.521e-2, 3.048e-1},
+		{4.4e-4, 1.658e-2, 1.918e-2, 4.810e-2, 3.934e-1},
+		{8e-4, 2.995e-2, 3.460e-2, 8.574e-2, 5.971e-1},
+	}
+	// Tolerance 8%: the paper's ACK/CTS cell at BER 3.2e-4 implies ~35
+	// units while every other row implies 38; the closed form lands within
+	// 8% of every published cell.
+	approx := func(got, want float64) bool {
+		return math.Abs(got-want)/want < 0.08
+	}
+	for _, tt := range tests {
+		m := UnitErrorModel{BER: tt.ber}
+		if got := m.FER(unitsACKCTS); !approx(got, tt.ackCTS) {
+			t.Errorf("BER %v ACK/CTS FER = %v, want %v", tt.ber, got, tt.ackCTS)
+		}
+		if got := m.FER(unitsRTS); !approx(got, tt.rts) {
+			t.Errorf("BER %v RTS FER = %v, want %v", tt.ber, got, tt.rts)
+		}
+		if got := m.FER(unitsTCPACK); !approx(got, tt.tcpACK) {
+			t.Errorf("BER %v TCP-ACK FER = %v, want %v", tt.ber, got, tt.tcpACK)
+		}
+		if got := m.FER(unitsTCPData); !approx(got, tt.tcpDataLo) {
+			t.Errorf("BER %v TCP-data FER = %v, want %v", tt.ber, got, tt.tcpDataLo)
+		}
+	}
+}
+
+func TestUnitErrorModelEdges(t *testing.T) {
+	if (UnitErrorModel{BER: 0}).FER(1000) != 0 {
+		t.Error("zero BER should have zero FER")
+	}
+	if (UnitErrorModel{BER: 1}).FER(10) != 1 {
+		t.Error("BER 1 should have FER 1")
+	}
+	if (UnitErrorModel{BER: 0.5}).FER(0) != 0 {
+		t.Error("zero units should have zero FER")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if (UnitErrorModel{}).FrameError(rng, 100) {
+		t.Error("zero-BER model corrupted a frame")
+	}
+}
+
+// Property: FER is monotone in both BER and frame size.
+func TestPropertyFERMonotone(t *testing.T) {
+	f := func(berRaw uint16, u1, u2 uint8) bool {
+		ber := float64(berRaw) / float64(1<<20)
+		m := UnitErrorModel{BER: ber}
+		a, b := int(u1), int(u2)
+		if a > b {
+			a, b = b, a
+		}
+		if m.FER(a) > m.FER(b) {
+			return false
+		}
+		m2 := UnitErrorModel{BER: ber * 2}
+		return m2.FER(b) >= m.FER(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameErrorFrequencyMatchesFER(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := UnitErrorModel{BER: 2e-4}
+	const units = 1130
+	const n = 50000
+	errors := 0
+	for i := 0; i < n; i++ {
+		if m.FrameError(rng, units) {
+			errors++
+		}
+	}
+	got := float64(errors) / n
+	want := m.FER(units) // ≈ 0.2
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical FER = %v, want ≈%v", got, want)
+	}
+}
+
+func TestFixedFERModel(t *testing.T) {
+	m := FixedFERModel{Rate: 0.5}
+	if m.FER(10) != 0.5 || m.FER(10000) != 0.5 {
+		t.Error("fixed FER should ignore size")
+	}
+	if (FixedFERModel{Rate: -1}).FER(5) != 0 {
+		t.Error("negative rate should clamp to 0")
+	}
+	if (FixedFERModel{Rate: 2}).FER(5) != 1 {
+		t.Error("rate >1 should clamp to 1")
+	}
+	rng := rand.New(rand.NewSource(3))
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if m.FrameError(rng, 1) {
+			hits++
+		}
+	}
+	if hits < 4700 || hits > 5300 {
+		t.Errorf("fixed 0.5 FER hit %d/10000", hits)
+	}
+}
+
+func TestNoError(t *testing.T) {
+	var m NoError
+	rng := rand.New(rand.NewSource(1))
+	if m.FER(1<<20) != 0 || m.FrameError(rng, 1<<20) {
+		t.Error("NoError corrupted a frame")
+	}
+}
+
+func TestUniformByteErrorsAddressPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	proc := UniformByteErrors{P: 2e-5}
+	const frameBytes = 1100
+	const n = 200000
+	var corrupted, dstOK, bothOK int
+	for i := 0; i < n; i++ {
+		c := proc.CorruptFrame(rng, frameBytes)
+		if !c.Corrupted {
+			continue
+		}
+		corrupted++
+		if !c.DstHit {
+			dstOK++
+			if !c.SrcHit {
+				bothOK++
+			}
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no corrupted frames generated")
+	}
+	// With memoryless byte errors, address bytes are 12/1100 of the frame:
+	// nearly all corrupted frames preserve the addresses (≥97%), matching
+	// the 802.11b row of Table I (98.8% / 94.9%).
+	if ratio := float64(dstOK) / float64(corrupted); ratio < 0.97 {
+		t.Errorf("dst preserved ratio = %v, want ≥0.97", ratio)
+	}
+	if ratio := float64(bothOK) / float64(corrupted); ratio < 0.95 {
+		t.Errorf("src+dst preserved ratio = %v, want ≥0.95", ratio)
+	}
+}
+
+func TestUniformByteErrorsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := UniformByteErrors{P: 0}.CorruptFrame(rng, 100)
+	if c.Corrupted || c.DstHit || c.SrcHit {
+		t.Error("zero-P process corrupted a frame")
+	}
+}
+
+func TestGilbertElliottValidate(t *testing.T) {
+	good := GilbertElliott{PGoodToBad: 0.01, PBadToGood: 0.3, PErrBad: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := good
+	bad.PErrBad = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	// A bursty process must hit address fields more often (per corrupted
+	// frame) than a uniform process with the same marginal corruption rate
+	// would suggest — that is the mechanism behind the 802.11a row of
+	// Table I.
+	rng := rand.New(rand.NewSource(5))
+	ge := GilbertElliott{
+		PGoodToBad: 0.004,
+		PBadToGood: 0.10,
+		PErrGood:   0,
+		PErrBad:    0.5,
+		PStartBad:  -1,
+	}
+	const frameBytes = 1100
+	const n = 50000
+	var corrupted, dstPreserved int
+	for i := 0; i < n; i++ {
+		c := ge.CorruptFrame(rng, frameBytes)
+		if c.Corrupted {
+			corrupted++
+			if !c.DstHit {
+				dstPreserved++
+			}
+		}
+	}
+	if corrupted < n/10 {
+		t.Fatalf("only %d corrupted frames; calibration off", corrupted)
+	}
+	ratio := float64(dstPreserved) / float64(corrupted)
+	if ratio > 0.97 || ratio < 0.5 {
+		t.Errorf("bursty dst-preservation = %v, want between 0.5 and 0.97", ratio)
+	}
+}
+
+func TestGilbertElliottStationaryStart(t *testing.T) {
+	// PStartBad < 0 should use the stationary distribution; with zero
+	// transition rates that means always-good.
+	rng := rand.New(rand.NewSource(2))
+	ge := GilbertElliott{PErrBad: 1, PStartBad: -1}
+	c := ge.CorruptFrame(rng, 1000)
+	if c.Corrupted {
+		t.Error("stationary start with zero transitions should stay good")
+	}
+}

@@ -1,0 +1,119 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistance(t *testing.T) {
+	a := Position{0, 0}
+	b := Position{3, 4}
+	if d := a.DistanceTo(b); d != 5 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+	if d := a.DistanceTo(a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if s := b.String(); s != "(3.0,4.0)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	if PropagationDelay(0) != 0 || PropagationDelay(-1) != 0 {
+		t.Error("nonpositive distance should have zero delay")
+	}
+	// 300m ≈ 1µs.
+	d := PropagationDelay(300)
+	if d < 900 || d > 1100 { // ns
+		t.Errorf("300m delay = %v, want ≈1µs", d)
+	}
+}
+
+func TestPropagationValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Propagation)
+		wantErr bool
+	}{
+		{"default ok", func(*Propagation) {}, false},
+		{"zero comm range", func(p *Propagation) { p.CommRange = 0 }, true},
+		{"cs below comm", func(p *Propagation) { p.CSRange = p.CommRange - 1 }, true},
+		{"bad exponent", func(p *Propagation) { p.PathLossExponent = 0 }, true},
+		{"bad reference", func(p *Propagation) { p.ReferenceDistance = 0 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultPropagation()
+			tt.mutate(&p)
+			if err := p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRangeMembershipMatchesThresholds(t *testing.T) {
+	p := GRCPropagation() // 55m comm / 99m CS
+	origin := Position{0, 0}
+	tests := []struct {
+		d        float64
+		comm, cs bool
+	}{
+		{1, true, true},
+		{54.9, true, true},
+		{55.1, false, true},
+		{98.9, false, true},
+		{99.1, false, false},
+	}
+	for _, tt := range tests {
+		q := Position{tt.d, 0}
+		if got := p.InCommRange(origin, q); got != tt.comm {
+			t.Errorf("InCommRange at %vm = %v, want %v", tt.d, got, tt.comm)
+		}
+		if got := p.InCSRange(origin, q); got != tt.cs {
+			t.Errorf("InCSRange at %vm = %v, want %v", tt.d, got, tt.cs)
+		}
+	}
+	// Power at the range boundary must straddle the threshold.
+	if p.RxPowerDBm(54) < p.RxThresholdDBm() {
+		t.Error("power inside comm range below RX threshold")
+	}
+	if p.RxPowerDBm(56) > p.RxThresholdDBm() {
+		t.Error("power outside comm range above RX threshold")
+	}
+}
+
+func TestRxPowerMonotoneDecreasing(t *testing.T) {
+	p := DefaultPropagation()
+	f := func(d1Raw, d2Raw uint16) bool {
+		d1 := 1 + float64(d1Raw)/100
+		d2 := 1 + float64(d2Raw)/100
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return p.RxPowerDBm(d1) >= p.RxPowerDBm(d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRxPowerPathLossSlope(t *testing.T) {
+	p := DefaultPropagation() // exponent 4
+	// Doubling distance should cost 10·4·log10(2) ≈ 12.04 dB.
+	drop := p.RxPowerDBm(10) - p.RxPowerDBm(20)
+	if math.Abs(drop-12.04) > 0.01 {
+		t.Errorf("doubling-distance loss = %.2f dB, want ≈12.04", drop)
+	}
+}
+
+func TestCaptures(t *testing.T) {
+	if !Captures(-40, -50, 10) {
+		t.Error("10 dB advantage should capture at 10 dB threshold")
+	}
+	if Captures(-40, -49, 10) {
+		t.Error("9 dB advantage should not capture at 10 dB threshold")
+	}
+}

@@ -1,0 +1,101 @@
+package phys
+
+import (
+	"math/rand"
+)
+
+// RSSIModel generates per-packet RSSI readings around a link's mean power.
+// Section VII-B of the paper measures (Fig 21) that ~95% of RSSI samples on
+// an office-floor testbed fall within 1 dB of the link median, with a small
+// heavy tail. The model reproduces that: Gaussian jitter with standard
+// deviation Sigma, plus an occasional outlier drawn with a wider deviation.
+type RSSIModel struct {
+	// Sigma is the common-case jitter standard deviation in dB.
+	Sigma float64
+	// OutlierProb is the probability a sample is an outlier (deep fade or
+	// constructive multipath burst).
+	OutlierProb float64
+	// OutlierSigma is the outlier deviation in dB.
+	OutlierSigma float64
+}
+
+// DefaultRSSIModel is calibrated so that ≈95% of samples deviate from the
+// median by under 1 dB, matching Fig 21.
+func DefaultRSSIModel() RSSIModel {
+	return RSSIModel{
+		Sigma:        0.5,
+		OutlierProb:  0.02,
+		OutlierSigma: 3.0,
+	}
+}
+
+// Sample draws one RSSI reading (dBm) for a packet on a link whose mean
+// received power is meanDBm.
+func (m RSSIModel) Sample(rng *rand.Rand, meanDBm float64) float64 {
+	sigma := m.Sigma
+	if m.OutlierProb > 0 && rng.Float64() < m.OutlierProb {
+		sigma = m.OutlierSigma
+	}
+	return meanDBm + rng.NormFloat64()*sigma
+}
+
+// MedianTracker maintains a running median estimate of a link's RSSI using
+// a bounded reservoir of recent samples. GRC's spoofed-ACK detector keys
+// off |sample − median|, so the estimator must resist the very outliers it
+// is meant to flag; a windowed median does.
+type MedianTracker struct {
+	window  []float64
+	scratch []float64
+	next    int
+	full    bool
+}
+
+// NewMedianTracker returns a tracker over the last size samples.
+func NewMedianTracker(size int) *MedianTracker {
+	if size <= 0 {
+		size = 32
+	}
+	return &MedianTracker{window: make([]float64, size)}
+}
+
+// Add records a sample.
+func (t *MedianTracker) Add(v float64) {
+	t.window[t.next] = v
+	t.next++
+	if t.next == len(t.window) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// Count reports how many samples are currently in the window.
+func (t *MedianTracker) Count() int {
+	if t.full {
+		return len(t.window)
+	}
+	return t.next
+}
+
+// Median reports the median of the windowed samples, or 0 with ok=false if
+// no samples have been recorded.
+func (t *MedianTracker) Median() (median float64, ok bool) {
+	n := t.Count()
+	if n == 0 {
+		return 0, false
+	}
+	if cap(t.scratch) < n {
+		t.scratch = make([]float64, n)
+	}
+	s := t.scratch[:n]
+	copy(s, t.window[:n])
+	// Insertion sort: windows are small (≤ 64) and this avoids allocation.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if n%2 == 1 {
+		return s[n/2], true
+	}
+	return (s[n/2-1] + s[n/2]) / 2, true
+}

@@ -1,0 +1,128 @@
+package phys
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRSSIModelCalibration(t *testing.T) {
+	// DefaultRSSIModel is calibrated to Fig 21: ≈95% of samples within
+	// 1 dB of the link median.
+	rng := rand.New(rand.NewSource(21))
+	m := DefaultRSSIModel()
+	const mean = -55.0
+	const n = 20000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = m.Sample(rng, mean)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	median := sorted[n/2]
+	within := 0
+	for _, s := range samples {
+		if math.Abs(s-median) <= 1 {
+			within++
+		}
+	}
+	frac := float64(within) / n
+	if frac < 0.90 || frac > 0.985 {
+		t.Errorf("fraction within 1 dB = %v, want ≈0.95", frac)
+	}
+	if math.Abs(median-mean) > 0.1 {
+		t.Errorf("median = %v, want ≈%v", median, mean)
+	}
+}
+
+func TestMedianTrackerBasics(t *testing.T) {
+	tr := NewMedianTracker(5)
+	if _, ok := tr.Median(); ok {
+		t.Error("empty tracker reported a median")
+	}
+	tr.Add(3)
+	if m, ok := tr.Median(); !ok || m != 3 {
+		t.Errorf("median of [3] = %v, %v", m, ok)
+	}
+	tr.Add(1)
+	if m, _ := tr.Median(); m != 2 {
+		t.Errorf("median of [3,1] = %v, want 2", m)
+	}
+	tr.Add(10)
+	if m, _ := tr.Median(); m != 3 {
+		t.Errorf("median of [3,1,10] = %v, want 3", m)
+	}
+}
+
+func TestMedianTrackerWindowEviction(t *testing.T) {
+	tr := NewMedianTracker(3)
+	for _, v := range []float64{100, 100, 100, 1, 1, 1} {
+		tr.Add(v)
+	}
+	if m, _ := tr.Median(); m != 1 {
+		t.Errorf("median after window rolled = %v, want 1", m)
+	}
+	if tr.Count() != 3 {
+		t.Errorf("Count = %d, want 3", tr.Count())
+	}
+}
+
+func TestMedianTrackerDefaultSize(t *testing.T) {
+	tr := NewMedianTracker(0)
+	for i := 0; i < 100; i++ {
+		tr.Add(float64(i))
+	}
+	if tr.Count() != 32 {
+		t.Errorf("default window Count = %d, want 32", tr.Count())
+	}
+}
+
+func TestMedianTrackerOutlierRobust(t *testing.T) {
+	// One large outlier in a window must not move the median much — the
+	// property GRC's spoof detector relies on.
+	tr := NewMedianTracker(15)
+	for i := 0; i < 14; i++ {
+		tr.Add(-55)
+	}
+	tr.Add(-20) // spoofer's much stronger ACK
+	if m, _ := tr.Median(); m != -55 {
+		t.Errorf("median with one outlier = %v, want -55", m)
+	}
+}
+
+// Property: the tracked median is always within [min, max] of the window
+// contents and matches a reference sort-based median.
+func TestPropertyMedianMatchesReference(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		const size = 9
+		tr := NewMedianTracker(size)
+		var window []float64
+		for _, r := range raw {
+			v := float64(r)
+			tr.Add(v)
+			window = append(window, v)
+			if len(window) > size {
+				window = window[1:]
+			}
+		}
+		ref := append([]float64(nil), window...)
+		sort.Float64s(ref)
+		var want float64
+		n := len(ref)
+		if n%2 == 1 {
+			want = ref[n/2]
+		} else {
+			want = (ref[n/2-1] + ref[n/2]) / 2
+		}
+		got, ok := tr.Median()
+		return ok && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

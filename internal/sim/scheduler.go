@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Handler is an event callback. It runs at the event's scheduled time with
+// the Scheduler's clock already advanced to that time.
+type Handler func()
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created via Scheduler.Schedule or Scheduler.At. An Event may be cancelled
+// before it fires; cancellation is O(1) (the event is skipped when popped).
+type Event struct {
+	when      Time
+	seq       uint64 // tie-break: FIFO among same-time events
+	index     int    // heap index, -1 once popped
+	cancelled bool
+	fn        Handler
+}
+
+// When reports the time at which the event is (or was) scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// eventQueue implements heap.Interface over *Event ordered by (when, seq).
+type eventQueue []*Event
+
+// Len implements heap.Interface.
+func (q eventQueue) Len() int { return len(q) }
+
+// Less implements heap.Interface.
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+// Swap implements heap.Interface.
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+// Push implements heap.Interface.
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+// Pop implements heap.Interface.
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is the discrete-event simulation core: a virtual clock and a
+// priority queue of events. It is single-goroutine by design — all of the
+// simulation's concurrency is virtual. A Scheduler also acts as the root of
+// the simulation's deterministic randomness (see RNG).
+type Scheduler struct {
+	now      Time
+	queue    eventQueue
+	seq      uint64
+	executed uint64
+	seed     int64
+	streams  int64
+	halted   bool
+}
+
+// NewScheduler returns a scheduler with its clock at zero, seeding all RNG
+// streams derived via RNG from seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{seed: seed}
+}
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Executed reports how many events have fired so far (useful for progress
+// accounting and benchmarks).
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending reports the number of events still queued (including cancelled
+// events not yet skipped).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// RNG returns a new deterministic random stream. Streams are derived from
+// the scheduler seed and a counter, so the i-th stream requested is the same
+// across runs with the same seed regardless of timing.
+func (s *Scheduler) RNG() *rand.Rand {
+	s.streams++
+	// SplitMix-style mixing keeps streams decorrelated even for small seeds.
+	z := uint64(s.seed) + uint64(s.streams)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// At schedules fn to run at absolute time t, which must not be in the past.
+func (s *Scheduler) At(t Time, fn Handler) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil handler")
+	}
+	ev := &Event{when: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// Schedule schedules fn to run after delay (which may be zero but not
+// negative).
+func (s *Scheduler) Schedule(delay Time, fn Handler) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Cancel marks ev so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Scheduler) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	ev.fn = nil // release references held by the closure
+}
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// step pops and executes the next event. It reports false when the queue is
+// exhausted.
+func (s *Scheduler) step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.when
+		fn := ev.fn
+		ev.fn = nil
+		s.executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Halt is called.
+func (s *Scheduler) Run() {
+	s.halted = false
+	for !s.halted && s.step() {
+	}
+}
+
+// RunUntil executes events with time ≤ end, leaving the clock at end (or at
+// the last event if the queue empties first). Events scheduled at exactly
+// end do fire.
+func (s *Scheduler) RunUntil(end Time) {
+	s.halted = false
+	for !s.halted {
+		// Peek: the heap root is the earliest event.
+		var next *Event
+		for len(s.queue) > 0 && s.queue[0].cancelled {
+			heap.Pop(&s.queue)
+		}
+		if len(s.queue) == 0 {
+			break
+		}
+		next = s.queue[0]
+		if next.when > end {
+			break
+		}
+		s.step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+// Timer is a restartable one-shot timer layered on the Scheduler's event
+// queue. MAC-layer timeouts (CTS timeout, ACK timeout, NAV expiry, backoff
+// slots) are all Timers. The zero value is unusable; create with NewTimer.
+type Timer struct {
+	sched *Scheduler
+	fn    Handler
+	ev    *Event
+}
+
+// NewTimer returns a stopped timer that runs fn each time it expires.
+func NewTimer(sched *Scheduler, fn Handler) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil handler")
+	}
+	return &Timer{sched: sched, fn: fn}
+}
+
+// Start arms the timer to fire after delay, replacing any pending expiry.
+func (t *Timer) Start(delay Time) {
+	t.Stop()
+	t.ev = t.sched.Schedule(delay, t.fire)
+}
+
+// StartAt arms the timer to fire at absolute time when, replacing any
+// pending expiry.
+func (t *Timer) StartAt(when Time) {
+	t.Stop()
+	t.ev = t.sched.At(when, t.fire)
+}
+
+// Stop disarms the timer if pending. Safe to call at any time.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.sched.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Pending reports whether the timer is armed and has not yet fired.
+func (t *Timer) Pending() bool { return t.ev != nil && !t.ev.Cancelled() }
+
+// Deadline reports when the timer will fire, or Never if not pending.
+func (t *Timer) Deadline() Time {
+	if !t.Pending() {
+		return Never
+	}
+	return t.ev.When()
+}
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}

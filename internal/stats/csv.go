@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CSV renders the table as RFC 4180 CSV (header row first).
+func (t *Table) CSV() (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write(t.Header); err != nil {
+		return "", fmt.Errorf("stats: csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return "", fmt.Errorf("stats: csv row: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", fmt.Errorf("stats: csv flush: %w", err)
+	}
+	return b.String(), nil
+}
+
+// SeriesCSV renders one or more series sharing an x-axis as CSV: the x
+// column followed by one y column per series; missing points are empty
+// cells.
+func SeriesCSV(xLabel string, series ...Series) (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := make([]string, 0, len(series)+1)
+	header = append(header, xLabel)
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := w.Write(header); err != nil {
+		return "", fmt.Errorf("stats: csv header: %w", err)
+	}
+	var xs []float64
+	seen := make(map[float64]bool)
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		for _, s := range series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = strconv.FormatFloat(p.Y, 'g', -1, 64)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if err := w.Write(row); err != nil {
+			return "", fmt.Errorf("stats: csv row: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", fmt.Errorf("stats: csv flush: %w", err)
+	}
+	return b.String(), nil
+}

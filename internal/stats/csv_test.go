@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{Header: []string{"name", "value"}}
+	tab.AddRow("alpha, with comma", 1.5)
+	tab.AddRow("beta", 42)
+	out, err := tab.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "name,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"alpha, with comma"`) {
+		t.Errorf("comma cell not quoted: %q", lines[1])
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	a := Series{Name: "greedy"}
+	a.Add(0, 1.5)
+	a.Add(5, 3.25)
+	b := Series{Name: "normal"}
+	b.Add(0, 1.5)
+	b.Add(10, 0.125)
+	out, err := SeriesCSV("nav_ms", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	want := []string{
+		"nav_ms,greedy,normal",
+		"0,1.5,1.5",
+		"5,3.25,",
+		"10,,0.125",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines:\n%s", out)
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}

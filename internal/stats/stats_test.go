@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"five runs", []float64{1.2, 1.5, 1.1, 1.4, 1.3}, 1.3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Median(tt.in); got != tt.want {
+				t.Errorf("Median(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestSeriesAdd(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if len(s.Points) != 2 || s.Points[1] != (Point{3, 4}) {
+		t.Errorf("Points = %v", s.Points)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := Table{
+		Title:  "Table X",
+		Header: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("a-much-longer-name", 42)
+	tab.AddRow("tiny", 1e-7)
+	out := tab.String()
+	if !strings.Contains(out, "Table X") || !strings.Contains(out, "alpha") {
+		t.Errorf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + header + separator + 3 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "1.000e-07") {
+		t.Errorf("scientific formatting missing:\n%s", out)
+	}
+}
+
+func TestFormatSeriesAlignsSharedAxis(t *testing.T) {
+	a := Series{Name: "greedy"}
+	a.Add(0, 1.6)
+	a.Add(5, 3.1)
+	b := Series{Name: "normal"}
+	b.Add(0, 1.6)
+	b.Add(5, 0.2)
+	b.Add(10, 0.0)
+	out := FormatSeries("nav_ms", a, b)
+	if !strings.Contains(out, "greedy") || !strings.Contains(out, "normal") {
+		t.Errorf("missing series names:\n%s", out)
+	}
+	// Three x rows (0, 5, 10) after header+separator.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// x values must be sorted.
+	if strings.Index(out, "10") < strings.Index(out, "5") {
+		t.Errorf("x values unsorted:\n%s", out)
+	}
+}
+
+// Property: the median lies between min and max and is order-invariant.
+func TestPropertyMedianBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		m := Median(vals)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		if m < sorted[0] || m > sorted[len(sorted)-1] {
+			return false
+		}
+		// Shuffle-invariance: reversing the input changes nothing.
+		rev := make([]float64, len(vals))
+		for i, v := range vals {
+			rev[len(vals)-1-i] = v
+		}
+		return Median(rev) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

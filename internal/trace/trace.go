@@ -1,0 +1,227 @@
+// Package trace records per-frame channel activity from a medium tap: a
+// bounded event log for debugging and channel-level accounting (airtime
+// utilization, per-type frame counts, per-station shares). It is how a
+// user inspects *why* a greedy receiver wins — the log shows the silenced
+// stations, the forged ACKs, and the airtime the attacker's flow occupies.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/medium"
+	"greedy80211/internal/sim"
+)
+
+// Kind labels one recorded event.
+type Kind int
+
+const (
+	// KindTransmit is a frame entering the air.
+	KindTransmit Kind = iota + 1
+	// KindDecode is a successful reception.
+	KindDecode
+	// KindCorrupt is a corrupted reception.
+	KindCorrupt
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTransmit:
+		return "TX"
+	case KindDecode:
+		return "RX"
+	case KindCorrupt:
+		return "ERR"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded channel event.
+type Event struct {
+	Kind    Kind
+	At      sim.Time
+	Station mac.NodeID // transmitter (TX) or receiver (RX/ERR)
+	Frame   FrameInfo
+	RSSIDBm float64 // receptions only
+}
+
+// FrameInfo is the frame summary captured by the recorder (frames are
+// mutable and reused upstream, so the recorder copies what it needs).
+type FrameInfo struct {
+	Type     mac.FrameType
+	Src, Dst mac.NodeID
+	Seq      uint16
+	Bytes    int
+	Duration sim.Time
+	Airtime  sim.Time // TX events only
+}
+
+// String renders an event as one trace line.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindTransmit:
+		return fmt.Sprintf("%12v %-3s sta=%d %s %d->%d seq=%d len=%dB dur=%v air=%v",
+			e.At, e.Kind, e.Station, e.Frame.Type, e.Frame.Src, e.Frame.Dst,
+			e.Frame.Seq, e.Frame.Bytes, e.Frame.Duration, e.Frame.Airtime)
+	default:
+		return fmt.Sprintf("%12v %-3s sta=%d %s %d->%d seq=%d rssi=%.1fdBm",
+			e.At, e.Kind, e.Station, e.Frame.Type, e.Frame.Src, e.Frame.Dst,
+			e.Frame.Seq, e.RSSIDBm)
+	}
+}
+
+// Recorder implements medium.Tap: it keeps the last Cap events in a ring
+// and accumulates channel statistics for the whole run. It has no
+// dependency on a scheduler, so it can be built before the world it taps.
+type Recorder struct {
+	cap  int
+	ring []Event
+	next int
+	full bool
+
+	stats Stats
+}
+
+var _ medium.Tap = (*Recorder)(nil)
+
+// Stats aggregates whole-run channel accounting.
+type Stats struct {
+	// Transmissions and airtime per frame type.
+	TxCount   map[mac.FrameType]int64
+	TxAirtime map[mac.FrameType]sim.Time
+	// AirtimePerStation attributes transmit airtime to each transmitter.
+	AirtimePerStation map[mac.NodeID]sim.Time
+	// Decoded and Corrupted count per-receiver outcomes.
+	Decoded   int64
+	Corrupted int64
+	// BusyAirtime is total transmit airtime (overlaps double-count —
+	// with a single collision domain it approximates channel occupancy).
+	BusyAirtime sim.Time
+}
+
+// NewRecorder builds a recorder keeping the last capacity events
+// (default 4096).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Recorder{
+		cap:  capacity,
+		ring: make([]Event, capacity),
+		stats: Stats{
+			TxCount:           make(map[mac.FrameType]int64),
+			TxAirtime:         make(map[mac.FrameType]sim.Time),
+			AirtimePerStation: make(map[mac.NodeID]sim.Time),
+		},
+	}
+}
+
+func (r *Recorder) record(e Event) {
+	r.ring[r.next] = e
+	r.next++
+	if r.next == r.cap {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func frameInfo(f *mac.Frame) FrameInfo {
+	return FrameInfo{
+		Type:     f.Type,
+		Src:      f.Src,
+		Dst:      f.Dst,
+		Seq:      f.Seq,
+		Bytes:    f.MACBytes,
+		Duration: f.Duration,
+	}
+}
+
+// OnTransmit implements medium.Tap.
+func (r *Recorder) OnTransmit(src mac.NodeID, f *mac.Frame, start, airtime sim.Time) {
+	fi := frameInfo(f)
+	fi.Airtime = airtime
+	r.record(Event{Kind: KindTransmit, At: start, Station: src, Frame: fi})
+	r.stats.TxCount[f.Type]++
+	r.stats.TxAirtime[f.Type] += airtime
+	r.stats.AirtimePerStation[src] += airtime
+	r.stats.BusyAirtime += airtime
+}
+
+// OnReceive implements medium.Tap.
+func (r *Recorder) OnReceive(dst mac.NodeID, f *mac.Frame, info mac.RxInfo, at sim.Time) {
+	kind := KindDecode
+	if info.Decoded {
+		r.stats.Decoded++
+	} else {
+		kind = KindCorrupt
+		r.stats.Corrupted++
+	}
+	r.record(Event{
+		Kind: kind, At: at, Station: dst,
+		Frame: frameInfo(f), RSSIDBm: info.RSSIDBm,
+	})
+}
+
+// Stats reports the accumulated accounting.
+func (r *Recorder) Stats() Stats { return r.stats }
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.ring[:r.next]...)
+	}
+	out := make([]Event, 0, r.cap)
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Utilization reports transmit airtime as a fraction of elapsed time
+// (overlapping transmissions double-count, so values may exceed 1 under
+// heavy collisions).
+func (r *Recorder) Utilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.stats.BusyAirtime) / float64(elapsed)
+}
+
+// Summary renders the accounting as text.
+func (r *Recorder) Summary(elapsed sim.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "channel utilization: %.1f%% over %v\n",
+		100*r.Utilization(elapsed), elapsed)
+	for _, ft := range []mac.FrameType{mac.FrameRTS, mac.FrameCTS, mac.FrameData, mac.FrameACK} {
+		if n := r.stats.TxCount[ft]; n > 0 {
+			fmt.Fprintf(&b, "  %-4s %7d frames  %v airtime\n", ft, n, r.stats.TxAirtime[ft])
+		}
+	}
+	fmt.Fprintf(&b, "  receptions: %d decoded, %d corrupted\n",
+		r.stats.Decoded, r.stats.Corrupted)
+	stations := make([]mac.NodeID, 0, len(r.stats.AirtimePerStation))
+	for sta := range r.stats.AirtimePerStation {
+		stations = append(stations, sta)
+	}
+	sort.Slice(stations, func(i, j int) bool { return stations[i] < stations[j] })
+	for _, sta := range stations {
+		air := r.stats.AirtimePerStation[sta]
+		fmt.Fprintf(&b, "  station %d: %v airtime (%.1f%%)\n",
+			sta, air, 100*float64(air)/float64(elapsed))
+	}
+	return b.String()
+}
+
+// Dump renders the retained events, one per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

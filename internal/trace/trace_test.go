@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/sim"
+)
+
+func txFrame(seq uint16) *mac.Frame {
+	return &mac.Frame{
+		Type: mac.FrameData, Src: 1, Dst: 2, Seq: seq,
+		MACBytes: 1052, Duration: 314 * sim.Microsecond,
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindTransmit.String() != "TX" || KindDecode.String() != "RX" || KindCorrupt.String() != "ERR" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind name wrong")
+	}
+}
+
+func TestRecorderAccounting(t *testing.T) {
+	r := NewRecorder(16)
+	f := txFrame(1)
+	r.OnTransmit(1, f, 0, 958*sim.Microsecond)
+	r.OnReceive(2, f, mac.RxInfo{Decoded: true, RSSIDBm: -50}, 958*sim.Microsecond)
+	ack := &mac.Frame{Type: mac.FrameACK, Src: 2, Dst: 1, MACBytes: 14}
+	r.OnTransmit(2, ack, 968*sim.Microsecond, 304*sim.Microsecond)
+	r.OnReceive(1, ack, mac.RxInfo{Decoded: false, RSSIDBm: -60}, 1272*sim.Microsecond)
+
+	st := r.Stats()
+	if st.TxCount[mac.FrameData] != 1 || st.TxCount[mac.FrameACK] != 1 {
+		t.Errorf("tx counts = %v", st.TxCount)
+	}
+	if st.Decoded != 1 || st.Corrupted != 1 {
+		t.Errorf("rx outcomes = %d/%d", st.Decoded, st.Corrupted)
+	}
+	if st.BusyAirtime != 1262*sim.Microsecond {
+		t.Errorf("busy airtime = %v", st.BusyAirtime)
+	}
+	if st.AirtimePerStation[1] != 958*sim.Microsecond {
+		t.Errorf("station 1 airtime = %v", st.AirtimePerStation[1])
+	}
+	if got := r.Utilization(10 * sim.Millisecond); got < 0.12 || got > 0.13 {
+		t.Errorf("utilization = %v, want ≈0.126", got)
+	}
+	if r.Utilization(0) != 0 {
+		t.Error("zero-elapsed utilization nonzero")
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.OnTransmit(1, txFrame(uint16(i)), sim.Time(i)*sim.Millisecond, sim.Microsecond)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest first: seqs 6,7,8,9.
+	for i, e := range evs {
+		if e.Frame.Seq != uint16(6+i) {
+			t.Errorf("event %d seq = %d, want %d", i, e.Frame.Seq, 6+i)
+		}
+	}
+}
+
+func TestRecorderPartialRing(t *testing.T) {
+	r := NewRecorder(100)
+	r.OnTransmit(1, txFrame(7), 0, sim.Microsecond)
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Frame.Seq != 7 {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestSummaryAndDump(t *testing.T) {
+	r := NewRecorder(8)
+	f := txFrame(3)
+	r.OnTransmit(1, f, 0, 958*sim.Microsecond)
+	r.OnReceive(2, f, mac.RxInfo{Decoded: true, RSSIDBm: -48.2}, sim.Millisecond)
+
+	sum := r.Summary(sim.Second)
+	for _, want := range []string{"channel utilization", "DATA", "1 decoded", "station 1"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	dump := r.Dump()
+	if !strings.Contains(dump, "TX") || !strings.Contains(dump, "RX") ||
+		!strings.Contains(dump, "seq=3") {
+		t.Errorf("dump missing content:\n%s", dump)
+	}
+}
+
+func TestNewRecorderDefaults(t *testing.T) {
+	r := NewRecorder(0)
+	if r.cap != 4096 {
+		t.Errorf("default capacity = %d", r.cap)
+	}
+}

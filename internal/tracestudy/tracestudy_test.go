@@ -1,0 +1,138 @@
+package tracestudy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCorruptionStudyValidation(t *testing.T) {
+	if _, err := RunCorruptionStudy(CorruptionStudyConfig{Frames: 0, FrameBytes: 100}); err == nil {
+		t.Error("zero frames accepted")
+	}
+	if _, err := RunCorruptionStudy(CorruptionStudyConfig{Frames: 10, FrameBytes: 10}); err == nil {
+		t.Error("tiny frames accepted")
+	}
+	if _, err := RunCorruptionStudy(CorruptionStudyConfig{Frames: 10, FrameBytes: 100}); err == nil {
+		t.Error("nil process accepted")
+	}
+}
+
+// Table I, 802.11b row: 65536 received, ≈1367 corrupted, 98.8% with intact
+// destination, 94.9% of those with intact source.
+func TestTableI80211B(t *testing.T) {
+	res, err := RunCorruptionStudy(TableIConfig80211B(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptionRate := float64(res.Corrupted) / float64(res.Received)
+	if corruptionRate < 0.012 || corruptionRate > 0.032 {
+		t.Errorf("11b corruption rate %.4f, want ≈0.021 (1367/65536)", corruptionRate)
+	}
+	if res.DstPreservedRate < 0.96 || res.DstPreservedRate > 1.0 {
+		t.Errorf("11b dst preserved %.3f, want ≈0.988", res.DstPreservedRate)
+	}
+	if res.SrcDstPreservedRate < 0.90 {
+		t.Errorf("11b src|dst preserved %.3f, want ≈0.949", res.SrcDstPreservedRate)
+	}
+}
+
+// Table I, 802.11a row: ≈32% corrupted, 84% dst preserved, 91.4% src|dst.
+func TestTableI80211A(t *testing.T) {
+	res, err := RunCorruptionStudy(TableIConfig80211A(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptionRate := float64(res.Corrupted) / float64(res.Received)
+	if corruptionRate < 0.24 || corruptionRate > 0.40 {
+		t.Errorf("11a corruption rate %.3f, want ≈0.32 (7376/23068)", corruptionRate)
+	}
+	if math.Abs(res.DstPreservedRate-0.84) > 0.08 {
+		t.Errorf("11a dst preserved %.3f, want ≈0.84", res.DstPreservedRate)
+	}
+	if math.Abs(res.SrcDstPreservedRate-0.914) > 0.08 {
+		t.Errorf("11a src|dst preserved %.3f, want ≈0.914", res.SrcDstPreservedRate)
+	}
+}
+
+func TestRSSIStudyValidation(t *testing.T) {
+	bad := DefaultRSSIStudyConfig(1)
+	bad.Nodes = 1
+	if _, err := RunRSSIStudy(bad); err == nil {
+		t.Error("1-node study accepted")
+	}
+	bad2 := DefaultRSSIStudyConfig(1)
+	bad2.SamplesPerLink = 1
+	if _, err := RunRSSIStudy(bad2); err == nil {
+		t.Error("1-sample study accepted")
+	}
+	bad3 := DefaultRSSIStudyConfig(1)
+	bad3.FloorW = 0
+	if _, err := RunRSSIStudy(bad3); err == nil {
+		t.Error("zero floor accepted")
+	}
+}
+
+// Fig 21: ≈95% of RSSI samples within 1 dB of the link median.
+func TestFig21RSSIStability(t *testing.T) {
+	res, err := RunRSSIStudy(DefaultRSSIStudyConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deviations) != 16*15*200 {
+		t.Fatalf("deviation count = %d", len(res.Deviations))
+	}
+	within1 := res.FractionWithin(1.0)
+	if within1 < 0.90 || within1 > 0.99 {
+		t.Errorf("fraction within 1 dB = %.3f, want ≈0.95", within1)
+	}
+	// CDF must be monotone and reach ~1 by 5 dB.
+	cdf := res.CDF([]float64{0.25, 0.5, 1, 2, 5})
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Errorf("CDF not monotone: %v", cdf)
+		}
+	}
+	if cdf[len(cdf)-1] < 0.99 {
+		t.Errorf("CDF(5dB) = %.3f, want ≈1", cdf[len(cdf)-1])
+	}
+}
+
+// Fig 22: FP falls and FN rises with the threshold; 1 dB gives both low.
+func TestFig22DetectionTradeoff(t *testing.T) {
+	thresholds := []float64{0, 0.5, 1, 2, 3, 4, 5}
+	pts, err := RunDetectionTradeoff(DefaultRSSIStudyConfig(22), thresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(thresholds) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FalsePositive > pts[i-1].FalsePositive {
+			t.Errorf("FP not monotone nonincreasing at %v", pts[i].ThresholdDB)
+		}
+		if pts[i].FalseNegative < pts[i-1].FalseNegative {
+			t.Errorf("FN not monotone nondecreasing at %v", pts[i].ThresholdDB)
+		}
+	}
+	// At 0 dB every legit sample is flagged (FP ≈ 1 minus exact-median
+	// ties); at the 1 dB operating point both error rates are low.
+	var at1 TradeoffPoint
+	for _, p := range pts {
+		if p.ThresholdDB == 1 {
+			at1 = p
+		}
+	}
+	if at1.FalsePositive > 0.10 {
+		t.Errorf("FP(1dB) = %.3f, want ≤0.10", at1.FalsePositive)
+	}
+	if at1.FalseNegative > 0.15 {
+		t.Errorf("FN(1dB) = %.3f, want small", at1.FalseNegative)
+	}
+}
+
+func TestDetectionTradeoffValidation(t *testing.T) {
+	if _, err := RunDetectionTradeoff(DefaultRSSIStudyConfig(1), nil); err == nil {
+		t.Error("empty thresholds accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+
+	"greedy80211/internal/sim"
+)
+
+// CBRSource generates constant-bit-rate UDP traffic: one PayloadBytes
+// packet every interval. The paper's UDP experiments run all CBR flows at
+// the same rate, high enough to saturate the medium, so goodput differences
+// are purely MAC-layer effects.
+type CBRSource struct {
+	sched  *sim.Scheduler
+	out    Output
+	flow   int
+	bytes  int
+	every  sim.Time
+	jitter float64
+	rng    *rand.Rand
+	timer  *sim.Timer
+
+	seq     int
+	offered int64
+	dropped int64
+}
+
+// NewCBRSource builds a CBR source for flow sending payloadBytes packets
+// every interval through out. Each inter-packet gap carries ±1% uniform
+// jitter: competing CBR flows with identical periods would otherwise
+// phase-lock against shared queues and bias admission systematically (a
+// classic discrete-event artifact).
+func NewCBRSource(sched *sim.Scheduler, out Output, flow, payloadBytes int, interval sim.Time) *CBRSource {
+	if interval <= 0 {
+		panic(fmt.Sprintf("transport: CBR interval %v must be positive", interval))
+	}
+	if payloadBytes <= 0 {
+		panic(fmt.Sprintf("transport: CBR payload %d must be positive", payloadBytes))
+	}
+	s := &CBRSource{
+		sched:  sched,
+		out:    out,
+		flow:   flow,
+		bytes:  payloadBytes,
+		every:  interval,
+		jitter: 0.01,
+		rng:    sched.RNG(),
+	}
+	s.timer = sim.NewTimer(sched, s.tick)
+	return s
+}
+
+// CBRIntervalForRate returns the packet interval that yields rateBps of
+// application payload with the given packet size.
+func CBRIntervalForRate(rateBps float64, payloadBytes int) sim.Time {
+	if rateBps <= 0 || payloadBytes <= 0 {
+		panic("transport: CBRIntervalForRate requires positive rate and size")
+	}
+	return sim.FromSeconds(float64(payloadBytes*8) / rateBps)
+}
+
+// Start begins generation immediately.
+func (s *CBRSource) Start() { s.timer.Start(0) }
+
+// Stop halts generation.
+func (s *CBRSource) Stop() { s.timer.Stop() }
+
+// Offered reports how many packets the source generated.
+func (s *CBRSource) Offered() int64 { return s.offered }
+
+// LocalDrops reports packets rejected by the output (full MAC queue).
+func (s *CBRSource) LocalDrops() int64 { return s.dropped }
+
+func (s *CBRSource) tick() {
+	p := &Packet{
+		Flow:         s.flow,
+		Seq:          s.seq,
+		PayloadBytes: s.bytes,
+		WireBytes:    s.bytes + UDPIPHeaderBytes,
+	}
+	s.seq++
+	s.offered++
+	if !s.out.Output(p) {
+		s.dropped++
+	}
+	next := s.every
+	if s.jitter > 0 {
+		next += sim.Time(float64(s.every) * s.jitter * (2*s.rng.Float64() - 1))
+	}
+	s.timer.Start(next)
+}
+
+// UDPSink counts unique packets received on a flow. It implements Agent.
+type UDPSink struct {
+	seen  map[int]bool
+	stats FlowStats
+}
+
+var _ Agent = (*UDPSink)(nil)
+
+// NewUDPSink builds an empty sink.
+func NewUDPSink() *UDPSink {
+	return &UDPSink{seen: make(map[int]bool)}
+}
+
+// Receive implements Agent.
+func (s *UDPSink) Receive(p *Packet) {
+	if p.IsACK {
+		return
+	}
+	if s.seen[p.Seq] {
+		s.stats.DuplicatePackets++
+		return
+	}
+	s.seen[p.Seq] = true
+	s.stats.UniquePackets++
+	s.stats.UniqueBytes += int64(p.PayloadBytes)
+}
+
+// Stats reports the accumulated reception statistics.
+func (s *UDPSink) Stats() FlowStats { return s.stats }

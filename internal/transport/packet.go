@@ -1,0 +1,86 @@
+// Package transport provides the upper-layer traffic the paper's scenarios
+// run over the 802.11 MAC: constant-bit-rate UDP flows and a TCP Reno
+// implementation (slow start, congestion avoidance, fast retransmit and
+// recovery, RTO estimation). Misbehavior 2 (spoofed MAC ACKs) works by
+// pushing wireless losses up into TCP's congestion control; this package is
+// where those effects become visible.
+package transport
+
+import (
+	"fmt"
+
+	"greedy80211/internal/sim"
+)
+
+// Header sizes on the wire (bytes).
+const (
+	// TCPIPHeaderBytes is the TCP/IP header overhead carried by TCP
+	// segments and pure ACKs (ns-2's 40-byte default).
+	TCPIPHeaderBytes = 40
+	// UDPIPHeaderBytes is the UDP/IP header overhead.
+	UDPIPHeaderBytes = 28
+)
+
+// Packet is an upper-layer datagram or segment. Sequence numbers count
+// packets, not bytes, mirroring ns-2's TCP.
+type Packet struct {
+	// Flow identifies the end-to-end flow the packet belongs to.
+	Flow int
+	// Seq is the data sequence number (data packets only).
+	Seq int
+	// IsACK marks a pure TCP acknowledgment.
+	IsACK bool
+	// AckSeq is the cumulative acknowledgment: the next sequence number
+	// the receiver expects.
+	AckSeq int
+	// PayloadBytes is the application payload size.
+	PayloadBytes int
+	// WireBytes is the transport+network size on the wire.
+	WireBytes int
+}
+
+// String implements fmt.Stringer.
+func (p *Packet) String() string {
+	if p.IsACK {
+		return fmt.Sprintf("flow %d ACK %d", p.Flow, p.AckSeq)
+	}
+	return fmt.Sprintf("flow %d DATA %d (%dB)", p.Flow, p.Seq, p.PayloadBytes)
+}
+
+// Output is where an agent hands packets for delivery (the node's routing
+// shim onto the MAC or a wireline link). It reports false when the packet
+// was dropped locally (full queue).
+type Output interface {
+	Output(p *Packet) bool
+}
+
+// Agent consumes packets addressed to its flow at a node.
+type Agent interface {
+	// Receive handles one arriving packet.
+	Receive(p *Packet)
+}
+
+// OutputFunc adapts a function to the Output interface.
+type OutputFunc func(p *Packet) bool
+
+// Output implements Output.
+func (f OutputFunc) Output(p *Packet) bool { return f(p) }
+
+// FlowStats aggregates what a sink has received: the goodput numerator of
+// every figure in the paper (unique, uncorrupted application bytes).
+type FlowStats struct {
+	// UniquePackets and UniqueBytes count first-time sequence numbers.
+	UniquePackets int64
+	UniqueBytes   int64
+	// DuplicatePackets counts repeats (e.g. TCP retransmissions that
+	// arrived after the original).
+	DuplicatePackets int64
+}
+
+// GoodputBps reports application goodput in bits per second over interval.
+func (s FlowStats) GoodputBps(interval sim.Time) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	return float64(s.UniqueBytes) * 8 / interval.Seconds()
+}

@@ -1,0 +1,458 @@
+package transport
+
+import (
+	"fmt"
+
+	"greedy80211/internal/sim"
+)
+
+// TCPConfig parameterizes a Reno sender.
+type TCPConfig struct {
+	// Flow identifies the connection.
+	Flow int
+	// MSS is the segment payload in bytes (the paper uses 1024).
+	MSS int
+	// MaxWindow caps the congestion window, in packets.
+	MaxWindow float64
+	// InitialRTO, MinRTO, and MaxRTO bound the retransmission timer.
+	InitialRTO sim.Time
+	MinRTO     sim.Time
+	MaxRTO     sim.Time
+	// InitialSSThresh is the slow-start threshold at connection start, in
+	// packets; zero means MaxWindow.
+	InitialSSThresh float64
+	// NewReno enables partial-ACK handling in fast recovery (RFC 6582):
+	// a new ACK that does not cover the recovery point retransmits the
+	// next hole and stays in fast recovery instead of exiting. The
+	// paper-era default is plain Reno.
+	NewReno bool
+	// AckDelay, when positive, makes the receiver delay ACKs per RFC 5681
+	// (every second in-order segment or after this delay). Zero keeps the
+	// ACK-every-segment behavior the paper's ns-2 setup uses.
+	AckDelay sim.Time
+}
+
+// DefaultTCPConfig returns ns-2-like Reno parameters for flow.
+func DefaultTCPConfig(flow int) TCPConfig {
+	return TCPConfig{
+		Flow:       flow,
+		MSS:        1024,
+		MaxWindow:  128,
+		InitialRTO: 3 * sim.Second,
+		MinRTO:     200 * sim.Millisecond,
+		MaxRTO:     60 * sim.Second,
+	}
+}
+
+// TCPSender is a Reno congestion-control sender with an unbounded backlog
+// (an FTP source): it always has data to send. It implements Agent to
+// consume the acknowledgment stream.
+type TCPSender struct {
+	cfg   TCPConfig
+	sched *sim.Scheduler
+	out   Output
+
+	cwnd       float64
+	ssthresh   float64
+	sndUna     int
+	sndNxt     int
+	maxEmitted int // highest sequence ever transmitted + 1
+	dupAcks    int
+	inFR       bool // fast recovery
+	recover    int  // NewReno: highest sequence outstanding at FR entry
+
+	// RTO estimation (RFC 6298 shape), with Karn's rule: one outstanding
+	// sample, invalidated by retransmission.
+	srtt       sim.Time
+	rttvar     sim.Time
+	rto        sim.Time
+	hasSample  bool
+	rttSeq     int
+	rttStart   sim.Time
+	rttPending bool
+	rtoTimer   *sim.Timer
+
+	// Time-weighted congestion-window average (Table II).
+	cwndIntegral float64
+	cwndSince    sim.Time
+	startedAt    sim.Time
+	started      bool
+
+	// RetransmitHook, when non-nil, observes retransmissions of the first
+	// unacknowledged segment — the one TCP actually believes lost. (Later
+	// go-back-N resends cover segments that may have been delivered and
+	// would pollute loss-correlation detectors.) The cross-layer
+	// spoofed-ACK detector (package detect) correlates these with
+	// MAC-acknowledged segments.
+	RetransmitHook func(seq int)
+
+	// Statistics.
+	Retransmits   int64
+	Timeouts      int64
+	FastRecovery  int64
+	SegmentsSent  int64
+	AcksReceived  int64
+	OutputDrops   int64
+	retransmitted map[int]bool // seqs retransmitted since last sample start
+}
+
+var _ Agent = (*TCPSender)(nil)
+
+// NewTCPSender builds a Reno sender pushing segments through out.
+func NewTCPSender(sched *sim.Scheduler, out Output, cfg TCPConfig) *TCPSender {
+	if cfg.MSS <= 0 {
+		panic(fmt.Sprintf("transport: TCP MSS %d must be positive", cfg.MSS))
+	}
+	if cfg.MaxWindow < 1 {
+		panic(fmt.Sprintf("transport: TCP MaxWindow %.1f must be ≥ 1", cfg.MaxWindow))
+	}
+	if cfg.InitialRTO <= 0 || cfg.MinRTO <= 0 || cfg.MaxRTO < cfg.MinRTO {
+		panic("transport: TCP RTO bounds invalid")
+	}
+	ssthresh := cfg.InitialSSThresh
+	if ssthresh == 0 {
+		ssthresh = cfg.MaxWindow
+	}
+	s := &TCPSender{
+		cfg:           cfg,
+		sched:         sched,
+		out:           out,
+		cwnd:          1,
+		ssthresh:      ssthresh,
+		rto:           cfg.InitialRTO,
+		retransmitted: make(map[int]bool),
+	}
+	s.rtoTimer = sim.NewTimer(sched, s.onTimeout)
+	return s
+}
+
+// Start opens the connection: the first segment goes out immediately.
+func (s *TCPSender) Start() {
+	s.started = true
+	s.startedAt = s.sched.Now()
+	s.cwndSince = s.startedAt
+	s.trySend()
+}
+
+// Cwnd reports the current congestion window in packets.
+func (s *TCPSender) Cwnd() float64 { return s.cwnd }
+
+// AvgCwnd reports the time-weighted average congestion window since Start.
+func (s *TCPSender) AvgCwnd() float64 {
+	if !s.started {
+		return 0
+	}
+	total := s.sched.Now() - s.startedAt
+	if total <= 0 {
+		return s.cwnd
+	}
+	integral := s.cwndIntegral + s.cwnd*float64(s.sched.Now()-s.cwndSince)
+	return integral / float64(total)
+}
+
+// setCwnd updates the window, accumulating the time-weighted integral.
+func (s *TCPSender) setCwnd(v float64) {
+	if v < 1 {
+		v = 1
+	}
+	if v > s.cfg.MaxWindow {
+		v = s.cfg.MaxWindow
+	}
+	now := s.sched.Now()
+	s.cwndIntegral += s.cwnd * float64(now-s.cwndSince)
+	s.cwndSince = now
+	s.cwnd = v
+}
+
+func (s *TCPSender) window() int {
+	w := int(s.cwnd)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (s *TCPSender) trySend() {
+	for s.sndNxt < s.sndUna+s.window() {
+		// Sequences below maxEmitted were already sent once (go-back-N
+		// resends after a timeout): they are retransmissions for Karn's
+		// rule and statistics.
+		s.emit(s.sndNxt, s.sndNxt < s.maxEmitted)
+		s.sndNxt++
+	}
+}
+
+func (s *TCPSender) emit(seq int, isRetransmit bool) {
+	p := &Packet{
+		Flow:         s.cfg.Flow,
+		Seq:          seq,
+		PayloadBytes: s.cfg.MSS,
+		WireBytes:    s.cfg.MSS + TCPIPHeaderBytes,
+	}
+	s.SegmentsSent++
+	if seq >= s.maxEmitted {
+		s.maxEmitted = seq + 1
+	}
+	if isRetransmit {
+		s.Retransmits++
+		s.retransmitted[seq] = true
+		if s.RetransmitHook != nil && seq == s.sndUna {
+			s.RetransmitHook(seq)
+		}
+		if s.rttPending && seq == s.rttSeq {
+			s.rttPending = false // Karn: sample invalidated
+		}
+	} else if !s.rttPending {
+		s.rttSeq = seq
+		s.rttStart = s.sched.Now()
+		s.rttPending = true
+	}
+	if !s.out.Output(p) {
+		s.OutputDrops++
+	}
+	if !s.rtoTimer.Pending() {
+		s.rtoTimer.Start(s.rto)
+	}
+}
+
+// Receive implements Agent: processes the acknowledgment stream.
+func (s *TCPSender) Receive(p *Packet) {
+	if !p.IsACK || p.Flow != s.cfg.Flow {
+		return
+	}
+	s.AcksReceived++
+	switch {
+	case p.AckSeq > s.sndUna:
+		s.newAck(p.AckSeq)
+	case p.AckSeq == s.sndUna && s.sndNxt > s.sndUna:
+		s.dupAck()
+	}
+}
+
+func (s *TCPSender) newAck(ackSeq int) {
+	if s.rttPending && ackSeq > s.rttSeq && !s.retransmitted[s.rttSeq] {
+		s.sampleRTT(s.sched.Now() - s.rttStart)
+	}
+	s.rttPending = false
+	for seq := s.sndUna; seq < ackSeq; seq++ {
+		delete(s.retransmitted, seq)
+	}
+	prevUna := s.sndUna
+	s.sndUna = ackSeq
+	if s.sndNxt < s.sndUna {
+		s.sndNxt = s.sndUna
+	}
+	if s.inFR && s.cfg.NewReno && ackSeq < s.recover {
+		// NewReno partial ACK: the first hole after ackSeq is still
+		// missing — retransmit it, deflate by the amount acked, and stay
+		// in fast recovery.
+		s.emit(ackSeq, true)
+		s.setCwnd(s.cwnd - float64(ackSeq-prevUna) + 1)
+		s.rtoTimer.Start(s.rto)
+		s.trySend()
+		return
+	}
+	s.dupAcks = 0
+	if s.inFR {
+		// Reno: any new ACK ends fast recovery, deflating to ssthresh.
+		// (NewReno reaches here only once the recovery point is covered.)
+		s.inFR = false
+		s.setCwnd(s.ssthresh)
+	} else if s.cwnd < s.ssthresh {
+		s.setCwnd(s.cwnd + 1) // slow start
+	} else {
+		s.setCwnd(s.cwnd + 1/s.cwnd) // congestion avoidance
+	}
+	if s.sndUna == s.sndNxt {
+		s.rtoTimer.Stop()
+	} else {
+		s.rtoTimer.Start(s.rto)
+	}
+	s.trySend()
+}
+
+func (s *TCPSender) dupAck() {
+	s.dupAcks++
+	switch {
+	case s.inFR:
+		s.setCwnd(s.cwnd + 1) // window inflation
+		s.trySend()
+	case s.dupAcks == 3:
+		// Fast retransmit + fast recovery.
+		s.FastRecovery++
+		s.ssthresh = s.cwnd / 2
+		if s.ssthresh < 2 {
+			s.ssthresh = 2
+		}
+		s.emit(s.sndUna, true)
+		s.setCwnd(s.ssthresh + 3)
+		s.inFR = true
+		s.recover = s.sndNxt
+		s.rtoTimer.Start(s.rto)
+	}
+}
+
+func (s *TCPSender) onTimeout() {
+	if s.sndUna == s.sndNxt {
+		return // nothing outstanding
+	}
+	s.Timeouts++
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.setCwnd(1)
+	s.dupAcks = 0
+	s.inFR = false
+	s.rttPending = false // Karn: never sample across a timeout
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+	// Go-back-N restart from the first unacknowledged segment.
+	s.sndNxt = s.sndUna
+	s.emit(s.sndNxt, true)
+	s.sndNxt++
+	s.rtoTimer.Start(s.rto)
+}
+
+func (s *TCPSender) sampleRTT(sample sim.Time) {
+	if sample <= 0 {
+		sample = sim.Millisecond
+	}
+	if !s.hasSample {
+		s.srtt = sample
+		s.rttvar = sample / 2
+		s.hasSample = true
+	} else {
+		diff := s.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	rto := s.srtt + 4*s.rttvar
+	if rto < s.cfg.MinRTO {
+		rto = s.cfg.MinRTO
+	}
+	if rto > s.cfg.MaxRTO {
+		rto = s.cfg.MaxRTO
+	}
+	s.rto = rto
+}
+
+// SRTT reports the smoothed RTT estimate (zero before the first sample).
+func (s *TCPSender) SRTT() sim.Time { return s.srtt }
+
+// RTO reports the current retransmission timeout.
+func (s *TCPSender) RTO() sim.Time { return s.rto }
+
+// TCPReceiver acknowledges arriving segments cumulatively and counts
+// unique goodput. By default it ACKs every segment (ns-2's paper-era
+// behavior); NewTCPReceiverDelayed enables RFC 5681 delayed ACKs. It
+// implements Agent.
+type TCPReceiver struct {
+	flow   int
+	out    Output
+	rcvNxt int
+	ooo    map[int]bool
+	seen   map[int]bool
+	stats  FlowStats
+
+	// Delayed-ACK state (nil timer means ACK-every-segment).
+	delay      sim.Time
+	delayTimer *sim.Timer
+	ackPending bool
+
+	// AcksSent counts pure ACKs emitted.
+	AcksSent int64
+}
+
+var _ Agent = (*TCPReceiver)(nil)
+
+// NewTCPReceiver builds a receiver for flow answering through out,
+// acknowledging every segment.
+func NewTCPReceiver(flow int, out Output) *TCPReceiver {
+	return &TCPReceiver{
+		flow: flow,
+		out:  out,
+		ooo:  make(map[int]bool),
+		seen: make(map[int]bool),
+	}
+}
+
+// NewTCPReceiverDelayed builds a receiver with RFC 5681 delayed ACKs: an
+// ACK is sent for every second in-order segment or after delay, and
+// immediately for out-of-order or hole-filling segments.
+func NewTCPReceiverDelayed(sched *sim.Scheduler, flow int, out Output, delay sim.Time) *TCPReceiver {
+	if sched == nil || delay <= 0 {
+		panic("transport: NewTCPReceiverDelayed needs a scheduler and positive delay")
+	}
+	r := NewTCPReceiver(flow, out)
+	r.delay = delay
+	r.delayTimer = sim.NewTimer(sched, r.sendAck)
+	return r
+}
+
+// Receive implements Agent.
+func (r *TCPReceiver) Receive(p *Packet) {
+	if p.IsACK || p.Flow != r.flow {
+		return
+	}
+	if !r.seen[p.Seq] {
+		r.seen[p.Seq] = true
+		r.stats.UniquePackets++
+		r.stats.UniqueBytes += int64(p.PayloadBytes)
+	} else {
+		r.stats.DuplicatePackets++
+	}
+	inOrder := p.Seq == r.rcvNxt
+	filledHole := false
+	switch {
+	case inOrder:
+		r.rcvNxt++
+		for r.ooo[r.rcvNxt] {
+			delete(r.ooo, r.rcvNxt)
+			r.rcvNxt++
+			filledHole = true
+		}
+	case p.Seq > r.rcvNxt:
+		r.ooo[p.Seq] = true
+	}
+	if r.delayTimer == nil {
+		r.sendAck()
+		return
+	}
+	// Delayed-ACK policy: immediate for duplicates, out-of-order, and
+	// hole-filling arrivals; otherwise every second segment or on timer.
+	switch {
+	case !inOrder || filledHole:
+		r.sendAck()
+	case r.ackPending:
+		r.sendAck()
+	default:
+		r.ackPending = true
+		r.delayTimer.Start(r.delay)
+	}
+}
+
+func (r *TCPReceiver) sendAck() {
+	if r.delayTimer != nil {
+		r.delayTimer.Stop()
+	}
+	r.ackPending = false
+	r.AcksSent++
+	r.out.Output(&Packet{
+		Flow:      r.flow,
+		IsACK:     true,
+		AckSeq:    r.rcvNxt,
+		WireBytes: TCPIPHeaderBytes,
+	})
+}
+
+// Stats reports accumulated goodput statistics.
+func (r *TCPReceiver) Stats() FlowStats { return r.stats }
+
+// RcvNxt reports the next expected in-order sequence number.
+func (r *TCPReceiver) RcvNxt() int { return r.rcvNxt }

@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"testing"
+
+	"greedy80211/internal/sim"
+)
+
+// newRenoPair wires a sender/receiver with selective drops controlled by
+// the test.
+type dropPipe struct {
+	sched  *sim.Scheduler
+	delay  sim.Time
+	toRecv *TCPReceiver
+	toSend *TCPSender
+	drop   func(seq int) bool
+}
+
+func (p *dropPipe) dataOut(pkt *Packet) bool {
+	if p.drop != nil && !pkt.IsACK && p.drop(pkt.Seq) {
+		return true
+	}
+	p.sched.Schedule(p.delay, func() { p.toRecv.Receive(pkt) })
+	return true
+}
+
+func (p *dropPipe) ackOut(pkt *Packet) bool {
+	p.sched.Schedule(p.delay, func() { p.toSend.Receive(pkt) })
+	return true
+}
+
+func buildDropPair(newReno bool) (*sim.Scheduler, *TCPSender, *TCPReceiver, *dropPipe) {
+	sched := sim.NewScheduler(9)
+	p := &dropPipe{sched: sched, delay: 5 * sim.Millisecond}
+	cfg := DefaultTCPConfig(1)
+	cfg.NewReno = newReno
+	snd := NewTCPSender(sched, OutputFunc(p.dataOut), cfg)
+	rcv := NewTCPReceiver(1, OutputFunc(p.ackOut))
+	p.toRecv = rcv
+	p.toSend = snd
+	return sched, snd, rcv, p
+}
+
+// Two losses in one window: Reno needs a timeout or a second fast
+// retransmit cycle; NewReno repairs both holes inside one fast recovery.
+func TestNewRenoRepairsMultipleHolesWithoutTimeout(t *testing.T) {
+	for _, tt := range []struct {
+		name    string
+		newReno bool
+	}{{"reno", false}, {"newreno", true}} {
+		t.Run(tt.name, func(t *testing.T) {
+			sched, snd, rcv, pipe := buildDropPair(tt.newReno)
+			dropped := map[int]bool{}
+			pipe.drop = func(seq int) bool {
+				// Drop the first transmission of seqs 40 and 42.
+				if (seq == 40 || seq == 42) && !dropped[seq] {
+					dropped[seq] = true
+					return true
+				}
+				return false
+			}
+			snd.Start()
+			sched.RunUntil(3 * sim.Second)
+			if len(dropped) != 2 {
+				t.Fatalf("dropped %d packets, want 2", len(dropped))
+			}
+			if int64(rcv.RcvNxt()) != rcv.Stats().UniquePackets {
+				t.Error("holes left after recovery")
+			}
+			if tt.newReno && snd.Timeouts != 0 {
+				t.Errorf("NewReno needed %d timeouts for a 2-loss window", snd.Timeouts)
+			}
+			if rcv.RcvNxt() < 1000 {
+				t.Errorf("throughput collapsed: %d packets in 3s", rcv.RcvNxt())
+			}
+		})
+	}
+}
+
+func TestDelayedAckHalvesAckTraffic(t *testing.T) {
+	run := func(delayed bool) (*TCPSender, *TCPReceiver) {
+		sched := sim.NewScheduler(11)
+		p := &dropPipe{sched: sched, delay: 5 * sim.Millisecond}
+		snd := NewTCPSender(sched, OutputFunc(p.dataOut), DefaultTCPConfig(1))
+		var rcv *TCPReceiver
+		if delayed {
+			rcv = NewTCPReceiverDelayed(sched, 1, OutputFunc(p.ackOut), 100*sim.Millisecond)
+		} else {
+			rcv = NewTCPReceiver(1, OutputFunc(p.ackOut))
+		}
+		p.toRecv = rcv
+		p.toSend = snd
+		snd.Start()
+		sched.RunUntil(2 * sim.Second)
+		return snd, rcv
+	}
+	_, everyRcv := run(false)
+	_, delRcv := run(true)
+	everyRatio := float64(everyRcv.AcksSent) / float64(everyRcv.Stats().UniquePackets)
+	delRatio := float64(delRcv.AcksSent) / float64(delRcv.Stats().UniquePackets)
+	if everyRatio < 0.99 {
+		t.Errorf("ack-every-segment ratio %.2f, want ≈1", everyRatio)
+	}
+	if delRatio > 0.65 {
+		t.Errorf("delayed-ack ratio %.2f, want ≈0.5", delRatio)
+	}
+	// Delayed ACKs must not break delivery.
+	if int64(delRcv.RcvNxt()) != delRcv.Stats().UniquePackets {
+		t.Error("delayed-ack receiver left holes")
+	}
+	if delRcv.Stats().UniquePackets < everyRcv.Stats().UniquePackets/3 {
+		t.Errorf("delayed acks collapsed throughput: %d vs %d",
+			delRcv.Stats().UniquePackets, everyRcv.Stats().UniquePackets)
+	}
+}
+
+func TestDelayedAckImmediateOnOutOfOrder(t *testing.T) {
+	sched := sim.NewScheduler(13)
+	var acks []*Packet
+	rcv := NewTCPReceiverDelayed(sched, 1, OutputFunc(func(p *Packet) bool {
+		acks = append(acks, p)
+		return true
+	}), 100*sim.Millisecond)
+	// Out-of-order arrival must trigger an immediate duplicate ACK (the
+	// sender's fast-retransmit signal cannot wait 100 ms).
+	rcv.Receive(&Packet{Flow: 1, Seq: 0, PayloadBytes: 10})
+	sched.RunUntil(sim.Millisecond) // seq 0's ack still delayed
+	if len(acks) != 0 {
+		t.Fatal("in-order single segment acked immediately despite delayed mode")
+	}
+	rcv.Receive(&Packet{Flow: 1, Seq: 5, PayloadBytes: 10}) // gap!
+	if len(acks) != 1 || acks[0].AckSeq != 1 {
+		t.Fatalf("out-of-order arrival not acked immediately: %v", acks)
+	}
+}
+
+func TestDelayedAckTimerFires(t *testing.T) {
+	sched := sim.NewScheduler(15)
+	var acks []*Packet
+	rcv := NewTCPReceiverDelayed(sched, 1, OutputFunc(func(p *Packet) bool {
+		acks = append(acks, p)
+		return true
+	}), 50*sim.Millisecond)
+	rcv.Receive(&Packet{Flow: 1, Seq: 0, PayloadBytes: 10})
+	sched.RunUntil(49 * sim.Millisecond)
+	if len(acks) != 0 {
+		t.Fatal("ack sent before the delay elapsed")
+	}
+	sched.RunUntil(51 * sim.Millisecond)
+	if len(acks) != 1 || acks[0].AckSeq != 1 {
+		t.Fatalf("delayed ack not sent on timer: %v", acks)
+	}
+}
+
+func TestNewTCPReceiverDelayedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero delay accepted")
+		}
+	}()
+	NewTCPReceiverDelayed(sim.NewScheduler(1), 1, OutputFunc(func(*Packet) bool { return true }), 0)
+}

@@ -1,0 +1,114 @@
+// Package wireline models fixed-latency, fixed-rate full-duplex links with
+// drop-tail queues. The paper's "TCP sender at remote site" experiments
+// (Fig 15, 16) connect a remote host to the access point through such a
+// link with 2–400 ms one-way latency.
+package wireline
+
+import (
+	"fmt"
+
+	"greedy80211/internal/sim"
+	"greedy80211/internal/transport"
+)
+
+// Config parameterizes a link.
+type Config struct {
+	// Delay is the one-way propagation latency.
+	Delay sim.Time
+	// RateBps is the serialization rate; zero means effectively infinite
+	// (no serialization delay).
+	RateBps int64
+	// QueueCap bounds packets awaiting serialization at each endpoint;
+	// zero means the drop-tail default of 50.
+	QueueCap int
+}
+
+// Link is a bidirectional wired link between two endpoints.
+type Link struct {
+	a, b *Endpoint
+}
+
+// NewLink builds a link; attach delivery handlers to both endpoints before
+// forwarding traffic.
+func NewLink(sched *sim.Scheduler, cfg Config) *Link {
+	if sched == nil {
+		panic("wireline: nil scheduler")
+	}
+	if cfg.Delay < 0 {
+		panic(fmt.Sprintf("wireline: negative delay %v", cfg.Delay))
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 50
+	}
+	l := &Link{}
+	l.a = &Endpoint{sched: sched, cfg: cfg}
+	l.b = &Endpoint{sched: sched, cfg: cfg}
+	l.a.peer = l.b
+	l.b.peer = l.a
+	return l
+}
+
+// A reports the link's first endpoint.
+func (l *Link) A() *Endpoint { return l.a }
+
+// B reports the link's second endpoint.
+func (l *Link) B() *Endpoint { return l.b }
+
+// Endpoint is one side of a link. Forwarding through an endpoint delivers
+// to the handler attached at the opposite endpoint. Endpoint implements
+// the node package's Route interface shape (Forward method), so it can be
+// installed directly as a flow's next hop.
+type Endpoint struct {
+	sched   *sim.Scheduler
+	cfg     Config
+	peer    *Endpoint
+	handler func(*transport.Packet)
+
+	queued        int
+	lastDeparture sim.Time
+
+	// Forwarded and Drops count packets accepted and rejected.
+	Forwarded int64
+	Drops     int64
+}
+
+// Attach sets the function receiving packets that arrive at this endpoint.
+func (e *Endpoint) Attach(h func(*transport.Packet)) {
+	if h == nil {
+		panic("wireline: nil handler")
+	}
+	e.handler = h
+}
+
+// Forward sends p across the link toward the peer endpoint. It reports
+// false when the transmit queue is full.
+func (e *Endpoint) Forward(p *transport.Packet) bool {
+	if e.peer.handler == nil {
+		panic("wireline: forwarding into an endpoint with no attached handler on the far side")
+	}
+	if e.queued >= e.cfg.QueueCap {
+		e.Drops++
+		return false
+	}
+	now := e.sched.Now()
+	var txTime sim.Time
+	if e.cfg.RateBps > 0 {
+		txTime = sim.Time(int64(p.WireBytes) * 8 * int64(sim.Second) / e.cfg.RateBps)
+	}
+	start := now
+	if e.lastDeparture > start {
+		start = e.lastDeparture
+	}
+	depart := start + txTime
+	e.lastDeparture = depart
+	e.queued++
+	e.sched.At(depart, func() { e.queued-- })
+	arrive := depart + e.cfg.Delay
+	peer := e.peer
+	e.sched.At(arrive, func() { peer.handler(p) })
+	e.Forwarded++
+	return true
+}
+
+// QueueLen reports packets awaiting serialization at this endpoint.
+func (e *Endpoint) QueueLen() int { return e.queued }

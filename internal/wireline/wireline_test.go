@@ -1,0 +1,132 @@
+package wireline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"greedy80211/internal/sim"
+	"greedy80211/internal/transport"
+)
+
+func TestLinkDeliversWithDelay(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	l := NewLink(sched, Config{Delay: 10 * sim.Millisecond})
+	var atB []*transport.Packet
+	var when []sim.Time
+	l.B().Attach(func(p *transport.Packet) {
+		atB = append(atB, p)
+		when = append(when, sched.Now())
+	})
+	l.A().Attach(func(*transport.Packet) {})
+
+	p := &transport.Packet{Flow: 1, Seq: 0, WireBytes: 1064}
+	if !l.A().Forward(p) {
+		t.Fatal("Forward rejected")
+	}
+	sched.Run()
+	if len(atB) != 1 || atB[0] != p {
+		t.Fatalf("delivered %v", atB)
+	}
+	if when[0] != 10*sim.Millisecond {
+		t.Errorf("arrival at %v, want 10ms", when[0])
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	// 1 Mbps, two 1000-byte packets: second departs 8ms after the first.
+	sched := sim.NewScheduler(1)
+	l := NewLink(sched, Config{Delay: sim.Millisecond, RateBps: 1_000_000})
+	var when []sim.Time
+	l.B().Attach(func(*transport.Packet) { when = append(when, sched.Now()) })
+	l.A().Attach(func(*transport.Packet) {})
+
+	for i := 0; i < 2; i++ {
+		l.A().Forward(&transport.Packet{Seq: i, WireBytes: 1000})
+	}
+	sched.Run()
+	if len(when) != 2 {
+		t.Fatalf("delivered %d", len(when))
+	}
+	if got := when[1] - when[0]; got != 8*sim.Millisecond {
+		t.Errorf("inter-arrival %v, want 8ms", got)
+	}
+}
+
+func TestLinkQueueCapacity(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	l := NewLink(sched, Config{Delay: sim.Millisecond, RateBps: 1000, QueueCap: 5})
+	l.B().Attach(func(*transport.Packet) {})
+	l.A().Attach(func(*transport.Packet) {})
+
+	accepted := 0
+	for i := 0; i < 20; i++ {
+		if l.A().Forward(&transport.Packet{Seq: i, WireBytes: 1000}) {
+			accepted++
+		}
+	}
+	if accepted != 5 {
+		t.Errorf("accepted %d, want 5", accepted)
+	}
+	if l.A().Drops != 15 {
+		t.Errorf("Drops = %d, want 15", l.A().Drops)
+	}
+	if l.A().QueueLen() != 5 {
+		t.Errorf("QueueLen = %d, want 5", l.A().QueueLen())
+	}
+	sched.Run()
+	if l.A().QueueLen() != 0 {
+		t.Errorf("queue did not drain: %d", l.A().QueueLen())
+	}
+}
+
+func TestLinkBidirectional(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	l := NewLink(sched, Config{Delay: 2 * sim.Millisecond})
+	gotA, gotB := 0, 0
+	l.A().Attach(func(*transport.Packet) { gotA++ })
+	l.B().Attach(func(*transport.Packet) { gotB++ })
+	l.A().Forward(&transport.Packet{WireBytes: 100})
+	l.B().Forward(&transport.Packet{WireBytes: 100})
+	sched.Run()
+	if gotA != 1 || gotB != 1 {
+		t.Errorf("gotA=%d gotB=%d, want 1 and 1", gotA, gotB)
+	}
+}
+
+func TestForwardWithoutHandlerPanics(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	l := NewLink(sched, Config{Delay: sim.Millisecond})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic without attached handler")
+		}
+	}()
+	l.A().Forward(&transport.Packet{WireBytes: 1})
+}
+
+// Property: FIFO — packets arrive in forwarding order regardless of sizes.
+func TestPropertyLinkFIFO(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		sched := sim.NewScheduler(3)
+		l := NewLink(sched, Config{Delay: sim.Millisecond, RateBps: 1_000_000, QueueCap: 1 << 30})
+		var order []int
+		l.B().Attach(func(p *transport.Packet) { order = append(order, p.Seq) })
+		l.A().Attach(func(*transport.Packet) {})
+		for i, s := range sizes {
+			l.A().Forward(&transport.Packet{Seq: i, WireBytes: int(s%1400) + 1})
+		}
+		sched.Run()
+		if len(order) != len(sizes) {
+			return false
+		}
+		for i, seq := range order {
+			if seq != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
