@@ -1,0 +1,273 @@
+// Command bench runs the repo's performance benchmark suite and writes a
+// machine-readable snapshot to BENCH_<date>.json in the current directory
+// (override with -out). Commit the file alongside performance-relevant
+// changes so regressions are visible in history.
+//
+// The snapshot records three groups:
+//
+//   - scheduler: micro-benchmarks of the event queue (churn, cancel-heavy,
+//     wide-fanout), with ns/op and allocs/op;
+//   - simulator: end-to-end event throughput of a saturated two-pair
+//     802.11b hotspot (events/sec, allocs/op);
+//   - artifacts: wall-clock time to regenerate a representative artifact
+//     set sequentially (-parallel 1) versus with the worker pool at
+//     GOMAXPROCS, and the resulting speedup.
+//
+// Usage:
+//
+//	bench             # full suite, ~a minute
+//	bench -quick      # shorter benchtime, smaller artifact set
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"greedy80211/internal/experiments"
+	"greedy80211/internal/runner"
+	"greedy80211/internal/scenario"
+	"greedy80211/internal/sim"
+)
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	EventsPerOp float64 `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+type wallClock struct {
+	Artifacts      []string `json:"artifacts"`
+	SequentialSecs float64  `json:"sequential_secs"`
+	ParallelSecs   float64  `json:"parallel_secs"`
+	ParallelLimit  int      `json:"parallel_limit"`
+	Speedup        float64  `json:"speedup"`
+}
+
+type snapshot struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	Scheduler  []benchEntry `json:"scheduler"`
+	Simulator  benchEntry   `json:"simulator"`
+	Artifacts  wallClock    `json:"artifacts"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		outDir = fs.String("out", ".", "directory for the BENCH_<date>.json snapshot")
+		quick  = fs.Bool("quick", false, "shorter benchtime and a smaller artifact set")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	snap := snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+
+	fmt.Println("scheduler micro-benchmarks:")
+	for _, mb := range schedulerBenchmarks() {
+		r := testing.Benchmark(mb.fn)
+		e := toEntry(mb.name, r)
+		snap.Scheduler = append(snap.Scheduler, e)
+		fmt.Printf("  %-24s %10.2f ns/op %6d allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+	}
+
+	fmt.Println("simulator throughput:")
+	snap.Simulator = toEntry("SimulatorThroughput", testing.Benchmark(benchSimulatorThroughput))
+	fmt.Printf("  %-24s %10.0f events/sec %6d allocs/op\n",
+		snap.Simulator.Name, snap.Simulator.EventsPerSec, snap.Simulator.AllocsPerOp)
+
+	ids := []string{"fig2", "fig5", "fig14", "tab1", "abl1"}
+	if *quick {
+		ids = []string{"fig2", "tab1"}
+	}
+	wc, err := measureArtifacts(ids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	snap.Artifacts = wc
+	fmt.Printf("artifact regeneration (%v):\n  sequential %.2fs  parallel(%d) %.2fs  speedup %.2fx\n",
+		ids, wc.SequentialSecs, wc.ParallelLimit, wc.ParallelSecs, wc.Speedup)
+
+	path := filepath.Join(*outDir, "BENCH_"+snap.Date+".json")
+	doc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(doc, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+func toEntry(name string, r testing.BenchmarkResult) benchEntry {
+	e := benchEntry{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if v, ok := r.Extra["events/op"]; ok {
+		e.EventsPerOp = v
+	}
+	if v, ok := r.Extra["events/sec"]; ok {
+		e.EventsPerSec = v
+	}
+	return e
+}
+
+type microBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// schedulerBenchmarks mirrors the suite in internal/sim/sim_test.go; they
+// are re-stated here because testing.Benchmark cannot invoke test-file
+// benchmarks from another package.
+func schedulerBenchmarks() []microBench {
+	return []microBench{
+		{"SchedulerChurn", func(b *testing.B) {
+			b.ReportAllocs()
+			s := sim.NewScheduler(1)
+			n := 0
+			var tick func()
+			tick = func() {
+				n++
+				if n < b.N {
+					s.Schedule(sim.Microsecond, tick)
+				}
+			}
+			b.ResetTimer()
+			s.Schedule(0, tick)
+			s.Run()
+		}},
+		{"SchedulerCancelHeavy", func(b *testing.B) {
+			b.ReportAllocs()
+			s := sim.NewScheduler(1)
+			n := 0
+			var tick func()
+			tick = func() {
+				n++
+				if n >= b.N {
+					return
+				}
+				doomed := s.Schedule(50*sim.Microsecond, func() {})
+				s.Schedule(sim.Microsecond, tick)
+				s.Cancel(doomed)
+			}
+			b.ResetTimer()
+			s.Schedule(0, tick)
+			s.Run()
+		}},
+		{"SchedulerFanout", func(b *testing.B) {
+			b.ReportAllocs()
+			s := sim.NewScheduler(1)
+			const width = 4096
+			n := 0
+			var tick func()
+			tick = func() {
+				n++
+				if n < b.N {
+					s.Schedule(sim.Time(width)*sim.Microsecond, tick)
+				}
+			}
+			for i := 0; i < width; i++ {
+				s.Schedule(sim.Time(i)*sim.Microsecond, tick)
+			}
+			b.ResetTimer()
+			s.Run()
+		}},
+	}
+}
+
+func benchSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		w, err := scenario.BuildPairs(scenario.PairsConfig{
+			Config:    scenario.Config{Seed: int64(i + 1), UseRTSCTS: true},
+			N:         2,
+			Transport: scenario.UDP,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Run(sim.Second)
+		events += w.Sched.Executed()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+}
+
+// measureArtifacts regenerates the given artifact set twice in quick mode:
+// once with the worker pool pinned to 1 and once at GOMAXPROCS. The outputs
+// are asserted byte-identical while we're at it.
+func measureArtifacts(ids []string) (wallClock, error) {
+	cfg := experiments.RunConfig{Quick: true, BaseSeed: 11}
+	prev := runner.Limit()
+	defer runner.SetLimit(prev)
+
+	regenerate := func() (map[string]string, time.Duration, error) {
+		out := make(map[string]string, len(ids))
+		start := time.Now()
+		for _, id := range ids {
+			res, err := experiments.Run(id, cfg)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%s: %w", id, err)
+			}
+			out[id] = res.String()
+		}
+		return out, time.Since(start), nil
+	}
+
+	runner.SetLimit(1)
+	seqOut, seqDur, err := regenerate()
+	if err != nil {
+		return wallClock{}, err
+	}
+	limit := runtime.GOMAXPROCS(0)
+	runner.SetLimit(limit)
+	parOut, parDur, err := regenerate()
+	if err != nil {
+		return wallClock{}, err
+	}
+	for _, id := range ids {
+		if seqOut[id] != parOut[id] {
+			return wallClock{}, fmt.Errorf("%s: parallel output differs from sequential", id)
+		}
+	}
+	return wallClock{
+		Artifacts:      ids,
+		SequentialSecs: seqDur.Seconds(),
+		ParallelSecs:   parDur.Seconds(),
+		ParallelLimit:  limit,
+		Speedup:        seqDur.Seconds() / parDur.Seconds(),
+	}, nil
+}

@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"greedy80211/internal/experiments"
+	"greedy80211/internal/runner"
 	"greedy80211/internal/sim"
 )
 
@@ -33,10 +35,13 @@ func run(args []string) int {
 		duration = fs.Duration("duration", 0, "simulated time per run (default 5s)")
 		quick    = fs.Bool("quick", false, "1 seed, 2s runs, trimmed sweeps")
 		csvDir   = fs.String("csv", "", "also write each artifact's data as CSV files into this directory")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
+			"worker-pool size for (sweep-point × seed) fan-out; 1 = sequential (output is identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	runner.SetLimit(*parallel)
 	if *list {
 		for _, reg := range experiments.All() {
 			fmt.Printf("%-6s %s\n", reg.ID, reg.Title)

@@ -13,10 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"greedy80211/internal/core"
 	"greedy80211/internal/greedy"
 	"greedy80211/internal/phys"
+	"greedy80211/internal/runner"
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
 	"greedy80211/internal/stats"
@@ -80,10 +82,13 @@ func run(args []string) int {
 		runs      = fs.Int("runs", 0, "seeded repetitions (default 5, median reported)")
 		seed      = fs.Int64("seed", 1, "base seed")
 		showTrace = fs.Bool("trace", false, "print channel airtime accounting after the run")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0),
+			"worker-pool size for seeded repetitions; 1 = sequential (-trace forces sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	runner.SetLimit(*parallel)
 	mis, err := parseMisbehavior(*misFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "greedysim: %v\n", err)

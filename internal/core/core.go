@@ -17,6 +17,7 @@ import (
 	"greedy80211/internal/mac"
 	"greedy80211/internal/medium"
 	"greedy80211/internal/phys"
+	"greedy80211/internal/runner"
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
 	"greedy80211/internal/stats"
@@ -247,16 +248,19 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	grcCfg := detect.DefaultConfig()
-	perFlow := make(map[int][]float64)
-	var navCorr, spoofIgn []float64
-	for r := 0; r < cfg.Runs; r++ {
+	type runResult struct {
+		flows         map[int]float64
+		nav, spoofIgn float64
+	}
+	oneRun := func(r int) (runResult, error) {
 		w, err := cfg.buildWorld(cfg.Seed+int64(r), &grcCfg)
 		if err != nil {
-			return Result{}, err
+			return runResult{}, err
 		}
 		w.Run(cfg.Duration)
+		res := runResult{flows: make(map[int]float64)}
 		for _, fl := range w.Flows() {
-			perFlow[fl.ID] = append(perFlow[fl.ID], fl.GoodputMbps(cfg.Duration))
+			res.flows[fl.ID] = fl.GoodputMbps(cfg.Duration)
 		}
 		if cfg.EnableGRC {
 			var nav, ign int64
@@ -268,8 +272,40 @@ func Run(cfg Config) (Result, error) {
 					}
 				}
 			}
-			navCorr = append(navCorr, float64(nav))
-			spoofIgn = append(spoofIgn, float64(ign))
+			res.nav = float64(nav)
+			res.spoofIgn = float64(ign)
+		}
+		return res, nil
+	}
+	// Runs are independent deterministic worlds, so they execute on the
+	// runner pool — except when a Trace tap is attached: the tap is shared
+	// mutable state that every run's channel feeds, so those runs stay
+	// sequential.
+	var runs []runResult
+	if cfg.Trace != nil {
+		for r := 0; r < cfg.Runs; r++ {
+			rr, err := oneRun(r)
+			if err != nil {
+				return Result{}, err
+			}
+			runs = append(runs, rr)
+		}
+	} else {
+		var err error
+		runs, err = runner.Map(cfg.Runs, func(r int) (runResult, error) { return oneRun(r) })
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	perFlow := make(map[int][]float64)
+	var navCorr, spoofIgn []float64
+	for _, rr := range runs {
+		for id, v := range rr.flows {
+			perFlow[id] = append(perFlow[id], v)
+		}
+		if cfg.EnableGRC {
+			navCorr = append(navCorr, rr.nav)
+			spoofIgn = append(spoofIgn, rr.spoofIgn)
 		}
 	}
 	res := Result{

@@ -34,11 +34,12 @@ func runAbl1(cfg RunConfig) (*Result, error) {
 			"(close ACKs collide: spoofing gains a jamming component); none = every overlap collides.",
 		Header: []string{"capture", "noGR_R1", "noGR_R2", "GR_NR", "GR_GR"},
 	}
-	regimes := []struct {
+	type regime struct {
 		name    string
 		force   bool
 		disable bool
-	}{
+	}
+	regimes := []regime{
 		{"force (paper)", true, false},
 		{"10 dB threshold", false, false},
 		{"disabled", false, true},
@@ -46,7 +47,7 @@ func runAbl1(cfg RunConfig) (*Result, error) {
 	if cfg.Quick {
 		regimes = regimes[:2]
 	}
-	for _, reg := range regimes {
+	rows, err := sweep(regimes, func(reg regime) (baseAttPoint, error) {
 		build := func(seed int64, spoof bool) (*scenario.World, error) {
 			return scenario.BuildPairs(scenario.PairsConfig{
 				Config: scenario.Config{
@@ -70,15 +71,18 @@ func runAbl1(cfg RunConfig) (*Result, error) {
 			return build(seed, false)
 		}, nil)
 		if err != nil {
-			return nil, err
+			return baseAttPoint{}, err
 		}
 		att, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return build(seed, true)
 		}, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(reg.name, base[1], base[2], att[1], att[2])
+		return baseAttPoint{base, att}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, reg := range regimes {
+		t.AddRow(reg.name, rows[i].base[1], rows[i].base[2], rows[i].att[1], rows[i].att[2])
 	}
 	res.AddTable(t)
 	return res, nil
@@ -98,7 +102,11 @@ func runAbl2(cfg RunConfig) (*Result, error) {
 			"spoofs_ignored", "acks_checked"},
 	}
 	thresholds := pick(cfg, []float64{0.25, 0.5, 1, 2, 4})
-	for _, th := range thresholds {
+	type thPoint struct {
+		flows   map[int]float64
+		metrics map[string]float64
+	}
+	pts, err := sweep(thresholds, func(th float64) (thPoint, error) {
 		grcCfg := detect.DefaultConfig()
 		grcCfg.RSSIThresholdDB = th
 		flows, metrics, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
@@ -108,10 +116,14 @@ func runAbl2(cfg RunConfig) (*Result, error) {
 			m["ignored"] = float64(s1.GRC.Stats().SpoofIgnored)
 			m["checked"] = float64(s1.GRC.Stats().ACKsChecked)
 		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(th, flows[1], flows[2], metrics["ignored"], metrics["checked"])
+		return thPoint{flows, metrics}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, th := range thresholds {
+		p := pts[i]
+		t.AddRow(th, p.flows[1], p.flows[2], p.metrics["ignored"], p.metrics["checked"])
 	}
 	res.AddTable(t)
 	return res, nil
@@ -127,34 +139,44 @@ func runAbl3(cfg RunConfig) (*Result, error) {
 		Title:  "Faster control frames raise capacity; the NAV attack is rate-independent.",
 		Header: []string{"basic_rate", "case", "R1_mbps", "R2_mbps"},
 	}
+	type rowCase struct {
+		rate   int64
+		name   string
+		greedy bool
+	}
+	var cases []rowCase
 	for _, rate := range []int64{phys.Rate1Mbps, phys.Rate2Mbps} {
-		rate := rate
 		for _, tc := range []struct {
 			name   string
 			greedy bool
 		}{{"no GR", false}, {"R2 inflates CTS 10ms", true}} {
-			tc := tc
-			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
-				return scenario.BuildPairs(scenario.PairsConfig{
-					Config: scenario.Config{
-						Seed: seed, UseRTSCTS: true, ControlRateBps: rate,
-					},
-					N:         2,
-					Transport: scenario.UDP,
-					ReceiverOpts: func(w *scenario.World, i int) scenario.StationOpts {
-						if !tc.greedy || i != 1 {
-							return scenario.StationOpts{}
-						}
-						return scenario.StationOpts{Policy: greedy.NewNAVInflation(
-							w.Sched.RNG(), greedy.CTSOnly, 10*sim.Millisecond, 100)}
-					},
-				})
-			}, nil)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(fmt.Sprintf("%d Mbps", rate/1_000_000), tc.name, flows[1], flows[2])
+			cases = append(cases, rowCase{rate, tc.name, tc.greedy})
 		}
+	}
+	rows, err := sweep(cases, func(c rowCase) (map[int]float64, error) {
+		flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+			return scenario.BuildPairs(scenario.PairsConfig{
+				Config: scenario.Config{
+					Seed: seed, UseRTSCTS: true, ControlRateBps: c.rate,
+				},
+				N:         2,
+				Transport: scenario.UDP,
+				ReceiverOpts: func(w *scenario.World, i int) scenario.StationOpts {
+					if !c.greedy || i != 1 {
+						return scenario.StationOpts{}
+					}
+					return scenario.StationOpts{Policy: greedy.NewNAVInflation(
+						w.Sched.RNG(), greedy.CTSOnly, 10*sim.Millisecond, 100)}
+				},
+			})
+		}, nil)
+		return flows, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		t.AddRow(fmt.Sprintf("%d Mbps", c.rate/1_000_000), c.name, rows[i][1], rows[i][2])
 	}
 	res.AddTable(t)
 	return res, nil

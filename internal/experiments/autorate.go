@@ -71,6 +71,11 @@ func runExtA(cfg RunConfig) (*Result, error) {
 			"the sender from downshifting, reducing the attack's benefit (Section IX).",
 		Header: []string{"rate_control", "case", "R1_mbps", "R2_mbps"},
 	}
+	type rowCase struct {
+		rcName, tcName string
+		arf, fake      bool
+	}
+	var cases []rowCase
 	for _, rc := range []struct {
 		name string
 		arf  bool
@@ -79,20 +84,26 @@ func runExtA(cfg RunConfig) (*Result, error) {
 			name string
 			fake bool
 		}{{"no GR", false}, {"R2 fakes ACKs", true}} {
-			var policy func(w *scenario.World) mac.ReceiverPolicy
-			if tc.fake {
-				policy = func(w *scenario.World) mac.ReceiverPolicy {
-					return greedy.NewFakeACKer(w.Sched.RNG(), 100)
-				}
-			}
-			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
-				return autoratePairs(seed, scenario.UDP, rc.arf, policy)
-			}, nil)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(rc.name, tc.name, flows[1], flows[2])
+			cases = append(cases, rowCase{rc.name, tc.name, rc.arf, tc.fake})
 		}
+	}
+	rows, err := sweep(cases, func(c rowCase) (map[int]float64, error) {
+		var policy func(w *scenario.World) mac.ReceiverPolicy
+		if c.fake {
+			policy = func(w *scenario.World) mac.ReceiverPolicy {
+				return greedy.NewFakeACKer(w.Sched.RNG(), 100)
+			}
+		}
+		flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+			return autoratePairs(seed, scenario.UDP, c.arf, policy)
+		}, nil)
+		return flows, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		t.AddRow(c.rcName, c.tcName, rows[i][1], rows[i][2])
 	}
 	res.AddTable(t)
 	return res, nil
@@ -106,6 +117,11 @@ func runExtB(cfg RunConfig) (*Result, error) {
 			"downshifts — increasing the damage (Section IX).",
 		Header: []string{"rate_control", "case", "NR_mbps", "GR_mbps"},
 	}
+	type rowCase struct {
+		rcName, tcName string
+		arf, spoof     bool
+	}
+	var cases []rowCase
 	for _, rc := range []struct {
 		name string
 		arf  bool
@@ -114,21 +130,27 @@ func runExtB(cfg RunConfig) (*Result, error) {
 			name  string
 			spoof bool
 		}{{"no GR", false}, {"R2 spoofs for R1", true}} {
-			var policy func(w *scenario.World) mac.ReceiverPolicy
-			if tc.spoof {
-				policy = func(w *scenario.World) mac.ReceiverPolicy {
-					r1, _ := w.Station(scenario.ReceiverName(0))
-					return greedy.NewACKSpoofer(w.Sched.RNG(), 100, r1.ID)
-				}
-			}
-			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
-				return autoratePairs(seed, scenario.TCP, rc.arf, policy)
-			}, nil)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(rc.name, tc.name, flows[1], flows[2])
+			cases = append(cases, rowCase{rc.name, tc.name, rc.arf, tc.spoof})
 		}
+	}
+	rows, err := sweep(cases, func(c rowCase) (map[int]float64, error) {
+		var policy func(w *scenario.World) mac.ReceiverPolicy
+		if c.spoof {
+			policy = func(w *scenario.World) mac.ReceiverPolicy {
+				r1, _ := w.Station(scenario.ReceiverName(0))
+				return greedy.NewACKSpoofer(w.Sched.RNG(), 100, r1.ID)
+			}
+		}
+		flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+			return autoratePairs(seed, scenario.TCP, c.arf, policy)
+		}, nil)
+		return flows, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		t.AddRow(c.rcName, c.tcName, rows[i][1], rows[i][2])
 	}
 	res.AddTable(t)
 	return res, nil

@@ -27,10 +27,11 @@ func runExtC(cfg RunConfig) (*Result, error) {
 		Header: []string{"misbehavior", "NR_mbps", "GR_mbps", "domino_flagged",
 			"GS_avg_backoff_slots"},
 	}
-	cases := []struct {
+	type extcCase struct {
 		name  string
 		build func(seed int64, dom *detect.Domino) (*scenario.World, error)
-	}{
+	}
+	cases := []extcCase{
 		{"nav-inflation +10ms CTS", func(seed int64, dom *detect.Domino) (*scenario.World, error) {
 			return scenario.BuildPairs(scenario.PairsConfig{
 				Config:    scenario.Config{Seed: seed, UseRTSCTS: true, Trace: dom},
@@ -74,30 +75,43 @@ func runExtC(cfg RunConfig) (*Result, error) {
 			})
 		}},
 	}
-	for _, tc := range cases {
+	type caseResult struct {
+		f1, f2, gsBackoff float64
+		flagged           string
+	}
+	rows, err := sweep(cases, func(tc extcCase) (caseResult, error) {
 		// One representative seeded run per misbehavior (the verdicts are
-		// counters, not medians).
+		// counters, not medians). Each case gets its own Domino monitor,
+		// so cases are independent and run concurrently.
 		dom := detect.NewDomino(phys.Params80211B(), 0.5, 20)
 		w, err := tc.build(cfg.BaseSeed+1, dom)
 		if err != nil {
-			return nil, err
+			return caseResult{}, err
 		}
 		w.Run(cfg.Duration)
 		f1, _ := w.Flow(1)
 		f2, _ := w.Flow(2)
 		gs, _ := w.Station(scenario.SenderName(1))
-		var gsBackoff float64
+		r := caseResult{
+			f1:      f1.GoodputMbps(cfg.Duration),
+			f2:      f2.GoodputMbps(cfg.Duration),
+			flagged: "no",
+		}
 		for _, v := range dom.Verdicts() {
 			if v.Station == gs.ID {
-				gsBackoff = v.AvgBackoff
+				r.gsBackoff = v.AvgBackoff
 			}
 		}
-		flagged := "no"
 		if dom.AnyCheater() {
-			flagged = "YES"
+			r.flagged = "YES"
 		}
-		t.AddRow(tc.name, f1.GoodputMbps(cfg.Duration), f2.GoodputMbps(cfg.Duration),
-			flagged, gsBackoff)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range cases {
+		t.AddRow(tc.name, rows[i].f1, rows[i].f2, rows[i].flagged, rows[i].gsBackoff)
 	}
 	res.AddTable(t)
 	return res, nil

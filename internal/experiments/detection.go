@@ -122,6 +122,11 @@ func grcNAVWorld(seed int64, tr scenario.Transport, d float64, greedyOn, grcOn b
 
 func greedyFrameSetCTS() greedy.FrameSet { return greedy.CTSOnly }
 
+// protPoint is one sweep point's baseline / attack / GRC-protected runs.
+type protPoint struct {
+	base, att, prot map[int]float64
+}
+
 func runFig23(cfg RunConfig) (*Result, error) {
 	cfg = cfg.normalize()
 	res := &Result{ID: "fig23", Title: "GRC against inflated CTS NAV vs pair separation (comm 55 m, interf 99 m)"}
@@ -142,31 +147,34 @@ func runFig23(cfg RunConfig) (*Result, error) {
 		attR2 := stats.Series{Name: "GR no GRC: R2 (Mbps)"}
 		grcR1 := stats.Series{Name: "GR + GRC: R1 (Mbps)"}
 		grcR2 := stats.Series{Name: "GR + GRC: R2 (Mbps)"}
-		for _, d := range dists {
-			d := d
+		pts, err := sweep(dists, func(d float64) (protPoint, error) {
 			base, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 				return grcNAVWorld(seed, tc.tr, d, false, false)
 			}, nil)
 			if err != nil {
-				return nil, err
+				return protPoint{}, err
 			}
 			att, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 				return grcNAVWorld(seed, tc.tr, d, true, false)
 			}, nil)
 			if err != nil {
-				return nil, err
+				return protPoint{}, err
 			}
 			prot, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 				return grcNAVWorld(seed, tc.tr, d, true, true)
 			}, nil)
-			if err != nil {
-				return nil, err
-			}
-			noGR.Add(d, base[1])
-			attR1.Add(d, att[1])
-			attR2.Add(d, att[2])
-			grcR1.Add(d, prot[1])
-			grcR2.Add(d, prot[2])
+			return protPoint{base, att, prot}, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range dists {
+			p := pts[i]
+			noGR.Add(d, p.base[1])
+			attR1.Add(d, p.att[1])
+			attR2.Add(d, p.att[2])
+			grcR1.Add(d, p.prot[1])
+			grcR2.Add(d, p.prot[2])
 		}
 		res.AddSeries(tc.caption+" — GRC restores R1 below 55 m; beyond 55 m the inflated CTS is inaudible anyway.",
 			"pair_separation_m", noGR, attR1, attR2, grcR1, grcR2)
@@ -238,33 +246,36 @@ func runFig24(cfg RunConfig) (*Result, error) {
 	attR2 := stats.Series{Name: "GR no GRC: R2 (Mbps)"}
 	grcR1 := stats.Series{Name: "GR + GRC: R1 (Mbps)"}
 	grcR2 := stats.Series{Name: "GR + GRC: R2 (Mbps)"}
-	for _, ber := range bers {
-		ber := ber
+	pts, err := sweep(bers, func(ber float64) (protPoint, error) {
 		base, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return grcSpoofWorld(seed, ber, false, false)
 		}, nil)
 		if err != nil {
-			return nil, err
+			return protPoint{}, err
 		}
 		att, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return grcSpoofWorld(seed, ber, true, false)
 		}, nil)
 		if err != nil {
-			return nil, err
+			return protPoint{}, err
 		}
 		prot, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return grcSpoofWorld(seed, ber, true, true)
 		}, nil)
-		if err != nil {
-			return nil, err
-		}
+		return protPoint{base, att, prot}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ber := range bers {
+		p := pts[i]
 		x := ber * 1e4
-		noGR1.Add(x, base[1])
-		noGR2.Add(x, base[2])
-		attR1.Add(x, att[1])
-		attR2.Add(x, att[2])
-		grcR1.Add(x, prot[1])
-		grcR2.Add(x, prot[2])
+		noGR1.Add(x, p.base[1])
+		noGR2.Add(x, p.base[2])
+		attR1.Add(x, p.att[1])
+		attR2.Add(x, p.att[2])
+		grcR1.Add(x, p.prot[1])
+		grcR2.Add(x, p.prot[2])
 	}
 	res.AddSeries("With GRC both flows track the no-attack goodput curves.",
 		"ber_1e-4", noGR1, noGR2, attR1, attR2, grcR1, grcR2)

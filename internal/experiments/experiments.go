@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"greedy80211/internal/runner"
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
 	"greedy80211/internal/stats"
@@ -205,27 +206,46 @@ func Run(id string, cfg RunConfig) (*Result, error) {
 
 // --- shared runners -------------------------------------------------------
 
+// seedRun is one seed's extraction: per-flow goodputs plus any metrics.
+type seedRun struct {
+	flows   map[int]float64
+	metrics map[string]float64
+}
+
 // runSeeds builds and runs the scenario once per seed, extracting per-flow
 // goodputs and any additional metrics, then reduces each to its median.
+// Seeds run concurrently on the runner pool (each world is an independent
+// single-goroutine simulation); results are merged in seed order, so the
+// medians are identical to a sequential run.
 func runSeeds(cfg RunConfig, build func(seed int64) (*scenario.World, error),
 	extract func(w *scenario.World, metrics map[string]float64)) (map[int]float64, map[string]float64, error) {
-	perFlow := make(map[int][]float64)
-	perMetric := make(map[string][]float64)
-	for i := 0; i < cfg.Seeds; i++ {
+	runs, err := runner.Map(cfg.Seeds, func(i int) (seedRun, error) {
 		w, err := build(cfg.BaseSeed + int64(i) + 1)
 		if err != nil {
-			return nil, nil, err
+			return seedRun{}, err
 		}
 		w.Run(cfg.Duration)
+		r := seedRun{flows: make(map[int]float64)}
 		for _, fl := range w.Flows() {
-			perFlow[fl.ID] = append(perFlow[fl.ID], fl.GoodputMbps(cfg.Duration))
+			r.flows[fl.ID] = fl.GoodputMbps(cfg.Duration)
 		}
 		if extract != nil {
-			m := make(map[string]float64)
-			extract(w, m)
-			for k, v := range m {
-				perMetric[k] = append(perMetric[k], v)
-			}
+			r.metrics = make(map[string]float64)
+			extract(w, r.metrics)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	perFlow := make(map[int][]float64)
+	perMetric := make(map[string][]float64)
+	for _, r := range runs {
+		for id, v := range r.flows {
+			perFlow[id] = append(perFlow[id], v)
+		}
+		for k, v := range r.metrics {
+			perMetric[k] = append(perMetric[k], v)
 		}
 	}
 	flows := make(map[int]float64, len(perFlow))
@@ -237,6 +257,21 @@ func runSeeds(cfg RunConfig, build func(seed int64) (*scenario.World, error),
 		metrics[k] = stats.Median(vals)
 	}
 	return flows, metrics, nil
+}
+
+// baseAttPoint pairs one sweep point's baseline and attack per-flow
+// goodputs (the recurring no-GR / with-GR comparison).
+type baseAttPoint struct {
+	base, att map[int]float64
+}
+
+// sweep runs body(x) for every sweep value concurrently on the runner pool
+// and returns the per-point results in sweep order. The bodies themselves
+// typically call runSeeds, which fans out further; nesting is safe and the
+// ordering of the returned slice — and therefore of every series point and
+// table row derived from it — matches the sequential loop it replaces.
+func sweep[X any, T any](xs []X, body func(x X) (T, error)) ([]T, error) {
+	return runner.Map(len(xs), func(i int) (T, error) { return body(xs[i]) })
 }
 
 // pick trims a sweep to representative points in Quick mode: first, one

@@ -37,23 +37,26 @@ func runFig18(cfg RunConfig) (*Result, error) {
 	oneR2 := stats.Series{Name: "1 GR: R2 greedy (Mbps)"}
 	bothR1 := stats.Series{Name: "2 GR: R1 (Mbps)"}
 	bothR2 := stats.Series{Name: "2 GR: R2 (Mbps)"}
-	for _, gp := range gps {
+	pts, err := sweep(gps, func(gp float64) (baseAttPoint, error) {
 		one, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return hiddenWorld(seed, phys.Band80211B, gp, 1)
 		}, nil)
 		if err != nil {
-			return nil, err
+			return baseAttPoint{}, err
 		}
-		oneR1.Add(gp, one[1])
-		oneR2.Add(gp, one[2])
 		both, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return hiddenWorld(seed, phys.Band80211B, gp, 2)
 		}, nil)
-		if err != nil {
-			return nil, err
-		}
-		bothR1.Add(gp, both[1])
-		bothR2.Add(gp, both[2])
+		return baseAttPoint{base: one, att: both}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, gp := range gps {
+		oneR1.Add(gp, pts[i].base[1])
+		oneR2.Add(gp, pts[i].base[2])
+		bothR1.Add(gp, pts[i].att[1])
+		bothR2.Add(gp, pts[i].att[2])
 	}
 	res.AddSeries("(a) only R2 fakes ACKs: its gain grows with GP.",
 		"greedy_percent", oneR1, oneR2)
@@ -73,6 +76,12 @@ func runTab4(cfg RunConfig) (*Result, error) {
 	if cfg.Quick {
 		bands = bands[:1]
 	}
+	type rowCase struct {
+		band    phys.Band
+		name    string
+		nGreedy int
+	}
+	var cases []rowCase
 	for _, band := range bands {
 		for _, tc := range []struct {
 			name    string
@@ -82,14 +91,20 @@ func runTab4(cfg RunConfig) (*Result, error) {
 			{"R2 GR", 1},
 			{"both GR", 2},
 		} {
-			_, metrics, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
-				return hiddenWorld(seed, band, 100, tc.nGreedy)
-			}, cwExtract)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(band.String(), tc.name, metrics["cw_ns"], metrics["cw_gs"])
+			cases = append(cases, rowCase{band, tc.name, tc.nGreedy})
 		}
+	}
+	rows, err := sweep(cases, func(rc rowCase) (map[string]float64, error) {
+		_, metrics, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+			return hiddenWorld(seed, rc.band, 100, rc.nGreedy)
+		}, cwExtract)
+		return metrics, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, rc := range cases {
+		t.AddRow(rc.band.String(), rc.name, rows[i]["cw_ns"], rows[i]["cw_gs"])
 	}
 	res.AddTable(t)
 	return res, nil
@@ -121,26 +136,33 @@ func runTab5(cfg RunConfig) (*Result, error) {
 		Header: []string{"data_fer", "noGR_R1", "noGR_R2", "1GR_R1", "1GR_R2(GR)", "2GR_R1", "2GR_R2"},
 	}
 	fers := pick(cfg, []float64{0.2, 0.5, 0.8})
-	for _, fer := range fers {
+	type ferPoint struct {
+		base, one, two map[int]float64
+	}
+	pts, err := sweep(fers, func(fer float64) (ferPoint, error) {
 		base, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return inherentLossPairs(seed, fer, 0, 0)
 		}, nil)
 		if err != nil {
-			return nil, err
+			return ferPoint{}, err
 		}
 		one, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return inherentLossPairs(seed, fer, 100, 1)
 		}, nil)
 		if err != nil {
-			return nil, err
+			return ferPoint{}, err
 		}
 		two, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return inherentLossPairs(seed, fer, 100, 2)
 		}, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fer, base[1], base[2], one[1], one[2], two[1], two[2])
+		return ferPoint{base, one, two}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, fer := range fers {
+		p := pts[i]
+		t.AddRow(fer, p.base[1], p.base[2], p.one[1], p.one[2], p.two[1], p.two[2])
 	}
 	res.AddTable(t)
 	return res, nil
@@ -156,7 +178,7 @@ func runFig19(cfg RunConfig) (*Result, error) {
 	for _, fer := range []float64{0.2, 0.5} {
 		nrAvg := stats.Series{Name: "normal avg (Mbps)"}
 		gr := stats.Series{Name: "greedy (Mbps)"}
-		for _, n := range ns {
+		pts, err := sweep(ns, func(n int) (map[int]float64, error) {
 			total := n + 1
 			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 				return scenario.BuildPairs(scenario.PairsConfig{
@@ -173,15 +195,19 @@ func runFig19(cfg RunConfig) (*Result, error) {
 					},
 				})
 			}, nil)
-			if err != nil {
-				return nil, err
-			}
+			return flows, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, n := range ns {
+			total := n + 1
 			var sum float64
 			for id := 1; id < total; id++ {
-				sum += flows[id]
+				sum += pts[i][id]
 			}
 			nrAvg.Add(float64(n), sum/float64(n))
-			gr.Add(float64(n), flows[total])
+			gr.Add(float64(n), pts[i][total])
 		}
 		res.AddSeries(fmt.Sprintf("data frame error rate %.1f", fer),
 			"normal_pairs", nrAvg, gr)

@@ -50,16 +50,19 @@ func runFig1(cfg RunConfig) (*Result, error) {
 	sweepMs := pick(cfg, []float64{0, 0.2, 0.4, 0.6, 1, 2, 5, 10})
 	nr := stats.Series{Name: "NS-NR (Mbps)"}
 	gr := stats.Series{Name: "GS-GR (Mbps)"}
-	for _, ms := range sweepMs {
+	pts, err := sweep(sweepMs, func(ms float64) (map[int]float64, error) {
 		extra := sim.FromSeconds(ms / 1000)
 		flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return navPairs(seed, phys.Band80211B, scenario.UDP, greedy.CTSOnly, extra, 100, 1, 2)
 		}, nil)
-		if err != nil {
-			return nil, err
-		}
-		nr.Add(ms, flows[1])
-		gr.Add(ms, flows[2])
+		return flows, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ms := range sweepMs {
+		nr.Add(ms, pts[i][1])
+		gr.Add(ms, pts[i][2])
 	}
 	res.AddSeries("Goodput of two UDP flows; GR inflates CTS NAV.", "nav_increase_ms", nr, gr)
 	return res, nil
@@ -80,16 +83,19 @@ func runFig2(cfg RunConfig) (*Result, error) {
 	nsCW := stats.Series{Name: "NS avg CW"}
 	gsCW := stats.Series{Name: "GS avg CW"}
 	slot := phys.Params80211B().SlotTime
-	for _, v := range sweepSlots {
+	pts, err := sweep(sweepSlots, func(v float64) (map[string]float64, error) {
 		extra := sim.Time(v) * slot
 		_, metrics, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return navPairs(seed, phys.Band80211B, scenario.UDP, greedy.CTSAndACK, extra, 100, 1, 2)
 		}, cwExtract)
-		if err != nil {
-			return nil, err
-		}
-		nsCW.Add(v, metrics["cw_ns"])
-		gsCW.Add(v, metrics["cw_gs"])
+		return metrics, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range sweepSlots {
+		nsCW.Add(v, pts[i]["cw_ns"])
+		gsCW.Add(v, pts[i]["cw_gs"])
 	}
 	res.AddSeries("GS's CW stays near CWmin (31) while NS's grows with inflation.",
 		"nav_increase_slots", gsCW, nsCW)
@@ -103,7 +109,7 @@ func runFig3(cfg RunConfig) (*Result, error) {
 	measured := stats.Series{Name: "measured RTS ratio"}
 	model := stats.Series{Name: "Eq 1-2 model"}
 	slot := phys.Params80211B().SlotTime
-	for _, v := range sweepSlots {
+	pts, err := sweep(sweepSlots, func(v float64) (map[string]float64, error) {
 		extra := sim.Time(v) * slot
 		_, metrics, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return navPairs(seed, phys.Band80211B, scenario.UDP, greedy.CTSAndACK, extra, 100, 1, 2)
@@ -122,11 +128,14 @@ func runFig3(cfg RunConfig) (*Result, error) {
 				m["model"] = r
 			}
 		})
-		if err != nil {
-			return nil, err
-		}
-		measured.Add(v, metrics["ratio"])
-		model.Add(v, metrics["model"])
+		return metrics, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range sweepSlots {
+		measured.Add(v, pts[i]["ratio"])
+		model.Add(v, pts[i]["model"])
 	}
 	res.AddSeries("Model accuracy for the NAV-inflation send ratio.", "nav_increase_slots",
 		measured, model)
@@ -153,16 +162,19 @@ func navTCPSweep(cfg RunConfig, band phys.Band, set greedy.FrameSet, label strin
 	sweepMs := pick(cfg, []float64{0, 1, 2, 5, 10, 20, 31})
 	nr := stats.Series{Name: "NS-NR " + label}
 	gr := stats.Series{Name: "GS-GR " + label}
-	for _, ms := range sweepMs {
+	pts, err := sweep(sweepMs, func(ms float64) (map[int]float64, error) {
 		extra := sim.FromSeconds(ms / 1000)
 		flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return navPairs(seed, band, scenario.TCP, set, extra, 100, 1, 2)
 		}, nil)
-		if err != nil {
-			return stats.Series{}, stats.Series{}, err
-		}
-		nr.Add(ms, flows[1])
-		gr.Add(ms, flows[2])
+		return flows, err
+	})
+	if err != nil {
+		return stats.Series{}, stats.Series{}, err
+	}
+	for i, ms := range sweepMs {
+		nr.Add(ms, pts[i][1])
+		gr.Add(ms, pts[i][2])
 	}
 	return nr, gr, nil
 }
@@ -201,20 +213,23 @@ func runFig6(cfg RunConfig) (*Result, error) {
 	sweepMs := pick(cfg, []float64{0, 1, 2, 5, 10, 31})
 	gr := stats.Series{Name: "greedy receiver (Mbps)"}
 	nrAvg := stats.Series{Name: "avg of 7 normal receivers (Mbps)"}
-	for _, ms := range sweepMs {
+	pts, err := sweep(sweepMs, func(ms float64) (map[int]float64, error) {
 		extra := sim.FromSeconds(ms / 1000)
 		flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return navPairs(seed, phys.Band80211B, scenario.TCP, greedy.CTSOnly, extra, 100, 1, 8)
 		}, nil)
-		if err != nil {
-			return nil, err
-		}
+		return flows, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ms := range sweepMs {
 		var sum float64
 		for id := 1; id <= 7; id++ {
-			sum += flows[id]
+			sum += pts[i][id]
 		}
 		nrAvg.Add(ms, sum/7)
-		gr.Add(ms, flows[8])
+		gr.Add(ms, pts[i][8])
 	}
 	res.AddSeries("It takes ≈10 ms of CTS NAV inflation to dominate 7 competitors.",
 		"nav_increase_ms", gr, nrAvg)
@@ -229,15 +244,18 @@ func runFig7(cfg RunConfig) (*Result, error) {
 		extra := sim.FromSeconds(navMs / 1000)
 		nr := stats.Series{Name: "NS-NR (Mbps)"}
 		gr := stats.Series{Name: "GS-GR (Mbps)"}
-		for _, gp := range gps {
+		pts, err := sweep(gps, func(gp float64) (map[int]float64, error) {
 			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 				return navPairs(seed, phys.Band80211B, scenario.TCP, greedy.CTSOnly, extra, gp, 1, 2)
 			}, nil)
-			if err != nil {
-				return nil, err
-			}
-			nr.Add(gp, flows[1])
-			gr.Add(gp, flows[2])
+			return flows, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, gp := range gps {
+			nr.Add(gp, pts[i][1])
+			gr.Add(gp, pts[i][2])
 		}
 		res.AddSeries(fmt.Sprintf("NAV inflated by %.0f ms", navMs), "greedy_percent", nr, gr)
 	}
@@ -255,17 +273,28 @@ func runFig8(cfg RunConfig) (*Result, error) {
 	if cfg.Quick {
 		counts = []int{0, 2}
 	}
+	type rowCase struct {
+		navMs float64
+		k     int
+	}
+	var cases []rowCase
 	for _, navMs := range []float64{5, 10, 31} {
-		extra := sim.FromSeconds(navMs / 1000)
 		for _, k := range counts {
-			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
-				return navPairs(seed, phys.Band80211B, scenario.TCP, greedy.CTSOnly, extra, 100, k, 2)
-			}, nil)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(navMs, k, flows[1], flows[2])
+			cases = append(cases, rowCase{navMs, k})
 		}
+	}
+	rows, err := sweep(cases, func(rc rowCase) (map[int]float64, error) {
+		extra := sim.FromSeconds(rc.navMs / 1000)
+		flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+			return navPairs(seed, phys.Band80211B, scenario.TCP, greedy.CTSOnly, extra, 100, rc.k, 2)
+		}, nil)
+		return flows, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, rc := range cases {
+		t.AddRow(rc.navMs, rc.k, rows[i][1], rows[i][2])
 	}
 	res.AddTable(t)
 	return res, nil
@@ -282,17 +311,20 @@ func runFig9(cfg RunConfig) (*Result, error) {
 	if cfg.Quick {
 		counts = []int{0, 2}
 	}
-	for _, k := range counts {
+	rows, err := sweep(counts, func(k int) (map[int]float64, error) {
 		flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return navPairs(seed, phys.Band80211B, scenario.TCP, greedy.CTSOnly, 31*sim.Millisecond, 100, k, 8)
 		}, nil)
-		if err != nil {
-			return nil, err
-		}
+		return flows, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range counts {
 		row := make([]any, 0, 9)
 		row = append(row, k)
 		for id := 1; id <= 8; id++ {
-			row = append(row, flows[id])
+			row = append(row, rows[i][id])
 		}
 		t.AddRow(row...)
 	}
@@ -325,20 +357,23 @@ func runFig10(cfg RunConfig) (*Result, error) {
 	panel := func(caption string, tr scenario.Transport, n int) error {
 		nr := stats.Series{Name: "normal avg (Mbps)"}
 		gr := stats.Series{Name: "greedy (Mbps)"}
-		for _, ms := range sweepMs {
+		pts, err := sweep(sweepMs, func(ms float64) (map[int]float64, error) {
 			extra := sim.FromSeconds(ms / 1000)
 			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 				return sharedAP(seed, tr, n, extra)
 			}, nil)
-			if err != nil {
-				return err
-			}
+			return flows, err
+		})
+		if err != nil {
+			return err
+		}
+		for i, ms := range sweepMs {
 			var sum float64
 			for id := 1; id < n; id++ {
-				sum += flows[id]
+				sum += pts[i][id]
 			}
 			nr.Add(ms, sum/float64(n-1))
-			gr.Add(ms, flows[n])
+			gr.Add(ms, pts[i][n])
 		}
 		res.AddSeries(caption, "nav_increase_ms", nr, gr)
 		return nil
@@ -371,21 +406,31 @@ func runTab2(cfg RunConfig) (*Result, error) {
 		m["cwnd1"] = f1.TCPSend.AvgCwnd()
 		m["cwnd2"] = f2.TCPSend.AvgCwnd()
 	}
-	for _, ms := range sweepMs {
+	type cwndPoint struct {
+		oneSnd, twoSnd map[string]float64
+	}
+	pts, err := sweep(sweepMs, func(ms float64) (cwndPoint, error) {
 		extra := sim.FromSeconds(ms / 1000)
 		_, oneSnd, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return sharedAP(seed, scenario.TCP, 2, extra)
 		}, cwnd)
 		if err != nil {
-			return nil, err
+			return cwndPoint{}, err
 		}
 		_, twoSnd, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return navPairs(seed, phys.Band80211B, scenario.TCP, greedy.CTSOnly, extra, 100, 1, 2)
 		}, cwnd)
 		if err != nil {
-			return nil, err
+			return cwndPoint{}, err
 		}
-		t.AddRow(ms, oneSnd["cwnd1"], oneSnd["cwnd2"], twoSnd["cwnd1"], twoSnd["cwnd2"])
+		return cwndPoint{oneSnd, twoSnd}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ms := range sweepMs {
+		p := pts[i]
+		t.AddRow(ms, p.oneSnd["cwnd1"], p.oneSnd["cwnd2"], p.twoSnd["cwnd1"], p.twoSnd["cwnd2"])
 	}
 	res.AddTable(t)
 	return res, nil

@@ -63,24 +63,27 @@ func runFig11(cfg RunConfig) (*Result, error) {
 		noGR2 := stats.Series{Name: "no GR: R2 (Mbps)"}
 		wNR := stats.Series{Name: "w R2 GR: NR (Mbps)"}
 		wGR := stats.Series{Name: "w R2 GR: GR (Mbps)"}
-		for _, ber := range bers {
+		pts, err := sweep(bers, func(ber float64) (baseAttPoint, error) {
 			base, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 				return spoofPairs(seed, band, ber, 0, 0)
 			}, nil)
 			if err != nil {
-				return nil, err
+				return baseAttPoint{}, err
 			}
 			att, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 				return spoofPairs(seed, band, ber, 100, 1)
 			}, nil)
-			if err != nil {
-				return nil, err
-			}
+			return baseAttPoint{base, att}, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, ber := range bers {
 			x := ber * 1e4
-			noGR1.Add(x, base[1])
-			noGR2.Add(x, base[2])
-			wNR.Add(x, att[1])
-			wGR.Add(x, att[2])
+			noGR1.Add(x, pts[i].base[1])
+			noGR2.Add(x, pts[i].base[2])
+			wNR.Add(x, pts[i].att[1])
+			wGR.Add(x, pts[i].att[2])
 		}
 		res.AddSeries(fmt.Sprintf("%v; GR spoofs MAC ACKs on behalf of NR.", band),
 			"ber_1e-4", noGR1, noGR2, wNR, wGR)
@@ -95,15 +98,18 @@ func runFig12(cfg RunConfig) (*Result, error) {
 	for _, ber := range []float64{1e-5, 2e-4, 8e-4} {
 		nr := stats.Series{Name: "NS-NR (Mbps)"}
 		gr := stats.Series{Name: "GS-GR (Mbps)"}
-		for _, gp := range gps {
+		pts, err := sweep(gps, func(gp float64) (map[int]float64, error) {
 			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 				return spoofPairs(seed, phys.Band80211B, ber, gp, 1)
 			}, nil)
-			if err != nil {
-				return nil, err
-			}
-			nr.Add(gp, flows[1])
-			gr.Add(gp, flows[2])
+			return flows, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, gp := range gps {
+			nr.Add(gp, pts[i][1])
+			gr.Add(gp, pts[i][2])
 		}
 		res.AddSeries(fmt.Sprintf("BER %.1e", ber), "greedy_percent", nr, gr)
 	}
@@ -122,6 +128,11 @@ func runFig13(cfg RunConfig) (*Result, error) {
 	if cfg.Quick {
 		counts = []int{0, 2}
 	}
+	type rowCase struct {
+		gp float64
+		k  int
+	}
+	var cases []rowCase
 	for _, k := range counts {
 		for _, gp := range gps {
 			if k == 0 && gp != gps[0] {
@@ -131,14 +142,20 @@ func runFig13(cfg RunConfig) (*Result, error) {
 			if k == 0 {
 				useGP = 0
 			}
-			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
-				return spoofPairs(seed, phys.Band80211B, 2e-4, useGP, k)
-			}, nil)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(useGP, k, flows[1], flows[2], flows[1]+flows[2])
+			cases = append(cases, rowCase{useGP, k})
 		}
+	}
+	rows, err := sweep(cases, func(rc rowCase) (map[int]float64, error) {
+		flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+			return spoofPairs(seed, phys.Band80211B, 2e-4, rc.gp, rc.k)
+		}, nil)
+		return flows, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, rc := range cases {
+		t.AddRow(rc.gp, rc.k, rows[i][1], rows[i][2], rows[i][1]+rows[i][2])
 	}
 	res.AddTable(t)
 	return res, nil
@@ -159,10 +176,10 @@ func runFig14(cfg RunConfig) (*Result, error) {
 		Title:  "(b) each flow has its own AP",
 		Header: []string{"normal_receivers", "normal_avg_mbps", "greedy_mbps"},
 	}
-	for _, n := range ns {
+	pts, err := sweep(ns, func(n int) (baseAttPoint, error) {
 		total := n + 1
 		// (a) shared AP: receiver total-1 spoofs for everyone else.
-		flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+		sharedFlows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return scenario.BuildSharedAP(scenario.SharedAPConfig{
 				Config: scenario.Config{
 					Seed: seed, UseRTSCTS: true, DefaultBER: 2e-4, ForceCapture: true,
@@ -178,16 +195,11 @@ func runFig14(cfg RunConfig) (*Result, error) {
 			})
 		}, nil)
 		if err != nil {
-			return nil, err
+			return baseAttPoint{}, err
 		}
-		var sum float64
-		for id := 1; id < total; id++ {
-			sum += flows[id]
-		}
-		shared.AddRow(n, sum/float64(n), flows[total])
 
 		// (b) separate APs: pairs topology.
-		flows, _, err = runSeeds(cfg, func(seed int64) (*scenario.World, error) {
+		sepFlows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return scenario.BuildPairs(scenario.PairsConfig{
 				Config: scenario.Config{
 					Seed: seed, UseRTSCTS: true, DefaultBER: 2e-4, ForceCapture: true,
@@ -202,14 +214,20 @@ func runFig14(cfg RunConfig) (*Result, error) {
 				},
 			})
 		}, nil)
-		if err != nil {
-			return nil, err
-		}
-		sum = 0
+		return baseAttPoint{base: sharedFlows, att: sepFlows}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		total := n + 1
+		var sharedSum, sepSum float64
 		for id := 1; id < total; id++ {
-			sum += flows[id]
+			sharedSum += pts[i].base[id]
+			sepSum += pts[i].att[id]
 		}
-		separate.AddRow(n, sum/float64(n), flows[total])
+		shared.AddRow(n, sharedSum/float64(n), pts[i].base[total])
+		separate.AddRow(n, sepSum/float64(n), pts[i].att[total])
 	}
 	res.AddTable(shared)
 	res.AddTable(separate)
@@ -273,7 +291,7 @@ func runFig15(cfg RunConfig) (*Result, error) {
 	noGR2 := stats.Series{Name: "no GR: R2 (Mbps)"}
 	wNR := stats.Series{Name: "w R2 GR: NR (Mbps)"}
 	wGR := stats.Series{Name: "w R2 GR: GR (Mbps)"}
-	for _, ms := range delays {
+	pts, err := sweep(delays, func(ms float64) (baseAttPoint, error) {
 		delay := sim.FromSeconds(ms / 1000)
 		// Long WAN round trips need longer runs: TCP must leave slow
 		// start and reach steady state before the measurement means much.
@@ -282,18 +300,21 @@ func runFig15(cfg RunConfig) (*Result, error) {
 			return remoteSenders(seed, delay, 0)
 		}, nil)
 		if err != nil {
-			return nil, err
+			return baseAttPoint{}, err
 		}
 		att, _, err := runSeeds(wanCfg, func(seed int64) (*scenario.World, error) {
 			return remoteSenders(seed, delay, 100)
 		}, nil)
-		if err != nil {
-			return nil, err
-		}
-		noGR1.Add(ms, base[1])
-		noGR2.Add(ms, base[2])
-		wNR.Add(ms, att[1])
-		wGR.Add(ms, att[2])
+		return baseAttPoint{base, att}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ms := range delays {
+		noGR1.Add(ms, pts[i].base[1])
+		noGR2.Add(ms, pts[i].base[2])
+		wNR.Add(ms, pts[i].att[1])
+		wGR.Add(ms, pts[i].att[2])
 	}
 	res.AddSeries("End-to-end loss recovery grows costlier with wireline latency.",
 		"wired_latency_ms", noGR1, noGR2, wNR, wGR)
@@ -313,15 +334,18 @@ func runFig16(cfg RunConfig) (*Result, error) {
 		wanCfg := wanDuration(cfg, delay)
 		nr := stats.Series{Name: "NR (Mbps)"}
 		gr := stats.Series{Name: "GR (Mbps)"}
-		for _, gp := range gps {
+		pts, err := sweep(gps, func(gp float64) (map[int]float64, error) {
 			flows, _, err := runSeeds(wanCfg, func(seed int64) (*scenario.World, error) {
 				return remoteSenders(seed, delay, gp)
 			}, nil)
-			if err != nil {
-				return nil, err
-			}
-			nr.Add(gp, flows[1])
-			gr.Add(gp, flows[2])
+			return flows, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, gp := range gps {
+			nr.Add(gp, pts[i][1])
+			gr.Add(gp, pts[i][2])
 		}
 		res.AddSeries(fmt.Sprintf("wireline latency %.0f ms", ms), "greedy_percent", nr, gr)
 	}
@@ -355,25 +379,27 @@ func runFig17(cfg RunConfig) (*Result, error) {
 	noGR2 := stats.Series{Name: "no GR: R2 (Mbps)"}
 	wNR := stats.Series{Name: "w R2 GR: NR (Mbps)"}
 	wGR := stats.Series{Name: "w R2 GR: GR (Mbps)"}
-	for _, ber := range bers {
-		ber := ber
+	pts, err := sweep(bers, func(ber float64) (baseAttPoint, error) {
 		base, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return build(seed, ber, 0)
 		}, nil)
 		if err != nil {
-			return nil, err
+			return baseAttPoint{}, err
 		}
 		att, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return build(seed, ber, 100)
 		}, nil)
-		if err != nil {
-			return nil, err
-		}
+		return baseAttPoint{base, att}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ber := range bers {
 		x := ber * 1e4
-		noGR1.Add(x, base[1])
-		noGR2.Add(x, base[2])
-		wNR.Add(x, att[1])
-		wGR.Add(x, att[2])
+		noGR1.Add(x, pts[i].base[1])
+		noGR2.Add(x, pts[i].base[2])
+		wNR.Add(x, pts[i].att[1])
+		wGR.Add(x, pts[i].att[2])
 	}
 	res.AddSeries("UDP gains are smaller than TCP's (no congestion-control coupling).",
 		"ber_1e-4", noGR1, noGR2, wNR, wGR)

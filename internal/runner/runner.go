@@ -1,0 +1,123 @@
+// Package runner is the experiment harness's worker pool. Every simulated
+// world is an independent, deterministic, single-goroutine computation, so
+// the harness fans (sweep-point × seed) builds/runs across CPUs and then
+// aggregates sequentially.
+//
+// Determinism is preserved by construction: Map collects results by input
+// index, never by completion order, and reports the error of the
+// lowest-indexed failure. A run with limit 1 and a run with limit N
+// therefore produce byte-identical aggregates.
+//
+// Map calls nest freely (a sweep over points whose body runs a Map over
+// seeds): a task that cannot get a pool slot runs inline on the caller's
+// goroutine instead of queueing, which both bounds concurrency near the
+// limit and makes nested waits deadlock-free.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	mu  sync.Mutex
+	sem chan struct{} // capacity = current limit; nil until first use
+)
+
+// SetLimit caps how many Map tasks run concurrently across the whole
+// process. n < 1 means 1 (fully sequential). The default is
+// runtime.GOMAXPROCS(0). Calls already in flight keep their previous
+// limit; subsequent Map calls use the new one.
+func SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	sem = make(chan struct{}, n)
+}
+
+// Limit reports the current concurrency limit.
+func Limit() int { return cap(pool()) }
+
+// pool returns the current semaphore, initializing it to GOMAXPROCS on
+// first use.
+func pool() chan struct{} {
+	mu.Lock()
+	defer mu.Unlock()
+	if sem == nil {
+		sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+	}
+	return sem
+}
+
+// panicValue carries a recovered panic from a worker to the caller.
+type panicValue struct{ v any }
+
+// Map runs fn(0) … fn(n-1) across the worker pool and returns the results
+// in index order. All tasks are attempted even after a failure; the error
+// returned is the one from the lowest failing index, so error reporting
+// does not depend on completion order. A panic in any task is re-raised on
+// the caller's goroutine after the remaining tasks finish.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if n == 1 {
+		var err error
+		out[0], err = fn(0)
+		return out, err
+	}
+	sem := pool()
+	var (
+		wg     sync.WaitGroup
+		pmu    sync.Mutex
+		panics []panicValue
+	)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				pmu.Lock()
+				panics = append(panics, panicValue{r})
+				pmu.Unlock()
+			}
+		}()
+		out[i], errs[i] = fn(i)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				run(i)
+			}(i)
+		default:
+			// Pool saturated (or this is a nested Map holding slots up
+			// the stack): run on the caller's goroutine to keep making
+			// progress without queueing.
+			run(i)
+		}
+	}
+	wg.Wait()
+	if len(panics) > 0 {
+		panic(panics[0].v)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Each is Map for bodies with no result value.
+func Each(n int, fn func(i int) error) error {
+	_, err := Map(n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

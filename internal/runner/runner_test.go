@@ -1,0 +1,165 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withLimit runs body under a temporary concurrency limit.
+func withLimit(t *testing.T, n int, body func()) {
+	t.Helper()
+	old := Limit()
+	SetLimit(n)
+	defer SetLimit(old)
+	body()
+}
+
+func TestMapOrdering(t *testing.T) {
+	for _, limit := range []int{1, 2, 8} {
+		withLimit(t, limit, func() {
+			got, err := Map(100, func(i int) (int, error) { return i * i, nil })
+			if err != nil {
+				t.Fatalf("limit %d: %v", limit, err)
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("limit %d: got[%d] = %d, want %d", limit, i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+}
+
+// The reported error must be the lowest-indexed failure regardless of
+// completion order, so parallel and sequential runs fail identically.
+func TestMapLowestIndexError(t *testing.T) {
+	withLimit(t, 8, func() {
+		errHigh := errors.New("high")
+		errLow := errors.New("low")
+		_, err := Map(50, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errLow
+			case 31:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if err != errLow {
+			t.Fatalf("err = %v, want lowest-index error %v", err, errLow)
+		}
+	})
+}
+
+func TestMapConcurrencyBounded(t *testing.T) {
+	withLimit(t, 3, func() {
+		var cur, max atomic.Int32
+		var mu sync.Mutex
+		_, err := Map(64, func(i int) (struct{}, error) {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > max.Load() {
+				max.Store(c)
+			}
+			mu.Unlock()
+			defer cur.Add(-1)
+			return struct{}{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// limit workers + the submitting goroutine running inline.
+		if got := max.Load(); got > 4 {
+			t.Errorf("observed concurrency %d, want ≤ limit+1 = 4", got)
+		}
+	})
+}
+
+// Nested Maps (sweep over points × seeds) must not deadlock even when the
+// pool is saturated by the outer level.
+func TestMapNestedNoDeadlock(t *testing.T) {
+	withLimit(t, 2, func() {
+		got, err := Map(8, func(i int) (int, error) {
+			inner, err := Map(8, func(j int) (int, error) { return i*8 + j, nil })
+			if err != nil {
+				return 0, err
+			}
+			sum := 0
+			for _, v := range inner {
+				sum += v
+			}
+			return sum, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			want := 0
+			for j := 0; j < 8; j++ {
+				want += i*8 + j
+			}
+			if v != want {
+				t.Fatalf("got[%d] = %d, want %d", i, v, want)
+			}
+		}
+	})
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	withLimit(t, 4, func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want boom", r)
+			}
+		}()
+		Map(16, func(i int) (int, error) {
+			if i == 5 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		t.Fatal("Map did not panic")
+	})
+}
+
+func TestSetLimitClamps(t *testing.T) {
+	old := Limit()
+	defer SetLimit(old)
+	SetLimit(0)
+	if Limit() != 1 {
+		t.Errorf("Limit() = %d after SetLimit(0), want 1", Limit())
+	}
+	SetLimit(-3)
+	if Limit() != 1 {
+		t.Errorf("Limit() = %d after SetLimit(-3), want 1", Limit())
+	}
+}
+
+func TestEach(t *testing.T) {
+	withLimit(t, 4, func() {
+		var count atomic.Int32
+		if err := Each(10, func(i int) error {
+			count.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if count.Load() != 10 {
+			t.Errorf("ran %d tasks, want 10", count.Load())
+		}
+		wantErr := fmt.Errorf("nope")
+		if err := Each(3, func(i int) error { return wantErr }); err != wantErr {
+			t.Errorf("Each err = %v, want %v", err, wantErr)
+		}
+	})
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -13,10 +12,16 @@ type Handler func()
 // Event is a scheduled callback. The zero value is not useful; events are
 // created via Scheduler.Schedule or Scheduler.At. An Event may be cancelled
 // before it fires; cancellation is O(1) (the event is skipped when popped).
+//
+// Events are recycled: once an event has fired (or been cancelled and
+// drained from the queue) its storage returns to the scheduler's freelist
+// and a later Schedule/At call may hand the same *Event out again. Holding
+// a reference past that point and calling Cancel on it would cancel the
+// event's next incarnation, so drop references when an event fires — the
+// pattern Timer follows by clearing its pointer before running the handler.
 type Event struct {
 	when      Time
 	seq       uint64 // tie-break: FIFO among same-time events
-	index     int    // heap index, -1 once popped
 	cancelled bool
 	fn        Handler
 }
@@ -27,57 +32,49 @@ func (e *Event) When() Time { return e.when }
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
-// eventQueue implements heap.Interface over *Event ordered by (when, seq).
-type eventQueue []*Event
-
-// Len implements heap.Interface.
-func (q eventQueue) Len() int { return len(q) }
-
-// Less implements heap.Interface.
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
+// entry is one heap slot. The ordering key (when, seq) is stored inline so
+// sift comparisons stay within the heap's own backing array instead of
+// chasing the *Event pointer.
+type entry struct {
+	when Time
+	seq  uint64
+	ev   *Event
 }
 
-// Swap implements heap.Interface.
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// less orders entries by (when, seq): earliest first, FIFO among ties.
+func less(a, b entry) bool {
+	return a.when < b.when || (a.when == b.when && a.seq < b.seq)
 }
 
-// Push implements heap.Interface.
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
+// heapArity is the fan-out of the implicit min-heap. A 4-ary heap is
+// shallower than a binary one (fewer cache lines touched per pop) and the
+// four-child scan stays within one or two lines of the entry slice.
+const heapArity = 4
 
-// Pop implements heap.Interface.
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
+// eventChunkSize is how many Events each slab allocation holds. Event
+// pointers must stay stable, so events are allocated in fixed-size chunks
+// rather than one growable slice.
+const eventChunkSize = 256
 
 // Scheduler is the discrete-event simulation core: a virtual clock and a
 // priority queue of events. It is single-goroutine by design — all of the
-// simulation's concurrency is virtual. A Scheduler also acts as the root of
-// the simulation's deterministic randomness (see RNG).
+// simulation's concurrency is virtual; independent Schedulers may run on
+// concurrent goroutines. A Scheduler also acts as the root of the
+// simulation's deterministic randomness (see RNG).
 type Scheduler struct {
 	now      Time
-	queue    eventQueue
+	heap     []entry
 	seq      uint64
 	executed uint64
 	seed     int64
 	streams  int64
 	halted   bool
+
+	// Event storage: fixed-size chunks keep *Event stable while the
+	// freelist recycles fired/cancelled events, so steady-state
+	// scheduling does not allocate.
+	free   []*Event
+	chunks int // number of slabs allocated (growth observability)
 }
 
 // NewScheduler returns a scheduler with its clock at zero, seeding all RNG
@@ -95,7 +92,7 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 
 // Pending reports the number of events still queued (including cancelled
 // events not yet skipped).
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // RNG returns a new deterministic random stream. Streams are derived from
 // the scheduler seed and a counter, so the i-th stream requested is the same
@@ -110,6 +107,29 @@ func (s *Scheduler) RNG() *rand.Rand {
 	return rand.New(rand.NewSource(int64(z)))
 }
 
+// alloc hands out an Event from the freelist, growing the slab by one
+// chunk only when every previously allocated event is live.
+func (s *Scheduler) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	chunk := make([]Event, eventChunkSize)
+	s.chunks++
+	for i := 1; i < eventChunkSize; i++ {
+		s.free = append(s.free, &chunk[i])
+	}
+	return &chunk[0]
+}
+
+// release returns a drained event to the freelist.
+func (s *Scheduler) release(ev *Event) {
+	ev.fn = nil
+	s.free = append(s.free, ev)
+}
+
 // At schedules fn to run at absolute time t, which must not be in the past.
 func (s *Scheduler) At(t Time, fn Handler) *Event {
 	if t < s.now {
@@ -118,9 +138,13 @@ func (s *Scheduler) At(t Time, fn Handler) *Event {
 	if fn == nil {
 		panic("sim: scheduling nil handler")
 	}
-	ev := &Event{when: t, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.when = t
+	ev.seq = s.seq
+	ev.cancelled = false
+	ev.fn = fn
+	s.push(entry{when: t, seq: s.seq, ev: ev})
 	s.seq++
-	heap.Push(&s.queue, ev)
 	return ev
 }
 
@@ -146,19 +170,76 @@ func (s *Scheduler) Cancel(ev *Event) {
 // Halt stops Run/RunUntil after the currently executing event returns.
 func (s *Scheduler) Halt() { s.halted = true }
 
+// push appends e and sifts it up to its heap position.
+func (s *Scheduler) push(e entry) {
+	h := append(s.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !less(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	s.heap = h
+}
+
+// pop removes and returns the minimum entry. The caller must ensure the
+// heap is non-empty.
+func (s *Scheduler) pop() entry {
+	h := s.heap
+	min := h[0]
+	n := len(h) - 1
+	moved := h[n]
+	h[n] = entry{} // drop the *Event reference for the GC
+	h = h[:n]
+	s.heap = h
+	if n > 0 {
+		// Sift moved down from the root, shifting smaller children up
+		// into the hole instead of swapping.
+		i := 0
+		for {
+			first := heapArity*i + 1
+			if first >= n {
+				break
+			}
+			m := first
+			end := first + heapArity
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if less(h[c], h[m]) {
+					m = c
+				}
+			}
+			if !less(h[m], moved) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = moved
+	}
+	return min
+}
+
 // step pops and executes the next event. It reports false when the queue is
 // exhausted.
 func (s *Scheduler) step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*Event)
+	for len(s.heap) > 0 {
+		e := s.pop()
+		ev := e.ev
 		if ev.cancelled {
+			s.release(ev)
 			continue
 		}
-		s.now = ev.when
+		s.now = e.when
 		fn := ev.fn
-		ev.fn = nil
 		s.executed++
 		fn()
+		s.release(ev)
 		return true
 	}
 	return false
@@ -177,16 +258,15 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(end Time) {
 	s.halted = false
 	for !s.halted {
-		// Peek: the heap root is the earliest event.
-		var next *Event
-		for len(s.queue) > 0 && s.queue[0].cancelled {
-			heap.Pop(&s.queue)
+		// Peek: the heap root is the earliest event. Drain cancelled
+		// events so the peek sees a live one.
+		for len(s.heap) > 0 && s.heap[0].ev.cancelled {
+			s.release(s.pop().ev)
 		}
-		if len(s.queue) == 0 {
+		if len(s.heap) == 0 {
 			break
 		}
-		next = s.queue[0]
-		if next.when > end {
+		if s.heap[0].when > end {
 			break
 		}
 		s.step()

@@ -332,6 +332,114 @@ func TestPropertyCancelledNeverFire(t *testing.T) {
 	}
 }
 
+// Cancelled events must not disturb FIFO ordering among surviving
+// same-time events, even when cancellations interleave with scheduling.
+func TestSameTimeFIFOWithCancellations(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, s.At(5*Microsecond, func() { order = append(order, i) }))
+	}
+	for i, ev := range events {
+		if i%3 == 0 {
+			s.Cancel(ev)
+		}
+	}
+	s.Run()
+	want := 0
+	for i := 0; i < 20; i++ {
+		if i%3 == 0 {
+			continue
+		}
+		if want >= len(order) || order[want] != i {
+			t.Fatalf("surviving same-time events out of FIFO order: %v", order)
+		}
+		want++
+	}
+	if want != len(order) {
+		t.Fatalf("fired %d events, want %d: %v", len(order), want, order)
+	}
+}
+
+// A cancel-heavy workload (the Timer restart pattern: every armed timeout
+// is cancelled and re-armed) must drain completely and fire nothing twice.
+func TestCancelHeavyWorkload(t *testing.T) {
+	s := NewScheduler(1)
+	fired := map[int]int{}
+	var pending []*Event
+	for round := 0; round < 50; round++ {
+		for _, ev := range pending {
+			s.Cancel(ev)
+		}
+		pending = pending[:0]
+		for i := 0; i < 10; i++ {
+			id := round*10 + i
+			pending = append(pending, s.Schedule(Time(10+i)*Microsecond, func() { fired[id]++ }))
+		}
+		s.RunUntil(s.Now() + 5*Microsecond) // half-way: nothing due yet
+	}
+	s.Run()
+	// Only the final round's events survive; each fires exactly once.
+	if len(fired) != 10 {
+		t.Fatalf("%d distinct events fired, want 10", len(fired))
+	}
+	for id, n := range fired {
+		if id < 490 || n != 1 {
+			t.Fatalf("event %d fired %d times", id, n)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after Run, want 0", s.Pending())
+	}
+}
+
+// Freelist reuse: once a workload's events have been popped, rescheduling
+// the same volume must reuse their storage instead of growing the slab.
+func TestFreelistReuseAfterPop(t *testing.T) {
+	s := NewScheduler(1)
+	burst := func() {
+		for i := 0; i < 3*eventChunkSize; i++ {
+			ev := s.Schedule(Time(i)*Microsecond, func() {})
+			if i%2 == 0 {
+				s.Cancel(ev) // cancelled events recycle on pop too
+			}
+		}
+		s.Run()
+	}
+	burst()
+	chunksAfterFirst := s.chunks
+	if chunksAfterFirst == 0 {
+		t.Fatal("no slab chunks allocated by first burst")
+	}
+	for i := 0; i < 10; i++ {
+		burst()
+	}
+	if s.chunks != chunksAfterFirst {
+		t.Errorf("slab grew from %d to %d chunks across identical bursts; freelist not reused",
+			chunksAfterFirst, s.chunks)
+	}
+}
+
+// Recycled events must present fresh state to the next Schedule call: a
+// cancelled-then-recycled slot starts un-cancelled.
+func TestRecycledEventStateReset(t *testing.T) {
+	s := NewScheduler(1)
+	ev := s.Schedule(Microsecond, func() {})
+	s.Cancel(ev)
+	s.Run() // drains and recycles ev
+	fired := false
+	ev2 := s.Schedule(Microsecond, func() { fired = true })
+	if ev2.Cancelled() {
+		t.Fatal("recycled event starts cancelled")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("event on recycled storage did not fire")
+	}
+}
+
 func BenchmarkSchedulerChurn(b *testing.B) {
 	s := NewScheduler(1)
 	var tick func()
@@ -344,5 +452,48 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 	}
 	b.ResetTimer()
 	s.Schedule(0, tick)
+	s.Run()
+}
+
+// BenchmarkSchedulerCancelHeavy models the MAC's dominant pattern: nearly
+// every scheduled timeout is cancelled (ACK arrives before the timer) and
+// replaced. The queue must absorb the dead events without allocating.
+func BenchmarkSchedulerCancelHeavy(b *testing.B) {
+	b.ReportAllocs()
+	s := NewScheduler(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n >= b.N {
+			return
+		}
+		doomed := s.Schedule(50*Microsecond, func() { panic("cancelled event fired") })
+		s.Schedule(Microsecond, tick)
+		s.Cancel(doomed)
+	}
+	b.ResetTimer()
+	s.Schedule(0, tick)
+	s.Run()
+}
+
+// BenchmarkSchedulerFanout measures heap behavior at depth: a wide queue
+// of pending events with steady pop/push turnover.
+func BenchmarkSchedulerFanout(b *testing.B) {
+	b.ReportAllocs()
+	s := NewScheduler(1)
+	const width = 4096
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.Schedule(Time(width)*Microsecond, tick)
+		}
+	}
+	for i := 0; i < width; i++ {
+		s.Schedule(Time(i)*Microsecond, tick)
+	}
+	b.ResetTimer()
 	s.Run()
 }
