@@ -6,6 +6,7 @@
 //	experiments -run fig1
 //	experiments -run all -quick
 //	experiments -run fig4 -seeds 5 -duration 5s
+//	experiments -artifact fig2 -metrics fig2_metrics.jsonl
 package main
 
 import (
@@ -14,9 +15,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"greedy80211/internal/experiments"
+	"greedy80211/internal/metrics"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/sim"
 )
@@ -30,6 +33,7 @@ func run(args []string) int {
 	var (
 		list     = fs.Bool("list", false, "list every artifact and exit")
 		id       = fs.String("run", "", "artifact id (fig1..fig24, tab1..tab9) or \"all\"")
+		artifact = fs.String("artifact", "", "alias for -run")
 		seeds    = fs.Int("seeds", 0, "seeded repetitions per data point (default 5, paper methodology)")
 		baseSeed = fs.Int64("seed", 0, "base seed")
 		duration = fs.Duration("duration", 0, "simulated time per run (default 5s)")
@@ -37,16 +41,54 @@ func run(args []string) int {
 		csvDir   = fs.String("csv", "", "also write each artifact's data as CSV files into this directory")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
 			"worker-pool size for (sweep-point × seed) fan-out; 1 = sequential (output is identical either way)")
+		metricsOut = fs.String("metrics", "",
+			"write a per-station telemetry sidecar to this file (.csv for CSV, else JSONL); identical for any -parallel value")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	runner.SetLimit(*parallel)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: creating cpu profile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: starting cpu profile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing heap profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing heap profile: %v\n", err)
+			}
+		}()
+	}
 	if *list {
 		for _, reg := range experiments.All() {
 			fmt.Printf("%-6s %s\n", reg.ID, reg.Title)
 		}
 		return 0
+	}
+	if *id == "" {
+		*id = *artifact
 	}
 	if *id == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -run <id> or -list required")
@@ -66,9 +108,13 @@ func run(args []string) int {
 			ids = append(ids, reg.ID)
 		}
 	}
-	for _, artifact := range ids {
+	var sidecar []metrics.Labeled
+	for _, art := range ids {
 		start := time.Now()
-		res, err := experiments.Run(artifact, cfg)
+		if *metricsOut != "" {
+			cfg.Metrics = metrics.NewCollector()
+		}
+		res, err := experiments.Run(art, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			return 1
@@ -80,7 +126,19 @@ func run(args []string) int {
 				return 1
 			}
 		}
-		fmt.Printf("(%s regenerated in %.1fs)\n\n", artifact, time.Since(start).Seconds())
+		if cfg.Metrics != nil {
+			for i, snap := range cfg.Metrics.Snapshots() {
+				sidecar = append(sidecar, metrics.Labeled{Label: art, Group: i, Snap: snap})
+			}
+		}
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", art, time.Since(start).Seconds())
+	}
+	if *metricsOut != "" {
+		if err := metrics.WriteFile(*metricsOut, sidecar...); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		fmt.Printf("telemetry sidecar written to %s\n", *metricsOut)
 	}
 	return 0
 }

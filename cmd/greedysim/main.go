@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"greedy80211/internal/core"
 	"greedy80211/internal/greedy"
+	"greedy80211/internal/metrics"
 	"greedy80211/internal/phys"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/scenario"
@@ -24,6 +26,41 @@ import (
 	"greedy80211/internal/stats"
 	"greedy80211/internal/trace"
 )
+
+// startProfiles begins CPU profiling and arranges a heap profile dump; the
+// returned stop function must run before the process exits (run() defers
+// it, so profiles are flushed even though main os.Exits).
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("starting cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -84,11 +121,20 @@ func run(args []string) int {
 		showTrace = fs.Bool("trace", false, "print channel airtime accounting after the run")
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0),
 			"worker-pool size for seeded repetitions; 1 = sequential (-trace forces sequential)")
+		metricsOut = fs.String("metrics", "", "write the per-station telemetry snapshot to this file (.csv for CSV, else JSONL)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	runner.SetLimit(*parallel)
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "greedysim: %v\n", err)
+		return 1
+	}
+	defer stopProf()
 	mis, err := parseMisbehavior(*misFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "greedysim: %v\n", err)
@@ -159,13 +205,20 @@ func run(args []string) int {
 		t.AddRow(f.ID, role, f.GoodputMbps)
 	}
 	fmt.Print(t.String())
-	if res.GreedyGoodputMbps > 0 {
+	if res.Goodput.GreedyMbps > 0 {
 		fmt.Printf("greedy avg %.3f Mbps vs normal avg %.3f Mbps\n",
-			res.GreedyGoodputMbps, res.NormalGoodputMbps)
+			res.Goodput.GreedyMbps, res.Goodput.NormalMbps)
 	}
 	if *grc {
 		fmt.Printf("GRC interventions per run (median): %.0f NAV corrections, %.0f spoofed ACKs ignored\n",
-			res.NAVCorrections, res.SpoofsIgnored)
+			res.GRC.NAVCorrections, res.GRC.SpoofsIgnored)
+	}
+	if *metricsOut != "" {
+		if err := metrics.WriteFile(*metricsOut, metrics.Labeled{Label: "greedysim", Snap: res.Metrics}); err != nil {
+			fmt.Fprintf(os.Stderr, "greedysim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("telemetry written to %s\n", *metricsOut)
 	}
 	if rec != nil {
 		effRuns := cfg.Runs

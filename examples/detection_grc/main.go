@@ -39,9 +39,9 @@ func demoNAV() {
 	att, def := run(false), run(true)
 	fmt.Println("[1] NAV inflation (+31 ms on CTS):")
 	fmt.Printf("    without GRC: normal %.2f / greedy %.2f Mbps\n",
-		att.NormalGoodputMbps, att.GreedyGoodputMbps)
+		att.Goodput.NormalMbps, att.Goodput.GreedyMbps)
 	fmt.Printf("    with GRC:    normal %.2f / greedy %.2f Mbps (%.0f NAVs clamped/run)\n",
-		def.NormalGoodputMbps, def.GreedyGoodputMbps, def.NAVCorrections)
+		def.Goodput.NormalMbps, def.Goodput.GreedyMbps, def.GRC.NAVCorrections)
 }
 
 // demoSpoof: misbehavior 2 vs the RSSI median check.
@@ -62,9 +62,9 @@ func demoSpoof() {
 	att, def := run(false), run(true)
 	fmt.Println("[2] ACK spoofing (TCP, BER 4.4e-4):")
 	fmt.Printf("    without GRC: victim %.2f / attacker %.2f Mbps\n",
-		att.NormalGoodputMbps, att.GreedyGoodputMbps)
+		att.Goodput.NormalMbps, att.Goodput.GreedyMbps)
 	fmt.Printf("    with GRC:    victim %.2f / attacker %.2f Mbps (%.0f spoofed ACKs ignored/run)\n",
-		def.NormalGoodputMbps, def.GreedyGoodputMbps, def.SpoofsIgnored)
+		def.Goodput.NormalMbps, def.Goodput.GreedyMbps, def.GRC.SpoofsIgnored)
 }
 
 // demoFakeACK: misbehavior 3 vs the probing loss-consistency check.

@@ -34,13 +34,13 @@ func main() {
 
 	fmt.Println("Greedy receiver inflating CTS/ACK NAV by 10 ms (802.11b, UDP):")
 	fmt.Printf("  unprotected: greedy %.2f Mbps, normal %.2f Mbps\n",
-		attacked.GreedyGoodputMbps, attacked.NormalGoodputMbps)
+		attacked.Goodput.GreedyMbps, attacked.Goodput.NormalMbps)
 	fmt.Printf("  with GRC:    greedy %.2f Mbps, normal %.2f Mbps"+
 		" (%.0f NAV corrections per run)\n",
-		defended.GreedyGoodputMbps, defended.NormalGoodputMbps,
-		defended.NAVCorrections)
+		defended.Goodput.GreedyMbps, defended.Goodput.NormalMbps,
+		defended.GRC.NAVCorrections)
 
-	if attacked.NormalGoodputMbps < 0.2 && defended.NormalGoodputMbps > 1.0 {
+	if attacked.Goodput.NormalMbps < 0.2 && defended.Goodput.NormalMbps > 1.0 {
 		fmt.Println("  -> the attack starves the normal flow; GRC restores fairness.")
 	}
 }

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -16,6 +17,7 @@ import (
 	"greedy80211/internal/greedy"
 	"greedy80211/internal/mac"
 	"greedy80211/internal/medium"
+	"greedy80211/internal/metrics"
 	"greedy80211/internal/phys"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/scenario"
@@ -112,17 +114,32 @@ type FlowResult struct {
 	GoodputMbps float64
 }
 
-// Result aggregates an experiment's medians across runs.
-type Result struct {
-	Flows []FlowResult
-	// GreedyGoodputMbps and NormalGoodputMbps average the greedy and
-	// normal flows' medians (zero when the class is empty).
-	GreedyGoodputMbps float64
-	NormalGoodputMbps float64
-	// NAVCorrections and SpoofsIgnored are median GRC interventions per
-	// run across protected stations (zero without GRC).
+// GoodputSummary averages the per-class flow medians.
+type GoodputSummary struct {
+	// GreedyMbps and NormalMbps average the greedy and normal flows'
+	// median goodputs (zero when the class is empty).
+	GreedyMbps float64
+	NormalMbps float64
+}
+
+// GRCSummary reports the countermeasure's median interventions per run
+// across protected stations (all zero when GRC is disabled).
+type GRCSummary struct {
 	NAVCorrections float64
 	SpoofsIgnored  float64
+}
+
+// Result aggregates an experiment's medians across runs: per-flow
+// goodput, class summaries, GRC interventions, and the always-on
+// per-station telemetry snapshot.
+type Result struct {
+	Flows   []FlowResult
+	Goodput GoodputSummary
+	// Metrics is the per-station MAC/channel telemetry (average CW,
+	// airtime shares, NAV-blocked time, …), medianed across runs and
+	// merged deterministically by station ID. Always populated.
+	Metrics *metrics.Snapshot
+	GRC     GRCSummary
 }
 
 func (c Config) withDefaults() Config {
@@ -159,7 +176,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-func (c Config) validate() error {
+// Validate reports whether the configuration is runnable. Defaults are
+// applied before checking, so a zero value in a defaulted field (Pairs,
+// Runs, …) never fails; Run and RunContext call it, and callers may use
+// it to vet a configuration without running anything.
+func (c Config) Validate() error {
+	c = c.withDefaults()
 	if c.Pairs < 1 {
 		return fmt.Errorf("core: need at least one pair, got %d", c.Pairs)
 	}
@@ -241,24 +263,34 @@ func (c Config) buildWorld(seed int64, grcCfg *detect.Config) (*scenario.World, 
 	}
 }
 
-// Run executes the experiment and reports per-flow median goodput.
+// Run executes the experiment and reports per-flow median goodput plus
+// the telemetry snapshot. It is RunContext without cancellation.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the experiment with cooperative cancellation: ctx
+// is checked between seeded runs (a simulated world, once started, runs
+// to completion), so cancelling stops the sweep at the next run boundary
+// and returns ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	grcCfg := detect.DefaultConfig()
 	type runResult struct {
 		flows         map[int]float64
+		snap          *metrics.Snapshot
 		nav, spoofIgn float64
 	}
 	oneRun := func(r int) (runResult, error) {
 		w, err := cfg.buildWorld(cfg.Seed+int64(r), &grcCfg)
 		if err != nil {
-			return runResult{}, err
+			return runResult{}, fmt.Errorf("core: building run %d: %w", r, err)
 		}
 		w.Run(cfg.Duration)
-		res := runResult{flows: make(map[int]float64)}
+		res := runResult{flows: make(map[int]float64), snap: w.MetricsSnapshot()}
 		for _, fl := range w.Flows() {
 			res.flows[fl.ID] = fl.GoodputMbps(cfg.Duration)
 		}
@@ -280,10 +312,13 @@ func Run(cfg Config) (Result, error) {
 	// Runs are independent deterministic worlds, so they execute on the
 	// runner pool — except when a Trace tap is attached: the tap is shared
 	// mutable state that every run's channel feeds, so those runs stay
-	// sequential.
+	// sequential (with a cancellation check between runs).
 	var runs []runResult
 	if cfg.Trace != nil {
 		for r := 0; r < cfg.Runs; r++ {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
 			rr, err := oneRun(r)
 			if err != nil {
 				return Result{}, err
@@ -292,25 +327,30 @@ func Run(cfg Config) (Result, error) {
 		}
 	} else {
 		var err error
-		runs, err = runner.Map(cfg.Runs, func(r int) (runResult, error) { return oneRun(r) })
+		runs, err = runner.MapContext(ctx, cfg.Runs, func(r int) (runResult, error) { return oneRun(r) })
 		if err != nil {
 			return Result{}, err
 		}
 	}
 	perFlow := make(map[int][]float64)
+	snaps := make([]*metrics.Snapshot, 0, len(runs))
 	var navCorr, spoofIgn []float64
 	for _, rr := range runs {
 		for id, v := range rr.flows {
 			perFlow[id] = append(perFlow[id], v)
 		}
+		snaps = append(snaps, rr.snap)
 		if cfg.EnableGRC {
 			navCorr = append(navCorr, rr.nav)
 			spoofIgn = append(spoofIgn, rr.spoofIgn)
 		}
 	}
 	res := Result{
-		NAVCorrections: stats.Median(navCorr),
-		SpoofsIgnored:  stats.Median(spoofIgn),
+		Metrics: metrics.MedianSnapshots(snaps),
+		GRC: GRCSummary{
+			NAVCorrections: stats.Median(navCorr),
+			SpoofsIgnored:  stats.Median(spoofIgn),
+		},
 	}
 	ids := make([]int, 0, len(perFlow))
 	for id := range perFlow {
@@ -332,10 +372,10 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	if gN > 0 {
-		res.GreedyGoodputMbps = gSum / float64(gN)
+		res.Goodput.GreedyMbps = gSum / float64(gN)
 	}
 	if nN > 0 {
-		res.NormalGoodputMbps = nSum / float64(nN)
+		res.Goodput.NormalMbps = nSum / float64(nN)
 	}
 	return res, nil
 }

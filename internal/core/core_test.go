@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"testing"
 
 	"greedy80211/internal/greedy"
+	"greedy80211/internal/mac"
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
 )
@@ -77,7 +81,7 @@ func TestBaselineFairness(t *testing.T) {
 			t.Errorf("flow %d goodput %.2f too low", f.ID, f.GoodputMbps)
 		}
 	}
-	if res.GreedyGoodputMbps != 0 {
+	if res.Goodput.GreedyMbps != 0 {
 		t.Error("greedy average nonzero without misbehavior")
 	}
 }
@@ -90,9 +94,9 @@ func TestNAVInflationEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.GreedyGoodputMbps < 3*res.NormalGoodputMbps {
+	if res.Goodput.GreedyMbps < 3*res.Goodput.NormalMbps {
 		t.Errorf("greedy %.2f vs normal %.2f: 10ms inflation should dominate",
-			res.GreedyGoodputMbps, res.NormalGoodputMbps)
+			res.Goodput.GreedyMbps, res.Goodput.NormalMbps)
 	}
 	var sawGreedy bool
 	for _, f := range res.Flows {
@@ -115,11 +119,11 @@ func TestNAVInflationWithGRC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.NAVCorrections == 0 {
+	if res.GRC.NAVCorrections == 0 {
 		t.Error("GRC never corrected a NAV")
 	}
-	if res.NormalGoodputMbps < res.GreedyGoodputMbps*0.5 {
-		t.Errorf("GRC left %.2f vs %.2f", res.NormalGoodputMbps, res.GreedyGoodputMbps)
+	if res.Goodput.NormalMbps < res.Goodput.GreedyMbps*0.5 {
+		t.Errorf("GRC left %.2f vs %.2f", res.Goodput.NormalMbps, res.Goodput.GreedyMbps)
 	}
 }
 
@@ -133,9 +137,9 @@ func TestSpoofingEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.GreedyGoodputMbps <= res.NormalGoodputMbps {
+	if res.Goodput.GreedyMbps <= res.Goodput.NormalMbps {
 		t.Errorf("spoofing gave greedy %.2f ≤ normal %.2f",
-			res.GreedyGoodputMbps, res.NormalGoodputMbps)
+			res.Goodput.GreedyMbps, res.Goodput.NormalMbps)
 	}
 }
 
@@ -148,9 +152,83 @@ func TestFakeACKsHiddenEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.GreedyGoodputMbps <= res.NormalGoodputMbps {
+	if res.Goodput.GreedyMbps <= res.Goodput.NormalMbps {
 		t.Errorf("fake ACKs gave greedy %.2f ≤ normal %.2f",
-			res.GreedyGoodputMbps, res.NormalGoodputMbps)
+			res.Goodput.GreedyMbps, res.Goodput.NormalMbps)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, fast(Config{Seed: 1})); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// cancelTap cancels a context from the first transmission of the first
+// run, so the cancellation lands mid-sweep: the in-flight run completes,
+// the check before the next run aborts.
+type cancelTap struct {
+	once   sync.Once
+	cancel context.CancelFunc
+}
+
+func (c *cancelTap) OnTransmit(_ mac.NodeID, _ *mac.Frame, _, _ sim.Time) {
+	c.once.Do(c.cancel)
+}
+func (c *cancelTap) OnReceive(mac.NodeID, *mac.Frame, mac.RxInfo, sim.Time) {}
+
+func TestRunContextCancelMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tap := &cancelTap{cancel: cancel}
+	cfg := fast(Config{Seed: 1})
+	cfg.Runs = 4
+	cfg.Trace = tap // shared tap forces the sequential path
+	if _, err := RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestValidateExported(t *testing.T) {
+	// The zero config is valid after defaulting.
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config invalid: %v", err)
+	}
+	bad := Config{GreedyPercent: 150}
+	if err := bad.Validate(); err == nil {
+		t.Error("GreedyPercent 150 accepted")
+	}
+}
+
+func TestMetricsOnResult(t *testing.T) {
+	res, err := Run(fast(Config{Seed: 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m == nil {
+		t.Fatal("Result.Metrics nil: telemetry must be always on")
+	}
+	if m.Runs != 2 {
+		t.Errorf("merged snapshot runs = %d, want 2", m.Runs)
+	}
+	// 2 pairs → 4 stations, every sender with airtime and a sane AvgCW.
+	if len(m.Stations) != 4 {
+		t.Fatalf("stations = %d, want 4", len(m.Stations))
+	}
+	var withAirtime int
+	for _, st := range m.Stations {
+		if st.AirtimeSecs > 0 {
+			withAirtime++
+		}
+	}
+	if withAirtime != 4 {
+		t.Errorf("%d stations with airtime, want 4 (senders tx data, receivers tx ACKs)", withAirtime)
+	}
+	if m.ChannelUtilization <= 0 || m.ChannelUtilization > 1.5 {
+		t.Errorf("channel utilization = %v", m.ChannelUtilization)
 	}
 }
 

@@ -29,10 +29,10 @@ func ExampleRun() {
 		log.Fatal(err)
 	}
 	fmt.Printf("attack starves the normal flow: %v\n",
-		attacked.NormalGoodputMbps < 0.1*attacked.GreedyGoodputMbps)
+		attacked.Goodput.NormalMbps < 0.1*attacked.Goodput.GreedyMbps)
 	fmt.Printf("GRC restores fairness: %v\n",
-		defended.NormalGoodputMbps > 0.5*defended.GreedyGoodputMbps)
-	fmt.Printf("GRC intervened: %v\n", defended.NAVCorrections > 0)
+		defended.Goodput.NormalMbps > 0.5*defended.Goodput.GreedyMbps)
+	fmt.Printf("GRC intervened: %v\n", defended.GRC.NAVCorrections > 0)
 	// Output:
 	// attack starves the normal flow: true
 	// GRC restores fairness: true

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 
+	"greedy80211/internal/metrics"
 	"greedy80211/internal/runner"
 )
 
@@ -31,6 +33,46 @@ func TestParallelMatchesSequential(t *testing.T) {
 			if seq.String() != par.String() {
 				t.Errorf("%s: parallel output differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
 					id, seq.String(), par.String())
+			}
+		})
+	}
+}
+
+// The telemetry sidecar must be byte-identical across worker-pool sizes:
+// snapshots are collected in completion order, but the Collector emits
+// them canonically. fig2 exercises a series sweep with per-point seed
+// fan-out; tab1 a table runner.
+func TestMetricsSidecarParallelMatchesSequential(t *testing.T) {
+	old := runner.Limit()
+	defer runner.SetLimit(old)
+	emit := func(id string, limit int) string {
+		runner.SetLimit(limit)
+		col := metrics.NewCollector()
+		cfg := RunConfig{Quick: true, Seeds: 3, BaseSeed: 29, Metrics: col}
+		if _, err := Run(id, cfg); err != nil {
+			t.Fatalf("%s at limit %d: %v", id, limit, err)
+		}
+		var b strings.Builder
+		for i, snap := range col.Snapshots() {
+			if err := metrics.EncodeJSONL(&b, metrics.Labeled{Label: id, Group: i, Snap: snap}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.String()
+	}
+	for _, tc := range []struct {
+		id        string
+		simulated bool // tab1 is a non-simulation study: no worlds, no telemetry
+	}{{"fig2", true}, {"abl1", true}, {"tab1", false}} {
+		t.Run(tc.id, func(t *testing.T) {
+			seq := emit(tc.id, 1)
+			par := emit(tc.id, 8)
+			if tc.simulated && seq == "" {
+				t.Fatalf("%s: no telemetry collected", tc.id)
+			}
+			if seq != par {
+				t.Errorf("%s: sidecar differs between sequential and parallel runs\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					tc.id, seq, par)
 			}
 		})
 	}

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"greedy80211/internal/metrics"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
@@ -33,6 +34,12 @@ type RunConfig struct {
 	// Quick trims sweeps to a few representative points (for benchmarks
 	// and smoke tests).
 	Quick bool
+	// Metrics, when non-nil, collects one telemetry snapshot (seed-median
+	// of every world's per-station counters) per runSeeds invocation — the
+	// sidecar the cmds write next to the artifact output. The collector
+	// canonicalizes ordering, so parallel and sequential runs of the same
+	// artifact produce identical sidecars.
+	Metrics *metrics.Collector
 }
 
 // Defaults applied by normalize.
@@ -206,17 +213,20 @@ func Run(id string, cfg RunConfig) (*Result, error) {
 
 // --- shared runners -------------------------------------------------------
 
-// seedRun is one seed's extraction: per-flow goodputs plus any metrics.
+// seedRun is one seed's extraction: per-flow goodputs, any named metrics,
+// and the world's telemetry snapshot when a collector is attached.
 type seedRun struct {
 	flows   map[int]float64
 	metrics map[string]float64
+	snap    *metrics.Snapshot
 }
 
 // runSeeds builds and runs the scenario once per seed, extracting per-flow
 // goodputs and any additional metrics, then reduces each to its median.
 // Seeds run concurrently on the runner pool (each world is an independent
 // single-goroutine simulation); results are merged in seed order, so the
-// medians are identical to a sequential run.
+// medians are identical to a sequential run. When cfg.Metrics is set, the
+// seed-median telemetry snapshot of the worlds is added to the collector.
 func runSeeds(cfg RunConfig, build func(seed int64) (*scenario.World, error),
 	extract func(w *scenario.World, metrics map[string]float64)) (map[int]float64, map[string]float64, error) {
 	runs, err := runner.Map(cfg.Seeds, func(i int) (seedRun, error) {
@@ -233,6 +243,9 @@ func runSeeds(cfg RunConfig, build func(seed int64) (*scenario.World, error),
 			r.metrics = make(map[string]float64)
 			extract(w, r.metrics)
 		}
+		if cfg.Metrics != nil {
+			r.snap = w.MetricsSnapshot()
+		}
 		return r, nil
 	})
 	if err != nil {
@@ -240,6 +253,7 @@ func runSeeds(cfg RunConfig, build func(seed int64) (*scenario.World, error),
 	}
 	perFlow := make(map[int][]float64)
 	perMetric := make(map[string][]float64)
+	var snaps []*metrics.Snapshot
 	for _, r := range runs {
 		for id, v := range r.flows {
 			perFlow[id] = append(perFlow[id], v)
@@ -247,16 +261,24 @@ func runSeeds(cfg RunConfig, build func(seed int64) (*scenario.World, error),
 		for k, v := range r.metrics {
 			perMetric[k] = append(perMetric[k], v)
 		}
+		if r.snap != nil {
+			snaps = append(snaps, r.snap)
+		}
+	}
+	if cfg.Metrics != nil {
+		if merged := metrics.MedianSnapshots(snaps); merged != nil {
+			cfg.Metrics.Add(merged)
+		}
 	}
 	flows := make(map[int]float64, len(perFlow))
 	for id, vals := range perFlow {
 		flows[id] = stats.Median(vals)
 	}
-	metrics := make(map[string]float64, len(perMetric))
+	mets := make(map[string]float64, len(perMetric))
 	for k, vals := range perMetric {
-		metrics[k] = stats.Median(vals)
+		mets[k] = stats.Median(vals)
 	}
-	return flows, metrics, nil
+	return flows, mets, nil
 }
 
 // baseAttPoint pairs one sweep point's baseline and attack per-flow

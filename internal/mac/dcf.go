@@ -113,6 +113,15 @@ type DCF struct {
 	navTimer    *sim.Timer
 
 	counters Counters
+
+	// Always-on telemetry accounting (see internal/metrics): time the
+	// virtual carrier sense alone held the medium busy, and time spent
+	// counting down backoff slots. Both keep an open interval that the
+	// accessors close against the current clock.
+	navOnly      bool
+	navOnlySince sim.Time
+	navBlocked   sim.Time
+	backoffWait  sim.Time
 }
 
 // New constructs a DCF bound to the scheduler, medium, and upper layer.
@@ -155,6 +164,33 @@ func (d *DCF) ID() NodeID { return d.cfg.ID }
 
 // Counters exposes the station's accumulated MAC statistics.
 func (d *DCF) Counters() *Counters { return &d.counters }
+
+// NAVBlocked reports the cumulative time during which only this station's
+// virtual carrier sense (NAV) held the medium busy — the physical channel
+// was idle and the station was not transmitting. Inflated-NAV attacks
+// show up here on their victims.
+func (d *DCF) NAVBlocked() sim.Time {
+	t := d.navBlocked
+	if d.navOnly {
+		// Close the open interval: the NAV expiry event may not have
+		// fired yet if the run ended first.
+		end := min(d.sched.Now(), d.navUntil)
+		if end > d.navOnlySince {
+			t += end - d.navOnlySince
+		}
+	}
+	return t
+}
+
+// BackoffWait reports the cumulative time this station spent counting
+// down backoff slots on an idle medium.
+func (d *DCF) BackoffWait() sim.Time {
+	t := d.backoffWait
+	if d.inCountdown {
+		t += d.sched.Now() - d.countdownStart
+	}
+	return t
+}
 
 // QueueLen reports the number of MSDUs queued behind the one in service.
 func (d *DCF) QueueLen() int { return len(d.queue) }
@@ -210,6 +246,20 @@ func (d *DCF) mediumIdle() bool {
 // transitions. It is called after any change to the inputs of mediumIdle.
 func (d *DCF) refresh() {
 	idle := d.mediumIdle()
+	// NAV-blocked accounting: every input of the "NAV alone blocks an
+	// otherwise-idle channel" predicate changes only through paths that
+	// call refresh (ChannelBusy, updateNAV, transmit, onTxDone, and the
+	// NAV expiry timer), so transitions are observed exactly.
+	now := d.sched.Now()
+	navOnly := !d.busyPhys && now >= d.txUntil && now < d.navUntil
+	if navOnly != d.navOnly {
+		if d.navOnly {
+			d.navBlocked += now - d.navOnlySince
+		} else {
+			d.navOnlySince = now
+		}
+		d.navOnly = navOnly
+	}
 	switch {
 	case idle && !d.wasIdle:
 		d.wasIdle = true
@@ -269,6 +319,7 @@ func (d *DCF) drawBackoff() {
 
 func (d *DCF) pauseCountdown() {
 	if d.inCountdown {
+		d.backoffWait += d.sched.Now() - d.countdownStart
 		elapsed := int((d.sched.Now() - d.countdownStart) / d.cfg.Params.SlotTime)
 		if elapsed > d.backoffRemaining {
 			elapsed = d.backoffRemaining
@@ -321,10 +372,14 @@ func (d *DCF) kickAccess() {
 func (d *DCF) onAccessTimer() {
 	if !d.mediumIdle() {
 		// A busy transition should have cancelled us; be defensive.
-		d.inCountdown = false
+		if d.inCountdown {
+			d.backoffWait += d.sched.Now() - d.countdownStart
+			d.inCountdown = false
+		}
 		return
 	}
 	if d.inCountdown {
+		d.backoffWait += d.sched.Now() - d.countdownStart
 		d.backoffRemaining = 0
 		d.inCountdown = false
 		d.needBackoff = false

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"greedy80211/internal/mac"
+	"greedy80211/internal/metrics"
 	"greedy80211/internal/phys"
 	"greedy80211/internal/sim"
 )
@@ -85,6 +86,10 @@ type Config struct {
 	// Tap observes every transmission and per-receiver outcome when
 	// non-nil (tracing, airtime accounting). It must not mutate frames.
 	Tap Tap
+	// Metrics, when non-nil, receives per-station transmit-airtime and
+	// channel-occupancy bumps at frame grant time — the always-on
+	// telemetry path (no tap required, plain counter arithmetic).
+	Metrics *metrics.Registry
 }
 
 // Tap receives channel events for tracing and accounting.
@@ -232,6 +237,9 @@ func (m *Medium) Transmit(src mac.NodeID, f *mac.Frame, airtime sim.Time) {
 	}
 	now := m.sched.Now()
 	tx.txUntil = now + airtime
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.RecordTx(src, airtime)
+	}
 	if m.cfg.Tap != nil {
 		m.cfg.Tap.OnTransmit(src, f, now, airtime)
 	}

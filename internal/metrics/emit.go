@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"greedy80211/internal/stats"
+)
+
+// Labeled pairs a snapshot with the context it came from (an artifact id,
+// a misbehavior name) and its position among its siblings.
+type Labeled struct {
+	Label string
+	Group int
+	Snap  *Snapshot
+}
+
+// row is the flat JSONL record: one line per station, with the snapshot's
+// whole-channel fields repeated so every line is self-contained. Field
+// order is fixed by this struct, which keeps emissions byte-stable.
+type row struct {
+	Label string `json:"label,omitempty"`
+	Group int    `json:"group"`
+	Station
+	Runs               int     `json:"runs"`
+	DurationSecs       float64 `json:"duration_secs"`
+	ChannelBusySecs    float64 `json:"channel_busy_secs"`
+	ChannelUtilization float64 `json:"channel_utilization"`
+}
+
+// EncodeJSONL writes one JSON object per station per snapshot, in the
+// order given.
+func EncodeJSONL(w io.Writer, items ...Labeled) error {
+	enc := json.NewEncoder(w)
+	for _, it := range items {
+		if it.Snap == nil {
+			continue
+		}
+		for _, st := range it.Snap.Stations {
+			r := row{
+				Label:              it.Label,
+				Group:              it.Group,
+				Station:            st,
+				Runs:               it.Snap.Runs,
+				DurationSecs:       it.Snap.DurationSecs,
+				ChannelBusySecs:    it.Snap.ChannelBusySecs,
+				ChannelUtilization: it.Snap.ChannelUtilization,
+			}
+			if err := enc.Encode(r); err != nil {
+				return fmt.Errorf("metrics: jsonl encode: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Table renders the snapshots as one stats.Table (the CSV emitter reuses
+// the harness's table layer).
+func Table(items ...Labeled) stats.Table {
+	t := stats.Table{
+		Title: "Per-station telemetry",
+		Header: []string{"label", "group", "station", "avg_cw", "rts_sent", "data_sent",
+			"ack_sent", "retries", "msdu_success", "airtime_secs", "utilization",
+			"nav_blocked_secs", "backoff_wait_secs", "channel_utilization", "runs"},
+	}
+	for _, it := range items {
+		if it.Snap == nil {
+			continue
+		}
+		for _, st := range it.Snap.Stations {
+			t.AddRow(it.Label, it.Group, st.Name, st.AvgCW, st.RTSSent, st.DataSent,
+				st.ACKSent, st.Retries, st.MSDUSuccess, st.AirtimeSecs, st.Utilization,
+				st.NAVBlockedSecs, st.BackoffWaitSecs, it.Snap.ChannelUtilization, it.Snap.Runs)
+		}
+	}
+	return t
+}
+
+// EncodeCSV writes the snapshots as one CSV document.
+func EncodeCSV(w io.Writer, items ...Labeled) error {
+	t := Table(items...)
+	doc, err := t.CSV()
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if _, err := io.WriteString(w, doc); err != nil {
+		return fmt.Errorf("metrics: csv write: %w", err)
+	}
+	return nil
+}
+
+// WriteFile emits the snapshots to path, choosing the format by extension:
+// ".csv" writes CSV, anything else writes JSON Lines.
+func WriteFile(path string, items ...Labeled) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		err = EncodeCSV(f, items...)
+	} else {
+		err = EncodeJSONL(f, items...)
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("metrics: close %s: %w", path, cerr)
+	}
+	return err
+}
+
+// Collector gathers snapshots from concurrently executing scenario batches
+// (it is the only concurrency-aware type in this package). Snapshots
+// returns them in a canonical order — sorted by serialized content — so a
+// parallel and a sequential run of the same experiment emit byte-identical
+// files even though batches complete in different orders.
+type Collector struct {
+	mu    sync.Mutex
+	snaps []*Snapshot
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add records one snapshot. Safe for concurrent use.
+func (c *Collector) Add(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	c.mu.Lock()
+	c.snaps = append(c.snaps, s)
+	c.mu.Unlock()
+}
+
+// Snapshots returns every collected snapshot in canonical (content-sorted)
+// order.
+func (c *Collector) Snapshots() []*Snapshot {
+	c.mu.Lock()
+	snaps := append([]*Snapshot(nil), c.snaps...)
+	c.mu.Unlock()
+	// Sort an index permutation by each snapshot's serialized form; the
+	// keys must not move with the elements mid-sort.
+	keys := make([]string, len(snaps))
+	perm := make([]int, len(snaps))
+	for i, s := range snaps {
+		var b strings.Builder
+		_ = EncodeJSONL(&b, Labeled{Snap: s})
+		keys[i] = b.String()
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return keys[perm[i]] < keys[perm[j]] })
+	out := make([]*Snapshot, len(snaps))
+	for i, p := range perm {
+		out[i] = snaps[p]
+	}
+	return out
+}

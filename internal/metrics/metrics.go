@@ -1,0 +1,228 @@
+// Package metrics is the simulator's always-on telemetry layer. Every
+// world owns a Registry; the medium bumps per-station airtime counters at
+// frame grant time, the MAC accumulates NAV-blocked and backoff-wait time,
+// and at end of run the registry folds everything into an immutable
+// Snapshot: per-station MAC counters (average contention window, RTS/data
+// sends, retries), transmit airtime and utilization, and whole-channel
+// occupancy.
+//
+// The hot path is plain counter arithmetic — no interface dispatch beyond
+// one nil check per transmission, no allocation, no tap required — so the
+// layer stays on for every run. Snapshots from repeated seeded runs merge
+// deterministically by station ID (MedianSnapshots), which is how the
+// paper's median-of-5-runs methodology extends to telemetry.
+package metrics
+
+import (
+	"sort"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/sim"
+	"greedy80211/internal/stats"
+)
+
+// StationSource exposes the per-station accounting a Snapshot reads at
+// end of run. *mac.DCF implements it.
+type StationSource interface {
+	// Counters returns the station's accumulated MAC statistics.
+	Counters() *mac.Counters
+	// NAVBlocked reports cumulative time the station's virtual carrier
+	// sense alone held the medium busy (NAV set, physical channel idle).
+	NAVBlocked() sim.Time
+	// BackoffWait reports cumulative time spent counting down backoff.
+	BackoffWait() sim.Time
+}
+
+// registration is one station known to the registry.
+type registration struct {
+	id   mac.NodeID
+	name string
+	src  StationSource
+}
+
+// Registry accumulates channel-side telemetry for one world. It is driven
+// by the world's single-goroutine scheduler and is not safe for concurrent
+// use; each world owns its registry, so the parallel runner never shares
+// one.
+type Registry struct {
+	airtime []sim.Time // transmit airtime indexed by NodeID
+	txCount []int64    // transmissions indexed by NodeID
+	busy    sim.Time   // total transmit airtime on the channel
+	regs    []registration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a station so its MAC counters appear in snapshots.
+// Stations register once, at world-construction time.
+func (r *Registry) Register(id mac.NodeID, name string, src StationSource) {
+	r.regs = append(r.regs, registration{id: id, name: name, src: src})
+}
+
+// RecordTx attributes one transmission's airtime to its sender. This is
+// the hot path: two slice bumps and an add.
+func (r *Registry) RecordTx(src mac.NodeID, airtime sim.Time) {
+	if int(src) >= len(r.airtime) {
+		grown := make([]sim.Time, src+1)
+		copy(grown, r.airtime)
+		r.airtime = grown
+		counts := make([]int64, src+1)
+		copy(counts, r.txCount)
+		r.txCount = counts
+	}
+	r.airtime[src] += airtime
+	r.txCount[src]++
+	r.busy += airtime
+}
+
+// Station is one station's end-of-run telemetry. Fields are float64 so
+// cross-run medians stay representable.
+type Station struct {
+	ID   int    `json:"id"`
+	Name string `json:"station"`
+
+	// Contention behavior (Fig 2, Table IV of the paper).
+	AvgCW float64 `json:"avg_cw"`
+
+	// Transmit-side counts (Fig 3's RTS ratio uses RTSSent).
+	RTSSent     float64 `json:"rts_sent"`
+	DataSent    float64 `json:"data_sent"`
+	ACKSent     float64 `json:"ack_sent"`
+	Retries     float64 `json:"retries"` // data retries + RTS retries
+	MSDUSuccess float64 `json:"msdu_success"`
+
+	// Airtime share: transmit seconds and the fraction of the run they
+	// occupy (NAV-inflation attacks show up here directly).
+	AirtimeSecs float64 `json:"airtime_secs"`
+	Utilization float64 `json:"utilization"`
+
+	// Medium-wait decomposition: time blocked by virtual carrier sense
+	// only, and time spent in backoff countdown.
+	NAVBlockedSecs  float64 `json:"nav_blocked_secs"`
+	BackoffWaitSecs float64 `json:"backoff_wait_secs"`
+}
+
+// Snapshot is an immutable end-of-run telemetry aggregate: one world, or
+// the per-field median of several worlds (see MedianSnapshots).
+type Snapshot struct {
+	// Runs is how many worlds were merged into this snapshot (1 for a
+	// single run).
+	Runs int `json:"runs"`
+	// DurationSecs is the simulated time the snapshot covers.
+	DurationSecs float64 `json:"duration_secs"`
+	// ChannelBusySecs sums every transmission's airtime. Overlapping
+	// transmissions double-count, so in a single collision domain this
+	// approximates (and slightly overstates, by collisions) occupancy.
+	ChannelBusySecs float64 `json:"channel_busy_secs"`
+	// ChannelUtilization is ChannelBusySecs / DurationSecs.
+	ChannelUtilization float64 `json:"channel_utilization"`
+	// Stations is sorted by station ID.
+	Stations []Station `json:"stations"`
+}
+
+// Snapshot folds the registry's counters and every registered station's
+// MAC accounting into an immutable aggregate covering elapsed simulated
+// time.
+func (r *Registry) Snapshot(elapsed sim.Time) *Snapshot {
+	durSecs := elapsed.Seconds()
+	s := &Snapshot{
+		Runs:            1,
+		DurationSecs:    durSecs,
+		ChannelBusySecs: r.busy.Seconds(),
+	}
+	if durSecs > 0 {
+		s.ChannelUtilization = s.ChannelBusySecs / durSecs
+	}
+	s.Stations = make([]Station, 0, len(r.regs))
+	for _, reg := range r.regs {
+		c := reg.src.Counters()
+		st := Station{
+			ID:              int(reg.id),
+			Name:            reg.name,
+			AvgCW:           c.AvgCW(),
+			RTSSent:         float64(c.RTSSent),
+			DataSent:        float64(c.DataSent),
+			ACKSent:         float64(c.ACKSent),
+			Retries:         float64(c.DataRetries + c.RTSRetries),
+			MSDUSuccess:     float64(c.MSDUSuccess),
+			NAVBlockedSecs:  reg.src.NAVBlocked().Seconds(),
+			BackoffWaitSecs: reg.src.BackoffWait().Seconds(),
+		}
+		if int(reg.id) < len(r.airtime) {
+			st.AirtimeSecs = r.airtime[reg.id].Seconds()
+		}
+		if durSecs > 0 {
+			st.Utilization = st.AirtimeSecs / durSecs
+		}
+		s.Stations = append(s.Stations, st)
+	}
+	sort.Slice(s.Stations, func(i, j int) bool { return s.Stations[i].ID < s.Stations[j].ID })
+	return s
+}
+
+// MedianSnapshots merges snapshots from repeated runs of the same scenario
+// into one: every numeric field becomes the per-station median across
+// runs, with stations matched by ID (names come from the first snapshot
+// that mentions each ID). The result is deterministic in the station-ID
+// order regardless of the order runs completed in. Returns nil for an
+// empty input.
+func MedianSnapshots(snaps []*Snapshot) *Snapshot {
+	if len(snaps) == 0 {
+		return nil
+	}
+	out := &Snapshot{Runs: 0}
+	var durs, busys, utils []float64
+	perID := make(map[int][]*Station)
+	names := make(map[int]string)
+	var ids []int
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		out.Runs += s.Runs
+		durs = append(durs, s.DurationSecs)
+		busys = append(busys, s.ChannelBusySecs)
+		utils = append(utils, s.ChannelUtilization)
+		for i := range s.Stations {
+			st := &s.Stations[i]
+			if _, seen := names[st.ID]; !seen {
+				names[st.ID] = st.Name
+				ids = append(ids, st.ID)
+			}
+			perID[st.ID] = append(perID[st.ID], st)
+		}
+	}
+	if out.Runs == 0 {
+		return nil
+	}
+	out.DurationSecs = stats.Median(durs)
+	out.ChannelBusySecs = stats.Median(busys)
+	out.ChannelUtilization = stats.Median(utils)
+	sort.Ints(ids)
+	med := func(sts []*Station, f func(*Station) float64) float64 {
+		vals := make([]float64, len(sts))
+		for i, st := range sts {
+			vals[i] = f(st)
+		}
+		return stats.Median(vals)
+	}
+	for _, id := range ids {
+		sts := perID[id]
+		out.Stations = append(out.Stations, Station{
+			ID:              id,
+			Name:            names[id],
+			AvgCW:           med(sts, func(s *Station) float64 { return s.AvgCW }),
+			RTSSent:         med(sts, func(s *Station) float64 { return s.RTSSent }),
+			DataSent:        med(sts, func(s *Station) float64 { return s.DataSent }),
+			ACKSent:         med(sts, func(s *Station) float64 { return s.ACKSent }),
+			Retries:         med(sts, func(s *Station) float64 { return s.Retries }),
+			MSDUSuccess:     med(sts, func(s *Station) float64 { return s.MSDUSuccess }),
+			AirtimeSecs:     med(sts, func(s *Station) float64 { return s.AirtimeSecs }),
+			Utilization:     med(sts, func(s *Station) float64 { return s.Utilization }),
+			NAVBlockedSecs:  med(sts, func(s *Station) float64 { return s.NAVBlockedSecs }),
+			BackoffWaitSecs: med(sts, func(s *Station) float64 { return s.BackoffWaitSecs }),
+		})
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/sim"
+)
+
+// fakeSource is a StationSource with fixed readings.
+type fakeSource struct {
+	c   mac.Counters
+	nav sim.Time
+	bo  sim.Time
+}
+
+func (f *fakeSource) Counters() *mac.Counters { return &f.c }
+func (f *fakeSource) NAVBlocked() sim.Time    { return f.nav }
+func (f *fakeSource) BackoffWait() sim.Time   { return f.bo }
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	a := &fakeSource{nav: 3 * sim.Millisecond, bo: 7 * sim.Millisecond}
+	a.c.DataSent = 10
+	a.c.RTSSent = 12
+	a.c.DataRetries = 1
+	a.c.RTSRetries = 2
+	a.c.MSDUSuccess = 9
+	a.c.CWSum = 62
+	a.c.CWSamples = 2
+	b := &fakeSource{}
+	// Register out of ID order; the snapshot must sort by ID.
+	r.Register(5, "S1", a)
+	r.Register(2, "R1", b)
+	r.RecordTx(5, 100*sim.Millisecond)
+	r.RecordTx(5, 100*sim.Millisecond)
+	r.RecordTx(2, 50*sim.Millisecond)
+
+	s := r.Snapshot(1 * sim.Second)
+	if s.Runs != 1 {
+		t.Errorf("Runs = %d, want 1", s.Runs)
+	}
+	if !approx(s.DurationSecs, 1.0) || !approx(s.ChannelBusySecs, 0.25) ||
+		!approx(s.ChannelUtilization, 0.25) {
+		t.Errorf("channel fields = %+v", s)
+	}
+	if len(s.Stations) != 2 || s.Stations[0].ID != 2 || s.Stations[1].ID != 5 {
+		t.Fatalf("stations not sorted by ID: %+v", s.Stations)
+	}
+	st := s.Stations[1]
+	if st.Name != "S1" || !approx(st.AirtimeSecs, 0.2) || !approx(st.Utilization, 0.2) {
+		t.Errorf("airtime fields: %+v", st)
+	}
+	if !approx(st.AvgCW, 31) || st.DataSent != 10 || st.RTSSent != 12 ||
+		st.Retries != 3 || st.MSDUSuccess != 9 {
+		t.Errorf("counter fields: %+v", st)
+	}
+	if !approx(st.NAVBlockedSecs, 0.003) || !approx(st.BackoffWaitSecs, 0.007) {
+		t.Errorf("wait fields: %+v", st)
+	}
+	// Station with no transmissions recorded gets zero airtime, not a panic.
+	if got := s.Stations[0].AirtimeSecs; !approx(got, 0.05) {
+		t.Errorf("R1 airtime = %v, want 0.05", got)
+	}
+}
+
+func snapWith(dur float64, vals map[int]float64) *Snapshot {
+	s := &Snapshot{Runs: 1, DurationSecs: dur}
+	for id, v := range vals {
+		s.Stations = append(s.Stations, Station{ID: id, Name: "st", AirtimeSecs: v, AvgCW: v * 10})
+	}
+	return s
+}
+
+func TestMedianSnapshots(t *testing.T) {
+	if MedianSnapshots(nil) != nil {
+		t.Error("empty input should merge to nil")
+	}
+	if MedianSnapshots([]*Snapshot{nil, nil}) != nil {
+		t.Error("all-nil input should merge to nil")
+	}
+	snaps := []*Snapshot{
+		snapWith(1, map[int]float64{1: 3, 2: 30}),
+		snapWith(2, map[int]float64{1: 1, 2: 10}),
+		snapWith(3, map[int]float64{1: 2, 2: 20}),
+	}
+	m := MedianSnapshots(snaps)
+	if m.Runs != 3 {
+		t.Errorf("Runs = %d, want 3", m.Runs)
+	}
+	if !approx(m.DurationSecs, 2) {
+		t.Errorf("DurationSecs = %v, want 2", m.DurationSecs)
+	}
+	if len(m.Stations) != 2 || m.Stations[0].ID != 1 || m.Stations[1].ID != 2 {
+		t.Fatalf("merged stations: %+v", m.Stations)
+	}
+	if !approx(m.Stations[0].AirtimeSecs, 2) || !approx(m.Stations[1].AirtimeSecs, 20) {
+		t.Errorf("per-station medians: %+v", m.Stations)
+	}
+	if !approx(m.Stations[0].AvgCW, 20) {
+		t.Errorf("AvgCW median = %v, want 20", m.Stations[0].AvgCW)
+	}
+	// Merge order must not matter (parallel runs complete in any order).
+	rev := []*Snapshot{snaps[2], snaps[0], snaps[1]}
+	var f, g strings.Builder
+	if err := EncodeJSONL(&f, Labeled{Snap: m}); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeJSONL(&g, Labeled{Snap: MedianSnapshots(rev)}); err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != g.String() {
+		t.Errorf("merge depends on input order:\n%s\nvs\n%s", f.String(), g.String())
+	}
+}
+
+func TestCollectorCanonicalOrder(t *testing.T) {
+	a := snapWith(1, map[int]float64{1: 1})
+	b := snapWith(2, map[int]float64{1: 2})
+	c := snapWith(3, map[int]float64{1: 3})
+	serialize := func(snaps []*Snapshot) string {
+		var sb strings.Builder
+		for _, s := range snaps {
+			if err := EncodeJSONL(&sb, Labeled{Snap: s}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sb.String()
+	}
+	var c1, c2 Collector
+	c1.Add(a)
+	c1.Add(b)
+	c1.Add(c)
+	c2.Add(c)
+	c2.Add(a)
+	c2.Add(nil) // ignored
+	c2.Add(b)
+	if serialize(c1.Snapshots()) != serialize(c2.Snapshots()) {
+		t.Error("collector order depends on insertion order")
+	}
+	if n := len(c2.Snapshots()); n != 3 {
+		t.Errorf("nil snapshot not ignored: %d snapshots", n)
+	}
+}
+
+func TestEmitters(t *testing.T) {
+	s := snapWith(1, map[int]float64{7: 0.5})
+	s.ChannelBusySecs = 0.5
+	s.ChannelUtilization = 0.5
+
+	var jl strings.Builder
+	if err := EncodeJSONL(&jl, Labeled{Label: "fig2", Group: 3, Snap: s}, Labeled{Snap: nil}); err != nil {
+		t.Fatal(err)
+	}
+	line := jl.String()
+	for _, want := range []string{`"label":"fig2"`, `"group":3`, `"id":7`, `"airtime_secs":0.5`,
+		`"channel_utilization":0.5`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("JSONL missing %s in %s", want, line)
+		}
+	}
+	if strings.Count(line, "\n") != 1 {
+		t.Errorf("want exactly one line, got %q", line)
+	}
+
+	var csv strings.Builder
+	if err := EncodeCSV(&csv, Labeled{Label: "fig2", Snap: s}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "label,group,station,avg_cw") {
+		t.Errorf("CSV header missing: %q", csv.String())
+	}
+
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "m.jsonl")
+	csvPath := filepath.Join(dir, "m.csv")
+	if err := WriteFile(jsonlPath, Labeled{Snap: s}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(csvPath, Labeled{Snap: s}); err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := os.ReadFile(jsonlPath)
+	cb, _ := os.ReadFile(csvPath)
+	if !strings.HasPrefix(string(jb), "{") {
+		t.Errorf("jsonl file should hold JSON lines: %q", jb)
+	}
+	if !strings.HasPrefix(string(cb), "#") && !strings.Contains(string(cb), "label,group") {
+		t.Errorf("csv file should hold CSV: %q", cb)
+	}
+}

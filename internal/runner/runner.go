@@ -15,6 +15,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -60,12 +61,26 @@ type panicValue struct{ v any }
 // does not depend on completion order. A panic in any task is re-raised on
 // the caller's goroutine after the remaining tasks finish.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), n, fn)
+}
+
+// MapContext is Map with cooperative cancellation: each task checks ctx
+// before starting, so tasks not yet begun when ctx is cancelled fail with
+// ctx.Err() instead of running. In-flight tasks are never interrupted (a
+// simulated world has no preemption points), which keeps cancellation
+// granularity at one (sweep-point × seed) run. Error selection is
+// unchanged — the lowest failing index wins — so a cancelled sweep
+// reports the same error no matter the completion order.
+func MapContext[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	out := make([]T, n)
 	errs := make([]error, n)
 	if n == 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var err error
 		out[0], err = fn(0)
 		return out, err
@@ -84,6 +99,10 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 				pmu.Unlock()
 			}
 		}()
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		out[i], errs[i] = fn(i)
 	}
 	for i := 0; i < n; i++ {

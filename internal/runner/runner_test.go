@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -129,6 +130,52 @@ func TestMapPanicPropagates(t *testing.T) {
 			return i, nil
 		})
 		t.Fatal("Map did not panic")
+	})
+}
+
+// A pre-cancelled context fails every not-yet-started task with ctx.Err();
+// lowest-index reporting makes the error deterministic.
+func TestMapContextPreCancelled(t *testing.T) {
+	withLimit(t, 4, func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var ran atomic.Int32
+		_, err := MapContext(ctx, 16, func(i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("%d tasks ran under a cancelled context", ran.Load())
+		}
+		// n == 1 takes the inline path; it must check ctx too.
+		if _, err := MapContext(ctx, 1, func(i int) (int, error) { return i, nil }); !errors.Is(err, context.Canceled) {
+			t.Errorf("n=1 err = %v, want context.Canceled", err)
+		}
+	})
+}
+
+// Cancelling mid-flight stops tasks that have not started; tasks already
+// running finish normally (a simulated world has no preemption points).
+func TestMapContextMidFlightCancel(t *testing.T) {
+	withLimit(t, 1, func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		_, err := MapContext(ctx, 8, func(i int) (int, error) {
+			ran.Add(1)
+			if i == 2 {
+				cancel()
+			}
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if got := ran.Load(); got > 4 {
+			t.Errorf("%d tasks ran after cancellation at task 2", got)
+		}
 	})
 }
 

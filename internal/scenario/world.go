@@ -10,6 +10,7 @@ import (
 	"greedy80211/internal/detect"
 	"greedy80211/internal/mac"
 	"greedy80211/internal/medium"
+	"greedy80211/internal/metrics"
 	"greedy80211/internal/node"
 	"greedy80211/internal/phys"
 	"greedy80211/internal/sim"
@@ -26,6 +27,18 @@ const (
 	// TCP carries a saturating Reno connection.
 	TCP
 )
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	switch t {
+	case UDP:
+		return "udp"
+	case TCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
 
 // Config parameterizes a world.
 type Config struct {
@@ -138,6 +151,7 @@ type World struct {
 	probes   []*ProbeFlow
 	wired    map[string]wiredAttachment // host name -> its link toward an AP
 	nextID   mac.NodeID
+	metrics  *metrics.Registry
 }
 
 type wiredAttachment struct {
@@ -179,6 +193,8 @@ func NewWorld(cfg Config) (*World, error) {
 	mcfg.ForceCapture = cfg.ForceCapture
 	mcfg.RateError = cfg.RateError
 	mcfg.Tap = cfg.Trace
+	reg := metrics.NewRegistry()
+	mcfg.Metrics = reg
 	if cfg.DisableCapture {
 		mcfg.CaptureEnabled = false
 	}
@@ -200,7 +216,18 @@ func NewWorld(cfg Config) (*World, error) {
 		stations: make(map[string]*Station),
 		flows:    make(map[int]*Flow),
 		wired:    make(map[string]wiredAttachment),
+		metrics:  reg,
 	}, nil
+}
+
+// Metrics returns the world's always-on telemetry registry.
+func (w *World) Metrics() *metrics.Registry { return w.metrics }
+
+// MetricsSnapshot folds the registry and every station's MAC accounting
+// into an immutable snapshot covering the simulated time elapsed so far
+// (call it after Run).
+func (w *World) MetricsSnapshot() *metrics.Snapshot {
+	return w.metrics.Snapshot(w.Sched.Now())
 }
 
 // Station looks up a station by name.
@@ -275,6 +302,7 @@ func (w *World) AddStation(name string, pos phys.Position, opts StationOpts) (*S
 	if err := w.Medium.AddRadio(id, pos, dcf); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
+	w.metrics.Register(id, name, dcf)
 	w.stations[name] = st
 	return st, nil
 }
