@@ -1,0 +1,286 @@
+// Command campaign drives durable, resumable, shardable experiment
+// campaigns over the content-addressed result store.
+//
+// Usage:
+//
+//	campaign run -spec spec.json -store .campaign -out results/
+//	campaign run -artifacts fig1,fig4 -seeds 5 -duration 5s -store .campaign
+//	campaign run -spec spec.json -store /shared/store -shard 0/2
+//	campaign status -spec spec.json -store .campaign
+//	campaign gc -spec spec.json -store .campaign
+//	campaign verify -store .campaign
+//
+// A campaign expands into a deterministic work-list of units (artifact ×
+// config × base seed). Units already in the store are skipped, so
+// re-running after an interrupt (Ctrl-C, crash, power loss) resumes
+// where it stopped, and a warm rerun does zero simulation work. With
+// -shard i/n independent processes compute disjoint slices of the
+// work-list against a shared store; once the store is complete, any run
+// with -out assembles results byte-identically to a single sequential
+// cmd/experiments invocation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+
+	"greedy80211/internal/campaign"
+	"greedy80211/internal/profileflags"
+	"greedy80211/internal/runner"
+	"greedy80211/internal/stats"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `campaign: durable experiment campaigns
+
+subcommands:
+  run     compute a campaign's units into the store (resumable, shardable)
+  status  show per-unit standing of a spec against a store
+  gc      delete store entries a spec no longer references
+  verify  check every store entry's checksums and decodability
+
+run "campaign <subcommand> -h" for flags`)
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:])
+	case "status":
+		return cmdStatus(args[1:])
+	case "gc":
+		return cmdGC(args[1:])
+	case "verify":
+		return cmdVerify(args[1:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "campaign: unknown subcommand %q\n", args[0])
+		usage()
+		return 2
+	}
+}
+
+// specFlags registers the flags that name or build a spec and returns a
+// loader to call after parsing.
+func specFlags(fs *flag.FlagSet) func() (*campaign.Spec, error) {
+	var (
+		specPath  = fs.String("spec", "", "campaign spec file (JSON); overrides the inline flags below")
+		artifacts = fs.String("artifacts", "", "comma-separated artifact ids, or \"all\"")
+		seeds     = fs.Int("seeds", 0, "seeded repetitions per data point (default 5)")
+		baseSeed  = fs.Int64("seed", 0, "base seed")
+		baseSeeds = fs.String("base-seeds", "", "comma-separated base-seed set; each seed is a distinct unit per artifact")
+		duration  = fs.Duration("duration", 0, "simulated time per run (default 5s)")
+		quick     = fs.Bool("quick", false, "1 seed, 2s runs, trimmed sweeps")
+	)
+	return func() (*campaign.Spec, error) {
+		if *specPath != "" {
+			return campaign.LoadSpec(*specPath)
+		}
+		if *artifacts == "" {
+			return nil, fmt.Errorf("-spec <file> or -artifacts <ids> required")
+		}
+		spec := &campaign.Spec{
+			Config: campaign.SpecConfig{
+				Seeds:    *seeds,
+				BaseSeed: *baseSeed,
+				Quick:    *quick,
+			},
+		}
+		if *duration != 0 {
+			spec.Config.Duration = duration.String()
+		}
+		for _, id := range strings.Split(*artifacts, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				spec.Artifacts = append(spec.Artifacts, id)
+			}
+		}
+		if *baseSeeds != "" {
+			for _, s := range strings.Split(*baseSeeds, ",") {
+				var v int64
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil {
+					return nil, fmt.Errorf("bad -base-seeds entry %q", s)
+				}
+				spec.BaseSeeds = append(spec.BaseSeeds, v)
+			}
+		}
+		return spec, nil
+	}
+}
+
+func cmdRun(args []string) int {
+	fs := flag.NewFlagSet("campaign run", flag.ContinueOnError)
+	loadSpec := specFlags(fs)
+	var (
+		storeDir = fs.String("store", "", "result store directory (required)")
+		outDir   = fs.String("out", "", "assemble per-artifact results and metrics sidecar into this directory")
+		shard    = fs.String("shard", "", "compute only work-list slice i/n (e.g. 0/2); all shards share -store")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size")
+		prof     = profileflags.Register(fs)
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "campaign run: -store required")
+		return 2
+	}
+	spec, err := loadSpec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign run: %v\n", err)
+		return 2
+	}
+	opt := campaign.Options{StoreDir: *storeDir, OutDir: *outDir, Log: os.Stdout}
+	if *shard != "" {
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &opt.Shard, &opt.Shards); err != nil ||
+			opt.Shards < 1 || opt.Shard < 0 || opt.Shard >= opt.Shards {
+			fmt.Fprintf(os.Stderr, "campaign run: bad -shard %q (want i/n with 0 <= i < n)\n", *shard)
+			return 2
+		}
+	}
+	runner.SetLimit(*parallel)
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign run: %v\n", err)
+		return 1
+	}
+	defer stopProf()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := campaign.Run(ctx, spec, opt)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "campaign run: interrupted after %d/%d units; re-run the same command to resume\n",
+			rep.CacheHits+rep.Computed, rep.InShard)
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign run: %v\n", err)
+		return 1
+	}
+	fmt.Printf("campaign: %d units: %d cached, %d computed", rep.InShard, rep.CacheHits, rep.Computed)
+	if len(rep.Failures) > 0 {
+		fmt.Printf(", %d FAILED", len(rep.Failures))
+	}
+	fmt.Println()
+	for _, f := range rep.Failures {
+		fmt.Fprintf(os.Stderr, "campaign run: %s: %v\n", f.Unit.Name(), f.Err)
+	}
+	if len(rep.Failures) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func cmdStatus(args []string) int {
+	fs := flag.NewFlagSet("campaign status", flag.ContinueOnError)
+	loadSpec := specFlags(fs)
+	storeDir := fs.String("store", "", "result store directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "campaign status: -store required")
+		return 2
+	}
+	spec, err := loadSpec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign status: %v\n", err)
+		return 2
+	}
+	sts, err := campaign.Status(spec, *storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign status: %v\n", err)
+		return 1
+	}
+	t := stats.Table{Header: []string{"unit", "key", "state"}}
+	done := 0
+	for _, st := range sts {
+		state := "pending"
+		switch {
+		case st.Done:
+			state = "done"
+			done++
+		case st.InFlight:
+			state = "interrupted"
+		}
+		t.AddRow(st.Unit.Name(), st.Unit.Key[:12], state)
+	}
+	fmt.Print(t.String())
+	fmt.Printf("%d/%d units done\n", done, len(sts))
+	return 0
+}
+
+func cmdGC(args []string) int {
+	fs := flag.NewFlagSet("campaign gc", flag.ContinueOnError)
+	loadSpec := specFlags(fs)
+	var (
+		storeDir = fs.String("store", "", "result store directory (required)")
+		dryRun   = fs.Bool("dry-run", false, "report what would be deleted without deleting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "campaign gc: -store required")
+		return 2
+	}
+	spec, err := loadSpec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign gc: %v\n", err)
+		return 2
+	}
+	rep, err := campaign.GC(spec, *storeDir, *dryRun)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign gc: %v\n", err)
+		return 1
+	}
+	verb := "deleted"
+	if *dryRun {
+		verb = "would delete"
+	}
+	fmt.Printf("campaign gc: kept %d entries, %s %d\n", rep.Kept, verb, rep.Deleted)
+	return 0
+}
+
+func cmdVerify(args []string) int {
+	fs := flag.NewFlagSet("campaign verify", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "result store directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "campaign verify: -store required")
+		return 2
+	}
+	bad, err := campaign.Verify(*storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign verify: %v\n", err)
+		return 1
+	}
+	for _, e := range bad {
+		fmt.Fprintf(os.Stderr, "campaign verify: %v\n", e)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "campaign verify: %d corrupt entries\n", len(bad))
+		return 1
+	}
+	fmt.Println("campaign verify: store is sound")
+	return 0
+}

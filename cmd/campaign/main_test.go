@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSubcommandExitCodes(t *testing.T) {
+	store := t.TempDir()
+	out := t.TempDir()
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"help", []string{"help"}, 0},
+		{"unknown subcommand", []string{"frobnicate"}, 2},
+		{"run without store", []string{"run", "-artifacts", "tab3"}, 2},
+		{"run without spec or artifacts", []string{"run", "-store", store}, 2},
+		{"run bad shard", []string{"run", "-store", store, "-artifacts", "tab3", "-shard", "2/2"}, 2},
+		{"run unknown artifact", []string{"run", "-store", store, "-artifacts", "fig999"}, 1},
+		{"run tab3", []string{"run", "-store", store, "-out", out,
+			"-artifacts", "tab3", "-quick", "-duration", "100ms"}, 0},
+		{"status", []string{"status", "-store", store,
+			"-artifacts", "tab3", "-quick", "-duration", "100ms"}, 0},
+		{"gc dry run", []string{"gc", "-store", store, "-dry-run",
+			"-artifacts", "tab3", "-quick", "-duration", "100ms"}, 0},
+		{"verify sound store", []string{"verify", "-store", store}, 0},
+		{"verify without store", []string{"verify"}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := run(tt.args); got != tt.want {
+				t.Errorf("run(%v) = %d, want %d", tt.args, got, tt.want)
+			}
+		})
+	}
+	// The run above must have assembled tab3's result and the sidecar.
+	for _, name := range []string{"tab3.json", "metrics.jsonl"} {
+		if _, err := os.Stat(filepath.Join(out, name)); err != nil {
+			t.Errorf("assembled output %s missing: %v", name, err)
+		}
+	}
+}
+
+func TestVerifyFlagsCorruption(t *testing.T) {
+	store := t.TempDir()
+	if got := run([]string{"run", "-store", store, "-artifacts", "tab3", "-quick", "-duration", "100ms"}); got != 0 {
+		t.Fatalf("seed run exited %d", got)
+	}
+	objects, err := filepath.Glob(filepath.Join(store, "objects", "*", "*", "result.json"))
+	if err != nil || len(objects) != 1 {
+		t.Fatalf("objects: %v (%d)", err, len(objects))
+	}
+	if err := os.WriteFile(objects[0], []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"verify", "-store", store}); got != 1 {
+		t.Errorf("verify on a corrupted store exited %d, want 1", got)
+	}
+}
+
+func TestSpecFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	body := `{"artifacts": ["tab3"], "config": {"seeds": 1, "duration": "100ms", "quick": true}}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(dir, "store")
+	if got := run([]string{"run", "-spec", spec, "-store", store}); got != 0 {
+		t.Fatalf("run -spec exited %d", got)
+	}
+	// Typos in a spec must fail loudly, not run the defaults.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"artifact": ["tab3"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"run", "-spec", bad, "-store", store}); got != 2 {
+		t.Errorf("run with a misspelled spec field exited %d, want 2", got)
+	}
+}
+
+func TestShardedRunsCoverDisjointUnits(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	args := func(extra ...string) []string {
+		return append([]string{"run", "-store", store,
+			"-artifacts", "tab1,tab3", "-quick", "-duration", "100ms"}, extra...)
+	}
+	if got := run(args("-shard", "0/2")); got != 0 {
+		t.Fatalf("shard 0/2 exited %d", got)
+	}
+	if got := run(args("-shard", "1/2")); got != 0 {
+		t.Fatalf("shard 1/2 exited %d", got)
+	}
+	out := filepath.Join(dir, "out")
+	if got := run(args("-out", out)); got != 0 {
+		t.Fatalf("merge run exited %d", got)
+	}
+	b, err := os.ReadFile(filepath.Join(out, "tab1.json"))
+	if err != nil || !strings.Contains(string(b), "\"id\": \"tab1\"") {
+		t.Errorf("assembled tab1.json wrong: %v / %.60s", err, b)
+	}
+}

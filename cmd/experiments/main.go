@@ -5,8 +5,14 @@
 //	experiments -list
 //	experiments -run fig1
 //	experiments -run all -quick
-//	experiments -run fig4 -seeds 5 -duration 5s
+//	experiments -run fig4,fig5 -seeds 5 -duration 5s
 //	experiments -artifact fig2 -metrics fig2_metrics.jsonl
+//	experiments -run all -json out/ -metrics out/metrics.jsonl
+//
+// -run accepts a single id, a comma-separated list, or "all". A failing
+// artifact does not abort the rest of the campaign: every requested
+// artifact is attempted, a pass/fail summary is printed when more than
+// one ran, and the exit status is nonzero if any failed.
 package main
 
 import (
@@ -15,11 +21,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"runtime/pprof"
+	"strings"
 	"time"
 
 	"greedy80211/internal/experiments"
 	"greedy80211/internal/metrics"
+	"greedy80211/internal/profileflags"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/sim"
 )
@@ -28,59 +35,38 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// runArtifact is experiments.Run, injectable so tests can exercise the
+// continue-past-failure path without a deliberately broken registry.
+var runArtifact = experiments.Run
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		list     = fs.Bool("list", false, "list every artifact and exit")
-		id       = fs.String("run", "", "artifact id (fig1..fig24, tab1..tab9) or \"all\"")
+		id       = fs.String("run", "", "artifact id (fig1..fig24, tab1..tab9), comma-separated list, or \"all\"")
 		artifact = fs.String("artifact", "", "alias for -run")
 		seeds    = fs.Int("seeds", 0, "seeded repetitions per data point (default 5, paper methodology)")
 		baseSeed = fs.Int64("seed", 0, "base seed")
 		duration = fs.Duration("duration", 0, "simulated time per run (default 5s)")
 		quick    = fs.Bool("quick", false, "1 seed, 2s runs, trimmed sweeps")
 		csvDir   = fs.String("csv", "", "also write each artifact's data as CSV files into this directory")
+		jsonDir  = fs.String("json", "", "also write each artifact as stable JSON (<id>.json) into this directory")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
 			"worker-pool size for (sweep-point × seed) fan-out; 1 = sequential (output is identical either way)")
 		metricsOut = fs.String("metrics", "",
 			"write a per-station telemetry sidecar to this file (.csv for CSV, else JSONL); identical for any -parallel value")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		prof = profileflags.Register(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	runner.SetLimit(*parallel)
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: creating cpu profile: %v\n", err)
-			return 1
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: starting cpu profile: %v\n", err)
-			f.Close()
-			return 1
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
 	}
-	if *memProfile != "" {
-		path := *memProfile
-		defer func() {
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: writing heap profile: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: writing heap profile: %v\n", err)
-			}
-		}()
-	}
+	defer stopProf()
 	if *list {
 		for _, reg := range experiments.All() {
 			fmt.Printf("%-6s %s\n", reg.ID, reg.Title)
@@ -101,27 +87,42 @@ func run(args []string) int {
 		Duration: sim.Time(duration.Nanoseconds()),
 		Quick:    *quick,
 	}
-	ids := []string{*id}
-	if *id == "all" {
-		ids = ids[:0]
-		for _, reg := range experiments.All() {
-			ids = append(ids, reg.ID)
+	var ids []string
+	for _, art := range strings.Split(*id, ",") {
+		art = strings.TrimSpace(art)
+		if art == "" {
+			continue
 		}
+		if art == "all" {
+			for _, reg := range experiments.All() {
+				ids = append(ids, reg.ID)
+			}
+			continue
+		}
+		ids = append(ids, art)
 	}
 	var sidecar []metrics.Labeled
+	var failed []string
 	for _, art := range ids {
 		start := time.Now()
 		if *metricsOut != "" {
 			cfg.Metrics = metrics.NewCollector()
 		}
-		res, err := experiments.Run(art, cfg)
+		res, err := runArtifact(art, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			return 1
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", art, err)
+			failed = append(failed, art)
+			continue
 		}
 		fmt.Print(res.String())
 		if *csvDir != "" {
 			if err := writeCSVs(*csvDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return 1
+			}
+		}
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, res); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 				return 1
 			}
@@ -140,6 +141,16 @@ func run(args []string) int {
 		}
 		fmt.Printf("telemetry sidecar written to %s\n", *metricsOut)
 	}
+	if len(ids) > 1 {
+		fmt.Printf("%d/%d artifacts regenerated", len(ids)-len(failed), len(ids))
+		if len(failed) > 0 {
+			fmt.Printf("; FAILED: %s", strings.Join(failed, ", "))
+		}
+		fmt.Println()
+	}
+	if len(failed) > 0 {
+		return 1
+	}
 	return 0
 }
 
@@ -157,4 +168,19 @@ func writeCSVs(dir string, res *experiments.Result) error {
 		}
 	}
 	return nil
+}
+
+func writeJSON(dir string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating json dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, res.ID+".json"))
+	if err != nil {
+		return fmt.Errorf("writing %s.json: %w", res.ID, err)
+	}
+	err = res.WriteJSON(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("closing %s.json: %w", res.ID, cerr)
+	}
+	return err
 }

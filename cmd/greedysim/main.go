@@ -14,53 +14,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 
 	"greedy80211/internal/core"
 	"greedy80211/internal/greedy"
 	"greedy80211/internal/metrics"
 	"greedy80211/internal/phys"
+	"greedy80211/internal/profileflags"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
 	"greedy80211/internal/stats"
 	"greedy80211/internal/trace"
 )
-
-// startProfiles begins CPU profiling and arranges a heap profile dump; the
-// returned stop function must run before the process exits (run() defers
-// it, so profiles are flushed even though main os.Exits).
-func startProfiles(cpuPath, memPath string) (stop func(), err error) {
-	var cpuF *os.File
-	if cpuPath != "" {
-		cpuF, err = os.Create(cpuPath)
-		if err != nil {
-			return nil, fmt.Errorf("creating cpu profile: %w", err)
-		}
-		if err := pprof.StartCPUProfile(cpuF); err != nil {
-			cpuF.Close()
-			return nil, fmt.Errorf("starting cpu profile: %w", err)
-		}
-	}
-	return func() {
-		if cpuF != nil {
-			pprof.StopCPUProfile()
-			cpuF.Close()
-		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
-			}
-		}
-	}, nil
-}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -122,14 +87,13 @@ func run(args []string) int {
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0),
 			"worker-pool size for seeded repetitions; 1 = sequential (-trace forces sequential)")
 		metricsOut = fs.String("metrics", "", "write the per-station telemetry snapshot to this file (.csv for CSV, else JSONL)")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		prof       = profileflags.Register(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	runner.SetLimit(*parallel)
-	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "greedysim: %v\n", err)
 		return 1

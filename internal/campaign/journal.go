@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Record is one journal line. "start" is written ahead of computing a
+// unit, "done" after its store commit — so a start without a matching
+// done marks a unit that was in flight when the process died.
+type Record struct {
+	Op       string `json:"op"` // "start" | "done"
+	Key      string `json:"key"`
+	Artifact string `json:"artifact"`
+	BaseSeed int64  `json:"base_seed"`
+}
+
+// Journal is the store's append-only write-ahead unit-completion log.
+// The store itself is the source of truth for what is computed (entries
+// commit atomically); the journal adds history — which units this
+// campaign attempted, which were in flight at a crash — for status
+// reporting and crash diagnosis. Resume therefore survives a truncated
+// or deleted journal: units are re-validated against the store.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: opening journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append writes one record as a single line. Safe for concurrent use by
+// the worker pool.
+func (j *Journal) Append(r Record) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("campaign: journal append: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("campaign: journal append: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ReadJournal loads every well-formed record from path. A missing file
+// is an empty journal; a torn final line (crash mid-append) is skipped,
+// not an error.
+func ReadJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("campaign: reading journal: %w", err)
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			continue // torn or foreign line
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, fmt.Errorf("campaign: reading journal: %w", err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,55 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"greedy80211/internal/core"
+	"greedy80211/internal/experiments"
+)
+
+// FormatVersion names the store's key and value format. Bump it whenever
+// the canonical key payload, the Result JSON encoding, or the snapshot
+// encoding changes shape — every existing store entry becomes a miss
+// instead of decoding garbage.
+const FormatVersion = "campaign/v1"
+
+// keyPayload is everything that determines a unit's output bytes, in
+// canonical (normalized, fixed-field-order) form. RunConfig.Metrics is
+// deliberately absent: attaching a collector changes what is observed,
+// never what is computed.
+type keyPayload struct {
+	Version    string `json:"v"`
+	Module     string `json:"module"`
+	Artifact   string `json:"artifact"`
+	Seeds      int    `json:"seeds"`
+	BaseSeed   int64  `json:"base_seed"`
+	DurationNs int64  `json:"duration_ns"`
+	Quick      bool   `json:"quick"`
+}
+
+// Key returns the unit's content address: the hex sha256 of the
+// canonical JSON of (format version, module fingerprint, artifact id,
+// normalized config). Two configs that differ only in defaulted fields
+// normalize identically and therefore collide on purpose — they describe
+// the same work.
+func Key(artifact string, cfg experiments.RunConfig) string {
+	n := cfg.Normalize()
+	payload := keyPayload{
+		Version:    FormatVersion,
+		Module:     core.ModuleFingerprint(),
+		Artifact:   artifact,
+		Seeds:      n.Seeds,
+		BaseSeed:   n.BaseSeed,
+		DurationNs: int64(n.Duration),
+		Quick:      n.Quick,
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		// A struct of strings, ints, and bools cannot fail to marshal.
+		panic("campaign: key marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

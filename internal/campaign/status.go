@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UnitStatus is one unit's standing against a store.
+type UnitStatus struct {
+	Unit Unit
+	// Done: committed in the store. InFlight: the journal shows a start
+	// with no matching done and no store entry — the unit was being
+	// computed when a previous run died.
+	Done, InFlight bool
+}
+
+// Status reports every unit of the spec against the store at storeDir.
+func Status(spec *Spec, storeDir string) ([]UnitStatus, error) {
+	units, err := spec.Units()
+	if err != nil {
+		return nil, err
+	}
+	store, err := OpenStore(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := ReadJournal(store.JournalPath())
+	if err != nil {
+		return nil, err
+	}
+	started := make(map[string]bool)
+	for _, r := range recs {
+		switch r.Op {
+		case "start":
+			started[r.Key] = true
+		case "done":
+			delete(started, r.Key)
+		}
+	}
+	out := make([]UnitStatus, len(units))
+	for i, u := range units {
+		done := store.Has(u.Key)
+		out[i] = UnitStatus{Unit: u, Done: done, InFlight: !done && started[u.Key]}
+	}
+	return out, nil
+}
+
+// GCReport summarizes a garbage collection pass.
+type GCReport struct {
+	Kept, Deleted int
+	DeletedKeys   []string
+}
+
+// GC deletes every store entry not referenced by the spec (old module
+// versions, abandoned configs). With dryRun it only reports what would
+// go. The journal is left alone — it is history, and resume never
+// trusts it over the store.
+func GC(spec *Spec, storeDir string, dryRun bool) (*GCReport, error) {
+	units, err := spec.Units()
+	if err != nil {
+		return nil, err
+	}
+	store, err := OpenStore(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	keep := make(map[string]bool, len(units))
+	for _, u := range units {
+		keep[u.Key] = true
+	}
+	keys, err := store.Keys()
+	if err != nil {
+		return nil, err
+	}
+	rep := &GCReport{}
+	for _, key := range keys {
+		if keep[key] {
+			rep.Kept++
+			continue
+		}
+		if !dryRun {
+			if err := store.Delete(key); err != nil {
+				return rep, err
+			}
+		}
+		rep.Deleted++
+		rep.DeletedKeys = append(rep.DeletedKeys, key)
+	}
+	sort.Strings(rep.DeletedKeys)
+	return rep, nil
+}
+
+// Verify checks every committed entry in the store and returns the
+// errors found (empty means the store is sound).
+func Verify(storeDir string) ([]error, error) {
+	store, err := OpenStore(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := store.Keys()
+	if err != nil {
+		return nil, err
+	}
+	var bad []error
+	for _, key := range keys {
+		if err := store.VerifyEntry(key); err != nil {
+			bad = append(bad, fmt.Errorf("%s: %w", key[:12], err))
+		}
+	}
+	return bad, nil
+}

@@ -1,0 +1,201 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Store is the on-disk content-addressed result cache. Layout:
+//
+//	<root>/objects/<key[:2]>/<key>/result.json   stable Result encoding
+//	<root>/objects/<key[:2]>/<key>/metrics.json  snapshot array
+//	<root>/objects/<key[:2]>/<key>/meta.json     key echo + checksums
+//	<root>/journal.jsonl                         write-ahead unit log
+//
+// Writes are atomic: an entry is staged in a temp directory under the
+// root (same filesystem) with meta.json written last, then renamed into
+// place, so a reader either sees a complete entry or none — a crash
+// mid-write leaves only stray tmp directories, which Open sweeps.
+type Store struct {
+	root string
+}
+
+// Meta is the entry's self-description: the key's preimage fields plus
+// content checksums, so `campaign verify` can detect both corruption
+// (checksum mismatch) and misfiling (directory name != meta key).
+type Meta struct {
+	Key           string `json:"key"`
+	Module        string `json:"module"`
+	Artifact      string `json:"artifact"`
+	Seeds         int    `json:"seeds"`
+	BaseSeed      int64  `json:"base_seed"`
+	DurationNs    int64  `json:"duration_ns"`
+	Quick         bool   `json:"quick"`
+	ResultSHA256  string `json:"result_sha256"`
+	MetricsSHA256 string `json:"metrics_sha256"`
+	CreatedUnix   int64  `json:"created_unix"`
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir and removes
+// any tmp- staging directories left behind by a crashed writer.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: opening store: %w", err)
+	}
+	stale, _ := filepath.Glob(filepath.Join(dir, "tmp-*"))
+	for _, d := range stale {
+		os.RemoveAll(d)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// JournalPath is where the store's write-ahead journal lives.
+func (s *Store) JournalPath() string { return filepath.Join(s.root, "journal.jsonl") }
+
+func (s *Store) objectDir(key string) string {
+	return filepath.Join(s.root, "objects", key[:2], key)
+}
+
+// Has reports whether a complete entry exists for key (meta.json is
+// written last, so its presence implies the whole entry landed).
+func (s *Store) Has(key string) bool {
+	if len(key) < 2 {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.objectDir(key), "meta.json"))
+	return err == nil
+}
+
+// Put commits one unit's bytes under meta.Key atomically. Checksums are
+// filled in here. If a concurrent writer (another shard pointed at the
+// same store) already committed the key, Put quietly keeps the existing
+// entry — content-addressing makes both copies interchangeable.
+func (s *Store) Put(meta Meta, result, metricsJSON []byte) error {
+	if len(meta.Key) < 2 {
+		return fmt.Errorf("campaign: store put: invalid key %q", meta.Key)
+	}
+	meta.ResultSHA256 = hexSum(result)
+	meta.MetricsSHA256 = hexSum(metricsJSON)
+	if meta.CreatedUnix == 0 {
+		meta.CreatedUnix = time.Now().Unix()
+	}
+	tmp, err := os.MkdirTemp(s.root, "tmp-")
+	if err != nil {
+		return fmt.Errorf("campaign: store put: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+	metaBytes, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: store put: %w", err)
+	}
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{
+		{"result.json", result},
+		{"metrics.json", metricsJSON},
+		{"meta.json", append(metaBytes, '\n')}, // meta last: the commit marker
+	} {
+		if err := os.WriteFile(filepath.Join(tmp, f.name), f.data, 0o644); err != nil {
+			return fmt.Errorf("campaign: store put %s: %w", f.name, err)
+		}
+	}
+	dst := s.objectDir(meta.Key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("campaign: store put: %w", err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		if s.Has(meta.Key) {
+			return nil // lost a benign race with an identical writer
+		}
+		return fmt.Errorf("campaign: store put: %w", err)
+	}
+	return nil
+}
+
+// Get reads one complete entry back.
+func (s *Store) Get(key string) (Meta, []byte, []byte, error) {
+	var meta Meta
+	dir := s.objectDir(key)
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return meta, nil, nil, fmt.Errorf("campaign: store get %s: %w", key, err)
+	}
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return meta, nil, nil, fmt.Errorf("campaign: store get %s: %w", key, err)
+	}
+	result, err := os.ReadFile(filepath.Join(dir, "result.json"))
+	if err != nil {
+		return meta, nil, nil, fmt.Errorf("campaign: store get %s: %w", key, err)
+	}
+	metricsJSON, err := os.ReadFile(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		return meta, nil, nil, fmt.Errorf("campaign: store get %s: %w", key, err)
+	}
+	return meta, result, metricsJSON, nil
+}
+
+// Keys lists every committed entry, sorted.
+func (s *Store) Keys() ([]string, error) {
+	dirs, err := filepath.Glob(filepath.Join(s.root, "objects", "*", "*"))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: store keys: %w", err)
+	}
+	var keys []string
+	for _, d := range dirs {
+		key := filepath.Base(d)
+		if s.Has(key) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete removes an entry (no error if absent).
+func (s *Store) Delete(key string) error {
+	if len(key) < 2 {
+		return nil
+	}
+	if err := os.RemoveAll(s.objectDir(key)); err != nil {
+		return fmt.Errorf("campaign: store delete %s: %w", key, err)
+	}
+	return nil
+}
+
+// VerifyEntry checks one entry end to end: meta parses, the directory
+// name matches the meta key, both payload checksums hold, and the result
+// still decodes as a Result document.
+func (s *Store) VerifyEntry(key string) error {
+	meta, result, metricsJSON, err := s.Get(key)
+	if err != nil {
+		return err
+	}
+	if meta.Key != key {
+		return fmt.Errorf("campaign: entry %s: meta key mismatch (%s)", key, meta.Key)
+	}
+	if got := hexSum(result); got != meta.ResultSHA256 {
+		return fmt.Errorf("campaign: entry %s: result.json checksum mismatch", key)
+	}
+	if got := hexSum(metricsJSON); got != meta.MetricsSHA256 {
+		return fmt.Errorf("campaign: entry %s: metrics.json checksum mismatch", key)
+	}
+	if err := decodeCheck(result, metricsJSON); err != nil {
+		return fmt.Errorf("campaign: entry %s: %w", key, err)
+	}
+	return nil
+}
+
+func hexSum(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -27,7 +27,7 @@ func registerAblation() {
 // *collide* with the genuine one when their powers are close — adding a
 // jamming side effect the paper deliberately excluded.
 func runAbl1(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "abl1", Title: "Spoofing at BER 2e-4 under different capture regimes"}
 	t := stats.Table{
 		Title: "ForceCapture is the paper's assumption; 10 dB is ns-2's realistic threshold " +
@@ -93,7 +93,7 @@ func runAbl1(cfg RunConfig) (*Result, error) {
 // intervention counters — the live-system counterpart of Fig 22's offline
 // FP/FN curves.
 func runAbl2(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "abl2", Title: "GRC RSSI threshold sweep against live spoofing (BER 4.4e-4)"}
 	t := stats.Table{
 		Title: "Small thresholds flag more (risking false suspicion); large thresholds miss " +
@@ -133,7 +133,7 @@ func runAbl2(cfg RunConfig) (*Result, error) {
 // rises with the faster basic rate, and the NAV-inflation attack remains
 // exactly as devastating (it manipulates a field, not airtime).
 func runAbl3(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "abl3", Title: "Control-frame rate ablation (802.11b, UDP)"}
 	t := stats.Table{
 		Title:  "Faster control frames raise capacity; the NAV attack is rate-independent.",

@@ -12,7 +12,7 @@ func registerAnalytic() {
 }
 
 func runTab1(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "tab1", Title: "Corrupted frames preserve source/destination MAC addresses"}
 	t := stats.Table{
 		Title: "Synthetic reproduction of the paper's capture (see DESIGN.md §2); " +

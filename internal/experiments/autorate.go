@@ -64,7 +64,7 @@ func autoratePairs(seed int64, tr scenario.Transport, useARF bool,
 }
 
 func runExtA(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "exta", Title: "Fake ACKs × auto-rate: forged feedback pins ARF at unsustainable rates"}
 	t := stats.Table{
 		Title: "Marginal link (11 Mbps FER 0.7, 5.5 Mbps FER 0.15). Under ARF, fake ACKs stop " +
@@ -110,7 +110,7 @@ func runExtA(cfg RunConfig) (*Result, error) {
 }
 
 func runExtB(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "extb", Title: "Spoofed ACKs × auto-rate: the victim's sender is kept at a bad rate"}
 	t := stats.Table{
 		Title: "Spoofed ACKs hide the victim's losses from its sender's ARF, so it never " +

@@ -18,7 +18,7 @@ func registerBaseline() {
 // motivating observation of the paper. GRC's detections on the same runs
 // are shown for contrast.
 func runExtC(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "extc", Title: "DOMINO vs receiver misbehaviors: compliant senders, skewed goodput"}
 	t := stats.Table{
 		Title: "DOMINO flags senders whose observed average backoff is below half the nominal " +

@@ -19,7 +19,7 @@ func registerDetection() {
 }
 
 func runFig21(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig21", Title: "CDF of RSSI deviation from the link median"}
 	study := tracestudy.DefaultRSSIStudyConfig(cfg.BaseSeed + 21)
 	if cfg.Quick {
@@ -40,7 +40,7 @@ func runFig21(cfg RunConfig) (*Result, error) {
 }
 
 func runFig22(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig22", Title: "False positive and false negative vs RSSI threshold"}
 	study := tracestudy.DefaultRSSIStudyConfig(cfg.BaseSeed + 22)
 	if cfg.Quick {
@@ -128,7 +128,7 @@ type protPoint struct {
 }
 
 func runFig23(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig23", Title: "GRC against inflated CTS NAV vs pair separation (comm 55 m, interf 99 m)"}
 	dists := pick(cfg, []float64{5, 15, 25, 35, 45, 52, 65, 85, 105, 120})
 	transports := []struct {
@@ -237,7 +237,7 @@ func grcSpoofWorldAt(seed int64, ber float64, greedyOn bool, grcCfg *detect.Conf
 }
 
 func runFig24(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig24", Title: "GRC detects and recovers from ACK spoofing vs BER"}
 	bers := pick(cfg, []float64{0, 1e-5, 2e-4, 4.4e-4, 8e-4, 1.4e-3})
 	noGR1 := stats.Series{Name: "no GR: R1 (Mbps)"}

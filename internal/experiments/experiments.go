@@ -48,7 +48,10 @@ const (
 	DefaultDuration = 5 * sim.Second
 )
 
-func (c RunConfig) normalize() RunConfig {
+// Normalize fills defaulted fields in. It is idempotent, and it is the
+// canonical form the campaign engine hashes when building cache keys:
+// two configs that normalize identically describe the same work.
+func (c RunConfig) Normalize() RunConfig {
 	if c.Seeds == 0 {
 		if c.Quick {
 			c.Seeds = 1
@@ -66,19 +69,21 @@ func (c RunConfig) normalize() RunConfig {
 	return c
 }
 
-// Result is one regenerated artifact.
+// Result is one regenerated artifact. The json tags define the stable
+// machine-readable encoding (see WriteJSON) used by `-json` output and as
+// the campaign store's value format.
 type Result struct {
-	ID     string
-	Title  string
-	Tables []stats.Table
-	Series []seriesGroup
+	ID     string        `json:"id"`
+	Title  string        `json:"title"`
+	Tables []stats.Table `json:"tables,omitempty"`
+	Series []SeriesGroup `json:"series,omitempty"`
 }
 
-// seriesGroup is a set of curves sharing an x-axis.
-type seriesGroup struct {
-	Caption string
-	XLabel  string
-	Series  []stats.Series
+// SeriesGroup is a set of curves sharing an x-axis.
+type SeriesGroup struct {
+	Caption string         `json:"caption,omitempty"`
+	XLabel  string         `json:"x_label"`
+	Series  []stats.Series `json:"series"`
 }
 
 // AddTable appends a table to the result.
@@ -86,7 +91,7 @@ func (r *Result) AddTable(t stats.Table) { r.Tables = append(r.Tables, t) }
 
 // AddSeries appends a series group to the result.
 func (r *Result) AddSeries(caption, xLabel string, series ...stats.Series) {
-	r.Series = append(r.Series, seriesGroup{Caption: caption, XLabel: xLabel, Series: series})
+	r.Series = append(r.Series, SeriesGroup{Caption: caption, XLabel: xLabel, Series: series})
 }
 
 // String renders the artifact as text.

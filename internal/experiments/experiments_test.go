@@ -51,11 +51,11 @@ func TestRunUnknown(t *testing.T) {
 }
 
 func TestNormalizeDefaults(t *testing.T) {
-	c := RunConfig{}.normalize()
+	c := RunConfig{}.Normalize()
 	if c.Seeds != DefaultSeeds || c.Duration != DefaultDuration {
 		t.Errorf("defaults = %+v", c)
 	}
-	q := RunConfig{Quick: true}.normalize()
+	q := RunConfig{Quick: true}.Normalize()
 	if q.Seeds != 1 || q.Duration != 2*sim.Second {
 		t.Errorf("quick defaults = %+v", q)
 	}

@@ -29,7 +29,7 @@ func hiddenWorld(seed int64, band phys.Band, gp float64, nGreedy int) (*scenario
 }
 
 func runFig18(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig18", Title: "Fake ACKs with hidden-terminal collision losses"}
 	gps := pick(cfg, []float64{0, 25, 50, 75, 100})
 
@@ -66,7 +66,7 @@ func runFig18(cfg RunConfig) (*Result, error) {
 }
 
 func runTab4(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "tab4", Title: "Average sender CW, hidden terminals, UDP, GP 100%"}
 	t := stats.Table{
 		Title:  "Fake ACKs pin the greedy flow's sender near CWmin while the normal sender backs off.",
@@ -129,7 +129,7 @@ func inherentLossPairs(seed int64, dataFER, gp float64, nGreedy int) (*scenario.
 }
 
 func runTab5(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "tab5", Title: "Fake-ACK goodput under inherent wireless losses"}
 	t := stats.Table{
 		Title:  "Under non-collision losses, backoff is pure waste: faking ACKs helps modestly.",
@@ -169,7 +169,7 @@ func runTab5(cfg RunConfig) (*Result, error) {
 }
 
 func runFig19(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig19", Title: "Fake ACKs: one greedy receiver vs N normal pairs × loss"}
 	ns := []int{1, 2, 3, 5}
 	if cfg.Quick {

@@ -45,7 +45,7 @@ func navPairs(seed int64, band phys.Band, tr scenario.Transport, set greedy.Fram
 }
 
 func runFig1(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig1", Title: "UDP goodput vs CTS NAV inflation (802.11b)"}
 	sweepMs := pick(cfg, []float64{0, 0.2, 0.4, 0.6, 1, 2, 5, 10})
 	nr := stats.Series{Name: "NS-NR (Mbps)"}
@@ -77,7 +77,7 @@ func cwExtract(w *scenario.World, m map[string]float64) {
 }
 
 func runFig2(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig2", Title: "Average CW of GS and NS vs NAV inflation (timeslots)"}
 	sweepSlots := pick(cfg, []float64{0, 4, 8, 12, 16, 20, 24, 28, 32, 40})
 	nsCW := stats.Series{Name: "NS avg CW"}
@@ -103,7 +103,7 @@ func runFig2(cfg RunConfig) (*Result, error) {
 }
 
 func runFig3(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig3", Title: "Sending ratio GS/(GS+NS): measured RTS ratio vs Eq 1-2 model"}
 	sweepSlots := pick(cfg, []float64{0, 4, 8, 12, 16, 20, 24, 28})
 	measured := stats.Series{Name: "measured RTS ratio"}
@@ -180,7 +180,7 @@ func navTCPSweep(cfg RunConfig, band phys.Band, set greedy.FrameSet, label strin
 }
 
 func runNAVTCPFigure(cfg RunConfig, id string, band phys.Band) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: id, Title: fmt.Sprintf("TCP goodput vs NAV inflation (%v)", band)}
 	panels := []struct {
 		caption string
@@ -208,7 +208,7 @@ func runFig4(cfg RunConfig) (*Result, error) { return runNAVTCPFigure(cfg, "fig4
 func runFig5(cfg RunConfig) (*Result, error) { return runNAVTCPFigure(cfg, "fig5", phys.Band80211A) }
 
 func runFig6(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig6", Title: "8 TCP flows, one greedy receiver inflating CTS NAV"}
 	sweepMs := pick(cfg, []float64{0, 1, 2, 5, 10, 31})
 	gr := stats.Series{Name: "greedy receiver (Mbps)"}
@@ -237,7 +237,7 @@ func runFig6(cfg RunConfig) (*Result, error) {
 }
 
 func runFig7(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig7", Title: "Goodput vs greedy percentage at NAV +5/10/31 ms (TCP)"}
 	gps := pick(cfg, []float64{0, 25, 50, 75, 100})
 	for _, navMs := range []float64{5, 10, 31} {
@@ -263,7 +263,7 @@ func runFig7(cfg RunConfig) (*Result, error) {
 }
 
 func runFig8(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig8", Title: "Goodput under 0, 1, or 2 greedy receivers (TCP)"}
 	t := stats.Table{
 		Title:  "CTS NAV inflation; receivers R1, R2 (greedy receivers are the last k).",
@@ -301,7 +301,7 @@ func runFig8(cfg RunConfig) (*Result, error) {
 }
 
 func runFig9(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig9", Title: "8 TCP flows: per-receiver goodput vs number of greedy receivers (NAV +31 ms)"}
 	t := stats.Table{
 		Title:  "Receivers 8-k+1 .. 8 are greedy; only one greedy receiver survives.",
@@ -350,7 +350,7 @@ func sharedAP(seed int64, tr scenario.Transport, n int, extra sim.Time) (*scenar
 }
 
 func runFig10(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig10", Title: "One sender, multiple receivers; last receiver inflates CTS NAV"}
 	sweepMs := pick(cfg, []float64{0, 1, 2, 5, 10, 20, 31})
 
@@ -393,7 +393,7 @@ func runFig10(cfg RunConfig) (*Result, error) {
 }
 
 func runTab2(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "tab2", Title: "Average TCP congestion window (packets)"}
 	t := stats.Table{
 		Title:  "1 sender: shared AP to NR+GR. 2 senders: separate pairs. GR inflates CTS NAV.",

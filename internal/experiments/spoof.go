@@ -51,7 +51,7 @@ func spoofPairs(seed int64, band phys.Band, ber, gp float64, nGreedy int) (*scen
 }
 
 func runFig11(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig11", Title: "Spoofed-ACK TCP goodput vs BER"}
 	bers := pick(cfg, []float64{0, 1e-5, 1e-4, 2e-4, 3.2e-4, 4.4e-4, 8e-4, 1.4e-3})
 	bands := []phys.Band{phys.Band80211B, phys.Band80211A}
@@ -92,7 +92,7 @@ func runFig11(cfg RunConfig) (*Result, error) {
 }
 
 func runFig12(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig12", Title: "Spoofed-ACK TCP goodput vs greedy percentage and loss"}
 	gps := pick(cfg, []float64{0, 20, 40, 60, 80, 100})
 	for _, ber := range []float64{1e-5, 2e-4, 8e-4} {
@@ -117,7 +117,7 @@ func runFig12(cfg RunConfig) (*Result, error) {
 }
 
 func runFig13(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig13", Title: "Spoofing with 0/1/2 greedy receivers (TCP, BER 2e-4)"}
 	gps := pick(cfg, []float64{25, 50, 75, 100})
 	t := stats.Table{
@@ -162,7 +162,7 @@ func runFig13(cfg RunConfig) (*Result, error) {
 }
 
 func runFig14(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig14", Title: "One greedy receiver vs N normal pairs (TCP, BER 2e-4)"}
 	ns := []int{1, 3, 5, 7}
 	if cfg.Quick {
@@ -284,7 +284,7 @@ func wanDuration(cfg RunConfig, oneWay sim.Time) RunConfig {
 }
 
 func runFig15(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig15", Title: "Remote TCP senders: goodput vs one-way wireline latency"}
 	delays := pick(cfg, []float64{2, 10, 50, 100, 200, 400})
 	noGR1 := stats.Series{Name: "no GR: R1 (Mbps)"}
@@ -322,7 +322,7 @@ func runFig15(cfg RunConfig) (*Result, error) {
 }
 
 func runFig16(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig16", Title: "Remote TCP senders: greedy percentage sweep per latency"}
 	gps := pick(cfg, []float64{0, 20, 40, 60, 80, 100})
 	latencies := []float64{2, 50, 100, 200, 400}
@@ -353,7 +353,7 @@ func runFig16(cfg RunConfig) (*Result, error) {
 }
 
 func runFig17(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "fig17", Title: "Spoofed-ACK UDP goodput vs loss (1 AP, 2 receivers)"}
 	bers := pick(cfg, []float64{0, 1e-5, 2e-4, 4.4e-4, 8e-4})
 	build := func(seed int64, ber, gp float64) (*scenario.World, error) {

@@ -41,7 +41,7 @@ func testbedPairs(seed int64, tr scenario.Transport, useRTS bool,
 }
 
 func runTab6(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "tab6", Title: "TCP goodput when GR inflates NAV on RTS for TCP ACKs (max 32767 µs)"}
 	t := stats.Table{
 		Title:  "Paper testbed: no GR 2.28/2.51 Mbps; with GR 4.41 vs 0.04 Mbps.",
@@ -67,7 +67,7 @@ func runTab6(cfg RunConfig) (*Result, error) {
 }
 
 func runTab7(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "tab7", Title: "UDP goodput when GR inflates control-frame NAV (max 32767 µs)"}
 	t := stats.Table{
 		Title:  "Paper testbed rows: ACK-only (no RTS/CTS), CTS (RTS/CTS on), CTS+ACK (RTS/CTS on).",
@@ -146,7 +146,7 @@ func sharedAPEmulation(seed int64, ber float64, tr scenario.Transport,
 }
 
 func runTab8(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "tab8", Title: "Spoof-ACK emulation: sender disables MAC retransmission toward NR (TCP)"}
 	t := stats.Table{
 		Title:  "Paper testbed: no GR 2.68/1.96 Mbps; with GR 3.51 (GR) vs 0.98 (NR).",
@@ -173,7 +173,7 @@ func runTab8(cfg RunConfig) (*Result, error) {
 }
 
 func runTab9(cfg RunConfig) (*Result, error) {
-	cfg = cfg.normalize()
+	cfg = cfg.Normalize()
 	res := &Result{ID: "tab9", Title: "Fake-ACK emulation: sender CW pinned at CWmin toward GR (UDP)"}
 	t := stats.Table{
 		Title:  "Paper testbed: no GR 2.08/2.99 Mbps; with GR 2.79 (GR) vs 2.35 (NR).",

@@ -1,0 +1,34 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EncodeSnapshots writes snapshots as one stable JSON array (an empty or
+// nil slice encodes as "[]"), preserving order. This is the campaign
+// store's sidecar value format: float64 fields use Go's shortest
+// round-trip representation, so encode → decode → encode is the
+// identity and a snapshot assembled from the store emits byte-identical
+// JSONL/CSV to one that never left memory.
+func EncodeSnapshots(w io.Writer, snaps []*Snapshot) error {
+	if snaps == nil {
+		snaps = []*Snapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snaps); err != nil {
+		return fmt.Errorf("metrics: snapshots encode: %w", err)
+	}
+	return nil
+}
+
+// DecodeSnapshots reads an EncodeSnapshots document back.
+func DecodeSnapshots(r io.Reader) ([]*Snapshot, error) {
+	var snaps []*Snapshot
+	if err := json.NewDecoder(r).Decode(&snaps); err != nil {
+		return nil, fmt.Errorf("metrics: snapshots decode: %w", err)
+	}
+	return snaps, nil
+}

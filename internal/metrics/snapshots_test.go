@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Snapshots round-trip through the store encoding exactly: decode →
+// re-encode is byte-identical, and the JSONL emitted from decoded
+// snapshots matches the original emission — the property campaign
+// assembly relies on.
+func TestSnapshotsRoundTripIsIdentity(t *testing.T) {
+	snaps := []*Snapshot{
+		{
+			Runs: 3, DurationSecs: 5.000000001, ChannelBusySecs: 1.0 / 3.0,
+			ChannelUtilization: 0.06666666666666667,
+			Stations: []Station{
+				{ID: 0, Name: "NS", AvgCW: 31.5, RTSSent: 100, AirtimeSecs: 0.1234567890123},
+				{ID: 1, Name: "GR", NAVBlockedSecs: 2.0000000000000004e-05},
+			},
+		},
+		{Runs: 1, DurationSecs: 2},
+	}
+	var first bytes.Buffer
+	if err := EncodeSnapshots(&first, snaps); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshots(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := EncodeSnapshots(&again, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), again.Bytes()) {
+		t.Error("decode → re-encode changed bytes")
+	}
+
+	var origLines, decodedLines strings.Builder
+	for i, s := range snaps {
+		if err := EncodeJSONL(&origLines, Labeled{Label: "x", Group: i, Snap: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range decoded {
+		if err := EncodeJSONL(&decodedLines, Labeled{Label: "x", Group: i, Snap: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if origLines.String() != decodedLines.String() {
+		t.Error("JSONL emission differs after a store round trip")
+	}
+}
+
+// nil and empty both encode as an empty array, never "null".
+func TestSnapshotsEmptyEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeSnapshots(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("nil snapshots encode as %q, want []", got)
+	}
+	decoded, err := DecodeSnapshots(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(decoded) != 0 {
+		t.Errorf("decode empty: %v, %v", decoded, err)
+	}
+}

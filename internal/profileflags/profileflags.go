@@ -1,0 +1,65 @@
+// Package profileflags is the shared -cpuprofile/-memprofile plumbing of
+// the CLIs (greedysim, experiments, campaign): one place registers the
+// flags and one Start/stop pair owns the file lifecycle, instead of each
+// command copy-pasting the pprof boilerplate.
+package profileflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the parsed profile destinations.
+type Flags struct {
+	CPU string
+	Mem string
+}
+
+// Register adds -cpuprofile and -memprofile to fs and returns the
+// destination holder to pass to Start after parsing.
+func Register(fs *flag.FlagSet) *Flags {
+	var f Flags
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	return &f
+}
+
+// Start begins CPU profiling (if requested) and arranges a heap profile
+// dump; the returned stop function must run before the process exits —
+// callers defer it inside a run() that returns an exit code, so profiles
+// are flushed even though main os.Exits. Start never returns a nil stop.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuF *os.File
+	if f.CPU != "" {
+		cpuF, err = os.Create(f.CPU)
+		if err != nil {
+			return func() {}, fmt.Errorf("creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return func() {}, fmt.Errorf("starting cpu profile: %w", err)
+		}
+	}
+	memPath := f.Mem
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if memPath != "" {
+			out, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
+				return
+			}
+			defer out.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

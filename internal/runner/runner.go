@@ -140,3 +140,15 @@ func Each(n int, fn func(i int) error) error {
 	})
 	return err
 }
+
+// EachContext is MapContext for bodies with no result value: tasks not
+// yet started when ctx is cancelled are skipped and the call reports
+// ctx.Err(). The campaign engine drives its unit work-list through this
+// — each body records its own outcome, so a non-nil return means the
+// sweep was interrupted, not that a unit failed.
+func EachContext(ctx context.Context, n int, fn func(i int) error) error {
+	_, err := MapContext(ctx, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -210,3 +210,27 @@ func TestEach(t *testing.T) {
 		}
 	})
 }
+
+// EachContext must stop launching bodies after cancellation, finish the
+// ones in flight, and report ctx.Err() — while a completed sweep returns
+// nil. This is the campaign engine's interrupt path.
+func TestEachContextCancellation(t *testing.T) {
+	withLimit(t, 2, func() {
+		if err := EachContext(context.Background(), 10, func(i int) error { return nil }); err != nil {
+			t.Fatalf("uncancelled EachContext: %v", err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		err := EachContext(ctx, 100, func(i int) error {
+			started.Add(1)
+			cancel()
+			return nil
+		})
+		if err != context.Canceled {
+			t.Fatalf("cancelled EachContext err = %v, want context.Canceled", err)
+		}
+		if n := started.Load(); n == 0 || n == 100 {
+			t.Fatalf("started %d bodies, want a strict non-empty subset", n)
+		}
+	})
+}

@@ -38,23 +38,26 @@ func Mean(vals []float64) float64 {
 
 // Point is one (x, y) sample of a figure's series.
 type Point struct {
-	X, Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is one labeled curve of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Add appends a point.
 func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
 
-// Table is an aligned text table.
+// Table is an aligned text table. Cells are stored as the formatted
+// strings AddRow produced, so a table round-trips exactly through the
+// JSON encoding.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a row of cells formatted from values.
