@@ -33,6 +33,7 @@ import (
 	"greedy80211/internal/runner"
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
+	"greedy80211/internal/versionflag"
 )
 
 type benchEntry struct {
@@ -70,11 +71,15 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		outDir = fs.String("out", ".", "directory for the BENCH_<date>.json snapshot")
-		quick  = fs.Bool("quick", false, "shorter benchtime and a smaller artifact set")
+		outDir  = fs.String("out", ".", "directory for the BENCH_<date>.json snapshot")
+		quick   = fs.Bool("quick", false, "shorter benchtime and a smaller artifact set")
+		version = versionflag.Register(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if versionflag.Handle(version, os.Stdout, "bench") {
+		return 0
 	}
 
 	snap := snapshot{

@@ -32,6 +32,7 @@ import (
 	"syscall"
 
 	"greedy80211/internal/campaign"
+	"greedy80211/internal/core"
 	"greedy80211/internal/profileflags"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/stats"
@@ -69,6 +70,9 @@ func run(args []string) int {
 		return cmdVerify(args[1:])
 	case "-h", "-help", "--help", "help":
 		usage()
+		return 0
+	case "-version", "--version", "version":
+		fmt.Printf("campaign %s\n", core.ModuleFingerprint())
 		return 0
 	default:
 		fmt.Fprintf(os.Stderr, "campaign: unknown subcommand %q\n", args[0])

@@ -29,6 +29,7 @@ import (
 	"greedy80211/internal/profileflags"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/sim"
+	"greedy80211/internal/versionflag"
 )
 
 func main() {
@@ -55,10 +56,14 @@ func run(args []string) int {
 			"worker-pool size for (sweep-point × seed) fan-out; 1 = sequential (output is identical either way)")
 		metricsOut = fs.String("metrics", "",
 			"write a per-station telemetry sidecar to this file (.csv for CSV, else JSONL); identical for any -parallel value")
-		prof = profileflags.Register(fs)
+		version = versionflag.Register(fs)
+		prof    = profileflags.Register(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if versionflag.Handle(version, os.Stdout, "experiments") {
+		return 0
 	}
 	runner.SetLimit(*parallel)
 	stopProf, err := prof.Start()

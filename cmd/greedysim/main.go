@@ -25,6 +25,7 @@ import (
 	"greedy80211/internal/sim"
 	"greedy80211/internal/stats"
 	"greedy80211/internal/trace"
+	"greedy80211/internal/versionflag"
 )
 
 func main() {
@@ -87,10 +88,14 @@ func run(args []string) int {
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0),
 			"worker-pool size for seeded repetitions; 1 = sequential (-trace forces sequential)")
 		metricsOut = fs.String("metrics", "", "write the per-station telemetry snapshot to this file (.csv for CSV, else JSONL)")
+		version    = versionflag.Register(fs)
 		prof       = profileflags.Register(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if versionflag.Handle(version, os.Stdout, "greedysim") {
+		return 0
 	}
 	runner.SetLimit(*parallel)
 	stopProf, err := prof.Start()

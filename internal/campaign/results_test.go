@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestResultsReadsBackDecodedUnits(t *testing.T) {
+	spec := testSpec()
+	store := t.TempDir()
+	mustRun(t, spec, Options{StoreDir: store})
+
+	got, err := Results(spec, store)
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	units, _ := spec.Units()
+	if len(got) != len(units) {
+		t.Fatalf("Results returned %d units, want %d", len(got), len(units))
+	}
+	for i, ur := range got {
+		if ur.Unit.Name() != units[i].Name() {
+			t.Errorf("unit %d: name %q, want %q (work-list order)", i, ur.Unit.Name(), units[i].Name())
+		}
+		if ur.Result == nil || ur.Result.ID != ur.Unit.Artifact {
+			t.Errorf("unit %d: decoded result id %v, want %q", i, ur.Result, ur.Unit.Artifact)
+		}
+		if ur.Meta.Key != ur.Unit.Key {
+			t.Errorf("unit %d: meta key mismatch", i)
+		}
+		// Re-encoding the decoded result must reproduce the stored bytes.
+		var buf bytes.Buffer
+		if err := ur.Result.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		_, stored, _, err := mustStore(t, store).Get(ur.Unit.Key)
+		if err != nil {
+			t.Fatalf("store get: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), stored) {
+			t.Errorf("unit %d (%s): decode→re-encode is not the stored bytes", i, ur.Unit.Name())
+		}
+	}
+}
+
+func mustStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return s
+}
+
+func TestResultsMissingUnits(t *testing.T) {
+	spec := testSpec()
+	store := t.TempDir()
+
+	// Cold store: every unit is missing, named in work-list order.
+	_, err := Results(spec, store)
+	var missing *MissingUnitsError
+	if !errors.As(err, &missing) {
+		t.Fatalf("Results on cold store: err = %v, want *MissingUnitsError", err)
+	}
+	units, _ := spec.Units()
+	if len(missing.Missing) != len(units) {
+		t.Fatalf("missing %d units, want %d", len(missing.Missing), len(units))
+	}
+	if !strings.Contains(err.Error(), units[0].Name()) {
+		t.Errorf("error %q does not name missing unit %q", err, units[0].Name())
+	}
+
+	// Half-warm store: only the deleted unit is reported.
+	mustRun(t, spec, Options{StoreDir: store})
+	if err := mustStore(t, store).Delete(units[0].Key); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	_, err = Results(spec, store)
+	if !errors.As(err, &missing) {
+		t.Fatalf("Results on torn store: err = %v, want *MissingUnitsError", err)
+	}
+	if len(missing.Missing) != 1 || missing.Missing[0].Name() != units[0].Name() {
+		t.Fatalf("missing = %v, want exactly %q", missing.Missing, units[0].Name())
+	}
+	// Recompute and the read succeeds again.
+	mustRun(t, spec, Options{StoreDir: store})
+	if _, err := Results(spec, store); err != nil {
+		t.Fatalf("Results after recompute: %v", err)
+	}
+}

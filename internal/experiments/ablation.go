@@ -16,9 +16,9 @@ import (
 // the basic (control-frame) rate.
 
 func registerAblation() {
-	register("abl1", "Ablation: capture-effect assumption in the ACK-spoofing evaluation", runAbl1)
-	register("abl2", "Ablation: GRC RSSI threshold in the live spoofing scenario", runAbl2)
-	register("abl3", "Ablation: control-frame (basic) rate 1 vs 2 Mbps", runAbl3)
+	register("abl1", "Ablation: capture-effect assumption in the ACK-spoofing evaluation", "ablation (beyond paper)", runAbl1)
+	register("abl2", "Ablation: GRC RSSI threshold in the live spoofing scenario", "ablation (beyond paper)", runAbl2)
+	register("abl3", "Ablation: control-frame (basic) rate 1 vs 2 Mbps", "ablation (beyond paper)", runAbl3)
 }
 
 // runAbl1 re-runs the Fig 11 operating point under three capture regimes.

@@ -7,8 +7,8 @@ import (
 )
 
 func registerAnalytic() {
-	register("tab1", "Corrupted frames preserving MAC addresses (testbed measurement)", runTab1)
-	register("tab3", "BER and the corresponding FER", runTab3)
+	register("tab1", "Corrupted frames preserving MAC addresses (testbed measurement)", "Table I (§V-C)", runTab1)
+	register("tab3", "BER and the corresponding FER", "Table III (§V-B)", runTab3)
 }
 
 func runTab1(cfg RunConfig) (*Result, error) {

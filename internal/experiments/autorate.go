@@ -15,8 +15,8 @@ import (
 // same to the victim's sender.
 
 func registerAutoRate() {
-	register("exta", "Extension: fake ACKs under ARF auto-rate vs fixed rate (UDP)", runExtA)
-	register("extb", "Extension: spoofed ACKs under ARF auto-rate vs fixed rate (TCP)", runExtB)
+	register("exta", "Extension: fake ACKs under ARF auto-rate vs fixed rate (UDP)", "§IX extension", runExtA)
+	register("extb", "Extension: spoofed ACKs under ARF auto-rate vs fixed rate (TCP)", "§IX extension", runExtB)
 }
 
 // marginalLadderFER models a link whose SNR supports 1–2 Mbps cleanly,

@@ -10,7 +10,7 @@ import (
 )
 
 func registerBaseline() {
-	register("extc", "Extension: DOMINO (sender-side detector) is blind to receiver misbehavior", runExtC)
+	register("extc", "Extension: DOMINO (sender-side detector) is blind to receiver misbehavior", "§II extension", runExtC)
 }
 
 // runExtC pits the paper's three misbehaviors against a DOMINO backoff

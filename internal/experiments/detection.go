@@ -12,10 +12,10 @@ import (
 )
 
 func registerDetection() {
-	register("fig21", "CDF of |RSSI − median RSSI| over all links (16-node floor)", runFig21)
-	register("fig22", "Spoof detection: false positive/negative vs RSSI threshold", runFig22)
-	register("fig23", "GRC vs inflated CTS NAV across pair separation (UDP and TCP)", runFig23)
-	register("fig24", "GRC vs ACK spoofing across BER (TCP)", runFig24)
+	register("fig21", "CDF of |RSSI − median RSSI| over all links (16-node floor)", "Fig. 21 (§VII)", runFig21)
+	register("fig22", "Spoof detection: false positive/negative vs RSSI threshold", "Fig. 22 (§VII)", runFig22)
+	register("fig23", "GRC vs inflated CTS NAV across pair separation (UDP and TCP)", "Fig. 23 (§VIII)", runFig23)
+	register("fig24", "GRC vs ACK spoofing across BER (TCP)", "Fig. 24 (§VIII)", runFig24)
 }
 
 func runFig21(cfg RunConfig) (*Result, error) {

@@ -140,8 +140,14 @@ type Runner func(cfg RunConfig) (*Result, error)
 
 // Registration describes one artifact in the registry.
 type Registration struct {
-	ID     string
-	Title  string
+	ID    string
+	Title string
+	// Paper locates the artifact in the source paper: the figure or
+	// table it regenerates plus the section carrying the claim, or an
+	// extension/ablation marker for studies beyond the paper. cmd/report
+	// joins this against the refdata golden values and the EXPERIMENTS.md
+	// artifact↔paper mapping table is generated from it.
+	Paper  string
 	Runner Runner
 }
 
@@ -166,11 +172,11 @@ func ensureRegistered() {
 	})
 }
 
-func register(id, title string, r Runner) {
+func register(id, title, paper string, r Runner) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
-	registry[id] = Registration{ID: id, Title: title, Runner: r}
+	registry[id] = Registration{ID: id, Title: title, Paper: paper, Runner: r}
 }
 
 // Lookup finds a registered artifact by id.

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Reference-point extraction: cmd/report joins an artifact's regenerated
+// data against checked-in golden values, so it needs to address single
+// data points inside a Result the same way the refdata files do — by
+// (series group, series name, x) for figures and by (table, row, column)
+// for tables. Both lookups return NaN when the point does not exist;
+// callers classify that as a missing measurement rather than an error, so
+// a renamed series or a trimmed sweep surfaces as a "missing" verdict in
+// the report instead of aborting it.
+
+// Point returns the y value of the named series at x within series group
+// g, or NaN if the group, series, or x sample is absent. X values are
+// matched exactly: sweeps are built from literal float constants, so the
+// refdata files quote the same literals.
+func (r *Result) Point(group int, series string, x float64) float64 {
+	if group < 0 || group >= len(r.Series) {
+		return math.NaN()
+	}
+	for _, s := range r.Series[group].Series {
+		if s.Name != series {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.X == x {
+				return p.Y
+			}
+		}
+	}
+	return math.NaN()
+}
+
+// Cell returns the numeric value of table t at (row, column name), or NaN
+// if the cell is absent or non-numeric. When key is non-empty it must
+// equal the row's leading non-numeric cells joined by a single space
+// (e.g. "802.11b R2 GR") — a guard that keeps refdata checks anchored to
+// the intended row even if rows are ever reordered.
+func (r *Result) Cell(t, row int, col, key string) float64 {
+	raw, ok := r.CellText(t, row, col, key)
+	if !ok {
+		return math.NaN()
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// CellText returns the raw string of table t at (row, column name), for
+// checks against non-numeric cells (e.g. the DOMINO "flagged" verdict
+// column). The key guard works as in Cell. ok is false when the cell is
+// absent or the key does not match.
+func (r *Result) CellText(t, row int, col, key string) (string, bool) {
+	if t < 0 || t >= len(r.Tables) {
+		return "", false
+	}
+	tab := r.Tables[t]
+	ci := -1
+	for i, h := range tab.Header {
+		if h == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 || row < 0 || row >= len(tab.Rows) {
+		return "", false
+	}
+	cells := tab.Rows[row]
+	if key != "" && rowKey(cells) != key {
+		return "", false
+	}
+	if ci >= len(cells) {
+		return "", false
+	}
+	return cells[ci], true
+}
+
+// rowKey is the row's identity for the Cell key guard: its leading cells
+// up to (excluding) the first numeric one, joined by single spaces.
+func rowKey(cells []string) string {
+	var parts []string
+	for _, c := range cells {
+		if _, err := strconv.ParseFloat(c, 64); err == nil {
+			break
+		}
+		parts = append(parts, c)
+	}
+	return strings.Join(parts, " ")
+}

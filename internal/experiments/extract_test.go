@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"greedy80211/internal/stats"
+)
+
+func extractFixture() *Result {
+	res := &Result{ID: "figx", Title: "fixture"}
+	a := stats.Series{Name: "A (Mbps)"}
+	a.Add(0, 1.5)
+	a.Add(0.2, 2.5)
+	b := stats.Series{Name: "B (Mbps)"}
+	b.Add(0, 0.5)
+	res.AddSeries("group zero", "x_ms", a, b)
+	t := stats.Table{Header: []string{"band", "case", "S1", "S2"}}
+	t.AddRow("802.11b", "no GR", 137.37, 112.25)
+	t.AddRow("802.11b", "R2 GR", 193.43, 0.0005)
+	res.AddTable(t)
+	return res
+}
+
+func TestResultPoint(t *testing.T) {
+	r := extractFixture()
+	if got := r.Point(0, "A (Mbps)", 0.2); got != 2.5 {
+		t.Errorf("Point(0, A, 0.2) = %v, want 2.5", got)
+	}
+	if got := r.Point(0, "B (Mbps)", 0); got != 0.5 {
+		t.Errorf("Point(0, B, 0) = %v, want 0.5", got)
+	}
+	for name, got := range map[string]float64{
+		"absent series": r.Point(0, "C (Mbps)", 0),
+		"absent x":      r.Point(0, "A (Mbps)", 0.3),
+		"absent group":  r.Point(1, "A (Mbps)", 0),
+		"bad group":     r.Point(-1, "A (Mbps)", 0),
+	} {
+		if !math.IsNaN(got) {
+			t.Errorf("%s: got %v, want NaN", name, got)
+		}
+	}
+}
+
+func TestResultCell(t *testing.T) {
+	r := extractFixture()
+	if got := r.Cell(0, 0, "S1", ""); got != 137.37 {
+		t.Errorf("Cell(0,0,S1) = %v, want 137.37", got)
+	}
+	// Small values round-trip through the table's scientific formatting.
+	if got := r.Cell(0, 1, "S2", ""); got != 5e-4 {
+		t.Errorf("Cell(0,1,S2) = %v, want 5e-4", got)
+	}
+	// The key guard anchors the check to the intended row.
+	if got := r.Cell(0, 1, "S1", "802.11b R2 GR"); got != 193.43 {
+		t.Errorf("Cell with matching key = %v, want 193.43", got)
+	}
+	for name, got := range map[string]float64{
+		"key mismatch":    r.Cell(0, 1, "S1", "802.11b no GR"),
+		"absent column":   r.Cell(0, 0, "S9", ""),
+		"absent row":      r.Cell(0, 9, "S1", ""),
+		"absent table":    r.Cell(1, 0, "S1", ""),
+		"non-numeric col": r.Cell(0, 0, "case", ""),
+	} {
+		if !math.IsNaN(got) {
+			t.Errorf("%s: got %v, want NaN", name, got)
+		}
+	}
+}
+
+func TestRegistryPaperRefs(t *testing.T) {
+	for _, reg := range All() {
+		if reg.Paper == "" {
+			t.Errorf("artifact %s has no paper reference", reg.ID)
+		}
+	}
+}

@@ -10,10 +10,10 @@ import (
 )
 
 func registerFake() {
-	register("fig18", "Fake ACKs under hidden-terminal collisions vs greedy percentage (UDP)", runFig18)
-	register("tab4", "Sender contention window with fake ACKs under hidden terminals (GP 100%)", runTab4)
-	register("tab5", "Fake-ACK goodput under inherent wireless losses (802.11b, UDP)", runTab5)
-	register("fig19", "Fake ACKs: one greedy receiver vs N normal pairs × loss rate (UDP)", runFig19)
+	register("fig18", "Fake ACKs under hidden-terminal collisions vs greedy percentage (UDP)", "Fig. 18 (§V-C)", runFig18)
+	register("tab4", "Sender contention window with fake ACKs under hidden terminals (GP 100%)", "Table IV (§V-C)", runTab4)
+	register("tab5", "Fake-ACK goodput under inherent wireless losses (802.11b, UDP)", "Table V (§V-C)", runTab5)
+	register("fig19", "Fake ACKs: one greedy receiver vs N normal pairs × loss rate (UDP)", "Fig. 19 (§V-C)", runFig19)
 }
 
 // hiddenWorld builds the Fig 18 topology with the last nGreedy receivers

@@ -12,17 +12,17 @@ import (
 )
 
 func registerNAV() {
-	register("fig1", "UDP goodput of NS-NR and GS-GR vs CTS NAV inflation (802.11b)", runFig1)
-	register("fig2", "Average CW of GS and NS vs NAV inflation (802.11b, UDP)", runFig2)
-	register("fig3", "RTS sending ratio: Eq 1-2 model vs simulation (802.11b, UDP)", runFig3)
-	register("fig4", "TCP goodput vs NAV inflation on CTS / RTS+CTS / ACK / all frames (802.11b)", runFig4)
-	register("fig5", "TCP goodput vs NAV inflation (802.11a)", runFig5)
-	register("fig6", "8 TCP flows, one greedy receiver inflating CTS NAV (802.11b)", runFig6)
-	register("fig7", "TCP goodput vs greedy percentage at NAV +5/10/31 ms (802.11b)", runFig7)
-	register("fig8", "Goodput under 0/1/2 greedy receivers at NAV +5/10/31 ms (802.11b, TCP)", runFig8)
-	register("fig9", "Per-receiver goodput vs number of greedy receivers, 8 TCP flows, NAV +31 ms", runFig9)
-	register("fig10", "One sender, multiple receivers: TCP (2 and 8 rx) and UDP (2 rx)", runFig10)
-	register("tab2", "Average TCP congestion window, 1-sender vs 2-sender", runTab2)
+	register("fig1", "UDP goodput of NS-NR and GS-GR vs CTS NAV inflation (802.11b)", "Fig. 1 (§V-A)", runFig1)
+	register("fig2", "Average CW of GS and NS vs NAV inflation (802.11b, UDP)", "Fig. 2 (§V-A)", runFig2)
+	register("fig3", "RTS sending ratio: Eq 1-2 model vs simulation (802.11b, UDP)", "Fig. 3 (§V-A)", runFig3)
+	register("fig4", "TCP goodput vs NAV inflation on CTS / RTS+CTS / ACK / all frames (802.11b)", "Fig. 4 (§V-A)", runFig4)
+	register("fig5", "TCP goodput vs NAV inflation (802.11a)", "Fig. 5 (§V-A)", runFig5)
+	register("fig6", "8 TCP flows, one greedy receiver inflating CTS NAV (802.11b)", "Fig. 6 (§V-A)", runFig6)
+	register("fig7", "TCP goodput vs greedy percentage at NAV +5/10/31 ms (802.11b)", "Fig. 7 (§V-A)", runFig7)
+	register("fig8", "Goodput under 0/1/2 greedy receivers at NAV +5/10/31 ms (802.11b, TCP)", "Fig. 8 (§V-A)", runFig8)
+	register("fig9", "Per-receiver goodput vs number of greedy receivers, 8 TCP flows, NAV +31 ms", "Fig. 9 (§V-A)", runFig9)
+	register("fig10", "One sender, multiple receivers: TCP (2 and 8 rx) and UDP (2 rx)", "Fig. 10 (§V-A)", runFig10)
+	register("tab2", "Average TCP congestion window, 1-sender vs 2-sender", "Table II (§V-A)", runTab2)
 }
 
 // navPairs builds the canonical 2-pair world with receiver 2 greedy.

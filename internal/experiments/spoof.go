@@ -13,13 +13,13 @@ import (
 )
 
 func registerSpoof() {
-	register("fig11", "Spoofed-ACK TCP goodput vs BER (802.11b and 802.11a)", runFig11)
-	register("fig12", "Spoofed-ACK TCP goodput vs greedy percentage and loss (802.11b)", runFig12)
-	register("fig13", "Spoofing under 0/1/2 greedy receivers vs GP (TCP, BER 2e-4)", runFig13)
-	register("fig14", "One greedy receiver vs N normal pairs: shared AP and per-flow APs", runFig14)
-	register("fig15", "Remote TCP senders: goodput vs wireline latency (BER 2e-5)", runFig15)
-	register("fig16", "Remote TCP senders: greedy percentage × wireline latency", runFig16)
-	register("fig17", "Spoofed-ACK UDP goodput vs loss (1 AP, 2 receivers)", runFig17)
+	register("fig11", "Spoofed-ACK TCP goodput vs BER (802.11b and 802.11a)", "Fig. 11 (§V-B)", runFig11)
+	register("fig12", "Spoofed-ACK TCP goodput vs greedy percentage and loss (802.11b)", "Fig. 12 (§V-B)", runFig12)
+	register("fig13", "Spoofing under 0/1/2 greedy receivers vs GP (TCP, BER 2e-4)", "Fig. 13 (§V-B)", runFig13)
+	register("fig14", "One greedy receiver vs N normal pairs: shared AP and per-flow APs", "Fig. 14 (§V-B)", runFig14)
+	register("fig15", "Remote TCP senders: goodput vs wireline latency (BER 2e-5)", "Fig. 15 (§V-B)", runFig15)
+	register("fig16", "Remote TCP senders: greedy percentage × wireline latency", "Fig. 16 (§V-B)", runFig16)
+	register("fig17", "Spoofed-ACK UDP goodput vs loss (1 AP, 2 receivers)", "Fig. 17 (§V-B)", runFig17)
 }
 
 // spoofPairs builds 2 TCP pairs where the last nGreedy receivers spoof

@@ -15,10 +15,10 @@ import (
 // paper emulated too (see DESIGN.md §2).
 
 func registerTestbed() {
-	register("tab6", "Testbed mirror: TCP goodput with NAV inflated on RTS of TCP ACKs (802.11a)", runTab6)
-	register("tab7", "Testbed mirror: UDP goodput with inflated ACK/CTS NAV (802.11a)", runTab7)
-	register("tab8", "Testbed mirror: spoof-ACK emulation via disabled retransmissions (TCP)", runTab8)
-	register("tab9", "Testbed mirror: fake-ACK emulation via CWmax=CWmin (UDP)", runTab9)
+	register("tab6", "Testbed mirror: TCP goodput with NAV inflated on RTS of TCP ACKs (802.11a)", "Table VI (§VI)", runTab6)
+	register("tab7", "Testbed mirror: UDP goodput with inflated ACK/CTS NAV (802.11a)", "Table VII (§VI)", runTab7)
+	register("tab8", "Testbed mirror: spoof-ACK emulation via disabled retransmissions (TCP)", "Table VIII (§VI)", runTab8)
+	register("tab9", "Testbed mirror: fake-ACK emulation via CWmax=CWmin (UDP)", "Table IX (§VI)", runTab9)
 }
 
 // testbedPairs builds the 2-pair 802.11a world the testbed used, with the

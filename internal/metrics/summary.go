@@ -1,0 +1,25 @@
+package metrics
+
+import "math"
+
+// UtilizationBounds reports the lowest and highest whole-channel
+// utilization across snapshots — the one-line telemetry digest cmd/report
+// prints per artifact (a sweep's groups span idle to saturated, and a
+// regression that stops driving the channel shows up here before it shows
+// up in goodput). Returns (NaN, NaN) for an empty slice.
+func UtilizationBounds(snaps []*Snapshot) (lo, hi float64) {
+	lo, hi = math.NaN(), math.NaN()
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		u := s.ChannelUtilization
+		if math.IsNaN(lo) || u < lo {
+			lo = u
+		}
+		if math.IsNaN(hi) || u > hi {
+			hi = u
+		}
+	}
+	return lo, hi
+}

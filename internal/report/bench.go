@@ -1,0 +1,58 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BenchSnapshot is the slice of cmd/bench's committed BENCH_<date>.json
+// the report footer quotes. Decoding is deliberately loose (no
+// DisallowUnknownFields): the bench schema may grow fields the footer
+// does not care about.
+type BenchSnapshot struct {
+	// File is the basename the snapshot was loaded from.
+	File      string `json:"-"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	Simulator struct {
+		EventsPerSec float64 `json:"events_per_sec"`
+		BytesPerOp   int64   `json:"bytes_per_op"`
+	} `json:"simulator"`
+	Artifacts struct {
+		Speedup       float64 `json:"speedup"`
+		ParallelLimit int     `json:"parallel_limit"`
+	} `json:"artifacts"`
+}
+
+// LoadBenchSnapshot reads one snapshot file.
+func LoadBenchSnapshot(path string) (*BenchSnapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s BenchSnapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("report: bench snapshot %s: %w", path, err)
+	}
+	s.File = filepath.Base(path)
+	return &s, nil
+}
+
+// LatestBenchSnapshot finds the newest BENCH_*.json in dir (the names
+// embed ISO dates, so lexicographic order is chronological). Returns
+// (nil, nil) when there is none — the footer simply omits the bench
+// line.
+func LatestBenchSnapshot(dir string) (*BenchSnapshot, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, nil
+	}
+	sort.Strings(matches)
+	return LoadBenchSnapshot(matches[len(matches)-1])
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"context"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"greedy80211/internal/runner"
+	"greedy80211/internal/stats"
+)
+
+// quickSets is a tiny real-artifact refdata set (fig2 in quick mode) so
+// the determinism tests simulate for milliseconds, not seconds. Bands
+// are irrelevant here — both sides of each comparison share them.
+func quickSets() []*RefSet {
+	return []*RefSet{{
+		Artifact: "fig2",
+		Claim:    "GS CW pins at CWmin",
+		Config:   Config{Seeds: 1, Duration: "200ms", Quick: true},
+		Checks: []Check{
+			{ID: "gs-cw", Kind: "point", Series: "GS avg CW", X: 0,
+				Want: 31, Pass: stats.Band{Rel: 0.25}},
+			{ID: "ns-cw", Kind: "point", Series: "NS avg CW", X: 40,
+				Want: 31, Pass: stats.Band{Rel: 0.25}},
+		},
+	}}
+}
+
+func renderFresh(t *testing.T, sets []*RefSet) string {
+	t.Helper()
+	rep, err := ComputeFresh(sets)
+	if err != nil {
+		t.Fatalf("ComputeFresh: %v", err)
+	}
+	var md strings.Builder
+	RenderMarkdown(&md, rep, nil)
+	return md.String()
+}
+
+// TestReportSequentialMatchesParallel pins the ISSUE acceptance
+// criterion: the rendered report is byte-identical whether artifacts
+// regenerate on one worker or many.
+func TestReportSequentialMatchesParallel(t *testing.T) {
+	sets := quickSets()
+	defer runner.SetLimit(runtime.GOMAXPROCS(0))
+	runner.SetLimit(1)
+	seq := renderFresh(t, sets)
+	runner.SetLimit(8)
+	par := renderFresh(t, sets)
+	if seq != par {
+		t.Error("sequential and parallel reports differ byte-wise")
+	}
+}
+
+// TestReportStoreMatchesFresh pins the other half: a report computed
+// through a campaign store (cold, then warm — zero simulation) is
+// byte-identical to a storeless fresh run.
+func TestReportStoreMatchesFresh(t *testing.T) {
+	sets := quickSets()
+	fresh := renderFresh(t, sets)
+
+	store := t.TempDir()
+	render := func(compute bool) string {
+		rep, err := FromStore(context.Background(), sets, store, compute, io.Discard)
+		if err != nil {
+			t.Fatalf("FromStore(compute=%v): %v", compute, err)
+		}
+		var md strings.Builder
+		RenderMarkdown(&md, rep, nil)
+		return md.String()
+	}
+	cold := render(true)
+	warm := render(true)  // all cache hits
+	read := render(false) // no-compute read of the warm store
+	if cold != fresh {
+		t.Error("cold-store report differs from fresh report")
+	}
+	if warm != cold || read != cold {
+		t.Error("warm-store or read-only report differs from cold-store report")
+	}
+}
+
+// TestFromStoreNoComputeColdGates: a cold store in read-only mode must
+// yield gating missing verdicts, not simulate behind CI's back.
+func TestFromStoreNoComputeColdGates(t *testing.T) {
+	sets := quickSets()
+	rep, err := FromStore(context.Background(), sets, t.TempDir(), false, io.Discard)
+	if err != nil {
+		t.Fatalf("FromStore: %v", err)
+	}
+	if rep.Missing != 2 || rep.Gating(false) != 2 {
+		t.Fatalf("cold read-only store: missing=%d gating=%d, want 2/2", rep.Missing, rep.Gating(false))
+	}
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"greedy80211/internal/experiments"
+)
+
+// EXPERIMENTS.md carries a generated artifact↔paper mapping table
+// between these markers. cmd/report -write-docs regenerates the block
+// in place and -check-docs (plus a package test) verifies it matches
+// the registry and refdata, so the table can never silently rot.
+
+const (
+	docsBegin = "<!-- BEGIN ARTIFACT-PAPER MAP (generated: go run ./cmd/report -write-docs) -->"
+	docsEnd   = "<!-- END ARTIFACT-PAPER MAP -->"
+)
+
+// MappingTable renders the full artifact↔paper map: every registered
+// artifact with its paper locator, and — for artifacts gated by a
+// refdata set — the claim under test, the check count, and the loosest
+// pass tolerance.
+func MappingTable(sets []*RefSet) string {
+	byID := make(map[string]*RefSet, len(sets))
+	for _, s := range sets {
+		byID[s.Artifact] = s
+	}
+	var b strings.Builder
+	b.WriteString("| artifact | paper | gated claim | checks | pass tolerance |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, reg := range experiments.All() {
+		set := byID[reg.ID]
+		claim, checks, tol := "—", "—", "—"
+		if set != nil {
+			claim = set.Claim
+			checks = fmt.Sprintf("%d", len(set.Checks))
+			tol = loosestBand(set)
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s |\n",
+			reg.ID, reg.Paper, claim, checks, tol)
+	}
+	return b.String()
+}
+
+// loosestBand summarizes the widest pass band across a set's checks —
+// the headline "reproduces within ±X%" number for the table.
+func loosestBand(set *RefSet) string {
+	var maxRel, maxAbs float64
+	for _, c := range set.Checks {
+		if c.Kind == "text" {
+			continue
+		}
+		if c.Pass.Rel > maxRel {
+			maxRel = c.Pass.Rel
+		}
+		if c.Pass.Abs > maxAbs {
+			maxAbs = c.Pass.Abs
+		}
+	}
+	var parts []string
+	if maxRel > 0 {
+		parts = append(parts, fmt.Sprintf("rel ≤ %g%%", maxRel*100))
+	}
+	if maxAbs > 0 {
+		parts = append(parts, fmt.Sprintf("abs ≤ %g", maxAbs))
+	}
+	if len(parts) == 0 {
+		return "exact"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// docsBlock is the full replacement text between (and including) the
+// markers.
+func docsBlock(sets []*RefSet) string {
+	return docsBegin + "\n\n" + MappingTable(sets) + "\n" + docsEnd
+}
+
+// splitDocs locates the marker block in a document, returning the text
+// before, the block itself, and the text after.
+func splitDocs(doc string) (before, block, after string, err error) {
+	i := strings.Index(doc, docsBegin)
+	if i < 0 {
+		return "", "", "", fmt.Errorf("report: docs: begin marker %q not found", docsBegin)
+	}
+	j := strings.Index(doc[i:], docsEnd)
+	if j < 0 {
+		return "", "", "", fmt.Errorf("report: docs: end marker %q not found", docsEnd)
+	}
+	end := i + j + len(docsEnd)
+	return doc[:i], doc[i:end], doc[end:], nil
+}
+
+// UpdateDocs replaces the marker block in doc with the freshly generated
+// table, leaving everything else untouched.
+func UpdateDocs(doc string, sets []*RefSet) (string, error) {
+	before, _, after, err := splitDocs(doc)
+	if err != nil {
+		return "", err
+	}
+	return before + docsBlock(sets) + after, nil
+}
+
+// CheckDocs verifies the marker block is present and current.
+func CheckDocs(doc string, sets []*RefSet) error {
+	_, block, _, err := splitDocs(doc)
+	if err != nil {
+		return err
+	}
+	if block != docsBlock(sets) {
+		return fmt.Errorf("report: docs: artifact↔paper map is stale; regenerate with `go run ./cmd/report -write-docs`")
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsMappingTable keeps the generated artifact↔paper map in
+// EXPERIMENTS.md current: it must match what the registry + embedded
+// refdata produce right now.
+func TestExperimentsMappingTable(t *testing.T) {
+	sets, err := LoadEmbedded()
+	if err != nil {
+		t.Fatalf("LoadEmbedded: %v", err)
+	}
+	raw, err := os.ReadFile(filepath.Join("..", "..", "EXPERIMENTS.md"))
+	if err != nil {
+		t.Fatalf("reading EXPERIMENTS.md: %v", err)
+	}
+	if err := CheckDocs(string(raw), sets); err != nil {
+		t.Errorf("%v", err)
+	}
+}
+
+func TestUpdateDocsRoundTrip(t *testing.T) {
+	sets, err := LoadEmbedded()
+	if err != nil {
+		t.Fatalf("LoadEmbedded: %v", err)
+	}
+	doc := "intro\n\n" + docsBegin + "\nstale\n" + docsEnd + "\n\ntail\n"
+	updated, err := UpdateDocs(doc, sets)
+	if err != nil {
+		t.Fatalf("UpdateDocs: %v", err)
+	}
+	if !strings.HasPrefix(updated, "intro\n\n") || !strings.HasSuffix(updated, "\n\ntail\n") {
+		t.Error("UpdateDocs touched text outside the marker block")
+	}
+	if err := CheckDocs(updated, sets); err != nil {
+		t.Errorf("CheckDocs after UpdateDocs: %v", err)
+	}
+	// Idempotent: updating an already-current doc changes nothing.
+	again, err := UpdateDocs(updated, sets)
+	if err != nil {
+		t.Fatalf("UpdateDocs (second): %v", err)
+	}
+	if again != updated {
+		t.Error("UpdateDocs is not idempotent")
+	}
+	// A doc without markers is a loud error, not a silent no-op.
+	if _, err := UpdateDocs("no markers here", sets); err == nil {
+		t.Error("UpdateDocs accepted a document without markers")
+	}
+}
+
+func TestMappingTableCoversRegistryAndRefdata(t *testing.T) {
+	sets, err := LoadEmbedded()
+	if err != nil {
+		t.Fatalf("LoadEmbedded: %v", err)
+	}
+	table := MappingTable(sets)
+	for _, id := range []string{"fig1", "fig24", "tab1", "tab9", "exta", "abl3"} {
+		if !strings.Contains(table, "`"+id+"`") {
+			t.Errorf("mapping table is missing artifact %s", id)
+		}
+	}
+	for _, s := range sets {
+		if !strings.Contains(table, s.Claim) {
+			t.Errorf("mapping table is missing %s's gated claim", s.Artifact)
+		}
+	}
+}

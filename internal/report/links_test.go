@@ -1,0 +1,77 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinksResolve is the repo's link checker: every relative
+// link and anchor in the top-level docs must point at a file that
+// exists (no external tool, so it runs wherever `go test` runs).
+func TestMarkdownLinksResolve(t *testing.T) {
+	root := filepath.Join("..", "..")
+	docs := []string{
+		"README.md", "ARCHITECTURE.md", "EXPERIMENTS.md", "DESIGN.md",
+		"RESULTS.md", "ROADMAP.md", "CHANGES.md",
+	}
+	linkRE := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, doc := range docs {
+		raw, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			t.Errorf("doc %s unreadable: %v", doc, err)
+			continue
+		}
+		anchors := headingAnchors(string(raw))
+		for _, m := range linkRE.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external; not checked offline
+			case strings.HasPrefix(target, "#"):
+				if !anchors[strings.TrimPrefix(target, "#")] {
+					t.Errorf("%s: broken anchor %s", doc, target)
+				}
+				continue
+			}
+			path := target
+			if i := strings.IndexByte(path, '#'); i >= 0 {
+				path = path[:i]
+			}
+			if path == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(path))); err != nil {
+				t.Errorf("%s: broken link %s", doc, target)
+			}
+		}
+	}
+}
+
+// headingAnchors collects the anchor ids a Markdown renderer would
+// generate: explicit <a id="..."> tags plus GitHub-style slugs of ATX
+// headings.
+func headingAnchors(doc string) map[string]bool {
+	anchors := make(map[string]bool)
+	idRE := regexp.MustCompile(`<a id="([^"]+)">`)
+	for _, m := range idRE.FindAllStringSubmatch(doc, -1) {
+		anchors[m[1]] = true
+	}
+	slugStrip := regexp.MustCompile("[^a-z0-9 _-]")
+	for _, line := range strings.Split(doc, "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		// Inline code and emphasis markers do not survive slugging.
+		text = strings.NewReplacer("`", "", "*", "", "_", "_").Replace(text)
+		slug := strings.ToLower(text)
+		slug = slugStrip.ReplaceAllString(slug, "")
+		slug = strings.ReplaceAll(slug, " ", "-")
+		anchors[slug] = true
+	}
+	return anchors
+}

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadEmbedded(t *testing.T) {
+	sets, err := LoadEmbedded()
+	if err != nil {
+		t.Fatalf("LoadEmbedded: %v", err)
+	}
+	if len(sets) < 5 {
+		t.Fatalf("only %d embedded refdata sets", len(sets))
+	}
+	cfg, err := SharedConfig(sets)
+	if err != nil {
+		t.Fatalf("SharedConfig: %v", err)
+	}
+	if cfg.Seeds == 0 || cfg.Duration == "" {
+		t.Fatalf("profile not pinned: %+v", cfg)
+	}
+	// Registry order: fig1 must precede tab4 and ext*.
+	ids := Artifacts(sets)
+	var fig1, tab4 int
+	for i, id := range ids {
+		switch id {
+		case "fig1":
+			fig1 = i
+		case "tab4":
+			tab4 = i
+		}
+	}
+	if fig1 >= tab4 {
+		t.Errorf("artifact order %v: figures should precede tables", ids)
+	}
+}
+
+func writeRefdata(t *testing.T, name, body string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestLoadDirRejectsBadFiles(t *testing.T) {
+	cases := map[string]struct {
+		file, body, wantErr string
+	}{
+		"unknown field": {
+			"fig1.json",
+			`{"artifact":"fig1","config":{"seeds":1,"duration":"1s"},"typo":true,
+			  "checks":[{"id":"a","kind":"point","series":"s","pass":{"rel":0.1}}]}`,
+			"typo",
+		},
+		"unknown kind": {
+			"fig1.json",
+			`{"artifact":"fig1","config":{"seeds":1,"duration":"1s"},
+			  "checks":[{"id":"a","kind":"blob","series":"s","pass":{"rel":0.1}}]}`,
+			"unknown kind",
+		},
+		"unknown artifact": {
+			"fig99.json",
+			`{"artifact":"fig99","config":{"seeds":1,"duration":"1s"},
+			  "checks":[{"id":"a","kind":"point","series":"s","pass":{"rel":0.1}}]}`,
+			"unknown artifact",
+		},
+		"missing pass band": {
+			"fig1.json",
+			`{"artifact":"fig1","config":{"seeds":1,"duration":"1s"},
+			  "checks":[{"id":"a","kind":"point","series":"s"}]}`,
+			"no pass band",
+		},
+		"duplicate check id": {
+			"fig1.json",
+			`{"artifact":"fig1","config":{"seeds":1,"duration":"1s"},"checks":[
+			  {"id":"a","kind":"point","series":"s","pass":{"rel":0.1}},
+			  {"id":"a","kind":"point","series":"t","pass":{"rel":0.1}}]}`,
+			"duplicate check id",
+		},
+		"file name mismatch": {
+			"other.json",
+			`{"artifact":"fig1","config":{"seeds":1,"duration":"1s"},
+			  "checks":[{"id":"a","kind":"point","series":"s","pass":{"rel":0.1}}]}`,
+			"rename",
+		},
+	}
+	for name, tc := range cases {
+		dir := writeRefdata(t, tc.file, tc.body)
+		_, err := LoadDir(dir)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestSharedConfigMismatch(t *testing.T) {
+	a := &RefSet{Artifact: "fig1", Config: Config{Seeds: 3, Duration: "1s"}}
+	b := &RefSet{Artifact: "fig2", Config: Config{Seeds: 5, Duration: "1s"}}
+	if _, err := SharedConfig([]*RefSet{a, b}); err == nil {
+		t.Fatal("SharedConfig accepted disagreeing profiles")
+	}
+	if _, err := SharedConfig([]*RefSet{a, a}); err != nil {
+		t.Fatalf("SharedConfig rejected agreeing profiles: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"greedy80211/internal/stats"
+)
+
+// verdicts.json: the machine-readable twin of RESULTS.md, for tooling
+// that wants the verdicts without parsing Markdown. Encoding is stable
+// (fixed field order, sorted-by-construction artifact order, NaN mapped
+// to null — encoding/json cannot represent NaN).
+
+type verdictsDoc struct {
+	Module    string             `json:"module"`
+	Config    Config             `json:"config"`
+	Pass      int                `json:"pass"`
+	Drift     int                `json:"drift"`
+	Fail      int                `json:"fail"`
+	Missing   int                `json:"missing"`
+	Artifacts []verdictsArtifact `json:"artifacts"`
+}
+
+type verdictsArtifact struct {
+	Artifact string          `json:"artifact"`
+	Paper    string          `json:"paper"`
+	Verdict  stats.Verdict   `json:"verdict"`
+	Checks   []verdictsCheck `json:"checks"`
+}
+
+type verdictsCheck struct {
+	ID      string        `json:"id"`
+	Kind    string        `json:"kind"`
+	Want    *float64      `json:"want,omitempty"`
+	Got     *float64      `json:"got"`
+	GotText string        `json:"got_text,omitempty"`
+	Pass    stats.Band    `json:"pass,omitempty"`
+	Fail    stats.Band    `json:"fail,omitempty"`
+	Verdict stats.Verdict `json:"verdict"`
+}
+
+func jsonFloat(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// WriteVerdicts encodes the report's verdicts as indented JSON.
+func WriteVerdicts(w io.Writer, rep *Report) error {
+	doc := verdictsDoc{
+		Module:  rep.Module,
+		Config:  rep.Config,
+		Pass:    rep.Pass,
+		Drift:   rep.Drift,
+		Fail:    rep.Fail,
+		Missing: rep.Missing,
+	}
+	for _, ar := range rep.Artifacts {
+		va := verdictsArtifact{Artifact: ar.Artifact, Paper: ar.Paper, Verdict: ar.Verdict()}
+		for _, c := range ar.Checks {
+			vc := verdictsCheck{
+				ID:      c.ID,
+				Kind:    c.Kind,
+				Got:     jsonFloat(c.Got),
+				GotText: c.GotText,
+				Pass:    c.Pass,
+				Fail:    c.Fail,
+				Verdict: c.Verdict,
+			}
+			if c.Kind != "text" {
+				vc.Want = jsonFloat(c.Want)
+			}
+			va.Checks = append(va.Checks, vc)
+		}
+		doc.Artifacts = append(doc.Artifacts, va)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("report: verdicts: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Band is a symmetric tolerance band around a reference value: a measured
+// value v is inside the band around want when
+//
+//	|v - want| <= Abs + Rel*|want|
+//
+// Both components are additive so a purely relative band still admits
+// exact zeros (want == 0 forces the Rel term to 0) when Abs covers the
+// noise floor. The zero Band admits only an exact match.
+type Band struct {
+	// Rel is the relative half-width (0.1 = ±10% of |want|).
+	Rel float64 `json:"rel,omitempty"`
+	// Abs is the absolute half-width, in the metric's own unit.
+	Abs float64 `json:"abs,omitempty"`
+}
+
+// IsZero reports whether the band is unset.
+func (b Band) IsZero() bool { return b.Rel == 0 && b.Abs == 0 }
+
+// Width is the band's half-width around want.
+func (b Band) Width(want float64) float64 { return b.Abs + b.Rel*math.Abs(want) }
+
+// Holds reports whether got is within the band around want. The boundary
+// is inclusive: a deviation exactly equal to the width passes. NaN on
+// either side never holds.
+func (b Band) Holds(got, want float64) bool {
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return false
+	}
+	return math.Abs(got-want) <= b.Width(want)
+}
+
+// String renders the band compactly ("±10%", "±0.05", "±10%+0.05").
+func (b Band) String() string {
+	switch {
+	case b.Rel != 0 && b.Abs != 0:
+		return fmt.Sprintf("±%g%%+%g", b.Rel*100, b.Abs)
+	case b.Rel != 0:
+		return fmt.Sprintf("±%g%%", b.Rel*100)
+	default:
+		return fmt.Sprintf("±%g", b.Abs)
+	}
+}
+
+// Verdict classifies one measured value against its golden reference.
+type Verdict string
+
+const (
+	// VerdictPass: within the pass band — the reproduction holds.
+	VerdictPass Verdict = "pass"
+	// VerdictDrift: outside the pass band but within the fail band — the
+	// trend survives, the magnitude moved. Reports surface drift; gating
+	// treats it as passing unless strict mode is on.
+	VerdictDrift Verdict = "drift"
+	// VerdictFail: outside every band — the claim no longer reproduces.
+	VerdictFail Verdict = "fail"
+	// VerdictMissing: the value could not be extracted (absent series or
+	// table cell, NaN measurement). Gates like a failure: a silently
+	// vanished metric must not read as healthy.
+	VerdictMissing Verdict = "missing"
+)
+
+// Gates reports whether the verdict should fail a regression gate.
+// Drift gates only in strict mode.
+func (v Verdict) Gates(strict bool) bool {
+	switch v {
+	case VerdictFail, VerdictMissing:
+		return true
+	case VerdictDrift:
+		return strict
+	default:
+		return false
+	}
+}
+
+// Classify compares got against want: pass within the pass band, drift
+// within the fail band, fail outside both. A zero fail band means there
+// is no drift region — anything outside pass fails outright. NaN in got
+// or want classifies as missing.
+func Classify(got, want float64, pass, fail Band) Verdict {
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return VerdictMissing
+	}
+	if pass.Holds(got, want) {
+		return VerdictPass
+	}
+	if !fail.IsZero() && fail.Holds(got, want) {
+		return VerdictDrift
+	}
+	return VerdictFail
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBandHolds(t *testing.T) {
+	cases := []struct {
+		name      string
+		band      Band
+		got, want float64
+		holds     bool
+	}{
+		{"exact match zero band", Band{}, 1.5, 1.5, true},
+		{"any deviation fails zero band", Band{}, 1.5000001, 1.5, false},
+		{"inside rel", Band{Rel: 0.1}, 1.05, 1.0, true},
+		{"exact rel boundary is inclusive", Band{Rel: 0.25}, 2.5, 2.0, true},
+		{"outside rel", Band{Rel: 0.1}, 1.11, 1.0, false},
+		{"inside abs", Band{Abs: 0.05}, 0.04, 0, true},
+		{"exact abs boundary is inclusive", Band{Abs: 0.05}, 0.05, 0, true},
+		{"outside abs", Band{Abs: 0.05}, 0.051, 0, false},
+		{"rel and abs add", Band{Rel: 0.1, Abs: 0.05}, 1.15, 1.0, true},
+		{"negative want uses magnitude", Band{Rel: 0.25}, -2.5, -2.0, true},
+		{"rel band around zero needs abs", Band{Rel: 0.5}, 0.01, 0, false},
+		{"nan got", Band{Rel: 1, Abs: 1}, math.NaN(), 1, false},
+		{"nan want", Band{Rel: 1, Abs: 1}, 1, math.NaN(), false},
+	}
+	for _, c := range cases {
+		if got := c.band.Holds(c.got, c.want); got != c.holds {
+			t.Errorf("%s: Band%+v.Holds(%v, %v) = %v, want %v",
+				c.name, c.band, c.got, c.want, got, c.holds)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	pass := Band{Rel: 0.25}
+	fail := Band{Rel: 0.75}
+	cases := []struct {
+		name      string
+		got, want float64
+		verdict   Verdict
+	}{
+		{"well inside pass", 2.0, 2.0, VerdictPass},
+		{"exact pass boundary", 2.5, 2.0, VerdictPass},
+		{"just past pass is drift", 2.51, 2.0, VerdictDrift},
+		{"exact fail boundary is drift", 3.5, 2.0, VerdictDrift},
+		{"outside fail", 3.51, 2.0, VerdictFail},
+		{"nan measurement", math.NaN(), 2.0, VerdictMissing},
+		{"nan golden", 2.0, math.NaN(), VerdictMissing},
+	}
+	for _, c := range cases {
+		if got := Classify(c.got, c.want, pass, fail); got != c.verdict {
+			t.Errorf("%s: Classify(%v, %v) = %s, want %s", c.name, c.got, c.want, got, c.verdict)
+		}
+	}
+}
+
+func TestClassifyNoFailBand(t *testing.T) {
+	// With a zero fail band there is no drift region: outside pass is fail.
+	if v := Classify(1.2, 1.0, Band{Rel: 0.1}, Band{}); v != VerdictFail {
+		t.Fatalf("Classify without fail band = %s, want %s", v, VerdictFail)
+	}
+	if v := Classify(1.05, 1.0, Band{Rel: 0.1}, Band{}); v != VerdictPass {
+		t.Fatalf("Classify inside pass = %s, want %s", v, VerdictPass)
+	}
+}
+
+func TestVerdictGates(t *testing.T) {
+	cases := []struct {
+		v              Verdict
+		normal, strict bool
+	}{
+		{VerdictPass, false, false},
+		{VerdictDrift, false, true},
+		{VerdictFail, true, true},
+		{VerdictMissing, true, true},
+	}
+	for _, c := range cases {
+		if got := c.v.Gates(false); got != c.normal {
+			t.Errorf("%s.Gates(false) = %v, want %v", c.v, got, c.normal)
+		}
+		if got := c.v.Gates(true); got != c.strict {
+			t.Errorf("%s.Gates(true) = %v, want %v", c.v, got, c.strict)
+		}
+	}
+}
+
+func TestBandString(t *testing.T) {
+	cases := []struct {
+		band Band
+		want string
+	}{
+		{Band{Rel: 0.1}, "±10%"},
+		{Band{Abs: 0.05}, "±0.05"},
+		{Band{Rel: 0.25, Abs: 0.01}, "±25%+0.01"},
+		{Band{}, "±0"},
+	}
+	for _, c := range cases {
+		if got := c.band.String(); got != c.want {
+			t.Errorf("Band%+v.String() = %q, want %q", c.band, got, c.want)
+		}
+	}
+}

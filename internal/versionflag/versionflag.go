@@ -1,0 +1,31 @@
+// Package versionflag is the shared -version plumbing of the CLIs
+// (greedysim, experiments, bench, campaign, report): one place registers
+// the flag and prints the module fingerprint, instead of each command
+// copy-pasting it. The fingerprint is the same string the campaign
+// store folds into its cache keys, so `<cmd> -version` tells you exactly
+// which store entries a binary can reuse.
+package versionflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"greedy80211/internal/core"
+)
+
+// Register adds -version to fs and returns its value pointer; callers
+// check it right after parsing via Handle.
+func Register(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print the module fingerprint and exit")
+}
+
+// Handle prints the fingerprint to w when requested and reports whether
+// the caller should exit (with status 0).
+func Handle(requested *bool, w io.Writer, cmd string) bool {
+	if requested == nil || !*requested {
+		return false
+	}
+	fmt.Fprintf(w, "%s %s\n", cmd, core.ModuleFingerprint())
+	return true
+}

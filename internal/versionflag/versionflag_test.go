@@ -1,0 +1,40 @@
+package versionflag
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"greedy80211/internal/core"
+)
+
+func TestRegisterAndHandle(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	v := Register(fs)
+	if err := fs.Parse([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if !Handle(v, &out, "x") {
+		t.Fatal("Handle returned false with -version set")
+	}
+	want := "x " + core.ModuleFingerprint() + "\n"
+	if out.String() != want {
+		t.Errorf("output %q, want %q", out.String(), want)
+	}
+}
+
+func TestHandleNotRequested(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	v := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if Handle(v, &out, "x") {
+		t.Fatal("Handle returned true without -version")
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected output %q", out.String())
+	}
+}
