@@ -33,15 +33,16 @@ import (
 	"greedy80211/internal/runner"
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
+	"greedy80211/internal/trace"
 	"greedy80211/internal/versionflag"
 )
 
 type benchEntry struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	EventsPerOp float64 `json:"events_per_op,omitempty"`
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerOp  float64 `json:"events_per_op,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
@@ -61,7 +62,13 @@ type snapshot struct {
 	GOARCH     string       `json:"goarch"`
 	Scheduler  []benchEntry `json:"scheduler"`
 	Simulator  benchEntry   `json:"simulator"`
-	Artifacts  wallClock    `json:"artifacts"`
+	// SimulatorTraced is the same workload with a flight recorder attached
+	// (medium tap + MAC probes on every station); compare against Simulator
+	// to see the tracing overhead. Simulator itself runs with tracing
+	// disabled, so its allocs/op doubles as the zero-cost-when-disabled
+	// guard against earlier snapshots.
+	SimulatorTraced benchEntry `json:"simulator_traced"`
+	Artifacts       wallClock  `json:"artifacts"`
 }
 
 func main() {
@@ -102,6 +109,13 @@ func run(args []string) int {
 	snap.Simulator = toEntry("SimulatorThroughput", testing.Benchmark(benchSimulatorThroughput))
 	fmt.Printf("  %-24s %10.0f events/sec %6d allocs/op\n",
 		snap.Simulator.Name, snap.Simulator.EventsPerSec, snap.Simulator.AllocsPerOp)
+	snap.SimulatorTraced = toEntry("SimulatorTraced", testing.Benchmark(benchSimulatorTraced))
+	fmt.Printf("  %-24s %10.0f events/sec %6d allocs/op\n",
+		snap.SimulatorTraced.Name, snap.SimulatorTraced.EventsPerSec, snap.SimulatorTraced.AllocsPerOp)
+	if snap.Simulator.EventsPerSec > 0 {
+		fmt.Printf("  tracing overhead: %.1f%% events/sec\n",
+			100*(1-snap.SimulatorTraced.EventsPerSec/snap.Simulator.EventsPerSec))
+	}
 
 	ids := []string{"fig2", "fig5", "fig14", "tab1", "abl1"}
 	if *quick {
@@ -222,6 +236,31 @@ func benchSimulatorThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		w.Run(sim.Second)
+		events += w.Sched.Executed()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+}
+
+// benchSimulatorTraced is benchSimulatorThroughput with a flight recorder
+// (channel tap + per-station MAC probes) attached — the tracing-on cost.
+func benchSimulatorTraced(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		w, err := scenario.BuildPairs(scenario.PairsConfig{
+			Config:    scenario.Config{Seed: int64(i + 1), UseRTSCTS: true},
+			N:         2,
+			Transport: scenario.UDP,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := trace.NewRecorder(0)
+		w.AttachTrace(rec, rec)
 		w.Run(sim.Second)
 		events += w.Sched.Executed()
 	}

@@ -29,6 +29,7 @@ import (
 	"greedy80211/internal/profileflags"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/sim"
+	"greedy80211/internal/trace"
 	"greedy80211/internal/versionflag"
 )
 
@@ -56,8 +57,11 @@ func run(args []string) int {
 			"worker-pool size for (sweep-point × seed) fan-out; 1 = sequential (output is identical either way)")
 		metricsOut = fs.String("metrics", "",
 			"write a per-station telemetry sidecar to this file (.csv for CSV, else JSONL); identical for any -parallel value")
-		version = versionflag.Register(fs)
-		prof    = profileflags.Register(fs)
+		traceDir = fs.String("trace", "",
+			"attach a flight recorder to every world and write per-run JSONL traces + ASCII timelines into this directory; identical for any -parallel value")
+		traceCap = fs.Int("trace-cap", 0, "flight-recorder ring capacity in events per run (default 4096)")
+		version  = versionflag.Register(fs)
+		prof     = profileflags.Register(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -113,6 +117,9 @@ func run(args []string) int {
 		if *metricsOut != "" {
 			cfg.Metrics = metrics.NewCollector()
 		}
+		if *traceDir != "" {
+			cfg.Trace = trace.NewCollector(*traceCap)
+		}
 		res, err := runArtifact(art, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", art, err)
@@ -120,6 +127,14 @@ func run(args []string) int {
 			continue
 		}
 		fmt.Print(res.String())
+		if cfg.Trace != nil {
+			paths, err := trace.ExportDir(*traceDir, art, cfg.Trace.Recordings())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return 1
+			}
+			fmt.Printf("%d trace files written to %s\n", len(paths), *traceDir)
+		}
 		if *csvDir != "" {
 			if err := writeCSVs(*csvDir, res); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

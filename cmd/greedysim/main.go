@@ -84,9 +84,11 @@ func run(args []string) int {
 		duration  = fs.Duration("duration", 0, "simulated time per run (default 5s)")
 		runs      = fs.Int("runs", 0, "seeded repetitions (default 5, median reported)")
 		seed      = fs.Int64("seed", 1, "base seed")
-		showTrace = fs.Bool("trace", false, "print channel airtime accounting after the run")
-		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0),
-			"worker-pool size for seeded repetitions; 1 = sequential (-trace forces sequential)")
+		traceDir  = fs.String("trace", "",
+			"attach a flight recorder to every run, write JSONL traces + ASCII timelines into this directory, and print channel airtime accounting")
+		traceCap = fs.Int("trace-cap", 0, "flight-recorder ring capacity in events per run (default 4096)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
+			"worker-pool size for seeded repetitions; 1 = sequential (output is identical either way)")
 		metricsOut = fs.String("metrics", "", "write the per-station telemetry snapshot to this file (.csv for CSV, else JSONL)")
 		version    = versionflag.Register(fs)
 		prof       = profileflags.Register(fs)
@@ -134,10 +136,10 @@ func run(args []string) int {
 	if mis == core.MisbehaviorNone {
 		cfg.GreedyReceivers = 0
 	}
-	var rec *trace.Recorder
-	if *showTrace {
-		rec = trace.NewRecorder(0)
-		cfg.Trace = rec
+	var coll *trace.Collector
+	if *traceDir != "" {
+		coll = trace.NewCollector(*traceCap)
+		cfg.FlightRecorder = coll
 	}
 	switch *transport {
 	case "udp":
@@ -189,16 +191,21 @@ func run(args []string) int {
 		}
 		fmt.Printf("telemetry written to %s\n", *metricsOut)
 	}
-	if rec != nil {
-		effRuns := cfg.Runs
-		if effRuns == 0 {
-			effRuns = 5
+	if coll != nil {
+		paths, err := trace.ExportDir(*traceDir, "greedysim", coll.Recordings())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "greedysim: %v\n", err)
+			return 1
 		}
 		effDur := cfg.Duration
 		if effDur == 0 {
 			effDur = 5 * sim.Second
 		}
-		fmt.Print(rec.Summary(sim.Time(effRuns) * effDur))
+		if recs := coll.Recordings(); len(recs) > 0 {
+			fmt.Printf("run 0 (seed %d) channel accounting:\n", recs[0].Seed)
+			fmt.Print(recs[0].Recorder.Summary(effDur))
+		}
+		fmt.Printf("%d trace files written to %s\n", len(paths), *traceDir)
 	}
 	return 0
 }

@@ -44,7 +44,7 @@ func TestRunExitCodes(t *testing.T) {
 			"-runs", "1", "-duration", "1s"}, 1},
 		{"baseline run", []string{"-runs", "1", "-duration", "1s"}, 0},
 		{"nav with grc and trace", []string{"-misbehavior", "nav", "-nav", "5ms",
-			"-grc", "-trace", "-runs", "1", "-duration", "1s"}, 0},
+			"-grc", "-trace", t.TempDir(), "-runs", "1", "-duration", "1s"}, 0},
 		{"spoof tcp", []string{"-misbehavior", "spoof", "-transport", "tcp",
 			"-ber", "2e-4", "-runs", "1", "-duration", "1s"}, 0},
 		{"fake hidden", []string{"-misbehavior", "fake", "-hidden",

@@ -37,16 +37,18 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	var (
-		out      = fs.String("out", "RESULTS.md", "write the Markdown report here (\"-\" for stdout)")
-		verdicts = fs.String("verdicts", "verdicts.json", "write machine-readable verdicts here (empty to skip)")
-		store    = fs.String("store", "", "campaign store directory; empty runs everything fresh")
-		noComp   = fs.Bool("no-compute", false, "with -store: never simulate, gate on whatever the store holds")
-		refdata  = fs.String("refdata", "", "load golden values from this directory instead of the embedded set")
-		strict   = fs.Bool("strict", false, "drift verdicts gate too")
-		bench    = fs.String("bench", ".", "directory holding BENCH_*.json for the footer (empty to omit)")
-		docsPath = fs.String("docs", "EXPERIMENTS.md", "document carrying the artifact↔paper map block")
-		checkDoc = fs.Bool("check-docs", false, "verify the map block in -docs is current, then exit")
-		writeDoc = fs.Bool("write-docs", false, "regenerate the map block in -docs in place, then exit")
+		out         = fs.String("out", "RESULTS.md", "write the Markdown report here (\"-\" for stdout)")
+		verdicts    = fs.String("verdicts", "verdicts.json", "write machine-readable verdicts here (empty to skip)")
+		store       = fs.String("store", "", "campaign store directory; empty runs everything fresh")
+		noComp      = fs.Bool("no-compute", false, "with -store: never simulate, gate on whatever the store holds")
+		refdata     = fs.String("refdata", "", "load golden values from this directory instead of the embedded set")
+		strict      = fs.Bool("strict", false, "drift verdicts gate too")
+		bench       = fs.String("bench", ".", "directory holding BENCH_*.json for the footer (empty to omit)")
+		docsPath    = fs.String("docs", "EXPERIMENTS.md", "document carrying the artifact↔paper map block")
+		checkDoc    = fs.Bool("check-docs", false, "verify the map block in -docs is current, then exit")
+		writeDoc    = fs.Bool("write-docs", false, "regenerate the map block in -docs in place, then exit")
+		traceOnFail = fs.String("trace-on-fail", "",
+			"when the gate fails, re-run each gating artifact with a flight recorder and write JSONL traces, timelines, and invariant summaries into this directory")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
 			"worker-pool size for artifact regeneration; 1 = sequential (output is identical either way)")
 		version = versionflag.Register(fs)
@@ -123,6 +125,15 @@ func run(args []string) int {
 		rep.Checks(), rep.Pass, rep.Drift, rep.Fail, rep.Missing)
 	if n := rep.Gating(*strict); n > 0 {
 		fmt.Fprintf(os.Stderr, "report: %d gating verdicts — reproduction gate FAILED\n", n)
+		if *traceOnFail != "" {
+			ids := rep.FailedArtifacts(*strict)
+			paths, err := report.CaptureTraces(rep.Config, ids, *traceOnFail, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "report: capturing traces: %v\n", err)
+			}
+			fmt.Fprintf(os.Stderr, "report: %d flight-recorder files for %s written to %s\n",
+				len(paths), strings.Join(ids, ", "), *traceOnFail)
+		}
 		return 1
 	}
 	return 0

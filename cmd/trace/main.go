@@ -1,0 +1,321 @@
+// Command trace drives the simulator's flight recorder: it records runs,
+// renders recorded traces, converts them to other formats, and checks the
+// 802.11 access invariants over them.
+//
+// Usage:
+//
+//	trace run -artifact fig1 -o traces/            # record an artifact's worlds
+//	trace run -artifact fig1 -quick -o traces/
+//	trace render traces/fig1_run0_seed1.trace.jsonl          # ASCII timeline
+//	trace render -format text traces/fig1_run0_seed1.trace.jsonl
+//	trace export -format chrome -o fig1.json traces/fig1_run0_seed1.trace.jsonl
+//	trace check traces/*.trace.jsonl               # re-check recorded files
+//	trace check                                    # run every gated artifact at the
+//	                                               # report profile and check live
+//
+// Subcommands:
+//
+//	run     record one artifact's worlds (JSONL + timeline per run, with
+//	        the invariant checker attached)
+//	render  print a recorded trace as an ASCII timeline or event log
+//	export  convert a recorded trace to Chrome trace-event JSON
+//	        (load in ui.perfetto.dev or chrome://tracing) or a timeline
+//	check   verify the DCF invariants — over recorded files, or live over
+//	        the report gate's artifacts at its pinned profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"greedy80211/internal/experiments"
+	"greedy80211/internal/report"
+	"greedy80211/internal/runner"
+	"greedy80211/internal/sim"
+	"greedy80211/internal/trace"
+	"greedy80211/internal/versionflag"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: trace <run|render|export|check> [flags]")
+	fmt.Fprintln(w, "  run     -artifact <id> [-o dir] [-seeds N] [-duration D] [-quick] [-cap N]")
+	fmt.Fprintln(w, "  render  [-format timeline|text] [-width N] <file.trace.jsonl>")
+	fmt.Fprintln(w, "  export  [-format chrome|timeline] [-o file] <file.trace.jsonl>")
+	fmt.Fprintln(w, "  check   [file.trace.jsonl ...]   (no files: run the gated artifacts live)")
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		usage(os.Stderr)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:])
+	case "render":
+		return cmdRender(args[1:])
+	case "export":
+		return cmdExport(args[1:])
+	case "check":
+		return cmdCheck(args[1:])
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+		return 0
+	case "-version", "--version":
+		v := true
+		versionflag.Handle(&v, os.Stdout, "trace")
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "trace: unknown subcommand %q\n", args[0])
+		usage(os.Stderr)
+		return 2
+	}
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+	return 1
+}
+
+// cmdRun records one artifact's worlds with the checker attached.
+func cmdRun(args []string) int {
+	fs := flag.NewFlagSet("trace run", flag.ContinueOnError)
+	var (
+		artifact = fs.String("artifact", "", "artifact id to run (fig1..fig24, tab1..tab9, extc)")
+		out      = fs.String("o", "traces", "output directory for JSONL traces and timelines")
+		seeds    = fs.Int("seeds", 0, "seeded repetitions (default 5)")
+		baseSeed = fs.Int64("seed", 0, "base seed")
+		duration = fs.Duration("duration", 0, "simulated time per run (default 5s)")
+		quick    = fs.Bool("quick", false, "1 seed, 2s runs, trimmed sweeps")
+		capacity = fs.Int("cap", 0, "flight-recorder ring capacity in events per run (default 4096)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
+			"worker-pool size; 1 = sequential (trace output is identical either way)")
+		version = versionflag.Register(fs)
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if versionflag.Handle(version, os.Stdout, "trace") {
+		return 0
+	}
+	if *artifact == "" {
+		fmt.Fprintln(os.Stderr, "trace run: -artifact required")
+		return 2
+	}
+	runner.SetLimit(*parallel)
+	coll := trace.NewCollector(*capacity)
+	coll.EnableChecks()
+	cfg := experiments.RunConfig{
+		Seeds:    *seeds,
+		BaseSeed: *baseSeed,
+		Duration: sim.Time(duration.Nanoseconds()),
+		Quick:    *quick,
+		Trace:    coll,
+	}
+	start := time.Now()
+	if _, err := experiments.Run(*artifact, cfg); err != nil {
+		return fail(err)
+	}
+	paths, err := trace.ExportDir(*out, *artifact, coll.Recordings())
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("%s: %d worlds recorded in %.1fs, %d files written to %s\n",
+		*artifact, len(coll.Recordings()), time.Since(start).Seconds(), len(paths), *out)
+	if n := coll.ViolationCount(); n > 0 {
+		fmt.Fprintf(os.Stderr, "trace: %d invariant violations:\n", n)
+		for _, v := range coll.Violations() {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		return 1
+	}
+	fmt.Println("invariants: clean")
+	return 0
+}
+
+func readTrace(path string) (trace.Meta, []trace.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.Meta{}, nil, err
+	}
+	defer f.Close()
+	return trace.ReadJSONL(f)
+}
+
+// cmdRender prints a recorded trace for terminal reading.
+func cmdRender(args []string) int {
+	fs := flag.NewFlagSet("trace render", flag.ContinueOnError)
+	var (
+		format = fs.String("format", "timeline", "timeline | text")
+		width  = fs.Int("width", 120, "timeline width in columns")
+		from   = fs.Duration("from", 0, "window start (e.g. 100ms); zero with -to zero autosizes")
+		to     = fs.Duration("to", 0, "window end")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "trace render: exactly one trace file required")
+		return 2
+	}
+	meta, events, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+	switch *format {
+	case "timeline":
+		fmt.Print(trace.RenderTimeline(meta, events,
+			sim.Time(from.Nanoseconds()), sim.Time(to.Nanoseconds()), *width))
+	case "text":
+		for _, e := range events {
+			fmt.Println(e.String())
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "trace render: unknown format %q\n", *format)
+		return 2
+	}
+	return 0
+}
+
+// cmdExport converts a recorded trace to another format.
+func cmdExport(args []string) int {
+	fs := flag.NewFlagSet("trace export", flag.ContinueOnError)
+	var (
+		format = fs.String("format", "chrome", "chrome | timeline")
+		out    = fs.String("o", "-", "output file (\"-\" for stdout)")
+		width  = fs.Int("width", 120, "timeline width in columns")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "trace export: exactly one trace file required")
+		return 2
+	}
+	meta, events, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "chrome":
+		if err := trace.WriteChromeTrace(w, meta, events); err != nil {
+			return fail(err)
+		}
+	case "timeline":
+		if _, err := io.WriteString(w, trace.RenderTimeline(meta, events, 0, 0, *width)); err != nil {
+			return fail(err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "trace export: unknown format %q\n", *format)
+		return 2
+	}
+	return 0
+}
+
+// cmdCheck verifies the DCF invariants: over recorded files when given,
+// otherwise live over every report-gated artifact at the gate's pinned
+// profile (the same worlds the reproduction numbers come from).
+func cmdCheck(args []string) int {
+	fs := flag.NewFlagSet("trace check", flag.ContinueOnError)
+	var (
+		capacity = fs.Int("cap", 0, "flight-recorder ring capacity per run in live mode (default 4096)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size in live mode")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		return checkFiles(fs.Args())
+	}
+	runner.SetLimit(*parallel)
+	sets, err := report.LoadEmbedded()
+	if err != nil {
+		return fail(err)
+	}
+	cfg, err := report.SharedConfig(sets)
+	if err != nil {
+		return fail(err)
+	}
+	base, err := cfg.RunConfig()
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("checking %d artifacts at the report profile (seeds=%d duration=%s)\n",
+		len(sets), cfg.Seeds, cfg.Duration)
+	bad := 0
+	for _, id := range report.Artifacts(sets) {
+		coll := trace.NewCollector(*capacity)
+		coll.EnableChecks()
+		rc := base
+		rc.Trace = coll
+		start := time.Now()
+		if _, err := experiments.Run(id, rc); err != nil {
+			return fail(err)
+		}
+		if n := coll.ViolationCount(); n > 0 {
+			bad += n
+			fmt.Printf("%-6s %d worlds: %d VIOLATIONS\n", id, len(coll.Recordings()), n)
+			for _, v := range coll.Violations() {
+				fmt.Fprintf(os.Stderr, "  %s %s\n", id, v)
+			}
+		} else {
+			fmt.Printf("%-6s %d worlds: clean (%.1fs)\n",
+				id, len(coll.Recordings()), time.Since(start).Seconds())
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "trace: %d invariant violations\n", bad)
+		return 1
+	}
+	fmt.Println("all invariants hold")
+	return 0
+}
+
+func checkFiles(paths []string) int {
+	bad := 0
+	for _, path := range paths {
+		meta, events, err := readTrace(path)
+		if err != nil {
+			return fail(err)
+		}
+		ck := trace.NewChecker(meta.Timing)
+		for _, e := range events {
+			ck.Feed(e)
+		}
+		if n := ck.Count(); n > 0 {
+			bad += n
+			fmt.Printf("%s: %d events, %d VIOLATIONS\n", path, len(events), n)
+			for _, v := range ck.Violations() {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			if meta.Dropped > 0 {
+				fmt.Fprintf(os.Stderr, "  note: ring dropped %d events; a truncated stream can "+
+					"produce spurious violations — re-record with a larger -cap\n", meta.Dropped)
+			}
+		} else {
+			fmt.Printf("%s: %d events, clean\n", path, len(events))
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "trace: %d invariant violations\n", bad)
+		return 1
+	}
+	return 0
+}

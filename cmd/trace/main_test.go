@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestUsageAndBadArgs(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"unknown subcommand", []string{"bogus"}, 2},
+		{"help", []string{"help"}, 0},
+		{"run without artifact", []string{"run"}, 2},
+		{"run bad flag", []string{"run", "-nope"}, 2},
+		{"render without file", []string{"render"}, 2},
+		{"render missing file", []string{"render", "/nonexistent/x.jsonl"}, 1},
+		// The file is read before the format is validated, so an empty
+		// file fails first with exit 1.
+		{"render empty file", []string{"render", "/dev/null"}, 1},
+		{"export without file", []string{"export"}, 2},
+		{"check missing file", []string{"check", "/nonexistent/x.jsonl"}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := run(tt.args); got != tt.want {
+				t.Errorf("run(%v) = %d, want %d", tt.args, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestRunRenderExportCheckRoundTrip records a quick artifact and pushes
+// the resulting file through every other subcommand.
+func TestRunRenderExportCheckRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if got := run([]string{"run", "-artifact", "fig1", "-quick", "-o", dir}); got != 0 {
+		t.Fatalf("trace run = %d, want 0", got)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "fig1_run*_seed*.trace.jsonl"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no trace files recorded: %v %v", matches, err)
+	}
+	timelines, _ := filepath.Glob(filepath.Join(dir, "*.timeline.txt"))
+	if len(timelines) != len(matches) {
+		t.Errorf("timelines = %d, traces = %d; want one per run", len(timelines), len(matches))
+	}
+
+	file := matches[0]
+	if got := run([]string{"render", file}); got != 0 {
+		t.Errorf("render timeline = %d", got)
+	}
+	if got := run([]string{"render", "-format", "text", file}); got != 0 {
+		t.Errorf("render text = %d", got)
+	}
+	out := filepath.Join(dir, "chrome.json")
+	if got := run([]string{"export", "-format", "chrome", "-o", out, file}); got != 0 {
+		t.Errorf("export chrome = %d", got)
+	}
+	if st, err := os.Stat(out); err != nil || st.Size() == 0 {
+		t.Errorf("chrome export: err=%v size=%d", err, st.Size())
+	}
+	if got := run([]string{"check", file}); got != 0 {
+		t.Errorf("check on a recorded file = %d, want 0 (clean)", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
 	"greedy80211/internal/stats"
+	"greedy80211/internal/trace"
 )
 
 // Version identifies the library release.
@@ -103,8 +104,14 @@ type Config struct {
 	EnableGRC bool
 
 	// Trace attaches a channel tap (e.g. *trace.Recorder) to every run;
-	// events from all runs accumulate into the same tap.
+	// events from all runs accumulate into the same tap. Because the tap
+	// is shared mutable state, runs execute sequentially when it is set.
 	Trace medium.Tap
+	// FlightRecorder, when non-nil, attaches a full flight recorder (tap +
+	// MAC probe) to every run, one recording per seed. Unlike Trace, each
+	// run gets its own recorder, so runs stay parallel and the collector's
+	// canonical ordering keeps exports deterministic.
+	FlightRecorder *trace.Collector
 }
 
 // FlowResult is one flow's outcome.
@@ -285,9 +292,14 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		nav, spoofIgn float64
 	}
 	oneRun := func(r int) (runResult, error) {
-		w, err := cfg.buildWorld(cfg.Seed+int64(r), &grcCfg)
+		seed := cfg.Seed + int64(r)
+		w, err := cfg.buildWorld(seed, &grcCfg)
 		if err != nil {
 			return runResult{}, fmt.Errorf("core: building run %d: %w", r, err)
+		}
+		if cfg.FlightRecorder != nil {
+			rec := cfg.FlightRecorder.Start(seed)
+			w.AttachTrace(rec, rec)
 		}
 		w.Run(cfg.Duration)
 		res := runResult{flows: make(map[int]float64), snap: w.MetricsSnapshot()}

@@ -84,9 +84,16 @@ func runExtC(cfg RunConfig) (*Result, error) {
 		// counters, not medians). Each case gets its own Domino monitor,
 		// so cases are independent and run concurrently.
 		dom := detect.NewDomino(phys.Params80211B(), 0.5, 20)
-		w, err := tc.build(cfg.BaseSeed+1, dom)
+		seed := cfg.BaseSeed + 1
+		w, err := tc.build(seed, dom)
 		if err != nil {
 			return caseResult{}, err
+		}
+		// The Domino monitor occupies the world's Config.Trace tap, so the
+		// flight recorder (if any) joins as a second tap here.
+		if cfg.Trace != nil {
+			rec := cfg.Trace.Start(seed)
+			w.AttachTrace(rec, rec)
 		}
 		w.Run(cfg.Duration)
 		f1, _ := w.Flow(1)

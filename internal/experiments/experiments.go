@@ -20,6 +20,7 @@ import (
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
 	"greedy80211/internal/stats"
+	"greedy80211/internal/trace"
 )
 
 // RunConfig controls how much work each runner does.
@@ -40,6 +41,13 @@ type RunConfig struct {
 	// canonicalizes ordering, so parallel and sequential runs of the same
 	// artifact produce identical sidecars.
 	Metrics *metrics.Collector
+	// Trace, when non-nil, attaches a flight recorder to every world the
+	// artifact builds (one recording per world, keyed by seed). Like
+	// Metrics, the collector canonicalizes ordering, so trace exports are
+	// byte-identical across parallel widths. Probe emission consumes no
+	// randomness and schedules no events, so the artifact numbers are
+	// unchanged.
+	Trace *trace.Collector
 }
 
 // Defaults applied by normalize.
@@ -241,9 +249,14 @@ type seedRun struct {
 func runSeeds(cfg RunConfig, build func(seed int64) (*scenario.World, error),
 	extract func(w *scenario.World, metrics map[string]float64)) (map[int]float64, map[string]float64, error) {
 	runs, err := runner.Map(cfg.Seeds, func(i int) (seedRun, error) {
-		w, err := build(cfg.BaseSeed + int64(i) + 1)
+		seed := cfg.BaseSeed + int64(i) + 1
+		w, err := build(seed)
 		if err != nil {
 			return seedRun{}, err
+		}
+		if cfg.Trace != nil {
+			rec := cfg.Trace.Start(seed)
+			w.AttachTrace(rec, rec)
 		}
 		w.Run(cfg.Duration)
 		r := seedRun{flows: make(map[int]float64)}

@@ -114,6 +114,11 @@ type DCF struct {
 
 	counters Counters
 
+	// probe, when non-nil, observes MAC-internal state-machine events
+	// (see probe.go). Every emission site guards on the nil check, so a
+	// station without a probe pays nothing.
+	probe Probe
+
 	// Always-on telemetry accounting (see internal/metrics): time the
 	// virtual carrier sense alone held the medium busy, and time spent
 	// counting down backoff slots. Both keep an open interval that the
@@ -155,7 +160,7 @@ func New(sched *sim.Scheduler, channel Channel, upper Upper, cfg Config) *DCF {
 	d.waitTimer = sim.NewTimer(sched, d.onResponseTimeout)
 	d.respTimer = sim.NewTimer(sched, d.onRespond)
 	d.txTimer = sim.NewTimer(sched, d.onTxDone)
-	d.navTimer = sim.NewTimer(sched, d.refresh)
+	d.navTimer = sim.NewTimer(sched, d.onNAVExpire)
 	return d
 }
 
@@ -207,6 +212,9 @@ func (d *DCF) Send(dst NodeID, payload any, payloadBytes int) bool {
 	d.counters.MSDUEnqueued++
 	if len(d.queue) >= d.cfg.QueueCap {
 		d.counters.MSDUQueueDrop++
+		if d.probe != nil {
+			d.emit(ProbeEvent{Kind: ProbeQueueDrop, QueueLen: len(d.queue), Dst: dst})
+		}
 		return false
 	}
 	d.seq++
@@ -220,6 +228,9 @@ func (d *DCF) Send(dst NodeID, payload any, payloadBytes int) bool {
 		PayloadBytes: payloadBytes,
 	}
 	d.queue = append(d.queue, f)
+	if d.probe != nil {
+		d.emit(ProbeEvent{Kind: ProbeEnqueue, QueueLen: len(d.queue), Frame: FrameData, Dst: dst, Seq: f.Seq})
+	}
 	if d.access == accessIdle {
 		d.access = accessContend
 		// IEEE 802.11 §9.2.5.1: immediate transmission is allowed only
@@ -255,8 +266,14 @@ func (d *DCF) refresh() {
 	if navOnly != d.navOnly {
 		if d.navOnly {
 			d.navBlocked += now - d.navOnlySince
+			if d.probe != nil {
+				d.emit(ProbeEvent{Kind: ProbeNAVBlockedEnd})
+			}
 		} else {
 			d.navOnlySince = now
+			if d.probe != nil {
+				d.emit(ProbeEvent{Kind: ProbeNAVBlockedStart, Until: d.navUntil})
+			}
 		}
 		d.navOnly = navOnly
 	}
@@ -274,6 +291,13 @@ func (d *DCF) refresh() {
 // ChannelBusy implements Receiver.
 func (d *DCF) ChannelBusy(busy bool) {
 	d.busyPhys = busy
+	if d.probe != nil {
+		k := ProbeBusyEnd
+		if busy {
+			k = ProbeBusyStart
+		}
+		d.emit(ProbeEvent{Kind: k})
+	}
 	d.refresh()
 }
 
@@ -287,6 +311,18 @@ func (d *DCF) updateNAV(dur sim.Time) {
 	}
 	d.navUntil = expiry
 	d.navTimer.StartAt(expiry)
+	if d.probe != nil {
+		d.emit(ProbeEvent{Kind: ProbeNAVUpdate, Until: expiry})
+	}
+	d.refresh()
+}
+
+// onNAVExpire runs when the NAV clears. StartAt replaces any pending
+// expiry, so the timer fires exactly once, at the final expiry time.
+func (d *DCF) onNAVExpire() {
+	if d.probe != nil {
+		d.emit(ProbeEvent{Kind: ProbeNAVExpire, Until: d.navUntil})
+	}
 	d.refresh()
 }
 
@@ -315,6 +351,9 @@ func (d *DCF) drawBackoff() {
 	d.counters.CWHist[cw]++
 	d.backoffRemaining = d.rng.Intn(cw + 1)
 	d.drawPending = false
+	if d.probe != nil {
+		d.emit(ProbeEvent{Kind: ProbeBackoffDraw, CW: cw, Slots: d.backoffRemaining})
+	}
 }
 
 func (d *DCF) pauseCountdown() {
@@ -326,6 +365,9 @@ func (d *DCF) pauseCountdown() {
 		}
 		d.backoffRemaining -= elapsed
 		d.inCountdown = false
+		if d.probe != nil {
+			d.emit(ProbeEvent{Kind: ProbeBackoffFreeze, Slots: d.backoffRemaining})
+		}
 	}
 	d.accessTimer.Stop()
 }
@@ -348,6 +390,9 @@ func (d *DCF) kickAccess() {
 	ifsEnd := d.lastBusyEnd + d.currentIFS()
 	if now < ifsEnd {
 		d.inCountdown = false
+		if d.probe != nil {
+			d.emit(ProbeEvent{Kind: ProbeIFSDefer, Until: ifsEnd, EIFS: d.useEIFS})
+		}
 		d.accessTimer.StartAt(ifsEnd)
 		return
 	}
@@ -358,6 +403,9 @@ func (d *DCF) kickAccess() {
 		if d.backoffRemaining > 0 {
 			d.inCountdown = true
 			d.countdownStart = now
+			if d.probe != nil {
+				d.emit(ProbeEvent{Kind: ProbeBackoffResume, Slots: d.backoffRemaining})
+			}
 			d.accessTimer.Start(sim.Time(d.backoffRemaining) * d.cfg.Params.SlotTime)
 			return
 		}
@@ -375,6 +423,9 @@ func (d *DCF) onAccessTimer() {
 		if d.inCountdown {
 			d.backoffWait += d.sched.Now() - d.countdownStart
 			d.inCountdown = false
+			if d.probe != nil {
+				d.emit(ProbeEvent{Kind: ProbeBackoffFreeze, Slots: d.backoffRemaining})
+			}
 		}
 		return
 	}
@@ -383,6 +434,9 @@ func (d *DCF) onAccessTimer() {
 		d.backoffRemaining = 0
 		d.inCountdown = false
 		d.needBackoff = false
+		if d.probe != nil {
+			d.emit(ProbeEvent{Kind: ProbeBackoffExpire})
+		}
 	}
 	d.kickAccess()
 }
@@ -415,8 +469,14 @@ func (d *DCF) transmitCurrent() {
 		}
 		d.counters.RTSSent++
 		d.access = accessTxRTS
+		if d.probe != nil {
+			d.emit(ProbeEvent{Kind: ProbeTxContend, Frame: FrameRTS, Dst: rts.Dst, Seq: d.current.Seq})
+		}
 		d.transmit(rts, d.cfg.Params.BasicRateBps)
 		return
+	}
+	if d.probe != nil {
+		d.emit(ProbeEvent{Kind: ProbeTxContend, Frame: FrameData, Dst: d.current.Dst, Seq: d.current.Seq})
 	}
 	d.startDataTx()
 }
@@ -487,9 +547,17 @@ func (d *DCF) doubleCW() {
 	if max := d.effectiveCWMax(); d.cw > max {
 		d.cw = max
 	}
+	if d.probe != nil {
+		d.emit(ProbeEvent{Kind: ProbeCWDouble, CW: d.cw})
+	}
 }
 
-func (d *DCF) resetCW() { d.cw = d.cfg.Params.CWMin }
+func (d *DCF) resetCW() {
+	d.cw = d.cfg.Params.CWMin
+	if d.probe != nil {
+		d.emit(ProbeEvent{Kind: ProbeCWReset, CW: d.cw})
+	}
+}
 
 // onResponseTimeout handles a missing CTS or ACK.
 func (d *DCF) onResponseTimeout() {
@@ -498,6 +566,9 @@ func (d *DCF) onResponseTimeout() {
 		d.counters.CTSTimeouts++
 		d.shortRetries++
 		d.counters.RTSRetries++
+		if d.probe != nil && d.current != nil {
+			d.emit(ProbeEvent{Kind: ProbeRetry, Retries: d.shortRetries, Dst: d.current.Dst, Seq: d.current.Seq})
+		}
 		if d.shortRetries > d.cfg.Params.ShortRetryLimit {
 			d.finishCurrent(false)
 			return
@@ -508,6 +579,9 @@ func (d *DCF) onResponseTimeout() {
 			d.cfg.AutoRate.OnTxOutcome(d.current.Dst, false)
 		}
 		d.longRetries++
+		if d.probe != nil && d.current != nil {
+			d.emit(ProbeEvent{Kind: ProbeRetry, Long: true, Retries: d.longRetries, Dst: d.current.Dst, Seq: d.current.Seq})
+		}
 		if d.longRetries > d.cfg.Params.LongRetryLimit {
 			d.finishCurrent(false)
 			return
@@ -530,6 +604,9 @@ func (d *DCF) retryAccess() {
 func (d *DCF) finishCurrent(ok bool) {
 	f := d.current
 	d.current = nil
+	if d.probe != nil && f != nil {
+		d.emit(ProbeEvent{Kind: ProbeMSDUDone, OK: ok, Frame: f.Type, Dst: f.Dst, Seq: f.Seq})
+	}
 	d.waitTimer.Stop()
 	if ok {
 		d.counters.MSDUSuccess++
@@ -702,6 +779,9 @@ func (d *DCF) onRespond() {
 			d.retryAccess()
 		}
 		return
+	}
+	if d.probe != nil {
+		d.emit(ProbeEvent{Kind: ProbeTxRespond, Frame: f.Type, Dst: f.Dst, Seq: f.Seq})
 	}
 	switch what {
 	case respCTS:

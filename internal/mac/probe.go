@@ -1,0 +1,156 @@
+package mac
+
+import (
+	"fmt"
+
+	"greedy80211/internal/sim"
+)
+
+// ProbeKind labels one MAC-internal state-machine event.
+type ProbeKind int
+
+const (
+	// ProbeNAVUpdate fires when an overheard frame extends the NAV.
+	ProbeNAVUpdate ProbeKind = iota + 1
+	// ProbeNAVExpire fires when the virtual carrier sense clears.
+	ProbeNAVExpire
+	// ProbeNAVBlockedStart/End bracket intervals where the NAV alone holds
+	// an otherwise-idle medium busy — the victim-side signature of an
+	// inflated-NAV attack.
+	ProbeNAVBlockedStart
+	ProbeNAVBlockedEnd
+	// ProbeBusyStart/End mirror the physical carrier-sense transitions the
+	// medium reports to this station.
+	ProbeBusyStart
+	ProbeBusyEnd
+	// ProbeBackoffDraw is a fresh backoff draw from [0, CW].
+	ProbeBackoffDraw
+	// ProbeBackoffResume starts (or restarts) the slot countdown.
+	ProbeBackoffResume
+	// ProbeBackoffFreeze pauses the countdown on a busy transition; Slots
+	// carries the remaining count after the elapsed slots were consumed.
+	ProbeBackoffFreeze
+	// ProbeBackoffExpire is the countdown reaching zero.
+	ProbeBackoffExpire
+	// ProbeCWDouble/ProbeCWReset track the contention-window evolution.
+	ProbeCWDouble
+	ProbeCWReset
+	// ProbeIFSDefer is an access attempt deferred until the IFS elapses;
+	// EIFS reports the reason (EIFS after a corrupted reception, DIFS
+	// otherwise). It may repeat within one wait when access is re-kicked.
+	ProbeIFSDefer
+	// ProbeRetry is a missing CTS (Long=false) or ACK (Long=true); Retries
+	// is the counter after incrementing.
+	ProbeRetry
+	// ProbeEnqueue/ProbeQueueDrop are MSDU queue admissions and tail drops.
+	ProbeEnqueue
+	ProbeQueueDrop
+	// ProbeTxContend is a transmission won through contention (RTS or
+	// data); ProbeTxRespond is a SIFS-slot response (CTS, ACK, fake or
+	// spoofed ACK, or the post-CTS data frame) that never carrier-senses.
+	ProbeTxContend
+	ProbeTxRespond
+	// ProbeMSDUDone closes one MSDU's service: delivered (OK) or dropped
+	// after the retry limit.
+	ProbeMSDUDone
+)
+
+// String implements fmt.Stringer.
+func (k ProbeKind) String() string {
+	switch k {
+	case ProbeNAVUpdate:
+		return "NAV-SET"
+	case ProbeNAVExpire:
+		return "NAV-EXP"
+	case ProbeNAVBlockedStart:
+		return "NAVBLK-BEG"
+	case ProbeNAVBlockedEnd:
+		return "NAVBLK-END"
+	case ProbeBusyStart:
+		return "BUSY-BEG"
+	case ProbeBusyEnd:
+		return "BUSY-END"
+	case ProbeBackoffDraw:
+		return "BO-DRAW"
+	case ProbeBackoffResume:
+		return "BO-RESUME"
+	case ProbeBackoffFreeze:
+		return "BO-FREEZE"
+	case ProbeBackoffExpire:
+		return "BO-EXPIRE"
+	case ProbeCWDouble:
+		return "CW-DOUBLE"
+	case ProbeCWReset:
+		return "CW-RESET"
+	case ProbeIFSDefer:
+		return "IFS-DEFER"
+	case ProbeRetry:
+		return "RETRY"
+	case ProbeEnqueue:
+		return "ENQ"
+	case ProbeQueueDrop:
+		return "Q-DROP"
+	case ProbeTxContend:
+		return "TX-CONTEND"
+	case ProbeTxRespond:
+		return "TX-RESPOND"
+	case ProbeMSDUDone:
+		return "MSDU-DONE"
+	default:
+		return fmt.Sprintf("ProbeKind(%d)", int(k))
+	}
+}
+
+// ProbeEvent is one MAC-internal event. It is a flat value struct so the
+// emission sites build it on the stack inside a nil-probe guard: with no
+// probe installed the tracing hooks cost one pointer comparison and zero
+// allocations.
+type ProbeEvent struct {
+	Kind    ProbeKind
+	At      sim.Time
+	Station NodeID
+
+	// Until is the NAV expiry (NAV events) or the IFS end (IFSDefer).
+	Until sim.Time
+	// CW is the contention window in play (draw, double, reset).
+	CW int
+	// Slots is the backoff slot count: drawn (draw), remaining (resume,
+	// freeze), or zero (expire).
+	Slots int
+	// Retries is the short or long retry counter after a Retry event.
+	Retries int
+	// QueueLen is the MSDU queue length after an Enqueue or QueueDrop.
+	QueueLen int
+	// EIFS marks an IFSDefer caused by a corrupted reception.
+	EIFS bool
+	// Long distinguishes the long (ACK) from the short (CTS) retry counter.
+	Long bool
+	// OK reports MSDU delivery on MSDUDone.
+	OK bool
+	// Frame, Dst, and Seq identify the frame for queue, retry, transmit,
+	// and lifecycle events.
+	Frame FrameType
+	Dst   NodeID
+	Seq   uint16
+}
+
+// Probe observes MAC-internal events. Implementations must not call back
+// into the DCF or mutate simulation state: they see a read-only event
+// stream in scheduler order.
+type Probe interface {
+	OnMACEvent(e ProbeEvent)
+}
+
+// SetProbe installs (or, with nil, removes) the station's MAC probe. A
+// station carries at most one probe; installing replaces the previous one.
+// Call it before the simulation runs.
+func (d *DCF) SetProbe(p Probe) { d.probe = p }
+
+// emit is the single funnel every probe site goes through. Callers must
+// check d.probe != nil first so the ProbeEvent literal is never built when
+// tracing is off.
+func (d *DCF) emit(e ProbeEvent) {
+	e.At = d.sched.Now()
+	e.Station = d.cfg.ID
+	d.probe.OnMACEvent(e)
+}

@@ -1,0 +1,206 @@
+package mac
+
+import (
+	"testing"
+
+	"greedy80211/internal/sim"
+)
+
+// probeLog captures every emitted ProbeEvent in order.
+type probeLog struct {
+	events []ProbeEvent
+}
+
+func (p *probeLog) OnMACEvent(e ProbeEvent) { p.events = append(p.events, e) }
+
+func (p *probeLog) kinds() map[ProbeKind]int {
+	m := make(map[ProbeKind]int)
+	for _, e := range p.events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+func (p *probeLog) first(k ProbeKind) (ProbeEvent, bool) {
+	for _, e := range p.events {
+		if e.Kind == k {
+			return e, true
+		}
+	}
+	return ProbeEvent{}, false
+}
+
+// TestProbeRetryLifecycle drives the RTS retry machinery on a dead channel
+// and asserts the probe narrates every stage of the state machine.
+func TestProbeRetryLifecycle(t *testing.T) {
+	ch := &blackHoleChannel{}
+	up := &recordingUpper{}
+	sched, d := newTestDCF(t, ch, up, Config{UseRTSCTS: true})
+	log := &probeLog{}
+	d.SetProbe(log)
+	d.Send(2, nil, 1024)
+	sched.RunUntil(2 * sim.Second)
+
+	k := log.kinds()
+	if k[ProbeEnqueue] != 1 {
+		t.Errorf("enqueue events = %d, want 1", k[ProbeEnqueue])
+	}
+	// 8 RTS attempts (1 + 7 short retries), each a contention TX.
+	if k[ProbeTxContend] != 8 {
+		t.Errorf("TX-CONTEND events = %d, want 8", k[ProbeTxContend])
+	}
+	if k[ProbeRetry] != 8 {
+		// The 8th timeout still emits a retry probe before the limit check
+		// drops the MSDU.
+		t.Errorf("RETRY events = %d, want 8", k[ProbeRetry])
+	}
+	if k[ProbeCWDouble] != 7 {
+		t.Errorf("CW-DOUBLE events = %d, want 7", k[ProbeCWDouble])
+	}
+	if k[ProbeCWReset] == 0 {
+		t.Error("no CW-RESET after the MSDU was dropped")
+	}
+	// Each retry draws a fresh backoff, runs it down, and expires.
+	if k[ProbeBackoffDraw] == 0 || k[ProbeBackoffResume] == 0 || k[ProbeBackoffExpire] == 0 {
+		t.Errorf("backoff lifecycle incomplete: draw=%d resume=%d expire=%d",
+			k[ProbeBackoffDraw], k[ProbeBackoffResume], k[ProbeBackoffExpire])
+	}
+	if k[ProbeMSDUDone] != 1 {
+		t.Errorf("MSDU-DONE events = %d, want 1", k[ProbeMSDUDone])
+	}
+	if done, _ := log.first(ProbeMSDUDone); done.OK {
+		t.Error("MSDU-DONE reports success on a dead channel")
+	}
+	if retry, _ := log.first(ProbeRetry); retry.Long || retry.Retries != 1 {
+		t.Errorf("first retry = long=%v retries=%d, want short retry #1", retry.Long, retry.Retries)
+	}
+	// Every event is stamped with the owning station and nondecreasing time.
+	var last sim.Time
+	for i, e := range log.events {
+		if e.Station != d.ID() {
+			t.Fatalf("event %d station = %d, want %d", i, e.Station, d.ID())
+		}
+		if e.At < last {
+			t.Fatalf("event %d time %v before predecessor %v", i, e.At, last)
+		}
+		last = e.At
+	}
+}
+
+// TestProbeNAVAndBusy checks the virtual and physical carrier-sense probes.
+func TestProbeNAVAndBusy(t *testing.T) {
+	ch := &blackHoleChannel{}
+	up := &recordingUpper{}
+	sched, d := newTestDCF(t, ch, up, Config{})
+	log := &probeLog{}
+	d.SetProbe(log)
+
+	// An overheard CTS for someone else sets the NAV: the station becomes
+	// NAV-blocked with nothing on the physical channel.
+	sched.Schedule(sim.Millisecond, func() {
+		d.RxEnd(&Frame{Type: FrameCTS, Src: 7, Dst: 8, Duration: 5 * sim.Millisecond, MACBytes: 14},
+			RxInfo{Decoded: true, RSSIDBm: -50})
+	})
+	sched.Schedule(10*sim.Millisecond, func() { d.ChannelBusy(true) })
+	sched.Schedule(11*sim.Millisecond, func() { d.ChannelBusy(false) })
+	sched.RunUntil(20 * sim.Millisecond)
+
+	nav, ok := log.first(ProbeNAVUpdate)
+	if !ok || nav.Until != 6*sim.Millisecond {
+		t.Fatalf("NAV-SET until = %v (ok=%v), want 6ms", nav.Until, ok)
+	}
+	if blk, ok := log.first(ProbeNAVBlockedStart); !ok || blk.At != sim.Millisecond {
+		t.Errorf("NAVBLK-BEG at %v (ok=%v), want 1ms", blk.At, ok)
+	}
+	if end, ok := log.first(ProbeNAVBlockedEnd); !ok || end.At != 6*sim.Millisecond {
+		t.Errorf("NAVBLK-END at %v (ok=%v), want 6ms", end.At, ok)
+	}
+	if exp, ok := log.first(ProbeNAVExpire); !ok || exp.At != 6*sim.Millisecond {
+		t.Errorf("NAV-EXP at %v (ok=%v), want 6ms", exp.At, ok)
+	}
+	k := log.kinds()
+	if k[ProbeBusyStart] != 1 || k[ProbeBusyEnd] != 1 {
+		t.Errorf("busy events = %d/%d, want 1/1", k[ProbeBusyStart], k[ProbeBusyEnd])
+	}
+}
+
+// TestProbeQueueDrop floods a tiny queue and expects a drop probe carrying
+// the queue length.
+func TestProbeQueueDrop(t *testing.T) {
+	ch := &blackHoleChannel{}
+	up := &recordingUpper{}
+	_, d := newTestDCF(t, ch, up, Config{UseRTSCTS: true, QueueCap: 2})
+	log := &probeLog{}
+	d.SetProbe(log)
+	for i := 0; i < 5; i++ {
+		d.Send(2, nil, 1024)
+	}
+	k := log.kinds()
+	if k[ProbeQueueDrop] == 0 {
+		t.Fatal("no Q-DROP probe despite overflow")
+	}
+	drop, _ := log.first(ProbeQueueDrop)
+	if drop.QueueLen != 2 {
+		t.Errorf("Q-DROP qlen = %d, want 2", drop.QueueLen)
+	}
+}
+
+// TestNAVBlockedClosesOpenInterval pins the snapshot-before-expiry edge:
+// NAVBlocked() must include the still-open NAV-only interval when the
+// accounting is read before the NAV-expiry event has fired.
+func TestNAVBlockedClosesOpenInterval(t *testing.T) {
+	ch := &blackHoleChannel{}
+	up := &recordingUpper{}
+	sched, d := newTestDCF(t, ch, up, Config{})
+
+	// NAV set at t=1ms until t=6ms.
+	sched.Schedule(sim.Millisecond, func() {
+		d.RxEnd(&Frame{Type: FrameCTS, Src: 7, Dst: 8, Duration: 5 * sim.Millisecond, MACBytes: 14},
+			RxInfo{Decoded: true, RSSIDBm: -50})
+	})
+	// Snapshot mid-interval: the expiry at 6ms has not fired, yet the 2ms
+	// spent NAV-blocked so far must be reported.
+	sched.RunUntil(3 * sim.Millisecond)
+	if got := d.NAVBlocked(); got != 2*sim.Millisecond {
+		t.Errorf("mid-interval NAVBlocked = %v, want 2ms", got)
+	}
+	// A second snapshot later in the same open interval grows accordingly.
+	sched.RunUntil(5 * sim.Millisecond)
+	if got := d.NAVBlocked(); got != 4*sim.Millisecond {
+		t.Errorf("later NAVBlocked = %v, want 4ms", got)
+	}
+	// After expiry the closed interval matches the full NAV span and stops
+	// growing.
+	sched.RunUntil(20 * sim.Millisecond)
+	if got := d.NAVBlocked(); got != 5*sim.Millisecond {
+		t.Errorf("final NAVBlocked = %v, want 5ms", got)
+	}
+}
+
+// TestProbeDisabledIsFree asserts the disabled-probe fast path performs no
+// allocations: the nil check compiles to a branch and the event struct is
+// never materialized.
+func TestProbeDisabledIsFree(t *testing.T) {
+	ch := &blackHoleChannel{}
+	up := &recordingUpper{}
+	sched, d := newTestDCF(t, ch, up, Config{})
+	// Warm the MAC: first Send allocates queue/frame state.
+	d.Send(2, nil, 1024)
+	sched.RunUntil(sim.Second)
+	at := sim.Second
+	cts := &Frame{Type: FrameCTS, Src: 7, Dst: 8, Duration: 50 * sim.Microsecond, MACBytes: 14}
+	allocs := testing.AllocsPerRun(100, func() {
+		// NAV update + expiry + blocked-start/end would each emit probes;
+		// with no probe attached they must cost nothing beyond the MAC
+		// work itself, which recycles its timer nodes once the scheduler
+		// runs the expiry.
+		d.RxEnd(cts, RxInfo{Decoded: true, RSSIDBm: -50})
+		d.ChannelBusy(true)
+		d.ChannelBusy(false)
+		at += sim.Millisecond
+		sched.RunUntil(at)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled-probe NAV/busy path allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -85,6 +85,7 @@ type Config struct {
 	ForceCapture bool
 	// Tap observes every transmission and per-receiver outcome when
 	// non-nil (tracing, airtime accounting). It must not mutate frames.
+	// Further taps can join the fan-out after construction with AddTap.
 	Tap Tap
 	// Metrics, when non-nil, receives per-station transmit-airtime and
 	// channel-occupancy bumps at frame grant time — the always-on
@@ -142,6 +143,7 @@ type Medium struct {
 	rng    *rand.Rand
 	radios map[mac.NodeID]*radio
 	order  []*radio // deterministic iteration order
+	taps   []Tap    // fan-out list, seeded from cfg.Tap
 }
 
 var _ mac.Channel = (*Medium)(nil)
@@ -160,12 +162,27 @@ func New(sched *sim.Scheduler, cfg Config) (*Medium, error) {
 	if cfg.Addr == (AddrModel{}) {
 		cfg.Addr = AddrModel{PDstPreserved: 1, PSrcPreservedGivenDst: 1}
 	}
-	return &Medium{
+	m := &Medium{
 		sched:  sched,
 		cfg:    cfg,
 		rng:    sched.RNG(),
 		radios: make(map[mac.NodeID]*radio),
-	}, nil
+	}
+	if cfg.Tap != nil {
+		m.taps = append(m.taps, cfg.Tap)
+	}
+	return m, nil
+}
+
+// AddTap appends a tap to the fan-out list. Taps fire in registration
+// order (the constructor's Config.Tap first); a flight recorder can join a
+// medium that already carries a detector tap. Call it before the
+// simulation runs.
+func (m *Medium) AddTap(t Tap) {
+	if t == nil {
+		panic("medium: AddTap with nil tap")
+	}
+	m.taps = append(m.taps, t)
 }
 
 // AddRadio registers a station's radio at a fixed position.
@@ -240,8 +257,8 @@ func (m *Medium) Transmit(src mac.NodeID, f *mac.Frame, airtime sim.Time) {
 	if m.cfg.Metrics != nil {
 		m.cfg.Metrics.RecordTx(src, airtime)
 	}
-	if m.cfg.Tap != nil {
-		m.cfg.Tap.OnTransmit(src, f, now, airtime)
+	for _, t := range m.taps {
+		t.OnTransmit(src, f, now, airtime)
 	}
 	// A radio is deaf while transmitting: anything arriving at it is lost.
 	for _, a := range tx.inflight {
@@ -321,8 +338,8 @@ func (m *Medium) endArrival(o *radio, a *arrival) {
 	if !info.Decoded {
 		info.Corruption = m.cfg.Addr.Draw(m.rng)
 	}
-	if m.cfg.Tap != nil {
-		m.cfg.Tap.OnReceive(o.id, a.frame, info, m.sched.Now())
+	for _, t := range m.taps {
+		t.OnReceive(o.id, a.frame, info, m.sched.Now())
 	}
 	o.rcv.RxEnd(a.frame, info)
 }

@@ -96,7 +96,7 @@ type RefSet struct {
 	// Claim is the one-line paper claim this artifact reproduces.
 	Claim string `json:"claim"`
 	// Config is the run profile the golden values were measured at.
-	Config Config `json:"config"`
+	Config Config  `json:"config"`
 	Checks []Check `json:"checks"`
 }
 

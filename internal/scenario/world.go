@@ -469,6 +469,57 @@ func (w *World) AddProbeFlow(id int, from, to string, interval sim.Time) (*Probe
 	return pf, nil
 }
 
+// stationNamer and paramsSink are the duck-typed hooks AttachTrace feeds:
+// trace.Recorder implements both, but scenario must not import trace
+// (trace imports medium/mac, and keeping scenario below it avoids a
+// needless coupling), so the hooks are structural.
+type stationNamer interface {
+	SetStationName(id mac.NodeID, name string)
+}
+
+type paramsSink interface {
+	SetParams(p phys.Params)
+}
+
+// AttachTrace wires a flight recorder into a fully built world: the tap
+// hears every channel event, the probe hears every station's MAC-internal
+// events. Either may be nil. If the tap or probe also implements
+// SetStationName/SetParams (trace.Recorder does), it learns the station
+// names and band timing for rendering and invariant checking. Call it
+// after the last AddStation and before Run.
+func (w *World) AttachTrace(tap medium.Tap, probe mac.Probe) {
+	if tap != nil {
+		w.Medium.AddTap(tap)
+	}
+	for _, hook := range []any{tap, probe} {
+		if hook == nil {
+			continue
+		}
+		if ps, ok := hook.(paramsSink); ok {
+			ps.SetParams(w.Params)
+		}
+		if sn, ok := hook.(stationNamer); ok {
+			for _, st := range w.stations {
+				if st.DCF != nil {
+					sn.SetStationName(st.ID, st.Name)
+				}
+			}
+		}
+		// The same object attached as both tap and probe hears each hook
+		// once only.
+		if tap != nil && probe != nil && any(tap) == any(probe) {
+			break
+		}
+	}
+	if probe != nil {
+		for _, st := range w.stations {
+			if st.DCF != nil {
+				st.DCF.SetProbe(probe)
+			}
+		}
+	}
+}
+
 // Run starts every flow (staggered by 1 ms in creation order, so
 // "who grabs the channel first" is deterministic) and executes the world
 // for d of simulated time.

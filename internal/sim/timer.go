@@ -7,6 +7,9 @@ type Timer struct {
 	sched *Scheduler
 	fn    Handler
 	ev    *Event
+	// fire is the bound t.fire method, captured once at construction so
+	// re-arming the timer does not allocate a fresh method value.
+	fire Handler
 }
 
 // NewTimer returns a stopped timer that runs fn each time it expires.
@@ -14,7 +17,9 @@ func NewTimer(sched *Scheduler, fn Handler) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer with nil handler")
 	}
-	return &Timer{sched: sched, fn: fn}
+	t := &Timer{sched: sched, fn: fn}
+	t.fire = t.onFire
+	return t
 }
 
 // Start arms the timer to fire after delay, replacing any pending expiry.
@@ -49,7 +54,7 @@ func (t *Timer) Deadline() Time {
 	return t.ev.When()
 }
 
-func (t *Timer) fire() {
+func (t *Timer) onFire() {
 	t.ev = nil
 	t.fn()
 }

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Recording is one world's flight-recorder output plus its checker state.
+type Recording struct {
+	Seed     int64
+	Recorder *Recorder
+	Checker  *Checker // nil unless the collector has checks enabled
+}
+
+// Meta builds the export header for this recording.
+func (r *Recording) Meta(label string) Meta {
+	return r.Recorder.Meta(label, r.Seed)
+}
+
+// Collector hands out one Recorder per simulated world and gathers the
+// results in a canonical order, so exports are byte-identical no matter
+// how many worlds ran concurrently. Start is safe to call from parallel
+// workers; each returned Recorder must stay within its own world.
+type Collector struct {
+	mu       sync.Mutex
+	capacity int
+	checks   bool
+	recs     []*Recording
+}
+
+// NewCollector builds a collector whose recorders keep the last capacity
+// events each (<= 0 selects the Recorder default).
+func NewCollector(capacity int) *Collector {
+	return &Collector{capacity: capacity}
+}
+
+// EnableChecks attaches an invariant checker to every subsequently
+// started recording; the checker consumes the full event stream via the
+// recorder's sink, so ring evictions don't blind it.
+func (c *Collector) EnableChecks() { c.checks = true }
+
+// Start registers a new recording for the given seed and returns its
+// recorder, ready to attach to a world.
+func (c *Collector) Start(seed int64) *Recorder {
+	rec := NewRecorder(c.capacity)
+	r := &Recording{Seed: seed, Recorder: rec}
+	if c.checks {
+		r.Checker = NewChecker(DefaultTiming())
+		rec.SetSink(r.Checker.Feed)
+		rec.onTiming = r.Checker.SetTiming
+	}
+	c.mu.Lock()
+	c.recs = append(c.recs, r)
+	c.mu.Unlock()
+	return rec
+}
+
+// Recordings returns the recordings in canonical order: by seed, ties
+// broken by comparing the event streams themselves. The order therefore
+// depends only on what was recorded, not on which worker finished first.
+func (c *Collector) Recordings() []*Recording {
+	c.mu.Lock()
+	out := append([]*Recording(nil), c.recs...)
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Seed != out[j].Seed {
+			return out[i].Seed < out[j].Seed
+		}
+		return compareStreams(out[i].Recorder, out[j].Recorder) < 0
+	})
+	return out
+}
+
+// Violations aggregates checker findings across all recordings in
+// canonical order, labelling each with its seed.
+func (c *Collector) Violations() []string {
+	var out []string
+	for _, r := range c.Recordings() {
+		if r.Checker == nil {
+			continue
+		}
+		for _, v := range r.Checker.Violations() {
+			out = append(out, fmt.Sprintf("seed=%d %s", r.Seed, v))
+		}
+	}
+	return out
+}
+
+// ViolationCount totals checker findings across all recordings.
+func (c *Collector) ViolationCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, r := range c.recs {
+		if r.Checker != nil {
+			n += r.Checker.Count()
+		}
+	}
+	return n
+}
+
+// compareStreams orders two recorders by their retained event streams.
+func compareStreams(a, b *Recorder) int {
+	n := a.retained()
+	if m := b.retained(); m < n {
+		n = m
+	}
+	for i := 0; i < n; i++ {
+		if c := compareEvents(a.eventAt(i), b.eventAt(i)); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case a.retained() < b.retained():
+		return -1
+	case a.retained() > b.retained():
+		return 1
+	}
+	return 0
+}
+
+func compareEvents(a, b Event) int {
+	if a.At != b.At {
+		if a.At < b.At {
+			return -1
+		}
+		return 1
+	}
+	if a.Kind != b.Kind {
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	}
+	if a.Station != b.Station {
+		if a.Station < b.Station {
+			return -1
+		}
+		return 1
+	}
+	// Same (time, kind, station): fall back to the rendered line, which
+	// covers every remaining field.
+	return strings.Compare(a.String(), b.String())
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ExportDir writes each recording's evidence into dir: a JSONL trace
+// (<label>_run<i>_seed<seed>.trace.jsonl) and an ASCII timeline
+// (.timeline.txt) per recording, in the collector's canonical order. It
+// returns the written paths.
+func ExportDir(dir, label string, recs []*Recording) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: export dir: %w", err)
+	}
+	var written []string
+	for i, rec := range recs {
+		meta := rec.Meta(label)
+		events := rec.Recorder.Events()
+		stem := fmt.Sprintf("%s_run%d_seed%d", label, i, rec.Seed)
+		jsonl := filepath.Join(dir, stem+".trace.jsonl")
+		f, err := os.Create(jsonl)
+		if err != nil {
+			return written, fmt.Errorf("trace: %w", err)
+		}
+		err = WriteJSONL(f, meta, events)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return written, fmt.Errorf("trace: writing %s: %w", jsonl, err)
+		}
+		written = append(written, jsonl)
+		tl := filepath.Join(dir, stem+".timeline.txt")
+		if err := os.WriteFile(tl, []byte(RenderTimeline(meta, events, 0, 0, 120)), 0o644); err != nil {
+			return written, fmt.Errorf("trace: writing %s: %w", tl, err)
+		}
+		written = append(written, tl)
+	}
+	return written, nil
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"greedy80211/internal/mac"
+	"greedy80211/internal/sim"
+)
+
+// Timeline rendering: each station gets one row of fixed-width buckets;
+// each bucket shows the highest-priority activity inside its time span.
+//
+//	R/C/D/A  transmitting RTS / CTS / DATA / ACK
+//	!        corrupted reception
+//	N        NAV-blocked (virtual carrier sense holds the medium busy)
+//	b        backoff countdown running
+//	~        physical carrier busy
+//	.        idle
+const timelineLegend = "R/C/D/A=tx RTS/CTS/DATA/ACK  !=corrupt rx  N=NAV-blocked  b=backoff  ~=carrier busy  .=idle"
+
+var txChar = map[mac.FrameType]byte{
+	mac.FrameRTS:  'R',
+	mac.FrameCTS:  'C',
+	mac.FrameData: 'D',
+	mac.FrameACK:  'A',
+}
+
+// paint priority, low to high: idle < busy < backoff < NAV < corrupt < tx.
+var paintRank = map[byte]int{'.': 0, '~': 1, 'b': 2, 'N': 3, '!': 4, 'R': 5, 'C': 5, 'D': 5, 'A': 5}
+
+type row struct {
+	cells []byte
+}
+
+func (r *row) paint(lo, hi int, ch byte) {
+	rank := paintRank[ch]
+	if hi < lo {
+		hi = lo
+	}
+	if hi >= len(r.cells) {
+		hi = len(r.cells) - 1
+	}
+	for i := lo; i <= hi; i++ {
+		if i < 0 {
+			continue
+		}
+		if paintRank[r.cells[i]] < rank {
+			r.cells[i] = ch
+		}
+	}
+}
+
+// RenderTimeline draws an ASCII per-station timeline of the events over
+// [from, to) using width buckets per row. A zero from/to autosizes to the
+// event span; width <= 0 defaults to 100 buckets.
+func RenderTimeline(meta Meta, events []Event, from, to sim.Time, width int) string {
+	if width <= 0 {
+		width = 100
+	}
+	if len(events) == 0 {
+		return "trace: no events\n"
+	}
+	if to <= from {
+		from = events[0].At
+		to = events[0].At
+		for _, e := range events {
+			if end := e.At + e.Frame.Airtime; end > to {
+				to = end
+			}
+			if e.Until > to && (e.Kind == KindNAVBlockedStart || e.Kind == KindNAVUpdate) {
+				to = e.Until
+			}
+		}
+		if to == from {
+			to = from + 1
+		}
+	}
+	span := to - from
+	bucket := func(t sim.Time) int {
+		if t < from {
+			return -1
+		}
+		return int(int64(t-from) * int64(width) / int64(span))
+	}
+
+	rows := map[mac.NodeID]*row{}
+	order := []mac.NodeID{}
+	get := func(id mac.NodeID) *row {
+		r, ok := rows[id]
+		if !ok {
+			cells := make([]byte, width)
+			for i := range cells {
+				cells[i] = '.'
+			}
+			r = &row{cells: cells}
+			rows[id] = r
+			order = append(order, id)
+		}
+		return r
+	}
+	for _, s := range meta.Stations {
+		get(s.ID)
+	}
+
+	// Open intervals awaiting their closing event.
+	navFrom := map[mac.NodeID]sim.Time{}
+	boFrom := map[mac.NodeID]sim.Time{}
+	busyFrom := map[mac.NodeID]sim.Time{}
+	const none = sim.Time(-1)
+
+	for _, e := range events {
+		r := get(e.Station)
+		switch e.Kind {
+		case KindTransmit:
+			if ch, ok := txChar[e.Frame.Type]; ok {
+				r.paint(bucket(e.At), bucket(e.At+e.Frame.Airtime), ch)
+			}
+		case KindCorrupt:
+			r.paint(bucket(e.At), bucket(e.At), '!')
+		case KindNAVBlockedStart:
+			navFrom[e.Station] = e.At
+		case KindNAVBlockedEnd:
+			if at, ok := navFrom[e.Station]; ok && at != none {
+				r.paint(bucket(at), bucket(e.At), 'N')
+				navFrom[e.Station] = none
+			}
+		case KindBackoffResume:
+			boFrom[e.Station] = e.At
+		case KindBackoffFreeze, KindBackoffExpire:
+			if at, ok := boFrom[e.Station]; ok && at != none {
+				r.paint(bucket(at), bucket(e.At), 'b')
+				boFrom[e.Station] = none
+			}
+		case KindBusyStart:
+			busyFrom[e.Station] = e.At
+		case KindBusyEnd:
+			if at, ok := busyFrom[e.Station]; ok && at != none {
+				r.paint(bucket(at), bucket(e.At), '~')
+				busyFrom[e.Station] = none
+			}
+		}
+	}
+	// Intervals still open at the horizon run to the right edge.
+	closeOpen := func(m map[mac.NodeID]sim.Time, ch byte) {
+		for id, at := range m {
+			if at != none {
+				get(id).paint(bucket(at), width-1, ch)
+			}
+		}
+	}
+	closeOpen(busyFrom, '~')
+	closeOpen(boFrom, 'b')
+	closeOpen(navFrom, 'N')
+
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	nameW := 0
+	for _, id := range order {
+		if n := len(meta.Name(id)); n > nameW {
+			nameW = n
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %v .. %v (%v per column)\n", from, to, span/sim.Time(width))
+	for _, id := range order {
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, meta.Name(id), rows[id].cells)
+	}
+	fmt.Fprintf(&b, "%s\n", timelineLegend)
+	return b.String()
+}

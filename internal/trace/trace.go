@@ -1,8 +1,13 @@
-// Package trace records per-frame channel activity from a medium tap: a
-// bounded event log for debugging and channel-level accounting (airtime
-// utilization, per-type frame counts, per-station shares). It is how a
-// user inspects *why* a greedy receiver wins — the log shows the silenced
-// stations, the forged ACKs, and the airtime the attacker's flow occupies.
+// Package trace is the simulator's flight recorder: it captures
+// channel-level activity (from a medium tap) and MAC-internal
+// state-machine events (from a DCF probe) into one timestamped,
+// deterministic stream. A bounded ring keeps the most recent events for
+// post-mortem dumps, exporters render the stream as JSONL, Chrome
+// trace-event JSON (Perfetto-viewable), or an ASCII per-station timeline,
+// and a trace-driven checker verifies the 802.11 access invariants. It is
+// how a user inspects *why* a greedy receiver wins — the log shows the
+// silenced stations, the forged ACKs, and the airtime the attacker's flow
+// occupies.
 package trace
 
 import (
@@ -12,10 +17,12 @@ import (
 
 	"greedy80211/internal/mac"
 	"greedy80211/internal/medium"
+	"greedy80211/internal/phys"
 	"greedy80211/internal/sim"
 )
 
-// Kind labels one recorded event.
+// Kind labels one recorded event. The first three kinds are channel-level
+// (from the medium tap); the rest mirror mac.ProbeKind (MAC-internal).
 type Kind int
 
 const (
@@ -25,29 +32,112 @@ const (
 	KindDecode
 	// KindCorrupt is a corrupted reception.
 	KindCorrupt
+	// KindNAVUpdate through KindMSDUDone are MAC-internal events; see the
+	// mac.ProbeKind documentation for their semantics.
+	KindNAVUpdate
+	KindNAVExpire
+	KindNAVBlockedStart
+	KindNAVBlockedEnd
+	KindBusyStart
+	KindBusyEnd
+	KindBackoffDraw
+	KindBackoffResume
+	KindBackoffFreeze
+	KindBackoffExpire
+	KindCWDouble
+	KindCWReset
+	KindIFSDefer
+	KindRetry
+	KindEnqueue
+	KindQueueDrop
+	KindTxContend
+	KindTxRespond
+	KindMSDUDone
 )
+
+// kindNames is the stable wire encoding; JSONL files carry these strings.
+var kindNames = map[Kind]string{
+	KindTransmit:        "TX",
+	KindDecode:          "RX",
+	KindCorrupt:         "ERR",
+	KindNAVUpdate:       "NAV-SET",
+	KindNAVExpire:       "NAV-EXP",
+	KindNAVBlockedStart: "NAVBLK-BEG",
+	KindNAVBlockedEnd:   "NAVBLK-END",
+	KindBusyStart:       "BUSY-BEG",
+	KindBusyEnd:         "BUSY-END",
+	KindBackoffDraw:     "BO-DRAW",
+	KindBackoffResume:   "BO-RESUME",
+	KindBackoffFreeze:   "BO-FREEZE",
+	KindBackoffExpire:   "BO-EXPIRE",
+	KindCWDouble:        "CW-DOUBLE",
+	KindCWReset:         "CW-RESET",
+	KindIFSDefer:        "IFS-DEFER",
+	KindRetry:           "RETRY",
+	KindEnqueue:         "ENQ",
+	KindQueueDrop:       "Q-DROP",
+	KindTxContend:       "TX-CONTEND",
+	KindTxRespond:       "TX-RESPOND",
+	KindMSDUDone:        "MSDU-DONE",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
-	switch k {
-	case KindTransmit:
-		return "TX"
-	case KindDecode:
-		return "RX"
-	case KindCorrupt:
-		return "ERR"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
+	if n, ok := kindNames[k]; ok {
+		return n
 	}
+	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// Event is one recorded channel event.
+// probeKindToKind maps the mac-package enumeration onto the trace one.
+var probeKindToKind = map[mac.ProbeKind]Kind{
+	mac.ProbeNAVUpdate:       KindNAVUpdate,
+	mac.ProbeNAVExpire:       KindNAVExpire,
+	mac.ProbeNAVBlockedStart: KindNAVBlockedStart,
+	mac.ProbeNAVBlockedEnd:   KindNAVBlockedEnd,
+	mac.ProbeBusyStart:       KindBusyStart,
+	mac.ProbeBusyEnd:         KindBusyEnd,
+	mac.ProbeBackoffDraw:     KindBackoffDraw,
+	mac.ProbeBackoffResume:   KindBackoffResume,
+	mac.ProbeBackoffFreeze:   KindBackoffFreeze,
+	mac.ProbeBackoffExpire:   KindBackoffExpire,
+	mac.ProbeCWDouble:        KindCWDouble,
+	mac.ProbeCWReset:         KindCWReset,
+	mac.ProbeIFSDefer:        KindIFSDefer,
+	mac.ProbeRetry:           KindRetry,
+	mac.ProbeEnqueue:         KindEnqueue,
+	mac.ProbeQueueDrop:       KindQueueDrop,
+	mac.ProbeTxContend:       KindTxContend,
+	mac.ProbeTxRespond:       KindTxRespond,
+	mac.ProbeMSDUDone:        KindMSDUDone,
+}
+
+// Event is one recorded event: channel-level (Frame and RSSIDBm populated)
+// or MAC-internal (the probe detail fields populated).
 type Event struct {
 	Kind    Kind
 	At      sim.Time
-	Station mac.NodeID // transmitter (TX) or receiver (RX/ERR)
+	Station mac.NodeID // transmitter (TX), receiver (RX/ERR), or probe owner
 	Frame   FrameInfo
 	RSSIDBm float64 // receptions only
+
+	// MAC-internal detail, mirroring mac.ProbeEvent.
+	Until    sim.Time
+	CW       int
+	Slots    int
+	Retries  int
+	QueueLen int
+	EIFS     bool
+	Long     bool
+	OK       bool
 }
 
 // FrameInfo is the frame summary captured by the recorder (frames are
@@ -57,37 +147,96 @@ type FrameInfo struct {
 	Src, Dst mac.NodeID
 	Seq      uint16
 	Bytes    int
-	Duration sim.Time
+	Retry    bool
+	Duration sim.Time // the NAV value the frame carries
 	Airtime  sim.Time // TX events only
 }
 
-// String renders an event as one trace line.
+// String renders an event as one trace line. Retransmissions carry a
+// "retry" marker and every frame's NAV duration is shown, so inflated-NAV
+// frames stand out in rendered logs.
 func (e Event) String() string {
 	switch e.Kind {
 	case KindTransmit:
-		return fmt.Sprintf("%12v %-3s sta=%d %s %d->%d seq=%d len=%dB dur=%v air=%v",
-			e.At, e.Kind, e.Station, e.Frame.Type, e.Frame.Src, e.Frame.Dst,
-			e.Frame.Seq, e.Frame.Bytes, e.Frame.Duration, e.Frame.Airtime)
+		return fmt.Sprintf("%12v %-3s sta=%d %s%s %d->%d seq=%d len=%dB dur=%v air=%v",
+			e.At, e.Kind, e.Station, e.Frame.Type, retryMark(e.Frame.Retry),
+			e.Frame.Src, e.Frame.Dst, e.Frame.Seq, e.Frame.Bytes,
+			e.Frame.Duration, e.Frame.Airtime)
+	case KindDecode, KindCorrupt:
+		return fmt.Sprintf("%12v %-3s sta=%d %s%s %d->%d seq=%d dur=%v rssi=%.1fdBm",
+			e.At, e.Kind, e.Station, e.Frame.Type, retryMark(e.Frame.Retry),
+			e.Frame.Src, e.Frame.Dst, e.Frame.Seq, e.Frame.Duration, e.RSSIDBm)
+	case KindNAVUpdate, KindNAVExpire, KindNAVBlockedStart:
+		return fmt.Sprintf("%12v %-10s sta=%d until=%v", e.At, e.Kind, e.Station, e.Until)
+	case KindIFSDefer:
+		ifs := "DIFS"
+		if e.EIFS {
+			ifs = "EIFS"
+		}
+		return fmt.Sprintf("%12v %-10s sta=%d until=%v reason=%s", e.At, e.Kind, e.Station, e.Until, ifs)
+	case KindBackoffDraw:
+		return fmt.Sprintf("%12v %-10s sta=%d cw=%d slots=%d", e.At, e.Kind, e.Station, e.CW, e.Slots)
+	case KindBackoffResume, KindBackoffFreeze:
+		return fmt.Sprintf("%12v %-10s sta=%d slots=%d", e.At, e.Kind, e.Station, e.Slots)
+	case KindCWDouble, KindCWReset:
+		return fmt.Sprintf("%12v %-10s sta=%d cw=%d", e.At, e.Kind, e.Station, e.CW)
+	case KindRetry:
+		counter := "short"
+		if e.Long {
+			counter = "long"
+		}
+		return fmt.Sprintf("%12v %-10s sta=%d %s=%d dst=%d seq=%d",
+			e.At, e.Kind, e.Station, counter, e.Retries, e.Frame.Dst, e.Frame.Seq)
+	case KindEnqueue, KindQueueDrop:
+		return fmt.Sprintf("%12v %-10s sta=%d qlen=%d dst=%d", e.At, e.Kind, e.Station, e.QueueLen, e.Frame.Dst)
+	case KindTxContend, KindTxRespond:
+		return fmt.Sprintf("%12v %-10s sta=%d %s dst=%d seq=%d",
+			e.At, e.Kind, e.Station, e.Frame.Type, e.Frame.Dst, e.Frame.Seq)
+	case KindMSDUDone:
+		outcome := "dropped"
+		if e.OK {
+			outcome = "ok"
+		}
+		return fmt.Sprintf("%12v %-10s sta=%d %s dst=%d seq=%d",
+			e.At, e.Kind, e.Station, outcome, e.Frame.Dst, e.Frame.Seq)
 	default:
-		return fmt.Sprintf("%12v %-3s sta=%d %s %d->%d seq=%d rssi=%.1fdBm",
-			e.At, e.Kind, e.Station, e.Frame.Type, e.Frame.Src, e.Frame.Dst,
-			e.Frame.Seq, e.RSSIDBm)
+		return fmt.Sprintf("%12v %-10s sta=%d", e.At, e.Kind, e.Station)
 	}
 }
 
-// Recorder implements medium.Tap: it keeps the last Cap events in a ring
-// and accumulates channel statistics for the whole run. It has no
-// dependency on a scheduler, so it can be built before the world it taps.
+func retryMark(retry bool) string {
+	if retry {
+		return "(retry)"
+	}
+	return ""
+}
+
+// Recorder implements medium.Tap and mac.Probe: it keeps the most recent
+// events in a bounded ring (flight-recorder semantics) and accumulates
+// channel statistics for the whole run. It has no dependency on a
+// scheduler, so it can be built before the world it taps. Not safe for
+// concurrent use; attach one recorder per world.
 type Recorder struct {
 	cap  int
-	ring []Event
-	next int
-	full bool
+	ring []Event // grows lazily up to cap, then wraps
+	next int     // oldest slot once len(ring) == cap
+
+	total uint64
+	sink  func(Event) // optional streaming consumer, sees every event
+
+	names  map[mac.NodeID]string
+	timing Timing
+	// onTiming, when set (by a Collector), hears about the world's band
+	// timing as soon as the recorder is attached.
+	onTiming func(Timing)
 
 	stats Stats
 }
 
-var _ medium.Tap = (*Recorder)(nil)
+var (
+	_ medium.Tap = (*Recorder)(nil)
+	_ mac.Probe  = (*Recorder)(nil)
+)
 
 // Stats aggregates whole-run channel accounting.
 type Stats struct {
@@ -99,20 +248,22 @@ type Stats struct {
 	// Decoded and Corrupted count per-receiver outcomes.
 	Decoded   int64
 	Corrupted int64
+	// MACEvents counts MAC-internal probe events.
+	MACEvents int64
 	// BusyAirtime is total transmit airtime (overlaps double-count —
 	// with a single collision domain it approximates channel occupancy).
 	BusyAirtime sim.Time
 }
 
 // NewRecorder builds a recorder keeping the last capacity events
-// (default 4096).
+// (default 4096). The ring grows lazily, so a large capacity costs memory
+// only as events actually accumulate.
 func NewRecorder(capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = 4096
 	}
 	return &Recorder{
-		cap:  capacity,
-		ring: make([]Event, capacity),
+		cap: capacity,
 		stats: Stats{
 			TxCount:           make(map[mac.FrameType]int64),
 			TxAirtime:         make(map[mac.FrameType]sim.Time),
@@ -121,12 +272,58 @@ func NewRecorder(capacity int) *Recorder {
 	}
 }
 
+// SetSink installs a streaming consumer that sees every event in order,
+// regardless of ring evictions — the invariant checker consumes the full
+// stream this way while the ring stays bounded.
+func (r *Recorder) SetSink(fn func(Event)) { r.sink = fn }
+
+// SetStationName registers a human-readable name used by the exporters.
+func (r *Recorder) SetStationName(id mac.NodeID, name string) {
+	if r.names == nil {
+		r.names = make(map[mac.NodeID]string)
+	}
+	r.names[id] = name
+}
+
+// SetParams records the band timing the traced world runs under;
+// scenario.World.AttachTrace calls it through a duck-typed hook.
+func (r *Recorder) SetParams(p phys.Params) {
+	r.timing = TimingFromParams(p)
+	if r.onTiming != nil {
+		r.onTiming(r.timing)
+	}
+}
+
+// Timing reports the band timing captured at attach time (zero if the
+// recorder was fed by hand).
+func (r *Recorder) Timing() Timing { return r.timing }
+
+// Total reports how many events were recorded over the run, including
+// those the ring has since evicted.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Dropped reports how many events the ring evicted.
+func (r *Recorder) Dropped() uint64 {
+	retained := uint64(len(r.ring))
+	if r.total <= retained {
+		return 0
+	}
+	return r.total - retained
+}
+
 func (r *Recorder) record(e Event) {
+	r.total++
+	if r.sink != nil {
+		r.sink(e)
+	}
+	if len(r.ring) < r.cap {
+		r.ring = append(r.ring, e)
+		return
+	}
 	r.ring[r.next] = e
 	r.next++
 	if r.next == r.cap {
 		r.next = 0
-		r.full = true
 	}
 }
 
@@ -137,6 +334,7 @@ func frameInfo(f *mac.Frame) FrameInfo {
 		Dst:      f.Dst,
 		Seq:      f.Seq,
 		Bytes:    f.MACBytes,
+		Retry:    f.Retry,
 		Duration: f.Duration,
 	}
 }
@@ -167,19 +365,50 @@ func (r *Recorder) OnReceive(dst mac.NodeID, f *mac.Frame, info mac.RxInfo, at s
 	})
 }
 
+// OnMACEvent implements mac.Probe: the MAC-internal stream lands in the
+// same ring, interleaved with channel events in scheduler order.
+func (r *Recorder) OnMACEvent(pe mac.ProbeEvent) {
+	r.stats.MACEvents++
+	r.record(Event{
+		Kind:     probeKindToKind[pe.Kind],
+		At:       pe.At,
+		Station:  pe.Station,
+		Until:    pe.Until,
+		CW:       pe.CW,
+		Slots:    pe.Slots,
+		Retries:  pe.Retries,
+		QueueLen: pe.QueueLen,
+		EIFS:     pe.EIFS,
+		Long:     pe.Long,
+		OK:       pe.OK,
+		Frame:    FrameInfo{Type: pe.Frame, Dst: pe.Dst, Seq: pe.Seq},
+	})
+}
+
 // Stats reports the accumulated accounting.
 func (r *Recorder) Stats() Stats { return r.stats }
 
 // Events returns the retained events, oldest first.
 func (r *Recorder) Events() []Event {
-	if !r.full {
-		return append([]Event(nil), r.ring[:r.next]...)
+	if len(r.ring) < r.cap {
+		return append([]Event(nil), r.ring...)
 	}
 	out := make([]Event, 0, r.cap)
 	out = append(out, r.ring[r.next:]...)
 	out = append(out, r.ring[:r.next]...)
 	return out
 }
+
+// eventAt indexes the retained events oldest-first without copying.
+func (r *Recorder) eventAt(i int) Event {
+	if len(r.ring) < r.cap {
+		return r.ring[i]
+	}
+	return r.ring[(r.next+i)%r.cap]
+}
+
+// retained reports how many events the ring currently holds.
+func (r *Recorder) retained() int { return len(r.ring) }
 
 // Utilization reports transmit airtime as a fraction of elapsed time
 // (overlapping transmissions double-count, so values may exceed 1 under

@@ -19,7 +19,7 @@ func TestKindString(t *testing.T) {
 	if KindTransmit.String() != "TX" || KindDecode.String() != "RX" || KindCorrupt.String() != "ERR" {
 		t.Error("kind names wrong")
 	}
-	if Kind(9).String() != "Kind(9)" {
+	if Kind(99).String() != "Kind(99)" {
 		t.Error("unknown kind name wrong")
 	}
 }
