@@ -101,6 +101,38 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// TestSimulatorAllocBudget is the allocation-budget gate on the hot
+// path: one op of the throughput workload (world construction plus one
+// simulated second, ~18k scheduler events and ~1.9k frame exchanges)
+// must stay within budget. The pooled simulator sits around 250
+// allocs/op — almost all world construction — against a pre-pooling
+// baseline of ~20k; the budget of 2,000 leaves headroom for legitimate
+// construction growth while still catching any per-event or
+// per-exchange allocation sneaking back into the steady state.
+func TestSimulatorAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	const budget = 2000
+	seed := int64(0)
+	avg := testing.AllocsPerRun(5, func() {
+		seed++
+		w, err := scenario.BuildPairs(scenario.PairsConfig{
+			Config:    scenario.Config{Seed: seed, UseRTSCTS: true},
+			N:         2,
+			Transport: scenario.UDP,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Run(sim.Second)
+	})
+	if avg > budget {
+		t.Errorf("simulator workload allocates %.0f allocs/op, budget %d", avg, budget)
+	}
+	t.Logf("allocs/op = %.0f (budget %d)", avg, budget)
+}
+
 // BenchmarkScale measures how cost grows with the number of contending
 // pairs.
 func BenchmarkScale(b *testing.B) {

@@ -3,15 +3,21 @@
 // (override with -out). Commit the file alongside performance-relevant
 // changes so regressions are visible in history.
 //
-// The snapshot records three groups:
+// The snapshot records four groups:
 //
 //   - scheduler: micro-benchmarks of the event queue (churn, cancel-heavy,
 //     wide-fanout), with ns/op and allocs/op;
 //   - simulator: end-to-end event throughput of a saturated two-pair
-//     802.11b hotspot (events/sec, allocs/op);
-//   - artifacts: wall-clock time to regenerate a representative artifact
-//     set sequentially (-parallel 1) versus with the worker pool at
-//     GOMAXPROCS, and the resulting speedup.
+//     802.11b hotspot (events/sec, allocs/op), measured three ways —
+//     pooled (the default), unpooled (DisablePooling, the seed
+//     allocation behaviour, so the pooled-vs-seed allocation win stays
+//     visible in history), and traced (flight recorder attached);
+//   - pools: end-of-run pool occupancy of one representative world
+//     (chunks grown, live/free, get/put churn per recycler);
+//   - artifacts: a wall-clock matrix regenerating a representative
+//     artifact set at runner widths 1, 4, and GOMAXPROCS (each case
+//     records its own gomaxprocs and parallel_limit), asserting the
+//     outputs byte-identical across widths.
 //
 // Usage:
 //
@@ -44,14 +50,32 @@ type benchEntry struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	EventsPerOp  float64 `json:"events_per_op,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// GOMAXPROCS records the proc count in effect while this case ran,
+	// so per-case conditions survive into history even when the matrix
+	// varies them.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// runnerCase is one cell of the artifact wall-clock matrix: the worker
+// pool pinned to ParallelLimit with runtime procs at GOMAXPROCS.
+type runnerCase struct {
+	ParallelLimit int     `json:"parallel_limit"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Secs          float64 `json:"secs"`
+	// Speedup is relative to the width-1 case of the same matrix.
+	Speedup float64 `json:"speedup"`
 }
 
 type wallClock struct {
-	Artifacts      []string `json:"artifacts"`
-	SequentialSecs float64  `json:"sequential_secs"`
-	ParallelSecs   float64  `json:"parallel_secs"`
-	ParallelLimit  int      `json:"parallel_limit"`
-	Speedup        float64  `json:"speedup"`
+	Artifacts []string `json:"artifacts"`
+	// Cases is the width matrix (1, 4, GOMAXPROCS — deduplicated). The
+	// flat fields mirror the width-1 and widest cases for the report
+	// footer, which quotes speedup and parallel_limit.
+	Cases          []runnerCase `json:"cases"`
+	SequentialSecs float64      `json:"sequential_secs"`
+	ParallelSecs   float64      `json:"parallel_secs"`
+	ParallelLimit  int          `json:"parallel_limit"`
+	Speedup        float64      `json:"speedup"`
 }
 
 type snapshot struct {
@@ -62,13 +86,20 @@ type snapshot struct {
 	GOARCH     string       `json:"goarch"`
 	Scheduler  []benchEntry `json:"scheduler"`
 	Simulator  benchEntry   `json:"simulator"`
+	// SimulatorUnpooled is the same workload with the frame/packet pools
+	// disabled — the seed's per-exchange allocation behaviour. The gap to
+	// Simulator is the pooled-vs-seed allocation report.
+	SimulatorUnpooled benchEntry `json:"simulator_unpooled"`
 	// SimulatorTraced is the same workload with a flight recorder attached
 	// (medium tap + MAC probes on every station); compare against Simulator
 	// to see the tracing overhead. Simulator itself runs with tracing
 	// disabled, so its allocs/op doubles as the zero-cost-when-disabled
 	// guard against earlier snapshots.
 	SimulatorTraced benchEntry `json:"simulator_traced"`
-	Artifacts       wallClock  `json:"artifacts"`
+	// Pools is the end-of-run pool occupancy of one representative pooled
+	// world (seed 1, one simulated second).
+	Pools     scenario.PoolStats `json:"pools"`
+	Artifacts wallClock          `json:"artifacts"`
 }
 
 func main() {
@@ -109,6 +140,14 @@ func run(args []string) int {
 	snap.Simulator = toEntry("SimulatorThroughput", testing.Benchmark(benchSimulatorThroughput))
 	fmt.Printf("  %-24s %10.0f events/sec %6d allocs/op\n",
 		snap.Simulator.Name, snap.Simulator.EventsPerSec, snap.Simulator.AllocsPerOp)
+	snap.SimulatorUnpooled = toEntry("SimulatorUnpooled", testing.Benchmark(benchSimulatorUnpooled))
+	fmt.Printf("  %-24s %10.0f events/sec %6d allocs/op\n",
+		snap.SimulatorUnpooled.Name, snap.SimulatorUnpooled.EventsPerSec, snap.SimulatorUnpooled.AllocsPerOp)
+	if snap.SimulatorUnpooled.AllocsPerOp > 0 {
+		fmt.Printf("  pooling cuts allocs/op %.1fx (%d -> %d)\n",
+			float64(snap.SimulatorUnpooled.AllocsPerOp)/float64(max64(snap.Simulator.AllocsPerOp, 1)),
+			snap.SimulatorUnpooled.AllocsPerOp, snap.Simulator.AllocsPerOp)
+	}
 	snap.SimulatorTraced = toEntry("SimulatorTraced", testing.Benchmark(benchSimulatorTraced))
 	fmt.Printf("  %-24s %10.0f events/sec %6d allocs/op\n",
 		snap.SimulatorTraced.Name, snap.SimulatorTraced.EventsPerSec, snap.SimulatorTraced.AllocsPerOp)
@@ -116,6 +155,16 @@ func run(args []string) int {
 		fmt.Printf("  tracing overhead: %.1f%% events/sec\n",
 			100*(1-snap.SimulatorTraced.EventsPerSec/snap.Simulator.EventsPerSec))
 	}
+
+	pools, err := poolSnapshot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	snap.Pools = pools
+	fmt.Printf("pool occupancy (1 world, 1 sim-second): frames gets=%d chunks=%d, packets gets=%d chunks=%d, events gets=%d chunks=%d\n",
+		pools.Frames.Gets, pools.Frames.Chunks, pools.Packets.Gets, pools.Packets.Chunks,
+		pools.Events.Gets, pools.Events.Chunks)
 
 	ids := []string{"fig2", "fig5", "fig14", "tab1", "abl1"}
 	if *quick {
@@ -127,8 +176,11 @@ func run(args []string) int {
 		return 1
 	}
 	snap.Artifacts = wc
-	fmt.Printf("artifact regeneration (%v):\n  sequential %.2fs  parallel(%d) %.2fs  speedup %.2fx\n",
-		ids, wc.SequentialSecs, wc.ParallelLimit, wc.ParallelSecs, wc.Speedup)
+	fmt.Printf("artifact regeneration (%v):\n", ids)
+	for _, c := range wc.Cases {
+		fmt.Printf("  parallel=%-3d gomaxprocs=%-3d %6.2fs  speedup %.2fx\n",
+			c.ParallelLimit, c.GOMAXPROCS, c.Secs, c.Speedup)
+	}
 
 	path := filepath.Join(*outDir, "BENCH_"+snap.Date+".json")
 	doc, err := json.MarshalIndent(snap, "", "  ")
@@ -144,12 +196,20 @@ func run(args []string) int {
 	return 0
 }
 
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 func toEntry(name string, r testing.BenchmarkResult) benchEntry {
 	e := benchEntry{
 		Name:        name,
 		NsPerOp:     float64(r.NsPerOp()),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
 	if v, ok := r.Extra["events/op"]; ok {
 		e.EventsPerOp = v
@@ -270,13 +330,25 @@ func benchSimulatorTraced(b *testing.B) {
 	}
 }
 
-// measureArtifacts regenerates the given artifact set twice in quick mode:
-// once with the worker pool pinned to 1 and once at GOMAXPROCS. The outputs
-// are asserted byte-identical while we're at it.
+// measureArtifacts regenerates the given artifact set in quick mode at
+// every runner width in the matrix (1, 4, GOMAXPROCS — deduplicated,
+// ascending), pinning runtime procs to the width for each case, and
+// asserts the outputs byte-identical across widths. The flat
+// sequential/parallel fields mirror the narrowest and widest cases for
+// the report footer.
 func measureArtifacts(ids []string) (wallClock, error) {
 	cfg := experiments.RunConfig{Quick: true, BaseSeed: 11}
-	prev := runner.Limit()
-	defer runner.SetLimit(prev)
+	prevLimit := runner.Limit()
+	defer runner.SetLimit(prevLimit)
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	widths := []int{1}
+	for _, w := range []int{4, prevProcs} {
+		if w > widths[len(widths)-1] {
+			widths = append(widths, w)
+		}
+	}
 
 	regenerate := func() (map[string]string, time.Duration, error) {
 		out := make(map[string]string, len(ids))
@@ -291,27 +363,76 @@ func measureArtifacts(ids []string) (wallClock, error) {
 		return out, time.Since(start), nil
 	}
 
-	runner.SetLimit(1)
-	seqOut, seqDur, err := regenerate()
-	if err != nil {
-		return wallClock{}, err
-	}
-	limit := runtime.GOMAXPROCS(0)
-	runner.SetLimit(limit)
-	parOut, parDur, err := regenerate()
-	if err != nil {
-		return wallClock{}, err
-	}
-	for _, id := range ids {
-		if seqOut[id] != parOut[id] {
-			return wallClock{}, fmt.Errorf("%s: parallel output differs from sequential", id)
+	wc := wallClock{Artifacts: ids}
+	var baseOut map[string]string
+	for _, width := range widths {
+		runtime.GOMAXPROCS(width)
+		runner.SetLimit(width)
+		out, dur, err := regenerate()
+		if err != nil {
+			return wallClock{}, err
 		}
+		if baseOut == nil {
+			baseOut = out
+		} else {
+			for _, id := range ids {
+				if out[id] != baseOut[id] {
+					return wallClock{}, fmt.Errorf("%s: output at width %d differs from width %d",
+						id, width, widths[0])
+				}
+			}
+		}
+		c := runnerCase{ParallelLimit: width, GOMAXPROCS: width, Secs: dur.Seconds()}
+		if base := wc.Cases; len(base) > 0 && c.Secs > 0 {
+			c.Speedup = base[0].Secs / c.Secs
+		} else {
+			c.Speedup = 1
+		}
+		wc.Cases = append(wc.Cases, c)
 	}
-	return wallClock{
-		Artifacts:      ids,
-		SequentialSecs: seqDur.Seconds(),
-		ParallelSecs:   parDur.Seconds(),
-		ParallelLimit:  limit,
-		Speedup:        seqDur.Seconds() / parDur.Seconds(),
-	}, nil
+	first, last := wc.Cases[0], wc.Cases[len(wc.Cases)-1]
+	wc.SequentialSecs = first.Secs
+	wc.ParallelSecs = last.Secs
+	wc.ParallelLimit = last.ParallelLimit
+	wc.Speedup = last.Speedup
+	return wc, nil
+}
+
+// benchSimulatorUnpooled is benchSimulatorThroughput with the frame and
+// packet pools disabled — the seed's allocation behaviour, kept measured
+// so the pooled-vs-seed gap stays visible in committed snapshots.
+func benchSimulatorUnpooled(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		w, err := scenario.BuildPairs(scenario.PairsConfig{
+			Config:    scenario.Config{Seed: int64(i + 1), UseRTSCTS: true, DisablePooling: true},
+			N:         2,
+			Transport: scenario.UDP,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Run(sim.Second)
+		events += w.Sched.Executed()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+}
+
+// poolSnapshot runs one representative pooled world and reports its
+// end-of-run pool occupancy.
+func poolSnapshot() (scenario.PoolStats, error) {
+	w, err := scenario.BuildPairs(scenario.PairsConfig{
+		Config:    scenario.Config{Seed: 1, UseRTSCTS: true},
+		N:         2,
+		Transport: scenario.UDP,
+	})
+	if err != nil {
+		return scenario.PoolStats{}, err
+	}
+	w.Run(sim.Second)
+	return w.PoolStats(), nil
 }

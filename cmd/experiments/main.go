@@ -28,6 +28,7 @@ import (
 	"greedy80211/internal/metrics"
 	"greedy80211/internal/profileflags"
 	"greedy80211/internal/runner"
+	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
 	"greedy80211/internal/trace"
 	"greedy80211/internal/versionflag"
@@ -116,6 +117,10 @@ func run(args []string) int {
 		start := time.Now()
 		if *metricsOut != "" {
 			cfg.Metrics = metrics.NewCollector()
+			// Pool occupancy rides along with -metrics as an stdout-only
+			// report; it never enters the sidecar, which must stay
+			// byte-identical with pooling on or off.
+			cfg.Pools = new(scenario.PoolReport)
 		}
 		if *traceDir != "" {
 			cfg.Trace = trace.NewCollector(*traceCap)
@@ -151,6 +156,9 @@ func run(args []string) int {
 			for i, snap := range cfg.Metrics.Snapshots() {
 				sidecar = append(sidecar, metrics.Labeled{Label: art, Group: i, Snap: snap})
 			}
+		}
+		if cfg.Pools != nil {
+			fmt.Println(cfg.Pools.String())
 		}
 		fmt.Printf("(%s regenerated in %.1fs)\n\n", art, time.Since(start).Seconds())
 	}

@@ -112,6 +112,11 @@ type Config struct {
 	// run gets its own recorder, so runs stay parallel and the collector's
 	// canonical ordering keeps exports deterministic.
 	FlightRecorder *trace.Collector
+	// Pools, when non-nil, folds every run's end-of-run pool occupancy
+	// (frame/packet arenas, arrival arena, event slab) into the report.
+	// Pool telemetry is observability-only: it never feeds Result, whose
+	// numbers stay identical with pooling on or off.
+	Pools *scenario.PoolReport
 }
 
 // FlowResult is one flow's outcome.
@@ -302,6 +307,9 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			w.AttachTrace(rec, rec)
 		}
 		w.Run(cfg.Duration)
+		if cfg.Pools != nil {
+			cfg.Pools.Add(w.PoolStats())
+		}
 		res := runResult{flows: make(map[int]float64), snap: w.MetricsSnapshot()}
 		for _, fl := range w.Flows() {
 			res.flows[fl.ID] = fl.GoodputMbps(cfg.Duration)

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 
@@ -83,6 +84,24 @@ func TestBaselineFairness(t *testing.T) {
 	}
 	if res.Goodput.GreedyMbps != 0 {
 		t.Error("greedy average nonzero without misbehavior")
+	}
+}
+
+func TestPoolReportWiring(t *testing.T) {
+	rep := new(scenario.PoolReport)
+	cfg := fast(Config{Seed: 1})
+	cfg.Pools = rep
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Worlds(); got != cfg.Runs {
+		t.Errorf("pool report folded %d worlds, want %d", got, cfg.Runs)
+	}
+	s := rep.String()
+	for _, want := range []string{"frames", "packets", "arrivals", "events"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("pool report missing %q:\n%s", want, s)
+		}
 	}
 }
 

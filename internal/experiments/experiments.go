@@ -48,6 +48,12 @@ type RunConfig struct {
 	// randomness and schedules no events, so the artifact numbers are
 	// unchanged.
 	Trace *trace.Collector
+	// Pools, when non-nil, folds every world's end-of-run pool occupancy
+	// (frame/packet arenas, arrival arena, event slab) into the report as
+	// seeds finish. Pool telemetry is an stdout-only observability
+	// surface: it never enters metrics sidecars or result JSON, which
+	// stay byte-identical with pooling on or off.
+	Pools *scenario.PoolReport
 }
 
 // Defaults applied by normalize.
@@ -269,6 +275,9 @@ func runSeeds(cfg RunConfig, build func(seed int64) (*scenario.World, error),
 		}
 		if cfg.Metrics != nil {
 			r.snap = w.MetricsSnapshot()
+		}
+		if cfg.Pools != nil {
+			cfg.Pools.Add(w.PoolStats())
 		}
 		return r, nil
 	})

@@ -64,6 +64,11 @@ type Config struct {
 	// AutoRate selects per-destination data rates when non-nil (auto-rate
 	// extension); nil uses Params.DataRateBps for every data frame.
 	AutoRate RateController
+	// Frames recycles the frames this station builds (data, RTS, CTS,
+	// ACK, spoof). A nil pool heap-allocates every frame, which is the
+	// behavior tests and cold paths rely on; worlds share one pool across
+	// all their stations.
+	Frames *FramePool
 }
 
 // DCF is one station's 802.11 distributed coordination function. It is
@@ -116,8 +121,11 @@ type DCF struct {
 
 	// probe, when non-nil, observes MAC-internal state-machine events
 	// (see probe.go). Every emission site guards on the nil check, so a
-	// station without a probe pays nothing.
+	// station without a probe pays nothing. pe is the scratch event the
+	// sites fill before calling emit, which delivers a pointer to it —
+	// one struct build per probe event instead of build-plus-copy.
 	probe Probe
+	pe    ProbeEvent
 
 	// Always-on telemetry accounting (see internal/metrics): time the
 	// virtual carrier sense alone held the medium busy, and time spent
@@ -213,23 +221,24 @@ func (d *DCF) Send(dst NodeID, payload any, payloadBytes int) bool {
 	if len(d.queue) >= d.cfg.QueueCap {
 		d.counters.MSDUQueueDrop++
 		if d.probe != nil {
-			d.emit(ProbeEvent{Kind: ProbeQueueDrop, QueueLen: len(d.queue), Dst: dst})
+			d.pe = ProbeEvent{Kind: ProbeQueueDrop, QueueLen: len(d.queue), Dst: dst}
+			d.emit()
 		}
 		return false
 	}
 	d.seq++
-	f := &Frame{
-		Type:         FrameData,
-		Src:          d.cfg.ID,
-		Dst:          dst,
-		MACBytes:     payloadBytes + phys.DataHeaderBytes,
-		Seq:          d.seq,
-		Payload:      payload,
-		PayloadBytes: payloadBytes,
-	}
+	f := d.cfg.Frames.Get()
+	f.Type = FrameData
+	f.Src = d.cfg.ID
+	f.Dst = dst
+	f.MACBytes = payloadBytes + phys.DataHeaderBytes
+	f.Seq = d.seq
+	f.Payload = payload
+	f.PayloadBytes = payloadBytes
 	d.queue = append(d.queue, f)
 	if d.probe != nil {
-		d.emit(ProbeEvent{Kind: ProbeEnqueue, QueueLen: len(d.queue), Frame: FrameData, Dst: dst, Seq: f.Seq})
+		d.pe = ProbeEvent{Kind: ProbeEnqueue, QueueLen: len(d.queue), Frame: FrameData, Dst: dst, Seq: f.Seq}
+		d.emit()
 	}
 	if d.access == accessIdle {
 		d.access = accessContend
@@ -267,12 +276,14 @@ func (d *DCF) refresh() {
 		if d.navOnly {
 			d.navBlocked += now - d.navOnlySince
 			if d.probe != nil {
-				d.emit(ProbeEvent{Kind: ProbeNAVBlockedEnd})
+				d.pe = ProbeEvent{Kind: ProbeNAVBlockedEnd}
+				d.emit()
 			}
 		} else {
 			d.navOnlySince = now
 			if d.probe != nil {
-				d.emit(ProbeEvent{Kind: ProbeNAVBlockedStart, Until: d.navUntil})
+				d.pe = ProbeEvent{Kind: ProbeNAVBlockedStart, Until: d.navUntil}
+				d.emit()
 			}
 		}
 		d.navOnly = navOnly
@@ -296,7 +307,8 @@ func (d *DCF) ChannelBusy(busy bool) {
 		if busy {
 			k = ProbeBusyStart
 		}
-		d.emit(ProbeEvent{Kind: k})
+		d.pe = ProbeEvent{Kind: k}
+		d.emit()
 	}
 	d.refresh()
 }
@@ -312,7 +324,8 @@ func (d *DCF) updateNAV(dur sim.Time) {
 	d.navUntil = expiry
 	d.navTimer.StartAt(expiry)
 	if d.probe != nil {
-		d.emit(ProbeEvent{Kind: ProbeNAVUpdate, Until: expiry})
+		d.pe = ProbeEvent{Kind: ProbeNAVUpdate, Until: expiry}
+		d.emit()
 	}
 	d.refresh()
 }
@@ -321,7 +334,8 @@ func (d *DCF) updateNAV(dur sim.Time) {
 // expiry, so the timer fires exactly once, at the final expiry time.
 func (d *DCF) onNAVExpire() {
 	if d.probe != nil {
-		d.emit(ProbeEvent{Kind: ProbeNAVExpire, Until: d.navUntil})
+		d.pe = ProbeEvent{Kind: ProbeNAVExpire, Until: d.navUntil}
+		d.emit()
 	}
 	d.refresh()
 }
@@ -352,7 +366,8 @@ func (d *DCF) drawBackoff() {
 	d.backoffRemaining = d.rng.Intn(cw + 1)
 	d.drawPending = false
 	if d.probe != nil {
-		d.emit(ProbeEvent{Kind: ProbeBackoffDraw, CW: cw, Slots: d.backoffRemaining})
+		d.pe = ProbeEvent{Kind: ProbeBackoffDraw, CW: cw, Slots: d.backoffRemaining}
+		d.emit()
 	}
 }
 
@@ -366,7 +381,8 @@ func (d *DCF) pauseCountdown() {
 		d.backoffRemaining -= elapsed
 		d.inCountdown = false
 		if d.probe != nil {
-			d.emit(ProbeEvent{Kind: ProbeBackoffFreeze, Slots: d.backoffRemaining})
+			d.pe = ProbeEvent{Kind: ProbeBackoffFreeze, Slots: d.backoffRemaining}
+			d.emit()
 		}
 	}
 	d.accessTimer.Stop()
@@ -391,7 +407,8 @@ func (d *DCF) kickAccess() {
 	if now < ifsEnd {
 		d.inCountdown = false
 		if d.probe != nil {
-			d.emit(ProbeEvent{Kind: ProbeIFSDefer, Until: ifsEnd, EIFS: d.useEIFS})
+			d.pe = ProbeEvent{Kind: ProbeIFSDefer, Until: ifsEnd, EIFS: d.useEIFS}
+			d.emit()
 		}
 		d.accessTimer.StartAt(ifsEnd)
 		return
@@ -404,7 +421,8 @@ func (d *DCF) kickAccess() {
 			d.inCountdown = true
 			d.countdownStart = now
 			if d.probe != nil {
-				d.emit(ProbeEvent{Kind: ProbeBackoffResume, Slots: d.backoffRemaining})
+				d.pe = ProbeEvent{Kind: ProbeBackoffResume, Slots: d.backoffRemaining}
+				d.emit()
 			}
 			d.accessTimer.Start(sim.Time(d.backoffRemaining) * d.cfg.Params.SlotTime)
 			return
@@ -424,7 +442,8 @@ func (d *DCF) onAccessTimer() {
 			d.backoffWait += d.sched.Now() - d.countdownStart
 			d.inCountdown = false
 			if d.probe != nil {
-				d.emit(ProbeEvent{Kind: ProbeBackoffFreeze, Slots: d.backoffRemaining})
+				d.pe = ProbeEvent{Kind: ProbeBackoffFreeze, Slots: d.backoffRemaining}
+				d.emit()
 			}
 		}
 		return
@@ -435,7 +454,8 @@ func (d *DCF) onAccessTimer() {
 		d.inCountdown = false
 		d.needBackoff = false
 		if d.probe != nil {
-			d.emit(ProbeEvent{Kind: ProbeBackoffExpire})
+			d.pe = ProbeEvent{Kind: ProbeBackoffExpire}
+			d.emit()
 		}
 	}
 	d.kickAccess()
@@ -459,24 +479,28 @@ func (d *DCF) transmitCurrent() {
 		d.longRetries = 0
 	}
 	if d.useRTSFor(d.current) {
-		rts := &Frame{
-			Type:     FrameRTS,
-			Src:      d.cfg.ID,
-			Dst:      d.current.Dst,
-			MACBytes: phys.RTSFrameBytes,
-			Duration: ClampNAV(d.policy.OutgoingDuration(FrameRTS,
-				RTSNAVAtRate(d.cfg.Params, d.current.MACBytes, d.dataRateFor(d.current.Dst)))),
-		}
+		rts := d.cfg.Frames.Get()
+		rts.Type = FrameRTS
+		rts.Src = d.cfg.ID
+		rts.Dst = d.current.Dst
+		rts.MACBytes = phys.RTSFrameBytes
+		rts.Duration = ClampNAV(d.policy.OutgoingDuration(FrameRTS,
+			RTSNAVAtRate(d.cfg.Params, d.current.MACBytes, d.dataRateFor(d.current.Dst))))
 		d.counters.RTSSent++
 		d.access = accessTxRTS
 		if d.probe != nil {
-			d.emit(ProbeEvent{Kind: ProbeTxContend, Frame: FrameRTS, Dst: rts.Dst, Seq: d.current.Seq})
+			d.pe = ProbeEvent{Kind: ProbeTxContend, Frame: FrameRTS, Dst: rts.Dst, Seq: d.current.Seq}
+			d.emit()
 		}
 		d.transmit(rts, d.cfg.Params.BasicRateBps)
+		// The medium holds its own references for in-flight copies; the
+		// MAC is done with the RTS the moment it is on the air.
+		rts.Release()
 		return
 	}
 	if d.probe != nil {
-		d.emit(ProbeEvent{Kind: ProbeTxContend, Frame: FrameData, Dst: d.current.Dst, Seq: d.current.Seq})
+		d.pe = ProbeEvent{Kind: ProbeTxContend, Frame: FrameData, Dst: d.current.Dst, Seq: d.current.Seq}
+		d.emit()
 	}
 	d.startDataTx()
 }
@@ -548,14 +572,16 @@ func (d *DCF) doubleCW() {
 		d.cw = max
 	}
 	if d.probe != nil {
-		d.emit(ProbeEvent{Kind: ProbeCWDouble, CW: d.cw})
+		d.pe = ProbeEvent{Kind: ProbeCWDouble, CW: d.cw}
+		d.emit()
 	}
 }
 
 func (d *DCF) resetCW() {
 	d.cw = d.cfg.Params.CWMin
 	if d.probe != nil {
-		d.emit(ProbeEvent{Kind: ProbeCWReset, CW: d.cw})
+		d.pe = ProbeEvent{Kind: ProbeCWReset, CW: d.cw}
+		d.emit()
 	}
 }
 
@@ -567,7 +593,8 @@ func (d *DCF) onResponseTimeout() {
 		d.shortRetries++
 		d.counters.RTSRetries++
 		if d.probe != nil && d.current != nil {
-			d.emit(ProbeEvent{Kind: ProbeRetry, Retries: d.shortRetries, Dst: d.current.Dst, Seq: d.current.Seq})
+			d.pe = ProbeEvent{Kind: ProbeRetry, Retries: d.shortRetries, Dst: d.current.Dst, Seq: d.current.Seq}
+			d.emit()
 		}
 		if d.shortRetries > d.cfg.Params.ShortRetryLimit {
 			d.finishCurrent(false)
@@ -580,7 +607,8 @@ func (d *DCF) onResponseTimeout() {
 		}
 		d.longRetries++
 		if d.probe != nil && d.current != nil {
-			d.emit(ProbeEvent{Kind: ProbeRetry, Long: true, Retries: d.longRetries, Dst: d.current.Dst, Seq: d.current.Seq})
+			d.pe = ProbeEvent{Kind: ProbeRetry, Long: true, Retries: d.longRetries, Dst: d.current.Dst, Seq: d.current.Seq}
+			d.emit()
 		}
 		if d.longRetries > d.cfg.Params.LongRetryLimit {
 			d.finishCurrent(false)
@@ -605,7 +633,8 @@ func (d *DCF) finishCurrent(ok bool) {
 	f := d.current
 	d.current = nil
 	if d.probe != nil && f != nil {
-		d.emit(ProbeEvent{Kind: ProbeMSDUDone, OK: ok, Frame: f.Type, Dst: f.Dst, Seq: f.Seq})
+		d.pe = ProbeEvent{Kind: ProbeMSDUDone, OK: ok, Frame: f.Type, Dst: f.Dst, Seq: f.Seq}
+		d.emit()
 	}
 	d.waitTimer.Stop()
 	if ok {
@@ -624,6 +653,9 @@ func (d *DCF) finishCurrent(ok bool) {
 		d.access = accessIdle
 	}
 	d.upper.TxDone(f, ok)
+	// The MSDU's MAC lifecycle is over; copies still propagating on the
+	// medium hold their own references.
+	f.Release()
 	d.kickAccess()
 }
 
@@ -667,25 +699,24 @@ func (d *DCF) RxEnd(f *Frame, info RxInfo) {
 	d.updateNAV(dur)
 	// Misbehavior 2 hook: spoof a MAC ACK on behalf of the addressee.
 	if f.Type == FrameData && d.policy.SpoofSniffedData(f) {
-		spoof := &Frame{
-			Type:     FrameACK,
-			Src:      f.Dst, // impersonate the true receiver
-			Dst:      f.Src,
-			MACBytes: phys.ACKFrameBytes,
-			Duration: 0,
-		}
+		spoof := d.cfg.Frames.Get()
+		spoof.Type = FrameACK
+		spoof.Src = f.Dst // impersonate the true receiver
+		spoof.Dst = f.Src
+		spoof.MACBytes = phys.ACKFrameBytes
+		spoof.Duration = 0
 		d.scheduleResponse(spoof, respSpoofedACK)
 	}
 }
 
 func (d *DCF) ackFrameFor(dst NodeID) *Frame {
-	return &Frame{
-		Type:     FrameACK,
-		Src:      d.cfg.ID,
-		Dst:      dst,
-		MACBytes: phys.ACKFrameBytes,
-		Duration: ClampNAV(d.policy.OutgoingDuration(FrameACK, ACKNAV())),
-	}
+	ack := d.cfg.Frames.Get()
+	ack.Type = FrameACK
+	ack.Src = d.cfg.ID
+	ack.Dst = dst
+	ack.MACBytes = phys.ACKFrameBytes
+	ack.Duration = ClampNAV(d.policy.OutgoingDuration(FrameACK, ACKNAV()))
+	return ack
 }
 
 func (d *DCF) handleRTS(f *Frame) {
@@ -695,13 +726,12 @@ func (d *DCF) handleRTS(f *Frame) {
 	if d.sched.Now() < d.navUntil || d.busyPhys {
 		return
 	}
-	cts := &Frame{
-		Type:     FrameCTS,
-		Src:      d.cfg.ID,
-		Dst:      f.Src,
-		MACBytes: phys.CTSFrameBytes,
-		Duration: ClampNAV(d.policy.OutgoingDuration(FrameCTS, CTSNAVFromRTS(d.cfg.Params, f.Duration))),
-	}
+	cts := d.cfg.Frames.Get()
+	cts.Type = FrameCTS
+	cts.Src = d.cfg.ID
+	cts.Dst = f.Src
+	cts.MACBytes = phys.CTSFrameBytes
+	cts.Duration = ClampNAV(d.policy.OutgoingDuration(FrameCTS, CTSNAVFromRTS(d.cfg.Params, f.Duration)))
 	d.scheduleResponse(cts, respCTS)
 }
 
@@ -756,6 +786,11 @@ func (d *DCF) handleACK(f *Frame, info RxInfo) {
 // most one response at a time; conflicting demands drop the newcomer.
 func (d *DCF) scheduleResponse(f *Frame, what respKind) {
 	if d.respTimer.Pending() {
+		if what != respOwnData {
+			// Dropped control responses die here; respOwnData is
+			// d.current, still owned by the retry machinery.
+			f.Release()
+		}
 		return
 	}
 	d.respFrame = f
@@ -777,25 +812,32 @@ func (d *DCF) onRespond() {
 		// silently or the exchange would hang, so retry it.
 		if what == respOwnData {
 			d.retryAccess()
+		} else {
+			f.Release()
 		}
 		return
 	}
 	if d.probe != nil {
-		d.emit(ProbeEvent{Kind: ProbeTxRespond, Frame: f.Type, Dst: f.Dst, Seq: f.Seq})
+		d.pe = ProbeEvent{Kind: ProbeTxRespond, Frame: f.Type, Dst: f.Dst, Seq: f.Seq}
+		d.emit()
 	}
 	switch what {
 	case respCTS:
 		d.counters.CTSSent++
 		d.transmit(f, d.cfg.Params.BasicRateBps)
+		f.Release()
 	case respACK:
 		d.counters.ACKSent++
 		d.transmit(f, d.cfg.Params.BasicRateBps)
+		f.Release()
 	case respFakeACK:
 		d.counters.FakeACKsSent++
 		d.transmit(f, d.cfg.Params.BasicRateBps)
+		f.Release()
 	case respSpoofedACK:
 		d.counters.SpoofedACKsSent++
 		d.transmit(f, d.cfg.Params.BasicRateBps)
+		f.Release()
 	case respOwnData:
 		d.startDataTx()
 	}

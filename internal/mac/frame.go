@@ -81,6 +81,11 @@ type Frame struct {
 	Payload any
 	// PayloadBytes is the upper-layer packet size carried by a data frame.
 	PayloadBytes int
+
+	// pool and refs implement recycled frames (see FramePool). Both stay
+	// zero for plain &Frame{} literals, which Retain/Release then ignore.
+	pool *FramePool
+	refs int32
 }
 
 // String implements fmt.Stringer for debugging traces.

@@ -1,0 +1,87 @@
+package mac
+
+import "greedy80211/internal/pool"
+
+// FramePool recycles Frames through a chunked freelist arena so the hot
+// RTS/CTS/DATA/ACK exchange path allocates nothing in steady state. One
+// pool serves a whole world (all stations share it), matching the
+// single-goroutine scheduler.
+//
+// Ownership follows reference counts. Get returns a frame holding one
+// reference for the creator. The medium retains one reference per
+// scheduled arrival and releases it after delivery, so the creator may
+// release its own reference as soon as the frame's MAC lifecycle ends
+// (TxDone for data, transmit for control responses) without racing
+// copies still propagating to receivers. The frame returns to the
+// freelist only when the last reference is released.
+//
+// A nil *FramePool is valid and simply heap-allocates: Get returns
+// &Frame{}, and Retain/Release on such frames are no-ops. Tests and
+// callers outside the hot path keep building frames with literals.
+type FramePool struct {
+	arena *pool.Arena[Frame]
+}
+
+// NewFramePool builds an empty pool. The chunk size is modest: live
+// frames track MAC queue depth (tens), and worlds are built per seed, so
+// a big first chunk would dominate construction cost.
+func NewFramePool() *FramePool {
+	p := &FramePool{arena: pool.NewArena[Frame](64, nil)}
+	p.arena.SetPoison(func(f *Frame) {
+		// Sentinel values make use-after-release show up as impossible
+		// frames (negative type, out-of-band addresses) under pooldebug.
+		*f = Frame{Type: FrameType(-1), Src: -9999, Dst: -9999, Seq: 0xDEAD, pool: f.pool}
+	})
+	return p
+}
+
+// Get checks a zeroed frame out of the pool with one reference held by
+// the caller. On a nil pool it returns a plain heap frame.
+func (p *FramePool) Get() *Frame {
+	if p == nil {
+		return &Frame{}
+	}
+	f := p.arena.Get()
+	*f = Frame{pool: p, refs: 1}
+	return f
+}
+
+// Stats reports pool occupancy; zero on a nil pool.
+func (p *FramePool) Stats() pool.Stats {
+	if p == nil {
+		return pool.Stats{}
+	}
+	return p.arena.Stats()
+}
+
+// Retain adds a reference to a pooled frame. It is a no-op for nil or
+// unpooled frames, so callers need not know where a frame came from.
+func (f *Frame) Retain() {
+	if f == nil || f.pool == nil {
+		return
+	}
+	if f.refs <= 0 {
+		panic("mac: Retain of a released frame")
+	}
+	f.refs++
+}
+
+// Release drops one reference; the last release zeroes the frame and
+// returns it to the pool. It is a no-op for nil or unpooled frames.
+// Releasing more times than retained panics — the always-on guard
+// against double release.
+func (f *Frame) Release() {
+	if f == nil || f.pool == nil {
+		return
+	}
+	if f.refs <= 0 {
+		panic("mac: frame released twice")
+	}
+	f.refs--
+	if f.refs > 0 {
+		return
+	}
+	p := f.pool
+	*f = Frame{pool: p}
+	p.arena.Put(f)
+}

@@ -1,0 +1,73 @@
+package mac
+
+import "testing"
+
+func TestFramePoolLifecycle(t *testing.T) {
+	p := NewFramePool()
+	f := p.Get()
+	f.Type = FrameData
+	f.Src, f.Dst, f.Seq = 1, 2, 9
+	f.Release()
+	if st := p.Stats(); st.Live != 0 || st.Gets != 1 || st.Puts != 1 {
+		t.Errorf("after release: %+v", st)
+	}
+	g := p.Get()
+	if g != f {
+		t.Error("pool did not recycle the released frame")
+	}
+	if g.Type != 0 || g.Src != 0 || g.Dst != 0 || g.Seq != 0 {
+		t.Errorf("recycled frame not zeroed: %+v", g)
+	}
+}
+
+func TestFrameRetainRelease(t *testing.T) {
+	p := NewFramePool()
+	f := p.Get()
+	f.Retain() // e.g. the medium holding it across an arrival
+	f.Release()
+	if st := p.Stats(); st.Live != 1 {
+		t.Errorf("live = %d after one of two refs dropped, want 1", st.Live)
+	}
+	f.Release()
+	if st := p.Stats(); st.Live != 0 {
+		t.Errorf("live = %d after final release, want 0", st.Live)
+	}
+}
+
+func TestFrameDoubleReleasePanics(t *testing.T) {
+	p := NewFramePool()
+	f := p.Get()
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Release did not panic")
+		}
+	}()
+	f.Release()
+}
+
+func TestFrameRetainAfterReleasePanics(t *testing.T) {
+	p := NewFramePool()
+	f := p.Get()
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("Retain of a released frame did not panic")
+		}
+	}()
+	f.Retain()
+}
+
+func TestUnpooledFrameNoOps(t *testing.T) {
+	var p *FramePool
+	f := p.Get() // nil pool: plain heap frame
+	f.Retain()
+	f.Release()
+	f.Release() // still a no-op, never panics
+	var nilFrame *Frame
+	nilFrame.Retain()
+	nilFrame.Release()
+	if st := p.Stats(); st.Gets != 0 || st.Live != 0 {
+		t.Errorf("nil pool stats nonzero: %+v", st)
+	}
+}

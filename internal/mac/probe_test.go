@@ -11,7 +11,7 @@ type probeLog struct {
 	events []ProbeEvent
 }
 
-func (p *probeLog) OnMACEvent(e ProbeEvent) { p.events = append(p.events, e) }
+func (p *probeLog) OnMACEvent(e *ProbeEvent) { p.events = append(p.events, *e) }
 
 func (p *probeLog) kinds() map[ProbeKind]int {
 	m := make(map[ProbeKind]int)

@@ -13,6 +13,7 @@ import (
 	"greedy80211/internal/mac"
 	"greedy80211/internal/metrics"
 	"greedy80211/internal/phys"
+	"greedy80211/internal/pool"
 	"greedy80211/internal/sim"
 )
 
@@ -115,8 +116,14 @@ func DefaultConfig() Config {
 	}
 }
 
-// arrival is one frame in flight at one receiving radio.
+// arrival is one frame in flight at one receiving radio. Arrivals are
+// recycled through the medium's arena and their two events are scheduled
+// via AtCall with the package-level dispatchers below, so the hot path
+// creates no per-event (or even per-object) closures. While scheduled,
+// the arrival holds one reference on its frame.
 type arrival struct {
+	m              *Medium
+	o              *radio
 	frame          *mac.Frame
 	from           mac.NodeID
 	rssi           float64
@@ -127,23 +134,40 @@ type arrival struct {
 	selfTx         bool
 }
 
+func beginArrivalEvent(x any) { a := x.(*arrival); a.m.beginArrival(a.o, a) }
+func endArrivalEvent(x any)   { a := x.(*arrival); a.m.endArrival(a.o, a) }
+
 type radio struct {
 	id       mac.NodeID
 	pos      phys.Position
 	rcv      mac.Receiver
 	inflight []*arrival
 	txUntil  sim.Time
+	// links caches per-receiver propagation (indexed like Medium.order).
+	// Positions are fixed, so range checks, received power, and delay are
+	// pure functions of the pair; recomputing the path-loss logarithm per
+	// arrival was a measurable share of Transmit. Rebuilt lazily when
+	// radios are added.
+	links []link
+}
+
+// link is the cached propagation from one radio to another.
+type link struct {
+	inCS, inComm bool
+	rxPowerDBm   float64
+	delay        sim.Time
 }
 
 // Medium is the shared channel. Not safe for concurrent use; it is driven
 // by the single-goroutine simulation scheduler.
 type Medium struct {
-	sched  *sim.Scheduler
-	cfg    Config
-	rng    *rand.Rand
-	radios map[mac.NodeID]*radio
-	order  []*radio // deterministic iteration order
-	taps   []Tap    // fan-out list, seeded from cfg.Tap
+	sched    *sim.Scheduler
+	cfg      Config
+	rng      *rand.Rand
+	radios   map[mac.NodeID]*radio
+	order    []*radio // deterministic iteration order
+	taps     []Tap    // fan-out list, seeded from cfg.Tap
+	arrivals *pool.Arena[arrival]
 }
 
 var _ mac.Channel = (*Medium)(nil)
@@ -168,6 +192,7 @@ func New(sched *sim.Scheduler, cfg Config) (*Medium, error) {
 		rng:    sched.RNG(),
 		radios: make(map[mac.NodeID]*radio),
 	}
+	m.arrivals = pool.NewArena[arrival](64, func(a *arrival) { a.m = m })
 	if cfg.Tap != nil {
 		m.taps = append(m.taps, cfg.Tap)
 	}
@@ -264,26 +289,44 @@ func (m *Medium) Transmit(src mac.NodeID, f *mac.Frame, airtime sim.Time) {
 	for _, a := range tx.inflight {
 		a.selfTx = true
 	}
-	for _, o := range m.order {
+	if len(tx.links) != len(m.order) {
+		m.buildLinks(tx)
+	}
+	for i, o := range m.order {
 		if o.id == src {
 			continue
 		}
-		dist := tx.pos.DistanceTo(o.pos)
-		if dist > m.cfg.Propagation.CSRange {
+		lk := &tx.links[i]
+		if !lk.inCS {
 			continue
 		}
-		o := o
-		a := &arrival{
-			frame:          f,
-			from:           src,
-			rssi:           m.cfg.RSSI.Sample(m.rng, m.cfg.Propagation.RxPowerDBm(dist)),
-			inComm:         dist <= m.cfg.Propagation.CommRange,
-			strongestOther: math.Inf(-1),
-		}
-		delay := phys.PropagationDelay(dist)
-		a.start = now + delay
+		a := m.arrivals.Get()
+		a.o = o
+		a.frame = f
+		a.from = src
+		a.rssi = m.cfg.RSSI.Sample(m.rng, lk.rxPowerDBm)
+		a.inComm = lk.inComm
+		a.overlapped = false
+		a.strongestOther = math.Inf(-1)
+		a.selfTx = false
+		f.Retain() // the in-flight copy keeps the frame alive until endArrival
+		a.start = now + lk.delay
 		a.end = a.start + airtime
-		m.sched.At(a.start, func() { m.beginArrival(o, a) })
+		m.sched.AtCall(a.start, beginArrivalEvent, a)
+	}
+}
+
+// buildLinks fills tx's cached propagation toward every current radio.
+func (m *Medium) buildLinks(tx *radio) {
+	tx.links = make([]link, len(m.order))
+	for i, o := range m.order {
+		dist := tx.pos.DistanceTo(o.pos)
+		tx.links[i] = link{
+			inCS:       dist <= m.cfg.Propagation.CSRange,
+			inComm:     dist <= m.cfg.Propagation.CommRange,
+			rxPowerDBm: m.cfg.Propagation.RxPowerDBm(dist),
+			delay:      phys.PropagationDelay(dist),
+		}
 	}
 }
 
@@ -305,7 +348,7 @@ func (m *Medium) beginArrival(o *radio, a *arrival) {
 	if len(o.inflight) == 1 {
 		o.rcv.ChannelBusy(true)
 	}
-	m.sched.At(a.end, func() { m.endArrival(o, a) })
+	m.sched.AtCall(a.end, endArrivalEvent, a)
 }
 
 func (m *Medium) endArrival(o *radio, a *arrival) {
@@ -321,7 +364,8 @@ func (m *Medium) endArrival(o *radio, a *arrival) {
 		o.rcv.ChannelBusy(false)
 	}
 	if a.selfTx || !a.inComm {
-		return // deaf or below reception threshold: energy only
+		m.recycle(a) // deaf or below reception threshold: energy only
+		return
 	}
 	info := mac.RxInfo{Decoded: true, RSSIDBm: a.rssi}
 	switch {
@@ -341,8 +385,29 @@ func (m *Medium) endArrival(o *radio, a *arrival) {
 	for _, t := range m.taps {
 		t.OnReceive(o.id, a.frame, info, m.sched.Now())
 	}
-	o.rcv.RxEnd(a.frame, info)
+	f := a.frame
+	// The arrival token is fully consumed; recycle it before RxEnd so
+	// follow-on transmissions can reuse it. The frame reference is
+	// released only after RxEnd returns — this arrival may hold the last
+	// one, and releasing first would hand the MAC a recycled frame.
+	a.frame = nil
+	a.o = nil
+	m.arrivals.Put(a)
+	o.rcv.RxEnd(f, info)
+	f.Release()
 }
+
+// recycle drops the arrival's frame reference and returns it to the
+// arena.
+func (m *Medium) recycle(a *arrival) {
+	a.frame.Release()
+	a.frame = nil
+	a.o = nil
+	m.arrivals.Put(a)
+}
+
+// ArrivalStats reports the arrival arena's occupancy.
+func (m *Medium) ArrivalStats() pool.Stats { return m.arrivals.Stats() }
 
 func (m *Medium) captures(a *arrival) bool {
 	if !m.cfg.CaptureEnabled {

@@ -109,17 +109,23 @@ func (n *Node) OutputFor(flow int) transport.Output {
 
 // Inject delivers a packet arriving at this node from any medium: local
 // agents consume it, otherwise it is forwarded along the flow route (AP
-// bridging), otherwise dropped.
+// bridging), otherwise dropped. A packet that ends its journey here — an
+// agent consumed it or nothing wanted it — is released back to its pool;
+// forwarding passes ownership onward unless the next hop refuses it.
 func (n *Node) Inject(p *transport.Packet) {
 	if a, ok := n.agents[p.Flow]; ok {
 		a.Receive(p)
+		p.Release()
 		return
 	}
 	if r, ok := n.routes[p.Flow]; ok {
-		r.Forward(p)
+		if !r.Forward(p) {
+			p.Release()
+		}
 		return
 	}
 	n.UnroutedDrops++
+	p.Release()
 }
 
 // DeliverData implements mac.Upper.

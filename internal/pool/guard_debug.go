@@ -1,0 +1,28 @@
+//go:build pooldebug
+
+package pool
+
+// DebugEnabled reports whether the pooldebug build tag is active.
+const DebugEnabled = true
+
+// guard tracks which objects are currently on the freelist so a second
+// Put of the same object is caught at the offending call site instead of
+// surfacing later as two callers sharing one object.
+type guard struct {
+	free map[any]struct{}
+}
+
+func (g *guard) init() { g.free = make(map[any]struct{}) }
+
+func (g *guard) onGrow(x any) { g.free[x] = struct{}{} }
+
+func (g *guard) onGet(x any) { delete(g.free, x) }
+
+// onPut reports whether the object was already free (a double release).
+func (g *guard) onPut(x any) bool {
+	if _, dup := g.free[x]; dup {
+		return true
+	}
+	g.free[x] = struct{}{}
+	return false
+}

@@ -1,0 +1,93 @@
+package pool
+
+import "testing"
+
+type obj struct {
+	id     int
+	inited bool
+}
+
+func TestArenaRecycles(t *testing.T) {
+	a := NewArena[obj](4, nil)
+	x := a.Get()
+	x.id = 7
+	a.Put(x)
+	y := a.Get()
+	if y != x {
+		t.Error("freelist did not hand the released object back")
+	}
+	if y.id != 7 {
+		t.Error("arena zeroed the object; contents are the caller's job")
+	}
+}
+
+func TestArenaGrowth(t *testing.T) {
+	a := NewArena[obj](2, nil)
+	seen := map[*obj]bool{}
+	for i := 0; i < 5; i++ {
+		x := a.Get()
+		if seen[x] {
+			t.Fatalf("object %d handed out twice while live", i)
+		}
+		seen[x] = true
+	}
+	st := a.Stats()
+	if st.Chunks != 3 || st.ChunkSize != 2 {
+		t.Errorf("chunks = %d×%d, want 3×2", st.Chunks, st.ChunkSize)
+	}
+	if st.Live != 5 || st.Free != 1 {
+		t.Errorf("live/free = %d/%d, want 5/1", st.Live, st.Free)
+	}
+	if st.Gets != 5 || st.Puts != 0 {
+		t.Errorf("gets/puts = %d/%d, want 5/0", st.Gets, st.Puts)
+	}
+}
+
+func TestArenaInitRunsOncePerObject(t *testing.T) {
+	inits := 0
+	a := NewArena[obj](2, func(o *obj) {
+		inits++
+		o.inited = true
+	})
+	x := a.Get()
+	if !x.inited {
+		t.Error("init hook did not run")
+	}
+	a.Put(x)
+	a.Get()
+	if inits != 2 { // one whole chunk initialized, no re-init on reuse
+		t.Errorf("init ran %d times, want 2 (once per object in the chunk)", inits)
+	}
+}
+
+func TestArenaDefaultChunkSize(t *testing.T) {
+	a := NewArena[obj](0, nil)
+	a.Get()
+	if st := a.Stats(); st.ChunkSize != DefaultChunkSize {
+		t.Errorf("chunk size = %d, want %d", st.ChunkSize, DefaultChunkSize)
+	}
+}
+
+// TestPoolDebugGuards exercises the pooldebug lifecycle checks: a double
+// Put panics at the offending call site and the poison hook scribbles
+// released objects. In normal builds the guards compile away, so the
+// test only runs under `go test -tags pooldebug`.
+func TestPoolDebugGuards(t *testing.T) {
+	if !DebugEnabled {
+		t.Skip("build with -tags pooldebug")
+	}
+	a := NewArena[obj](2, nil)
+	a.SetPoison(func(o *obj) { o.id = -1 })
+	x := a.Get()
+	x.id = 42
+	a.Put(x)
+	if x.id != -1 {
+		t.Error("poison hook did not run on release")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("double Put did not panic")
+		}
+	}()
+	a.Put(x)
+}

@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"greedy80211/internal/metrics"
+	"greedy80211/internal/sim"
+	"greedy80211/internal/trace"
+)
+
+// Pooling is a pure allocation strategy: a pooled world and an unpooled
+// (DisablePooling) world built from the same config must be
+// indistinguishable in every output — flow goodputs, telemetry, and the
+// full flight-recorder stream byte for byte. This is the regression
+// gate for the hot-path arenas: any pooling bug that perturbs RNG
+// draws, event ordering, or frame/packet contents shows up here.
+func TestPoolingByteIdentity(t *testing.T) {
+	type worldCase struct {
+		name  string
+		build func(cfg Config) (*World, error)
+	}
+	cases := []worldCase{
+		{"udp-rtscts", func(cfg Config) (*World, error) {
+			cfg.UseRTSCTS = true
+			return BuildPairs(PairsConfig{Config: cfg, N: 2, Transport: UDP})
+		}},
+		{"tcp", func(cfg Config) (*World, error) {
+			return BuildPairs(PairsConfig{Config: cfg, N: 2, Transport: TCP})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(disable bool) ([]byte, string) {
+				cfg := Config{Seed: 5, DisablePooling: disable}
+				w, err := tc.build(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := trace.NewRecorder(0)
+				w.AttachTrace(rec, rec)
+				w.Run(2 * sim.Second)
+				var buf bytes.Buffer
+				if err := trace.WriteJSONL(&buf, rec.Meta("id", 5), rec.Events()); err != nil {
+					t.Fatal(err)
+				}
+				var rest bytes.Buffer
+				for _, fl := range w.Flows() {
+					fmt.Fprintf(&rest, "%d:%.9f\n", fl.ID, fl.GoodputMbps(2*sim.Second))
+				}
+				if err := metrics.EncodeSnapshots(&rest, []*metrics.Snapshot{w.MetricsSnapshot()}); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes(), rest.String()
+			}
+			pooledTrace, pooledRest := run(false)
+			plainTrace, plainRest := run(true)
+			if !bytes.Equal(pooledTrace, plainTrace) {
+				t.Errorf("trace exports differ: pooled %d bytes, unpooled %d bytes",
+					len(pooledTrace), len(plainTrace))
+			}
+			if len(pooledTrace) == 0 {
+				t.Error("empty trace export")
+			}
+			if pooledRest != plainRest {
+				t.Errorf("flows/metrics differ:\n--- pooled ---\n%s\n--- unpooled ---\n%s",
+					pooledRest, plainRest)
+			}
+		})
+	}
+}

@@ -78,6 +78,12 @@ type Config struct {
 	// (RTS/CTS/ACK); zero keeps the default (1 Mbps on 802.11b). The
 	// control-rate ablation uses it.
 	ControlRateBps int64
+	// DisablePooling turns off the world's frame and packet pools, so
+	// every frame/packet is heap-allocated as in the pre-pooling
+	// simulator. Outputs are identical either way (the byte-identity
+	// regression tests assert it); the switch exists for those tests and
+	// for pooled-vs-unpooled benchmark comparisons.
+	DisablePooling bool
 }
 
 // Station is one host in the world: a wireless station, an AP, or a
@@ -152,6 +158,8 @@ type World struct {
 	wired    map[string]wiredAttachment // host name -> its link toward an AP
 	nextID   mac.NodeID
 	metrics  *metrics.Registry
+	frames   *mac.FramePool        // nil when pooling is disabled
+	packets  *transport.PacketPool // nil when pooling is disabled
 }
 
 type wiredAttachment struct {
@@ -208,7 +216,7 @@ func NewWorld(cfg Config) (*World, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	return &World{
+	w := &World{
 		Sched:    sched,
 		Medium:   med,
 		Params:   params,
@@ -217,7 +225,12 @@ func NewWorld(cfg Config) (*World, error) {
 		flows:    make(map[int]*Flow),
 		wired:    make(map[string]wiredAttachment),
 		metrics:  reg,
-	}, nil
+	}
+	if !cfg.DisablePooling {
+		w.frames = mac.NewFramePool()
+		w.packets = transport.NewPacketPool()
+	}
+	return w, nil
 }
 
 // Metrics returns the world's always-on telemetry registry.
@@ -296,6 +309,7 @@ func (w *World) AddStation(name string, pos phys.Position, opts StationOpts) (*S
 		SpoofEmulationTo: spoofTo,
 		CWMinCapTo:       cwCap,
 		AutoRate:         opts.AutoRate,
+		Frames:           w.frames,
 	})
 	st.DCF = dcf
 	n.AttachMAC(dcf)
@@ -409,6 +423,7 @@ func (w *World) AddUDPFlow(id int, from, to string, rateBps float64, payloadByte
 	}
 	fl.CBR = transport.NewCBRSource(w.Sched, f.Node.OutputFor(id), id, payloadBytes,
 		transport.CBRIntervalForRate(rateBps, payloadBytes))
+	fl.CBR.UsePool(w.packets)
 	fl.UDPSink = transport.NewUDPSink()
 	t.Node.AddAgent(id, fl.UDPSink)
 	return fl, nil
@@ -422,11 +437,13 @@ func (w *World) AddTCPFlow(id int, from, to string, cfg transport.TCPConfig) (*F
 		return nil, err
 	}
 	fl.TCPSend = transport.NewTCPSender(w.Sched, f.Node.OutputFor(id), cfg)
+	fl.TCPSend.UsePool(w.packets)
 	if cfg.AckDelay > 0 {
 		fl.TCPRecv = transport.NewTCPReceiverDelayed(w.Sched, id, t.Node.OutputFor(id), cfg.AckDelay)
 	} else {
 		fl.TCPRecv = transport.NewTCPReceiver(id, t.Node.OutputFor(id))
 	}
+	fl.TCPRecv.UsePool(w.packets)
 	f.Node.AddAgent(id, fl.TCPSend)
 	t.Node.AddAgent(id, fl.TCPRecv)
 	return fl, nil

@@ -24,26 +24,26 @@ func recordSample() *Recorder {
 
 	data := &mac.Frame{Type: mac.FrameData, Src: 1, Dst: 2, Seq: 9, Retry: true,
 		MACBytes: 1052, Duration: 25 * sim.Millisecond}
-	r.OnMACEvent(mac.ProbeEvent{Kind: mac.ProbeEnqueue, At: 10 * us, Station: 1,
+	r.OnMACEvent(&mac.ProbeEvent{Kind: mac.ProbeEnqueue, At: 10 * us, Station: 1,
 		Frame: mac.FrameData, Dst: 2, Seq: 9, QueueLen: 1})
-	r.OnMACEvent(mac.ProbeEvent{Kind: mac.ProbeBackoffDraw, At: 50 * us, Station: 1,
+	r.OnMACEvent(&mac.ProbeEvent{Kind: mac.ProbeBackoffDraw, At: 50 * us, Station: 1,
 		CW: 31, Slots: 7})
-	r.OnMACEvent(mac.ProbeEvent{Kind: mac.ProbeBackoffResume, At: 100 * us, Station: 1, Slots: 7})
-	r.OnMACEvent(mac.ProbeEvent{Kind: mac.ProbeBackoffExpire, At: 240 * us, Station: 1})
-	r.OnMACEvent(mac.ProbeEvent{Kind: mac.ProbeTxContend, At: 240 * us, Station: 1,
+	r.OnMACEvent(&mac.ProbeEvent{Kind: mac.ProbeBackoffResume, At: 100 * us, Station: 1, Slots: 7})
+	r.OnMACEvent(&mac.ProbeEvent{Kind: mac.ProbeBackoffExpire, At: 240 * us, Station: 1})
+	r.OnMACEvent(&mac.ProbeEvent{Kind: mac.ProbeTxContend, At: 240 * us, Station: 1,
 		Frame: mac.FrameData, Dst: 2, Seq: 9})
 	r.OnTransmit(1, data, 240*us, 958*us)
 	r.OnReceive(2, data, mac.RxInfo{Decoded: true, RSSIDBm: -47.5}, 1198*us)
-	r.OnMACEvent(mac.ProbeEvent{Kind: mac.ProbeNAVUpdate, At: 1198 * us, Station: 3,
+	r.OnMACEvent(&mac.ProbeEvent{Kind: mac.ProbeNAVUpdate, At: 1198 * us, Station: 3,
 		Until: 26198 * us})
-	r.OnMACEvent(mac.ProbeEvent{Kind: mac.ProbeNAVBlockedStart, At: 1208 * us, Station: 3,
+	r.OnMACEvent(&mac.ProbeEvent{Kind: mac.ProbeNAVBlockedStart, At: 1208 * us, Station: 3,
 		Until: 26198 * us})
 	ack := &mac.Frame{Type: mac.FrameACK, Src: 2, Dst: 1, MACBytes: 14}
 	r.OnTransmit(2, ack, 1208*us, 304*us)
 	r.OnReceive(1, ack, mac.RxInfo{Decoded: false, RSSIDBm: -91}, 1512*us)
-	r.OnMACEvent(mac.ProbeEvent{Kind: mac.ProbeRetry, At: 1512 * us, Station: 1,
+	r.OnMACEvent(&mac.ProbeEvent{Kind: mac.ProbeRetry, At: 1512 * us, Station: 1,
 		Retries: 1, Long: true, Frame: mac.FrameData, Dst: 2, Seq: 9})
-	r.OnMACEvent(mac.ProbeEvent{Kind: mac.ProbeMSDUDone, At: 3000 * us, Station: 1,
+	r.OnMACEvent(&mac.ProbeEvent{Kind: mac.ProbeMSDUDone, At: 3000 * us, Station: 1,
 		OK: true, Frame: mac.FrameData, Dst: 2, Seq: 9})
 	return r
 }
@@ -195,8 +195,8 @@ func TestCollectorChecksWired(t *testing.T) {
 	c.EnableChecks()
 	rec := c.Start(7)
 	// A NAV-ignoring transmission, delivered through the probe path.
-	rec.OnMACEvent(mac.ProbeEvent{Kind: mac.ProbeNAVUpdate, At: 0, Station: 1, Until: sim.Second})
-	rec.OnMACEvent(mac.ProbeEvent{Kind: mac.ProbeTxContend, At: 100 * us, Station: 1,
+	rec.OnMACEvent(&mac.ProbeEvent{Kind: mac.ProbeNAVUpdate, At: 0, Station: 1, Until: sim.Second})
+	rec.OnMACEvent(&mac.ProbeEvent{Kind: mac.ProbeTxContend, At: 100 * us, Station: 1,
 		Frame: mac.FrameRTS, Dst: 2})
 	if c.ViolationCount() != 1 {
 		t.Fatalf("violations = %d, want 1", c.ViolationCount())

@@ -98,6 +98,8 @@ func (k Kind) String() string {
 }
 
 // probeKindToKind maps the mac-package enumeration onto the trace one.
+// The hot path reads the derived dense table probeKindLUT; the map stays
+// as the readable source of truth.
 var probeKindToKind = map[mac.ProbeKind]Kind{
 	mac.ProbeNAVUpdate:       KindNAVUpdate,
 	mac.ProbeNAVExpire:       KindNAVExpire,
@@ -119,6 +121,16 @@ var probeKindToKind = map[mac.ProbeKind]Kind{
 	mac.ProbeTxRespond:       KindTxRespond,
 	mac.ProbeMSDUDone:        KindMSDUDone,
 }
+
+// probeKindLUT is probeKindToKind as a dense array: a map lookup per MAC
+// probe event was measurable in traced-run profiles.
+var probeKindLUT = func() [32]Kind {
+	var lut [32]Kind
+	for pk, k := range probeKindToKind {
+		lut[pk] = k
+	}
+	return lut
+}()
 
 // Event is one recorded event: channel-level (Frame and RSSIDBm populated)
 // or MAC-internal (the probe detail fields populated).
@@ -212,16 +224,32 @@ func retryMark(retry bool) string {
 }
 
 // Recorder implements medium.Tap and mac.Probe: it keeps the most recent
-// events in a bounded ring (flight-recorder semantics) and accumulates
-// channel statistics for the whole run. It has no dependency on a
-// scheduler, so it can be built before the world it taps. Not safe for
-// concurrent use; attach one recorder per world.
+// events in bounded per-station rings (flight-recorder semantics) and
+// accumulates channel statistics for the whole run. It has no dependency
+// on a scheduler, so it can be built before the world it taps. Not safe
+// for concurrent use; attach one recorder per world.
+//
+// Sharding is an internal layout choice only: every event carries a
+// global monotonic sequence stamp, and readers see the canonical merge —
+// the newest `cap` events across all stations in record order, exactly
+// what a single shared ring of the same capacity would have retained.
+// (An event within the global newest-cap window has fewer than cap
+// events after it overall, hence fewer than cap after it in its own
+// shard, so a per-shard capacity of cap is guaranteed to still hold it.)
+// Keeping each station's stream in its own ring makes the hot record
+// path a plain append into a small per-station buffer and pushes all
+// ordering work to export time.
 type Recorder struct {
-	cap  int
-	ring []Event // grows lazily up to cap, then wraps
-	next int     // oldest slot once len(ring) == cap
+	cap    int
+	shards []traceShard // indexed by station id (negatives fold into 0)
 
-	total uint64
+	// merged caches the canonical view, valid while mergedAt == total.
+	// (A generation stamp instead of nilling the cache per record: the
+	// nil store was a GC write barrier on the hottest path.)
+	merged   []Event
+	mergedAt uint64
+
+	total uint64      // count of events ever recorded; doubles as seq stamp
 	sink  func(Event) // optional streaming consumer, sees every event
 
 	names  map[mac.NodeID]string
@@ -230,7 +258,19 @@ type Recorder struct {
 	// timing as soon as the recorder is attached.
 	onTiming func(Timing)
 
-	stats Stats
+	acc statsAccum
+}
+
+// traceShard is one station's bounded event ring.
+type traceShard struct {
+	ring []shardEvent // grows lazily up to the recorder cap, then wraps
+	next int          // oldest slot once len(ring) == cap
+}
+
+// shardEvent stamps a recorded event with its global sequence number.
+type shardEvent struct {
+	seq uint64 // 1-based record order across all shards
+	ev  Event
 }
 
 var (
@@ -238,7 +278,10 @@ var (
 	_ mac.Probe  = (*Recorder)(nil)
 )
 
-// Stats aggregates whole-run channel accounting.
+// Stats aggregates whole-run channel accounting. The maps are
+// materialized on each Stats call from dense internal counters (maps in
+// the per-transmit path cost a hash per frame); treat a returned Stats
+// as a snapshot.
 type Stats struct {
 	// Transmissions and airtime per frame type.
 	TxCount   map[mac.FrameType]int64
@@ -255,21 +298,36 @@ type Stats struct {
 	BusyAirtime sim.Time
 }
 
+// frameTypeSlots sizes the dense per-type counters: FrameType values are
+// 1..4, slot 0 is unused. Out-of-range types (hand-built test frames)
+// fall back to overflow maps.
+const frameTypeSlots = 5
+
+// statsAccum is the dense accumulation behind Stats: arrays indexed by
+// frame type and station id instead of maps, so the per-transmit cost is
+// two array adds rather than three map operations.
+type statsAccum struct {
+	txCount    [frameTypeSlots]int64
+	txAirtime  [frameTypeSlots]sim.Time
+	staAirtime []sim.Time // indexed by transmitter id, grown on demand
+
+	// Overflow for out-of-band keys (never touched by simulator traffic).
+	txCountOther   map[mac.FrameType]int64
+	txAirtimeOther map[mac.FrameType]sim.Time
+	staOther       map[mac.NodeID]sim.Time
+
+	decoded, corrupted, macEvents int64
+	busy                          sim.Time
+}
+
 // NewRecorder builds a recorder keeping the last capacity events
-// (default 4096). The ring grows lazily, so a large capacity costs memory
+// (default 4096). Rings grow lazily, so a large capacity costs memory
 // only as events actually accumulate.
 func NewRecorder(capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &Recorder{
-		cap: capacity,
-		stats: Stats{
-			TxCount:           make(map[mac.FrameType]int64),
-			TxAirtime:         make(map[mac.FrameType]sim.Time),
-			AirtimePerStation: make(map[mac.NodeID]sim.Time),
-		},
-	}
+	return &Recorder{cap: capacity}
 }
 
 // SetSink installs a streaming consumer that sees every event in order,
@@ -302,113 +360,263 @@ func (r *Recorder) Timing() Timing { return r.timing }
 // those the ring has since evicted.
 func (r *Recorder) Total() uint64 { return r.total }
 
-// Dropped reports how many events the ring evicted.
+// Dropped reports how many events fell outside the retained window.
 func (r *Recorder) Dropped() uint64 {
-	retained := uint64(len(r.ring))
-	if r.total <= retained {
+	if r.total <= uint64(r.cap) {
 		return 0
 	}
-	return r.total - retained
+	return r.total - uint64(r.cap)
 }
 
-func (r *Recorder) record(e Event) {
+// slot reserves the next ring slot for station sta and returns the Event
+// to fill in place — callers write the record directly into the ring
+// (one struct store) instead of building it on the stack and copying.
+// The caller must overwrite every field (assign a composite literal).
+func (r *Recorder) slot(sta mac.NodeID) *Event {
 	r.total++
-	if r.sink != nil {
-		r.sink(e)
+	idx := int(sta)
+	if idx < 0 {
+		idx = 0
 	}
-	if len(r.ring) < r.cap {
-		r.ring = append(r.ring, e)
-		return
+	if idx >= len(r.shards) {
+		grown := make([]traceShard, idx+1)
+		copy(grown, r.shards)
+		r.shards = grown
 	}
-	r.ring[r.next] = e
-	r.next++
-	if r.next == r.cap {
-		r.next = 0
+	s := &r.shards[idx]
+	if n := len(s.ring); n < r.cap {
+		if s.ring == nil {
+			// Reserve full capacity up front: append-doubling on the
+			// record path generated most of the traced-run garbage.
+			s.ring = make([]shardEvent, 0, r.cap)
+		}
+		// Reslice rather than append a zero value: the backing array is
+		// already zeroed and the caller overwrites the whole Event, so a
+		// zero-struct store here would double the ring write traffic.
+		s.ring = s.ring[:n+1]
+		se := &s.ring[n]
+		se.seq = r.total
+		return &se.ev
 	}
-}
-
-func frameInfo(f *mac.Frame) FrameInfo {
-	return FrameInfo{
-		Type:     f.Type,
-		Src:      f.Src,
-		Dst:      f.Dst,
-		Seq:      f.Seq,
-		Bytes:    f.MACBytes,
-		Retry:    f.Retry,
-		Duration: f.Duration,
+	se := &s.ring[s.next]
+	s.next++
+	if s.next == r.cap {
+		s.next = 0
 	}
+	se.seq = r.total
+	return &se.ev
 }
 
 // OnTransmit implements medium.Tap.
+//
+// The recording sites below assign every Event field through the slot
+// pointer instead of storing a composite literal: the literal forces a
+// stack temporary plus a 144-byte copy per event, which dominated the
+// tracing-on overhead. Each site MUST write all fields — ring slots are
+// reused after wrap, and a skipped field would leak a stale value into
+// exports (TestShardWrapClearsStaleFields guards this).
 func (r *Recorder) OnTransmit(src mac.NodeID, f *mac.Frame, start, airtime sim.Time) {
-	fi := frameInfo(f)
-	fi.Airtime = airtime
-	r.record(Event{Kind: KindTransmit, At: start, Station: src, Frame: fi})
-	r.stats.TxCount[f.Type]++
-	r.stats.TxAirtime[f.Type] += airtime
-	r.stats.AirtimePerStation[src] += airtime
-	r.stats.BusyAirtime += airtime
+	ev := r.slot(src)
+	ev.Kind = KindTransmit
+	ev.At = start
+	ev.Station = src
+	ev.Frame.Type = f.Type
+	ev.Frame.Src = f.Src
+	ev.Frame.Dst = f.Dst
+	ev.Frame.Seq = f.Seq
+	ev.Frame.Bytes = f.MACBytes
+	ev.Frame.Retry = f.Retry
+	ev.Frame.Duration = f.Duration
+	ev.Frame.Airtime = airtime
+	ev.RSSIDBm = 0
+	ev.Until = 0
+	ev.CW = 0
+	ev.Slots = 0
+	ev.Retries = 0
+	ev.QueueLen = 0
+	ev.EIFS = false
+	ev.Long = false
+	ev.OK = false
+	if r.sink != nil {
+		r.sink(*ev)
+	}
+	if t := int(f.Type); t >= 1 && t < frameTypeSlots {
+		r.acc.txCount[t]++
+		r.acc.txAirtime[t] += airtime
+	} else {
+		if r.acc.txCountOther == nil {
+			r.acc.txCountOther = make(map[mac.FrameType]int64)
+			r.acc.txAirtimeOther = make(map[mac.FrameType]sim.Time)
+		}
+		r.acc.txCountOther[f.Type]++
+		r.acc.txAirtimeOther[f.Type] += airtime
+	}
+	if i := int(src); i >= 0 {
+		if i >= len(r.acc.staAirtime) {
+			grown := make([]sim.Time, i+1)
+			copy(grown, r.acc.staAirtime)
+			r.acc.staAirtime = grown
+		}
+		r.acc.staAirtime[i] += airtime
+	} else {
+		if r.acc.staOther == nil {
+			r.acc.staOther = make(map[mac.NodeID]sim.Time)
+		}
+		r.acc.staOther[src] += airtime
+	}
+	r.acc.busy += airtime
 }
 
 // OnReceive implements medium.Tap.
 func (r *Recorder) OnReceive(dst mac.NodeID, f *mac.Frame, info mac.RxInfo, at sim.Time) {
 	kind := KindDecode
 	if info.Decoded {
-		r.stats.Decoded++
+		r.acc.decoded++
 	} else {
 		kind = KindCorrupt
-		r.stats.Corrupted++
+		r.acc.corrupted++
 	}
-	r.record(Event{
-		Kind: kind, At: at, Station: dst,
-		Frame: frameInfo(f), RSSIDBm: info.RSSIDBm,
-	})
+	ev := r.slot(dst)
+	ev.Kind = kind
+	ev.At = at
+	ev.Station = dst
+	ev.Frame.Type = f.Type
+	ev.Frame.Src = f.Src
+	ev.Frame.Dst = f.Dst
+	ev.Frame.Seq = f.Seq
+	ev.Frame.Bytes = f.MACBytes
+	ev.Frame.Retry = f.Retry
+	ev.Frame.Duration = f.Duration
+	ev.Frame.Airtime = 0
+	ev.RSSIDBm = info.RSSIDBm
+	ev.Until = 0
+	ev.CW = 0
+	ev.Slots = 0
+	ev.Retries = 0
+	ev.QueueLen = 0
+	ev.EIFS = false
+	ev.Long = false
+	ev.OK = false
+	if r.sink != nil {
+		r.sink(*ev)
+	}
 }
 
 // OnMACEvent implements mac.Probe: the MAC-internal stream lands in the
-// same ring, interleaved with channel events in scheduler order.
-func (r *Recorder) OnMACEvent(pe mac.ProbeEvent) {
-	r.stats.MACEvents++
-	r.record(Event{
-		Kind:     probeKindToKind[pe.Kind],
-		At:       pe.At,
-		Station:  pe.Station,
-		Until:    pe.Until,
-		CW:       pe.CW,
-		Slots:    pe.Slots,
-		Retries:  pe.Retries,
-		QueueLen: pe.QueueLen,
-		EIFS:     pe.EIFS,
-		Long:     pe.Long,
-		OK:       pe.OK,
-		Frame:    FrameInfo{Type: pe.Frame, Dst: pe.Dst, Seq: pe.Seq},
-	})
+// same ring, interleaved with channel events in scheduler order. The
+// pointee is the DCF's scratch event, valid only for this call — every
+// field is copied into the ring slot before returning.
+func (r *Recorder) OnMACEvent(pe *mac.ProbeEvent) {
+	r.acc.macEvents++
+	var kind Kind
+	if i := int(pe.Kind); i >= 0 && i < len(probeKindLUT) {
+		kind = probeKindLUT[i]
+	}
+	ev := r.slot(pe.Station)
+	ev.Kind = kind
+	ev.At = pe.At
+	ev.Station = pe.Station
+	ev.Frame.Type = pe.Frame
+	ev.Frame.Src = 0
+	ev.Frame.Dst = pe.Dst
+	ev.Frame.Seq = pe.Seq
+	ev.Frame.Bytes = 0
+	ev.Frame.Retry = false
+	ev.Frame.Duration = 0
+	ev.Frame.Airtime = 0
+	ev.RSSIDBm = 0
+	ev.Until = pe.Until
+	ev.CW = pe.CW
+	ev.Slots = pe.Slots
+	ev.Retries = pe.Retries
+	ev.QueueLen = pe.QueueLen
+	ev.EIFS = pe.EIFS
+	ev.Long = pe.Long
+	ev.OK = pe.OK
+	if r.sink != nil {
+		r.sink(*ev)
+	}
 }
 
-// Stats reports the accumulated accounting.
-func (r *Recorder) Stats() Stats { return r.stats }
-
-// Events returns the retained events, oldest first.
-func (r *Recorder) Events() []Event {
-	if len(r.ring) < r.cap {
-		return append([]Event(nil), r.ring...)
+// Stats reports the accumulated accounting as a fresh snapshot.
+func (r *Recorder) Stats() Stats {
+	st := Stats{
+		TxCount:           make(map[mac.FrameType]int64),
+		TxAirtime:         make(map[mac.FrameType]sim.Time),
+		AirtimePerStation: make(map[mac.NodeID]sim.Time),
+		Decoded:           r.acc.decoded,
+		Corrupted:         r.acc.corrupted,
+		MACEvents:         r.acc.macEvents,
+		BusyAirtime:       r.acc.busy,
 	}
-	out := make([]Event, 0, r.cap)
-	out = append(out, r.ring[r.next:]...)
-	out = append(out, r.ring[:r.next]...)
+	for t := 1; t < frameTypeSlots; t++ {
+		if r.acc.txCount[t] != 0 {
+			st.TxCount[mac.FrameType(t)] = r.acc.txCount[t]
+			st.TxAirtime[mac.FrameType(t)] = r.acc.txAirtime[t]
+		}
+	}
+	for k, v := range r.acc.txCountOther {
+		st.TxCount[k] = v
+		st.TxAirtime[k] = r.acc.txAirtimeOther[k]
+	}
+	for i, air := range r.acc.staAirtime {
+		if air != 0 {
+			st.AirtimePerStation[mac.NodeID(i)] = air
+		}
+	}
+	for k, v := range r.acc.staOther {
+		st.AirtimePerStation[k] = v
+	}
+	return st
+}
+
+// mergedEvents materializes (and caches) the canonical retained view:
+// the newest cap events across every shard, in record order. Sequence
+// stamps are dense, so "newest cap" is exactly the events with
+// seq > total-cap, and the per-shard capacity argument in the Recorder
+// doc guarantees every one of them is still in its shard's ring.
+func (r *Recorder) mergedEvents() []Event {
+	if r.mergedAt == r.total {
+		return r.merged
+	}
+	var lo uint64 // retain seq > lo
+	if r.total > uint64(r.cap) {
+		lo = r.total - uint64(r.cap)
+	}
+	type seqRef struct {
+		seq        uint64
+		shard, pos int
+	}
+	refs := make([]seqRef, 0, r.total-lo)
+	for si := range r.shards {
+		ring := r.shards[si].ring
+		for pi := range ring {
+			if ring[pi].seq > lo {
+				refs = append(refs, seqRef{seq: ring[pi].seq, shard: si, pos: pi})
+			}
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].seq < refs[j].seq })
+	out := make([]Event, len(refs))
+	for i, ref := range refs {
+		out[i] = r.shards[ref.shard].ring[ref.pos].ev
+	}
+	r.merged = out
+	r.mergedAt = r.total
 	return out
 }
 
-// eventAt indexes the retained events oldest-first without copying.
-func (r *Recorder) eventAt(i int) Event {
-	if len(r.ring) < r.cap {
-		return r.ring[i]
-	}
-	return r.ring[(r.next+i)%r.cap]
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	return append([]Event(nil), r.mergedEvents()...)
 }
 
-// retained reports how many events the ring currently holds.
-func (r *Recorder) retained() int { return len(r.ring) }
+// eventAt indexes the retained events oldest-first without copying.
+func (r *Recorder) eventAt(i int) Event { return r.mergedEvents()[i] }
+
+// retained reports how many events the rings currently hold within the
+// canonical window.
+func (r *Recorder) retained() int { return len(r.mergedEvents()) }
 
 // Utilization reports transmit airtime as a fraction of elapsed time
 // (overlapping transmissions double-count, so values may exceed 1 under
@@ -417,28 +625,29 @@ func (r *Recorder) Utilization(elapsed sim.Time) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(r.stats.BusyAirtime) / float64(elapsed)
+	return float64(r.acc.busy) / float64(elapsed)
 }
 
 // Summary renders the accounting as text.
 func (r *Recorder) Summary(elapsed sim.Time) string {
+	st := r.Stats()
 	var b strings.Builder
 	fmt.Fprintf(&b, "channel utilization: %.1f%% over %v\n",
 		100*r.Utilization(elapsed), elapsed)
 	for _, ft := range []mac.FrameType{mac.FrameRTS, mac.FrameCTS, mac.FrameData, mac.FrameACK} {
-		if n := r.stats.TxCount[ft]; n > 0 {
-			fmt.Fprintf(&b, "  %-4s %7d frames  %v airtime\n", ft, n, r.stats.TxAirtime[ft])
+		if n := st.TxCount[ft]; n > 0 {
+			fmt.Fprintf(&b, "  %-4s %7d frames  %v airtime\n", ft, n, st.TxAirtime[ft])
 		}
 	}
 	fmt.Fprintf(&b, "  receptions: %d decoded, %d corrupted\n",
-		r.stats.Decoded, r.stats.Corrupted)
-	stations := make([]mac.NodeID, 0, len(r.stats.AirtimePerStation))
-	for sta := range r.stats.AirtimePerStation {
+		st.Decoded, st.Corrupted)
+	stations := make([]mac.NodeID, 0, len(st.AirtimePerStation))
+	for sta := range st.AirtimePerStation {
 		stations = append(stations, sta)
 	}
 	sort.Slice(stations, func(i, j int) bool { return stations[i] < stations[j] })
 	for _, sta := range stations {
-		air := r.stats.AirtimePerStation[sta]
+		air := st.AirtimePerStation[sta]
 		fmt.Fprintf(&b, "  station %d: %v airtime (%.1f%%)\n",
 			sta, air, 100*float64(air)/float64(elapsed))
 	}

@@ -105,3 +105,85 @@ func TestNewRecorderDefaults(t *testing.T) {
 		t.Errorf("default capacity = %d", r.cap)
 	}
 }
+
+// TestShardWrapClearsStaleFields guards the field-by-field recording
+// discipline: ring slots are reused after wrap, and the recording sites
+// overwrite every Event field rather than storing a composite literal. A
+// site that skips a field would leak a stale value from the slot's
+// previous occupant into exports. The test dirties every slot of one
+// station's shard with events that set every field group nonzero, then
+// records a minimal event through each site and checks it is identical
+// to the same event recorded by a fresh recorder.
+func TestShardWrapClearsStaleFields(t *testing.T) {
+	const ringCap = 4
+	loud := &mac.ProbeEvent{
+		Kind: mac.ProbeIFSDefer, At: sim.Second, Station: 1,
+		Until: 2 * sim.Second, CW: 31, Slots: 9, Retries: 3, QueueLen: 7,
+		EIFS: true, Long: true, OK: true,
+		Frame: mac.FrameData, Dst: 2, Seq: 99,
+	}
+	loudFrame := &mac.Frame{Type: mac.FrameRTS, Src: 1, Dst: 2, Seq: 77,
+		MACBytes: 20, Retry: true, Duration: sim.Millisecond}
+	dirty := NewRecorder(ringCap)
+	for i := 0; i < 3*ringCap; i++ {
+		dirty.OnMACEvent(loud)
+		dirty.OnTransmit(1, loudFrame, sim.Time(i)*sim.Millisecond, 211*sim.Microsecond)
+		dirty.OnReceive(1, loudFrame, mac.RxInfo{Decoded: false, RSSIDBm: -31.5},
+			sim.Time(i)*sim.Millisecond)
+	}
+	sites := []struct {
+		name   string
+		record func(r *Recorder)
+	}{
+		{"transmit", func(r *Recorder) { r.OnTransmit(1, &mac.Frame{}, 0, 0) }},
+		{"receive", func(r *Recorder) { r.OnReceive(1, &mac.Frame{}, mac.RxInfo{}, 0) }},
+		{"mac", func(r *Recorder) { r.OnMACEvent(&mac.ProbeEvent{Kind: mac.ProbeBackoffExpire, Station: 1}) }},
+	}
+	for _, site := range sites {
+		site.record(dirty)
+		fresh := NewRecorder(ringCap)
+		site.record(fresh)
+		got := dirty.Events()
+		want := fresh.Events()
+		if got[len(got)-1] != want[len(want)-1] {
+			t.Errorf("%s after wrap leaked stale fields:\ngot  %+v\nwant %+v",
+				site.name, got[len(got)-1], want[len(want)-1])
+		}
+	}
+}
+
+// TestShardedRetentionMatchesGlobalWindow checks the canonical-merge
+// property the per-station shards are built on: the merged export equals
+// exactly the newest-cap window of the global record stream, as a single
+// shared ring would have retained it — including stations recording at
+// very different rates and a negative station id folded into shard 0.
+func TestShardedRetentionMatchesGlobalWindow(t *testing.T) {
+	const ringCap = 8
+	sharded := NewRecorder(ringCap)
+	reference := NewRecorder(1 << 16) // never wraps: retains everything
+	stations := []mac.NodeID{0, 1, 1, 2, -5, 3, 1, 2}
+	n := 0
+	for round := 0; round < 7; round++ {
+		for _, sta := range stations {
+			n++
+			f := &mac.Frame{Type: mac.FrameData, Src: sta, Dst: 2, Seq: uint16(n)}
+			for _, r := range []*Recorder{sharded, reference} {
+				r.OnTransmit(sta, f, sim.Time(n)*sim.Microsecond, sim.Microsecond)
+			}
+		}
+	}
+	all := reference.Events()
+	want := all[len(all)-ringCap:]
+	got := sharded.Events()
+	if len(got) != len(want) {
+		t.Fatalf("retained %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if d := sharded.Dropped(); d != uint64(n-ringCap) {
+		t.Errorf("Dropped() = %d, want %d", d, n-ringCap)
+	}
+}

@@ -21,10 +21,16 @@ type CBRSource struct {
 	rng    *rand.Rand
 	timer  *sim.Timer
 
+	pool *PacketPool
+
 	seq     int
 	offered int64
 	dropped int64
 }
+
+// UsePool makes the source draw packets from p instead of the heap. Call
+// before Start; a nil pool keeps heap allocation.
+func (s *CBRSource) UsePool(p *PacketPool) { s.pool = p }
 
 // NewCBRSource builds a CBR source for flow sending payloadBytes packets
 // every interval through out. Each inter-packet gap carries ±1% uniform
@@ -73,16 +79,16 @@ func (s *CBRSource) Offered() int64 { return s.offered }
 func (s *CBRSource) LocalDrops() int64 { return s.dropped }
 
 func (s *CBRSource) tick() {
-	p := &Packet{
-		Flow:         s.flow,
-		Seq:          s.seq,
-		PayloadBytes: s.bytes,
-		WireBytes:    s.bytes + UDPIPHeaderBytes,
-	}
+	p := s.pool.Get()
+	p.Flow = s.flow
+	p.Seq = s.seq
+	p.PayloadBytes = s.bytes
+	p.WireBytes = s.bytes + UDPIPHeaderBytes
 	s.seq++
 	s.offered++
 	if !s.out.Output(p) {
 		s.dropped++
+		p.Release() // never left this node
 	}
 	next := s.every
 	if s.jitter > 0 {
@@ -93,7 +99,7 @@ func (s *CBRSource) tick() {
 
 // UDPSink counts unique packets received on a flow. It implements Agent.
 type UDPSink struct {
-	seen  map[int]bool
+	seen  seqSet
 	stats FlowStats
 }
 
@@ -101,7 +107,7 @@ var _ Agent = (*UDPSink)(nil)
 
 // NewUDPSink builds an empty sink.
 func NewUDPSink() *UDPSink {
-	return &UDPSink{seen: make(map[int]bool)}
+	return &UDPSink{}
 }
 
 // Receive implements Agent.
@@ -109,11 +115,10 @@ func (s *UDPSink) Receive(p *Packet) {
 	if p.IsACK {
 		return
 	}
-	if s.seen[p.Seq] {
+	if s.seen.testAndSet(p.Seq) {
 		s.stats.DuplicatePackets++
 		return
 	}
-	s.seen[p.Seq] = true
 	s.stats.UniquePackets++
 	s.stats.UniqueBytes += int64(p.PayloadBytes)
 }

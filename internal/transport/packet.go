@@ -37,6 +37,11 @@ type Packet struct {
 	PayloadBytes int
 	// WireBytes is the transport+network size on the wire.
 	WireBytes int
+
+	// pool and refs implement recycled packets (see PacketPool). Both
+	// stay zero for plain &Packet{} literals, which Release then ignores.
+	pool *PacketPool
+	refs int32
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,85 @@
+package transport
+
+import "greedy80211/internal/pool"
+
+// PacketPool recycles Packets through a chunked freelist arena. Sources
+// (CBR ticks, TCP segment/ACK emission) check packets out; ownership
+// travels with the packet — through MAC queues and wireline links — to
+// the node that finally consumes it, which releases it after the local
+// agent's Receive returns. A creator whose Output call reports false
+// releases the packet itself (it never left the node).
+//
+// Packets that die in transit without a release — an MSDU dropped at the
+// MAC retry limit, traffic still queued when the world's horizon ends —
+// are deliberately leaked to the garbage collector: the MAC cannot tell
+// whether the final retry was in fact received (only the ACK was lost),
+// so releasing there could double-free with the receiver. Worlds are
+// short-lived; the leak is bounded by drop counts.
+//
+// A nil *PacketPool is valid and heap-allocates: Get returns &Packet{},
+// and Release on such packets is a no-op.
+type PacketPool struct {
+	arena *pool.Arena[Packet]
+}
+
+// NewPacketPool builds an empty pool. Live packets track MAC queue depth
+// plus receiver reordering buffers (tens), so chunks stay small to keep
+// per-seed world construction cheap.
+func NewPacketPool() *PacketPool {
+	p := &PacketPool{arena: pool.NewArena[Packet](64, nil)}
+	p.arena.SetPoison(func(pk *Packet) {
+		// Impossible field values expose use-after-release under pooldebug.
+		*pk = Packet{Flow: -9999, Seq: -9999, AckSeq: -9999, pool: pk.pool}
+	})
+	return p
+}
+
+// Get checks a zeroed packet out of the pool. On a nil pool it returns a
+// plain heap packet.
+func (p *PacketPool) Get() *Packet {
+	if p == nil {
+		return &Packet{}
+	}
+	pk := p.arena.Get()
+	*pk = Packet{pool: p, refs: 1}
+	return pk
+}
+
+// Stats reports pool occupancy; zero on a nil pool.
+func (p *PacketPool) Stats() pool.Stats {
+	if p == nil {
+		return pool.Stats{}
+	}
+	return p.arena.Stats()
+}
+
+// Retain adds a reference to a pooled packet; a no-op for nil or
+// unpooled packets.
+func (p *Packet) Retain() {
+	if p == nil || p.pool == nil {
+		return
+	}
+	if p.refs <= 0 {
+		panic("transport: Retain of a released packet")
+	}
+	p.refs++
+}
+
+// Release drops one reference; the last release zeroes the packet and
+// returns it to the pool. A no-op for nil or unpooled packets; releasing
+// more times than retained panics.
+func (p *Packet) Release() {
+	if p == nil || p.pool == nil {
+		return
+	}
+	if p.refs <= 0 {
+		panic("transport: packet released twice")
+	}
+	p.refs--
+	if p.refs > 0 {
+		return
+	}
+	pl := p.pool
+	*p = Packet{pool: pl}
+	pl.arena.Put(p)
+}

@@ -1,0 +1,57 @@
+package transport
+
+import "testing"
+
+func TestPacketPoolLifecycle(t *testing.T) {
+	p := NewPacketPool()
+	pk := p.Get()
+	pk.Flow, pk.Seq = 3, 17
+	pk.Release()
+	if st := p.Stats(); st.Live != 0 || st.Gets != 1 || st.Puts != 1 {
+		t.Errorf("after release: %+v", st)
+	}
+	again := p.Get()
+	if again != pk {
+		t.Error("pool did not recycle the released packet")
+	}
+	if again.Flow != 0 || again.Seq != 0 {
+		t.Errorf("recycled packet not zeroed: %+v", again)
+	}
+}
+
+func TestPacketRetainRelease(t *testing.T) {
+	p := NewPacketPool()
+	pk := p.Get()
+	pk.Retain()
+	pk.Release()
+	if st := p.Stats(); st.Live != 1 {
+		t.Errorf("live = %d after one of two refs dropped, want 1", st.Live)
+	}
+	pk.Release()
+	if st := p.Stats(); st.Live != 0 {
+		t.Errorf("live = %d after final release, want 0", st.Live)
+	}
+}
+
+func TestPacketDoubleReleasePanics(t *testing.T) {
+	p := NewPacketPool()
+	pk := p.Get()
+	pk.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Release did not panic")
+		}
+	}()
+	pk.Release()
+}
+
+func TestUnpooledPacketNoOps(t *testing.T) {
+	var p *PacketPool
+	pk := p.Get()
+	pk.Retain()
+	pk.Release()
+	pk.Release()
+	var nilPk *Packet
+	nilPk.Retain()
+	nilPk.Release()
+}

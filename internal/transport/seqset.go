@@ -1,0 +1,30 @@
+package transport
+
+import "fmt"
+
+// seqSet is a dense membership set for non-negative sequence numbers.
+// Sources number packets sequentially from zero, so a bitset beats a
+// map[int]bool on both the per-packet hash and the rehash-growth
+// allocations that showed up in duplicate-detection profiles.
+type seqSet struct {
+	words []uint64
+}
+
+// testAndSet records seq and reports whether it was already present.
+func (s *seqSet) testAndSet(seq int) bool {
+	if seq < 0 {
+		panic(fmt.Sprintf("transport: negative packet seq %d", seq))
+	}
+	w := seq >> 6
+	bit := uint64(1) << uint(seq&63)
+	if w >= len(s.words) {
+		grown := make([]uint64, max(w+1, 2*len(s.words)))
+		copy(grown, s.words)
+		s.words = grown
+	}
+	if s.words[w]&bit != 0 {
+		return true
+	}
+	s.words[w] |= bit
+	return false
+}

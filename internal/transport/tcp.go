@@ -51,6 +51,7 @@ type TCPSender struct {
 	cfg   TCPConfig
 	sched *sim.Scheduler
 	out   Output
+	pool  *PacketPool
 
 	cwnd       float64
 	ssthresh   float64
@@ -126,6 +127,10 @@ func NewTCPSender(sched *sim.Scheduler, out Output, cfg TCPConfig) *TCPSender {
 	return s
 }
 
+// UsePool makes the sender draw segments from p instead of the heap.
+// Call before Start; a nil pool keeps heap allocation.
+func (s *TCPSender) UsePool(p *PacketPool) { s.pool = p }
+
 // Start opens the connection: the first segment goes out immediately.
 func (s *TCPSender) Start() {
 	s.started = true
@@ -183,12 +188,11 @@ func (s *TCPSender) trySend() {
 }
 
 func (s *TCPSender) emit(seq int, isRetransmit bool) {
-	p := &Packet{
-		Flow:         s.cfg.Flow,
-		Seq:          seq,
-		PayloadBytes: s.cfg.MSS,
-		WireBytes:    s.cfg.MSS + TCPIPHeaderBytes,
-	}
+	p := s.pool.Get()
+	p.Flow = s.cfg.Flow
+	p.Seq = seq
+	p.PayloadBytes = s.cfg.MSS
+	p.WireBytes = s.cfg.MSS + TCPIPHeaderBytes
 	s.SegmentsSent++
 	if seq >= s.maxEmitted {
 		s.maxEmitted = seq + 1
@@ -209,6 +213,7 @@ func (s *TCPSender) emit(seq int, isRetransmit bool) {
 	}
 	if !s.out.Output(p) {
 		s.OutputDrops++
+		p.Release() // never left this node
 	}
 	if !s.rtoTimer.Pending() {
 		s.rtoTimer.Start(s.rto)
@@ -355,9 +360,10 @@ func (s *TCPSender) RTO() sim.Time { return s.rto }
 type TCPReceiver struct {
 	flow   int
 	out    Output
+	pool   *PacketPool
 	rcvNxt int
 	ooo    map[int]bool
-	seen   map[int]bool
+	seen   seqSet
 	stats  FlowStats
 
 	// Delayed-ACK state (nil timer means ACK-every-segment).
@@ -378,7 +384,6 @@ func NewTCPReceiver(flow int, out Output) *TCPReceiver {
 		flow: flow,
 		out:  out,
 		ooo:  make(map[int]bool),
-		seen: make(map[int]bool),
 	}
 }
 
@@ -395,13 +400,16 @@ func NewTCPReceiverDelayed(sched *sim.Scheduler, flow int, out Output, delay sim
 	return r
 }
 
+// UsePool makes the receiver draw ACKs from p instead of the heap. A nil
+// pool keeps heap allocation.
+func (r *TCPReceiver) UsePool(p *PacketPool) { r.pool = p }
+
 // Receive implements Agent.
 func (r *TCPReceiver) Receive(p *Packet) {
 	if p.IsACK || p.Flow != r.flow {
 		return
 	}
-	if !r.seen[p.Seq] {
-		r.seen[p.Seq] = true
+	if !r.seen.testAndSet(p.Seq) {
 		r.stats.UniquePackets++
 		r.stats.UniqueBytes += int64(p.PayloadBytes)
 	} else {
@@ -443,12 +451,14 @@ func (r *TCPReceiver) sendAck() {
 	}
 	r.ackPending = false
 	r.AcksSent++
-	r.out.Output(&Packet{
-		Flow:      r.flow,
-		IsACK:     true,
-		AckSeq:    r.rcvNxt,
-		WireBytes: TCPIPHeaderBytes,
-	})
+	p := r.pool.Get()
+	p.Flow = r.flow
+	p.IsACK = true
+	p.AckSeq = r.rcvNxt
+	p.WireBytes = TCPIPHeaderBytes
+	if !r.out.Output(p) {
+		p.Release() // never left this node
+	}
 }
 
 // Stats reports accumulated goodput statistics.

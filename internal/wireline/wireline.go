@@ -7,9 +7,34 @@ package wireline
 import (
 	"fmt"
 
+	"greedy80211/internal/pool"
 	"greedy80211/internal/sim"
 	"greedy80211/internal/transport"
 )
+
+// transfer is one packet crossing the link: a recycled token whose two
+// events (queue departure, far-side arrival) are scheduled via AtCall
+// with the package-level dispatchers below, so forwarding creates no
+// per-packet closures.
+type transfer struct {
+	e *Endpoint
+	p *transport.Packet
+}
+
+func transferDepart(x any) { x.(*transfer).e.queued-- }
+
+func transferArrive(x any) {
+	t := x.(*transfer)
+	e, p := t.e, t.p
+	// Recycle before delivery: the handler may forward again and reuse
+	// this token. The departure event always precedes arrival (it is
+	// scheduled first at a time ≤ the arrival's), so no event still
+	// references the token.
+	t.e = nil
+	t.p = nil
+	e.transfers.Put(t)
+	e.peer.handler(p)
+}
 
 // Config parameterizes a link.
 type Config struct {
@@ -41,8 +66,9 @@ func NewLink(sched *sim.Scheduler, cfg Config) *Link {
 		cfg.QueueCap = 50
 	}
 	l := &Link{}
-	l.a = &Endpoint{sched: sched, cfg: cfg}
-	l.b = &Endpoint{sched: sched, cfg: cfg}
+	transfers := pool.NewArena[transfer](64, nil)
+	l.a = &Endpoint{sched: sched, cfg: cfg, transfers: transfers}
+	l.b = &Endpoint{sched: sched, cfg: cfg, transfers: transfers}
 	l.a.peer = l.b
 	l.b.peer = l.a
 	return l
@@ -59,10 +85,11 @@ func (l *Link) B() *Endpoint { return l.b }
 // the node package's Route interface shape (Forward method), so it can be
 // installed directly as a flow's next hop.
 type Endpoint struct {
-	sched   *sim.Scheduler
-	cfg     Config
-	peer    *Endpoint
-	handler func(*transport.Packet)
+	sched     *sim.Scheduler
+	cfg       Config
+	peer      *Endpoint
+	handler   func(*transport.Packet)
+	transfers *pool.Arena[transfer] // shared by both endpoints of the link
 
 	queued        int
 	lastDeparture sim.Time
@@ -102,10 +129,11 @@ func (e *Endpoint) Forward(p *transport.Packet) bool {
 	depart := start + txTime
 	e.lastDeparture = depart
 	e.queued++
-	e.sched.At(depart, func() { e.queued-- })
-	arrive := depart + e.cfg.Delay
-	peer := e.peer
-	e.sched.At(arrive, func() { peer.handler(p) })
+	t := e.transfers.Get()
+	t.e = e
+	t.p = p
+	e.sched.AtCall(depart, transferDepart, t)
+	e.sched.AtCall(depart+e.cfg.Delay, transferArrive, t)
 	e.Forwarded++
 	return true
 }
