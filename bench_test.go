@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"greedy80211/internal/experiments"
+	"greedy80211/internal/phys"
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
 )
@@ -129,6 +130,46 @@ func TestSimulatorAllocBudget(t *testing.T) {
 	})
 	if avg > budget {
 		t.Errorf("simulator workload allocates %.0f allocs/op, budget %d", avg, budget)
+	}
+	t.Logf("allocs/op = %.0f (budget %d)", avg, budget)
+}
+
+// TestDenseWorldAllocBudget is the allocation-budget gate on the
+// multi-BSS fan-out path: a 4×4 grid of BSSs (336 radios, 320 flows,
+// the bench suite's dense_world reference case) run for one simulated
+// second must stay within budget. Neighbor tables are built once per
+// topology generation and arrivals ride the pooled arena, so
+// steady-state delivery allocates nothing; the budget covers world
+// construction (which scales with radio and flow count) plus headroom,
+// and catches any per-delivery allocation sneaking into the scoped
+// path.
+func TestDenseWorldAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	const budget = 40000
+	prop := phys.GRCPropagation()
+	seed := int64(0)
+	avg := testing.AllocsPerRun(5, func() {
+		seed++
+		w, err := scenario.BuildCells(scenario.CellsConfig{
+			Config: scenario.Config{Seed: seed, Propagation: &prop},
+			Topology: scenario.TopologySpec{
+				NumCells:        16,
+				GridCols:        4,
+				ChannelPlan:     []int{1, 6, 11},
+				DefaultStations: 20,
+				DefaultUplink:   5,
+			},
+			CBRRateBps: 2e5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Run(sim.Second)
+	})
+	if avg > budget {
+		t.Errorf("dense world allocates %.0f allocs/op, budget %d", avg, budget)
 	}
 	t.Logf("allocs/op = %.0f (budget %d)", avg, budget)
 }

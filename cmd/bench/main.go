@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"greedy80211/internal/experiments"
+	"greedy80211/internal/phys"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
@@ -98,8 +99,40 @@ type snapshot struct {
 	SimulatorTraced benchEntry `json:"simulator_traced"`
 	// Pools is the end-of-run pool occupancy of one representative pooled
 	// world (seed 1, one simulated second).
-	Pools     scenario.PoolStats `json:"pools"`
-	Artifacts wallClock          `json:"artifacts"`
+	Pools scenario.PoolStats `json:"pools"`
+	// DenseWorld compares neighbor-scoped delivery against the legacy
+	// broadcast scan on a multi-BSS grid: identical worlds, identical
+	// event streams, different per-transmit fan-out cost. The scoped
+	// path's events/sec should track the (small) neighbor sets, not the
+	// total radio count.
+	DenseWorld denseWorldBench `json:"dense_world"`
+	Artifacts  wallClock       `json:"artifacts"`
+}
+
+// denseWorldBench is the broadcast-vs-neighbor comparison matrix: the
+// same per-cell workload at growing grid sizes. Scoped events/sec
+// should stay roughly flat across rows (per-event cost tracks the
+// constant neighbor count) while the broadcast scan degrades with the
+// total radio count.
+type denseWorldBench struct {
+	Channels        int              `json:"channels"`
+	StationsPerCell int              `json:"stations_per_cell"`
+	Cases           []denseWorldCase `json:"cases"`
+}
+
+// denseWorldCase is one grid size of the matrix.
+type denseWorldCase struct {
+	Cells int `json:"cells"`
+	// Radios is the total radio count (APs + stations).
+	Radios int `json:"radios"`
+	// AvgNeighbors is the mean per-radio co-channel in-CS-range neighbor
+	// count — the fan-out the scoped path pays per transmission, versus
+	// Radios-1 probed by the broadcast scan.
+	AvgNeighbors float64    `json:"avg_neighbors"`
+	Scoped       benchEntry `json:"scoped"`
+	Broadcast    benchEntry `json:"broadcast"`
+	// SpeedupScoped is Scoped.EventsPerSec / Broadcast.EventsPerSec.
+	SpeedupScoped float64 `json:"speedup_scoped"`
 }
 
 func main() {
@@ -165,6 +198,20 @@ func run(args []string) int {
 	fmt.Printf("pool occupancy (1 world, 1 sim-second): frames gets=%d chunks=%d, packets gets=%d chunks=%d, events gets=%d chunks=%d\n",
 		pools.Frames.Gets, pools.Frames.Chunks, pools.Packets.Gets, pools.Packets.Chunks,
 		pools.Events.Gets, pools.Events.Chunks)
+
+	dense, err := denseWorldSnapshot(*quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	snap.DenseWorld = dense
+	fmt.Printf("dense world (%d-channel plan, %d stations/cell, identical per-cell workload):\n",
+		dense.Channels, dense.StationsPerCell)
+	for _, c := range dense.Cases {
+		fmt.Printf("  cells=%-4d radios=%-5d neighbors=%-5.1f scoped %10.0f events/sec, broadcast %10.0f events/sec (%.2fx)\n",
+			c.Cells, c.Radios, c.AvgNeighbors,
+			c.Scoped.EventsPerSec, c.Broadcast.EventsPerSec, c.SpeedupScoped)
+	}
 
 	ids := []string{"fig2", "fig5", "fig14", "tab1", "abl1"}
 	if *quick {
@@ -420,6 +467,98 @@ func benchSimulatorUnpooled(b *testing.B) {
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(events)/secs, "events/sec")
 	}
+}
+
+// Dense-world comparison: grids of BSSs on a 3-channel plan with
+// hotspot-scale (GRC evaluation) propagation, so each BSS
+// carrier-senses only itself. Per-cell workload (stations, uplink mix,
+// rate) is identical at every grid size: the scoped path's per-event
+// cost should track the constant neighbor count while the broadcast
+// scan's O(total radios) per-transmit probe grows with the grid.
+const (
+	denseWorldChannels = 3
+	denseWorldStations = 20
+	denseWorldUplink   = 5
+	denseWorldRateBps  = 2e5
+	denseWorldRun      = 500 * sim.Millisecond
+)
+
+// denseWorldGrids are the matrix's grid sizes: the 4×4 reference, then
+// wider grids where the broadcast scan's radio-count term dominates.
+var denseWorldGrids = []int{16, 49, 100}
+
+func buildDenseWorld(seed int64, cells int, broadcast bool) (*scenario.World, error) {
+	prop := phys.GRCPropagation()
+	return scenario.BuildCells(scenario.CellsConfig{
+		Config: scenario.Config{
+			Seed:                   seed,
+			Propagation:            &prop,
+			DisableNeighborScoping: broadcast,
+		},
+		Topology: scenario.TopologySpec{
+			NumCells:        cells,
+			ChannelPlan:     []int{1, 6, 11},
+			DefaultStations: denseWorldStations,
+			DefaultUplink:   denseWorldUplink,
+		},
+		CBRRateBps: denseWorldRateBps,
+	})
+}
+
+func benchDenseWorld(cells int, broadcast bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			w, err := buildDenseWorld(int64(i+1), cells, broadcast)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Run(denseWorldRun)
+			events += w.Sched.Executed()
+		}
+		b.ReportMetric(float64(events)/float64(b.N), "events/op")
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(events)/secs, "events/sec")
+		}
+	}
+}
+
+func denseWorldSnapshot(quick bool) (denseWorldBench, error) {
+	d := denseWorldBench{
+		Channels:        denseWorldChannels,
+		StationsPerCell: denseWorldStations,
+	}
+	grids := denseWorldGrids
+	if quick {
+		grids = grids[:1]
+	}
+	for _, cells := range grids {
+		c := denseWorldCase{Cells: cells, Radios: cells * (denseWorldStations + 1)}
+		// Topology census on one instance of the world.
+		w, err := buildDenseWorld(1, cells, false)
+		if err != nil {
+			return denseWorldBench{}, err
+		}
+		var total int
+		for cell := 0; cell < cells; cell++ {
+			ap, _ := w.Station(scenario.CellAPName(cell))
+			total += w.Medium.NeighborCount(ap.ID)
+			for s := 0; s < denseWorldStations; s++ {
+				st, _ := w.Station(scenario.CellStationName(cell, s))
+				total += w.Medium.NeighborCount(st.ID)
+			}
+		}
+		c.AvgNeighbors = float64(total) / float64(c.Radios)
+		name := fmt.Sprintf("DenseWorld%dCells", cells)
+		c.Scoped = toEntry(name+"Scoped", testing.Benchmark(benchDenseWorld(cells, false)))
+		c.Broadcast = toEntry(name+"Broadcast", testing.Benchmark(benchDenseWorld(cells, true)))
+		if c.Broadcast.EventsPerSec > 0 {
+			c.SpeedupScoped = c.Scoped.EventsPerSec / c.Broadcast.EventsPerSec
+		}
+		d.Cases = append(d.Cases, c)
+	}
+	return d, nil
 }
 
 // poolSnapshot runs one representative pooled world and reports its

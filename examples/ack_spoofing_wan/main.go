@@ -22,7 +22,7 @@ func buildWorld(seed int64, wiredDelay sim.Time, spoof bool) (*scenario.World, e
 	w, err := scenario.NewWorld(scenario.Config{
 		Seed:         seed,
 		UseRTSCTS:    true,
-		DefaultBER:   2e-5, // the paper's wireless loss for this study
+		Error:        phys.BERSpec(2e-5), // the paper's wireless loss for this study
 		ForceCapture: true,
 	})
 	if err != nil {

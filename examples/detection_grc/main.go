@@ -71,7 +71,7 @@ func demoSpoof() {
 func demoFakeACK() {
 	run := func(fake bool) (macLoss, appLoss float64) {
 		w, err := scenario.BuildPairs(scenario.PairsConfig{
-			Config:     scenario.Config{Seed: 3, UseRTSCTS: true, DefaultBER: 8e-4},
+			Config:     scenario.Config{Seed: 3, UseRTSCTS: true, Error: phys.BERSpec(8e-4)},
 			N:          1,
 			Transport:  scenario.UDP,
 			CBRRateBps: 5e5,

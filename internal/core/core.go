@@ -244,12 +244,14 @@ func (c Config) buildWorld(seed int64, grcCfg *detect.Config) (*scenario.World, 
 		Seed:         seed,
 		Band:         c.Band,
 		UseRTSCTS:    !c.DisableRTSCTS,
-		DefaultBER:   c.BER,
 		ForceCapture: c.Misbehavior == MisbehaviorACKSpoofing,
 		Trace:        c.Trace,
 	}
-	if c.DataFER > 0 {
-		base.DefaultDataFER = c.DataFER
+	switch {
+	case c.DataFER > 0:
+		base.Error = phys.DataFERSpec(c.DataFER)
+	case c.BER > 0:
+		base.Error = phys.BERSpec(c.BER)
 	}
 	recv := func(w *scenario.World, i int) scenario.StationOpts {
 		return c.receiverOpts(w, i, grcCfg)
@@ -262,7 +264,7 @@ func (c Config) buildWorld(seed int64, grcCfg *detect.Config) (*scenario.World, 
 	}
 	switch {
 	case c.HiddenTerminals:
-		return scenario.BuildHiddenPairs(base, recv)
+		return scenario.BuildHiddenPairs(scenario.HiddenPairsConfig{Config: base, ReceiverOpts: recv})
 	case c.SharedAP:
 		return scenario.BuildSharedAP(scenario.SharedAPConfig{
 			Config: base, N: c.Pairs, Transport: c.Transport, ReceiverOpts: recv,

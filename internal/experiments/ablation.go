@@ -51,7 +51,7 @@ func runAbl1(cfg RunConfig) (*Result, error) {
 		build := func(seed int64, spoof bool) (*scenario.World, error) {
 			return scenario.BuildPairs(scenario.PairsConfig{
 				Config: scenario.Config{
-					Seed: seed, UseRTSCTS: true, DefaultBER: 2e-4,
+					Seed: seed, UseRTSCTS: true, Error: phys.BERSpec(2e-4),
 					ForceCapture: reg.force, DisableCapture: reg.disable,
 				},
 				N:         2,

@@ -21,16 +21,13 @@ func registerAutoRate() {
 
 // marginalLadderFER models a link whose SNR supports 1–2 Mbps cleanly,
 // 5.5 Mbps marginally, and 11 Mbps badly.
-func marginalLadderFER() phys.RateLadderFER {
-	return phys.RateLadderFER{
-		FERByRate: map[int64]float64{
-			1_000_000:  0,
-			2_000_000:  0.01,
-			5_500_000:  0.15,
-			11_000_000: 0.70,
-		},
-		MinUnits: 200, // control frames (basic rate, short) always pass
-	}
+func marginalLadderFER() phys.ErrorSpec {
+	return phys.RateLadderSpec(map[int64]float64{
+		1_000_000:  0,
+		2_000_000:  0.01,
+		5_500_000:  0.15,
+		11_000_000: 0.70,
+	}, 200) // control frames (basic rate, short) always pass
 }
 
 // autoratePairs builds 2 pairs on a marginal link; senders optionally run
@@ -41,7 +38,7 @@ func autoratePairs(seed int64, tr scenario.Transport, useARF bool,
 		Config: scenario.Config{
 			Seed:         seed,
 			UseRTSCTS:    true,
-			RateError:    marginalLadderFER(),
+			Error:        marginalLadderFER(),
 			ForceCapture: tr == scenario.TCP, // spoofing study keeps the paper's capture assumption
 		},
 		N:         2,

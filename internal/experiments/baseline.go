@@ -49,7 +49,7 @@ func runExtC(cfg RunConfig) (*Result, error) {
 		{"ack-spoofing BER 2e-4", func(seed int64, dom *detect.Domino) (*scenario.World, error) {
 			return scenario.BuildPairs(scenario.PairsConfig{
 				Config: scenario.Config{
-					Seed: seed, UseRTSCTS: true, DefaultBER: 2e-4,
+					Seed: seed, UseRTSCTS: true, Error: phys.BERSpec(2e-4),
 					ForceCapture: true, Trace: dom,
 				},
 				N:         2,
@@ -67,11 +67,14 @@ func runExtC(cfg RunConfig) (*Result, error) {
 		}},
 		{"fake-acks hidden terminals", func(seed int64, dom *detect.Domino) (*scenario.World, error) {
 			base := scenario.Config{Seed: seed, Trace: dom}
-			return scenario.BuildHiddenPairs(base, func(w *scenario.World, i int) scenario.StationOpts {
-				if i != 1 {
-					return scenario.StationOpts{}
-				}
-				return scenario.StationOpts{Policy: greedy.NewFakeACKer(w.Sched.RNG(), 100)}
+			return scenario.BuildHiddenPairs(scenario.HiddenPairsConfig{
+				Config: base,
+				ReceiverOpts: func(w *scenario.World, i int) scenario.StationOpts {
+					if i != 1 {
+						return scenario.StationOpts{}
+					}
+					return scenario.StationOpts{Policy: greedy.NewFakeACKer(w.Sched.RNG(), 100)}
+				},
 			})
 		}},
 	}

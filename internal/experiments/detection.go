@@ -201,7 +201,7 @@ func grcSpoofWorldWithConfig(seed int64, ber float64, grcCfg detect.Config) (*sc
 
 func grcSpoofWorldAt(seed int64, ber float64, greedyOn bool, grcCfg *detect.Config) (*scenario.World, error) {
 	w, err := scenario.NewWorld(scenario.Config{
-		Seed: seed, UseRTSCTS: true, DefaultBER: ber, ForceCapture: true,
+		Seed: seed, UseRTSCTS: true, Error: phys.BERSpec(ber), ForceCapture: true,
 	})
 	if err != nil {
 		return nil, err

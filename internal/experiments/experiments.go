@@ -183,6 +183,7 @@ func ensureRegistered() {
 		registerAutoRate()
 		registerBaseline()
 		registerAblation()
+		registerDense()
 	})
 }
 

@@ -18,6 +18,8 @@ func TestRegistryComplete(t *testing.T) {
 		// Extensions beyond the paper (Section IX future work and the
 		// DOMINO sender-side baseline).
 		"exta", "extb", "extc", "abl1", "abl2", "abl3",
+		// Multi-BSS extension (beyond the paper).
+		"dense1",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -19,13 +19,15 @@ func registerFake() {
 // hiddenWorld builds the Fig 18 topology with the last nGreedy receivers
 // faking ACKs at greedy percentage gp.
 func hiddenWorld(seed int64, band phys.Band, gp float64, nGreedy int) (*scenario.World, error) {
-	return scenario.BuildHiddenPairs(scenario.Config{Seed: seed, Band: band},
-		func(w *scenario.World, i int) scenario.StationOpts {
+	return scenario.BuildHiddenPairs(scenario.HiddenPairsConfig{
+		Config: scenario.Config{Seed: seed, Band: band},
+		ReceiverOpts: func(w *scenario.World, i int) scenario.StationOpts {
 			if i < 2-nGreedy || gp == 0 {
 				return scenario.StationOpts{}
 			}
 			return scenario.StationOpts{Policy: greedy.NewFakeACKer(w.Sched.RNG(), gp)}
-		})
+		},
+	})
 }
 
 func runFig18(cfg RunConfig) (*Result, error) {
@@ -115,7 +117,7 @@ func runTab4(cfg RunConfig) (*Result, error) {
 func inherentLossPairs(seed int64, dataFER, gp float64, nGreedy int) (*scenario.World, error) {
 	return scenario.BuildPairs(scenario.PairsConfig{
 		Config: scenario.Config{
-			Seed: seed, UseRTSCTS: true, DefaultDataFER: dataFER,
+			Seed: seed, UseRTSCTS: true, Error: phys.DataFERSpec(dataFER),
 		},
 		N:         2,
 		Transport: scenario.UDP,
@@ -183,7 +185,7 @@ func runFig19(cfg RunConfig) (*Result, error) {
 			flows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 				return scenario.BuildPairs(scenario.PairsConfig{
 					Config: scenario.Config{
-						Seed: seed, UseRTSCTS: true, DefaultDataFER: fer,
+						Seed: seed, UseRTSCTS: true, Error: phys.DataFERSpec(fer),
 					},
 					N:         total,
 					Transport: scenario.UDP,

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"greedy80211/internal/metrics"
+	"greedy80211/internal/scenario"
+	"greedy80211/internal/trace"
+)
+
+// TestGatedArtifactsScopedVsBroadcast: the nine artifacts behind the
+// reproduction gate must be byte-identical — result JSON, telemetry
+// sidecar, and full trace export — whether the medium delivers via
+// neighbor sets or the legacy broadcast scan. Single-cell worlds have
+// full neighbor sets, so the scoped path must be a strict
+// generalization; this is the before/after-refactor identity check,
+// kept alive via the broadcast switch.
+func TestGatedArtifactsScopedVsBroadcast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every gated artifact twice")
+	}
+	gated := []string{"fig1", "fig2", "fig4", "fig6", "fig11", "fig18", "fig23", "tab4", "extc"}
+	for _, id := range gated {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			run := func(broadcast bool) ([]byte, []byte, []byte) {
+				scenario.SetBroadcastMediumForTest(broadcast)
+				defer scenario.SetBroadcastMediumForTest(false)
+				mcol := metrics.NewCollector()
+				tcol := trace.NewCollector(0)
+				res, err := Run(id, RunConfig{Quick: true, Seeds: 1, BaseSeed: 3, Metrics: mcol, Trace: tcol})
+				if err != nil {
+					t.Fatal(err)
+				}
+				doc, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var mbuf bytes.Buffer
+				if err := metrics.EncodeSnapshots(&mbuf, mcol.Snapshots()); err != nil {
+					t.Fatal(err)
+				}
+				return doc, mbuf.Bytes(), exportAll(t, tcol)
+			}
+			scopedRes, scopedMet, scopedTrace := run(false)
+			bcastRes, bcastMet, bcastTrace := run(true)
+			if !bytes.Equal(scopedRes, bcastRes) {
+				t.Errorf("result JSON differs between scoped and broadcast delivery")
+			}
+			if !bytes.Equal(scopedMet, bcastMet) {
+				t.Errorf("metrics sidecar differs between scoped and broadcast delivery")
+			}
+			if !bytes.Equal(scopedTrace, bcastTrace) {
+				t.Errorf("trace export differs: scoped %d bytes, broadcast %d bytes",
+					len(scopedTrace), len(bcastTrace))
+			}
+			if len(scopedTrace) == 0 {
+				t.Error("empty trace export")
+			}
+		})
+	}
+}

@@ -28,7 +28,7 @@ func spoofPairs(seed int64, band phys.Band, ber, gp float64, nGreedy int) (*scen
 	return scenario.BuildPairs(scenario.PairsConfig{
 		Config: scenario.Config{
 			Seed: seed, Band: band, UseRTSCTS: true,
-			DefaultBER: ber, ForceCapture: true,
+			Error: phys.BERSpec(ber), ForceCapture: true,
 		},
 		N:         2,
 		Transport: scenario.TCP,
@@ -182,7 +182,7 @@ func runFig14(cfg RunConfig) (*Result, error) {
 		sharedFlows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return scenario.BuildSharedAP(scenario.SharedAPConfig{
 				Config: scenario.Config{
-					Seed: seed, UseRTSCTS: true, DefaultBER: 2e-4, ForceCapture: true,
+					Seed: seed, UseRTSCTS: true, Error: phys.BERSpec(2e-4), ForceCapture: true,
 				},
 				N:         total,
 				Transport: scenario.TCP,
@@ -202,7 +202,7 @@ func runFig14(cfg RunConfig) (*Result, error) {
 		sepFlows, _, err := runSeeds(cfg, func(seed int64) (*scenario.World, error) {
 			return scenario.BuildPairs(scenario.PairsConfig{
 				Config: scenario.Config{
-					Seed: seed, UseRTSCTS: true, DefaultBER: 2e-4, ForceCapture: true,
+					Seed: seed, UseRTSCTS: true, Error: phys.BERSpec(2e-4), ForceCapture: true,
 				},
 				N:         total,
 				Transport: scenario.TCP,
@@ -238,7 +238,7 @@ func runFig14(cfg RunConfig) (*Result, error) {
 // two wireless receivers, wireless BER 2e-5; R2 optionally spoofs for R1.
 func remoteSenders(seed int64, delay sim.Time, gp float64) (*scenario.World, error) {
 	w, err := scenario.NewWorld(scenario.Config{
-		Seed: seed, UseRTSCTS: true, DefaultBER: 2e-5, ForceCapture: true,
+		Seed: seed, UseRTSCTS: true, Error: phys.BERSpec(2e-5), ForceCapture: true,
 	})
 	if err != nil {
 		return nil, err
@@ -360,7 +360,7 @@ func runFig17(cfg RunConfig) (*Result, error) {
 		return scenario.BuildSharedAP(scenario.SharedAPConfig{
 			Config: scenario.Config{
 				Seed: seed, UseRTSCTS: true, ForceCapture: true,
-				DefaultBER: ber,
+				Error: phys.BERSpec(ber),
 			},
 			N:         2,
 			Transport: scenario.UDP,

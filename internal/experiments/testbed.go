@@ -114,7 +114,7 @@ func runTab7(cfg RunConfig) (*Result, error) {
 // testbed (tab8).
 func sharedAPEmulation(seed int64, ber float64, tr scenario.Transport,
 	senderOpts func(w *scenario.World) scenario.StationOpts) (*scenario.World, error) {
-	w, err := scenario.NewWorld(scenario.Config{Seed: seed, Band: phys.Band80211A, DefaultBER: ber})
+	w, err := scenario.NewWorld(scenario.Config{Seed: seed, Band: phys.Band80211A, Error: phys.BERSpec(ber)})
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,18 @@
-// Package medium models the shared wireless channel: it broadcasts every
-// transmission to all radios in carrier-sense range, tracks overlapping
-// receptions, resolves collisions with the capture effect, applies
-// independent per-link channel errors, and reports physical-carrier-sense
-// transitions to each station's MAC.
+// Package medium models the shared wireless channel: every transmission
+// reaches the radios in carrier-sense range on the transmitter's channel,
+// the medium tracks overlapping receptions, resolves collisions with the
+// capture effect, applies independent per-link channel errors, and reports
+// physical-carrier-sense transitions to each station's MAC.
+//
+// Delivery is neighbor-scoped: each radio keeps an interference-graph
+// adjacency list (co-channel radios within carrier-sense range, with the
+// per-link propagation precomputed), so the event cost of one transmission
+// scales with the transmitter's neighbor count, not the total radio
+// population. Radios on other channels cost zero events. A world where
+// everyone is in range of everyone on one channel — the paper's hotspot —
+// has full neighbor sets, making the scoped path a strict generalization
+// of the old broadcast-to-all delivery (Config.DisableNeighborScoping
+// keeps the legacy O(radios) scan for comparison; outputs are identical).
 package medium
 
 import (
@@ -92,6 +102,13 @@ type Config struct {
 	// channel-occupancy bumps at frame grant time — the always-on
 	// telemetry path (no tap required, plain counter arithmetic).
 	Metrics *metrics.Registry
+	// DisableNeighborScoping falls back to the legacy broadcast fan-out:
+	// every transmission scans all radios instead of the transmitter's
+	// neighbor list. Deliveries, RNG draws, and therefore all outputs are
+	// byte-identical either way (the scan applies the same channel and
+	// carrier-sense-range membership in the same order); the switch exists
+	// for the neighbor-vs-broadcast identity tests and scaling benchmarks.
+	DisableNeighborScoping bool
 }
 
 // Tap receives channel events for tracing and accounting.
@@ -138,20 +155,38 @@ func beginArrivalEvent(x any) { a := x.(*arrival); a.m.beginArrival(a.o, a) }
 func endArrivalEvent(x any)   { a := x.(*arrival); a.m.endArrival(a.o, a) }
 
 type radio struct {
-	id       mac.NodeID
-	pos      phys.Position
-	rcv      mac.Receiver
+	id      mac.NodeID
+	pos     phys.Position
+	channel int
+	rcv     mac.Receiver
+
 	inflight []*arrival
 	txUntil  sim.Time
-	// links caches per-receiver propagation (indexed like Medium.order).
-	// Positions are fixed, so range checks, received power, and delay are
-	// pure functions of the pair; recomputing the path-loss logarithm per
-	// arrival was a measurable share of Transmit. Rebuilt lazily when
-	// radios are added.
-	links []link
+	// neighbors is this radio's interference-graph adjacency: co-channel
+	// radios within carrier-sense range, in Medium.order order, with the
+	// per-link propagation cached (range checks, received power, and delay
+	// are pure functions of the pair, and recomputing the path-loss
+	// logarithm per arrival was a measurable share of Transmit). Rebuilt
+	// lazily whenever the medium's topology generation moves past topoGen
+	// (a radio was added or repositioned).
+	neighbors []neighbor
+	// links is the legacy full-population propagation cache (indexed like
+	// Medium.order), maintained only under DisableNeighborScoping.
+	links   []link
+	topoGen uint64
 }
 
-// link is the cached propagation from one radio to another.
+// neighbor is one interference-graph edge: the destination radio plus the
+// cached directed-link propagation toward it.
+type neighbor struct {
+	o      *radio
+	inComm bool
+	rxDBm  float64
+	delay  sim.Time
+}
+
+// link is the cached propagation from one radio to another (legacy
+// broadcast path).
 type link struct {
 	inCS, inComm bool
 	rxPowerDBm   float64
@@ -168,6 +203,10 @@ type Medium struct {
 	order    []*radio // deterministic iteration order
 	taps     []Tap    // fan-out list, seeded from cfg.Tap
 	arrivals *pool.Arena[arrival]
+	// topoGen counts topology mutations (radio added, position changed);
+	// each radio rebuilds its neighbor list lazily when its own topoGen
+	// falls behind.
+	topoGen uint64
 }
 
 var _ mac.Channel = (*Medium)(nil)
@@ -210,17 +249,50 @@ func (m *Medium) AddTap(t Tap) {
 	m.taps = append(m.taps, t)
 }
 
-// AddRadio registers a station's radio at a fixed position.
+// DefaultChannel is the channel radios join when none is given; every
+// single-cell scenario lives on it.
+const DefaultChannel = 1
+
+// AddRadio registers a station's radio at a fixed position on the default
+// channel.
 func (m *Medium) AddRadio(id mac.NodeID, pos phys.Position, rcv mac.Receiver) error {
+	return m.AddRadioOn(id, pos, DefaultChannel, rcv)
+}
+
+// AddRadioOn registers a station's radio on a specific channel. Radios on
+// different channels never interact: a transmission costs zero events at
+// off-channel radios. Channel 0 means DefaultChannel.
+func (m *Medium) AddRadioOn(id mac.NodeID, pos phys.Position, channel int, rcv mac.Receiver) error {
 	if rcv == nil {
 		return fmt.Errorf("medium: radio %d has nil receiver", id)
+	}
+	if channel == 0 {
+		channel = DefaultChannel
+	}
+	if channel < 0 {
+		return fmt.Errorf("medium: radio %d on negative channel %d", id, channel)
 	}
 	if _, dup := m.radios[id]; dup {
 		return fmt.Errorf("medium: duplicate radio %d", id)
 	}
-	r := &radio{id: id, pos: pos, rcv: rcv}
+	r := &radio{id: id, pos: pos, channel: channel, rcv: rcv}
 	m.radios[id] = r
 	m.order = append(m.order, r)
+	m.topoGen++
+	return nil
+}
+
+// SetPosition moves a registered radio; neighbor sets rebuild lazily on
+// the next transmission. Call it between exchanges (e.g. from a mobility
+// event), not while the radio has frames in flight — arrivals already
+// scheduled keep their old propagation.
+func (m *Medium) SetPosition(id mac.NodeID, pos phys.Position) error {
+	r, ok := m.radios[id]
+	if !ok {
+		return fmt.Errorf("medium: SetPosition of unregistered radio %d", id)
+	}
+	r.pos = pos
+	m.topoGen++
 	return nil
 }
 
@@ -231,6 +303,37 @@ func (m *Medium) Position(id mac.NodeID) (phys.Position, bool) {
 		return phys.Position{}, false
 	}
 	return r.pos, true
+}
+
+// Channel reports a registered radio's channel.
+func (m *Medium) Channel(id mac.NodeID) (int, bool) {
+	r, ok := m.radios[id]
+	if !ok {
+		return 0, false
+	}
+	return r.channel, true
+}
+
+// NeighborCount reports how many co-channel radios sit within id's
+// carrier-sense range — the fan-out cost of one of its transmissions.
+func (m *Medium) NeighborCount(id mac.NodeID) int {
+	r, ok := m.radios[id]
+	if !ok {
+		return 0
+	}
+	if r.topoGen != m.topoGen {
+		m.buildTopology(r)
+	}
+	if m.cfg.DisableNeighborScoping {
+		n := 0
+		for i, o := range m.order {
+			if o != r && o.channel == r.channel && r.links[i].inCS {
+				n++
+			}
+		}
+		return n
+	}
+	return len(r.neighbors)
 }
 
 // MeanRSSDBm reports the mean received power on a directed link, as the
@@ -268,7 +371,7 @@ func (m *Medium) errorModelFor(from, to mac.NodeID) phys.ErrorModel {
 }
 
 // Transmit implements mac.Channel: src's frame occupies the air for
-// airtime, reaching every radio within carrier-sense range.
+// airtime, reaching every co-channel radio within carrier-sense range.
 func (m *Medium) Transmit(src mac.NodeID, f *mac.Frame, airtime sim.Time) {
 	tx, ok := m.radios[src]
 	if !ok {
@@ -289,44 +392,85 @@ func (m *Medium) Transmit(src mac.NodeID, f *mac.Frame, airtime sim.Time) {
 	for _, a := range tx.inflight {
 		a.selfTx = true
 	}
-	if len(tx.links) != len(m.order) {
-		m.buildLinks(tx)
+	if tx.topoGen != m.topoGen {
+		m.buildTopology(tx)
 	}
-	for i, o := range m.order {
-		if o.id == src {
-			continue
+	if m.cfg.DisableNeighborScoping {
+		// Legacy broadcast fan-out: scan the whole population, applying
+		// the same membership test the neighbor list precomputes. The two
+		// paths visit identical receivers in identical order, so RNG draws
+		// and outputs match byte for byte.
+		for i, o := range m.order {
+			if o == tx || o.channel != tx.channel {
+				continue
+			}
+			lk := &tx.links[i]
+			if !lk.inCS {
+				continue
+			}
+			m.scheduleArrival(o, f, src, lk.inComm, lk.rxPowerDBm, lk.delay, now, airtime)
 		}
-		lk := &tx.links[i]
-		if !lk.inCS {
-			continue
-		}
-		a := m.arrivals.Get()
-		a.o = o
-		a.frame = f
-		a.from = src
-		a.rssi = m.cfg.RSSI.Sample(m.rng, lk.rxPowerDBm)
-		a.inComm = lk.inComm
-		a.overlapped = false
-		a.strongestOther = math.Inf(-1)
-		a.selfTx = false
-		f.Retain() // the in-flight copy keeps the frame alive until endArrival
-		a.start = now + lk.delay
-		a.end = a.start + airtime
-		m.sched.AtCall(a.start, beginArrivalEvent, a)
+		return
+	}
+	for i := range tx.neighbors {
+		nb := &tx.neighbors[i]
+		m.scheduleArrival(nb.o, f, src, nb.inComm, nb.rxDBm, nb.delay, now, airtime)
 	}
 }
 
-// buildLinks fills tx's cached propagation toward every current radio.
-func (m *Medium) buildLinks(tx *radio) {
-	tx.links = make([]link, len(m.order))
-	for i, o := range m.order {
-		dist := tx.pos.DistanceTo(o.pos)
-		tx.links[i] = link{
-			inCS:       dist <= m.cfg.Propagation.CSRange,
-			inComm:     dist <= m.cfg.Propagation.CommRange,
-			rxPowerDBm: m.cfg.Propagation.RxPowerDBm(dist),
-			delay:      phys.PropagationDelay(dist),
+// scheduleArrival enqueues one receiver's begin/end arrival pair.
+func (m *Medium) scheduleArrival(o *radio, f *mac.Frame, from mac.NodeID,
+	inComm bool, rxDBm float64, delay sim.Time, now, airtime sim.Time) {
+	a := m.arrivals.Get()
+	a.o = o
+	a.frame = f
+	a.from = from
+	a.rssi = m.cfg.RSSI.Sample(m.rng, rxDBm)
+	a.inComm = inComm
+	a.overlapped = false
+	a.strongestOther = math.Inf(-1)
+	a.selfTx = false
+	f.Retain() // the in-flight copy keeps the frame alive until endArrival
+	a.start = now + delay
+	a.end = a.start + airtime
+	m.sched.AtCall(a.start, beginArrivalEvent, a)
+}
+
+// buildTopology refreshes r's cached adjacency. Under neighbor scoping
+// (the default) it rebuilds the interference-graph edge list: co-channel
+// radios within carrier-sense range in registration order, each edge
+// carrying the directed-link propagation. Under DisableNeighborScoping it
+// rebuilds the legacy full-population link cache instead.
+func (m *Medium) buildTopology(r *radio) {
+	r.topoGen = m.topoGen
+	if m.cfg.DisableNeighborScoping {
+		r.links = make([]link, len(m.order))
+		for i, o := range m.order {
+			dist := r.pos.DistanceTo(o.pos)
+			r.links[i] = link{
+				inCS:       dist <= m.cfg.Propagation.CSRange,
+				inComm:     dist <= m.cfg.Propagation.CommRange,
+				rxPowerDBm: m.cfg.Propagation.RxPowerDBm(dist),
+				delay:      phys.PropagationDelay(dist),
+			}
 		}
+		return
+	}
+	r.neighbors = r.neighbors[:0]
+	for _, o := range m.order {
+		if o == r || o.channel != r.channel {
+			continue
+		}
+		dist := r.pos.DistanceTo(o.pos)
+		if dist > m.cfg.Propagation.CSRange {
+			continue
+		}
+		r.neighbors = append(r.neighbors, neighbor{
+			o:      o,
+			inComm: dist <= m.cfg.Propagation.CommRange,
+			rxDBm:  m.cfg.Propagation.RxPowerDBm(dist),
+			delay:  phys.PropagationDelay(dist),
+		})
 	}
 }
 

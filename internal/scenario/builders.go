@@ -39,10 +39,20 @@ type PairsConfig struct {
 	CBRRateBps float64
 	// PayloadBytes is the data packet size; zero means 1024.
 	PayloadBytes int
-	// ReceiverOpts customizes receiver i's station (greedy policy, GRC);
-	// nil receivers are normal.
+	// ReceiverSpecs declaratively customizes receiver i's station (greedy
+	// policy, GRC, queue cap, position); missing indices are normal
+	// receivers. Specs are JSON-serializable, so campaign and topology
+	// specs can express greedy mixes without Go closures.
+	ReceiverSpecs []StationSpec
+	// SenderSpecs declaratively customizes sender i's station.
+	SenderSpecs []StationSpec
+	// ReceiverOpts customizes receiver i's station with a closure — the
+	// func-based wrapper around ReceiverSpecs for call sites that need
+	// Go values (custom policies, rate controllers). Mutually exclusive
+	// with ReceiverSpecs.
 	ReceiverOpts func(w *World, i int) StationOpts
 	// SenderOpts customizes sender i's station; usually nil (APs behave).
+	// Mutually exclusive with SenderSpecs.
 	SenderOpts func(w *World, i int) StationOpts
 }
 
@@ -67,21 +77,21 @@ func BuildPairs(cfg PairsConfig) (*World, error) {
 	// is ≥10 dB stronger at its sender than any other pair's receiver —
 	// the regime in which GRC's capture-based spoof recovery is safe.
 	for i := 0; i < cfg.N; i++ {
-		var opts StationOpts
-		if cfg.ReceiverOpts != nil {
-			opts = cfg.ReceiverOpts(w, i)
+		def := phys.Position{X: 5, Y: float64(i) * 30}
+		opts, pos, err := stationFor(w, i, def, cfg.ReceiverSpecs, cfg.ReceiverOpts)
+		if err != nil {
+			return nil, err
 		}
-		pos := phys.Position{X: 5, Y: float64(i) * 30}
 		if _, err := w.AddStation(ReceiverName(i), pos, opts); err != nil {
 			return nil, err
 		}
 	}
 	for i := 0; i < cfg.N; i++ {
-		var opts StationOpts
-		if cfg.SenderOpts != nil {
-			opts = cfg.SenderOpts(w, i)
+		def := phys.Position{X: 0, Y: float64(i) * 30}
+		opts, pos, err := stationFor(w, i, def, cfg.SenderSpecs, cfg.SenderOpts)
+		if err != nil {
+			return nil, err
 		}
-		pos := phys.Position{X: 0, Y: float64(i) * 30}
 		if _, err := w.AddStation(SenderName(i), pos, opts); err != nil {
 			return nil, err
 		}
@@ -108,7 +118,10 @@ type SharedAPConfig struct {
 	Transport    Transport
 	CBRRateBps   float64
 	PayloadBytes int
-	ReceiverOpts func(w *World, i int) StationOpts
+	// ReceiverSpecs declaratively customizes receiver i; mutually
+	// exclusive with ReceiverOpts.
+	ReceiverSpecs []StationSpec
+	ReceiverOpts  func(w *World, i int) StationOpts
 }
 
 // BuildSharedAP constructs the world; flow i+1 goes to receiver i. The
@@ -129,11 +142,11 @@ func BuildSharedAP(cfg SharedAPConfig) (*World, error) {
 		return nil, err
 	}
 	for i := 0; i < cfg.N; i++ {
-		var opts StationOpts
-		if cfg.ReceiverOpts != nil {
-			opts = cfg.ReceiverOpts(w, i)
+		def := phys.Position{X: 5, Y: float64(i) * 3}
+		opts, pos, err := stationFor(w, i, def, cfg.ReceiverSpecs, cfg.ReceiverOpts)
+		if err != nil {
+			return nil, err
 		}
-		pos := phys.Position{X: 5, Y: float64(i) * 3}
 		if _, err := w.AddStation(ReceiverName(i), pos, opts); err != nil {
 			return nil, err
 		}
@@ -155,16 +168,27 @@ func BuildSharedAP(cfg SharedAPConfig) (*World, error) {
 	return w, nil
 }
 
+// HiddenPairsConfig configures the fake-ACK collision topology — the
+// same Config-embedding shape as the other builders, with the usual
+// declarative/closure receiver customization pair.
+type HiddenPairsConfig struct {
+	Config
+	// ReceiverSpecs declaratively customizes receiver i (0 = R1, 1 = R2);
+	// mutually exclusive with ReceiverOpts.
+	ReceiverSpecs []StationSpec
+	ReceiverOpts  func(w *World, i int) StationOpts
+}
+
 // BuildHiddenPairs constructs the fake-ACK collision topology of Fig 18:
 // two APs out of carrier-sense range of each other, receivers between
 // them, RTS/CTS disabled, so the receivers suffer hidden-terminal
 // collisions. Positions use the 55 m / 99 m propagation of the GRC
 // evaluation.
-func BuildHiddenPairs(cfg Config, receiverOpts func(w *World, i int) StationOpts) (*World, error) {
+func BuildHiddenPairs(cfg HiddenPairsConfig) (*World, error) {
 	prop := phys.GRCPropagation()
 	cfg.Propagation = &prop
 	cfg.UseRTSCTS = false
-	w, err := NewWorld(cfg)
+	w, err := NewWorld(cfg.Config)
 	if err != nil {
 		return nil, err
 	}
@@ -182,10 +206,16 @@ func BuildHiddenPairs(cfg Config, receiverOpts func(w *World, i int) StationOpts
 	}
 	for i, p := range positions {
 		var opts StationOpts
-		if i < 2 && receiverOpts != nil {
-			opts = receiverOpts(w, i)
+		def := phys.Position{X: p.x}
+		pos := def
+		if i < 2 {
+			var err error
+			opts, pos, err = stationFor(w, i, def, cfg.ReceiverSpecs, cfg.ReceiverOpts)
+			if err != nil {
+				return nil, err
+			}
 		}
-		if _, err := w.AddStation(p.name, phys.Position{X: p.x}, opts); err != nil {
+		if _, err := w.AddStation(p.name, pos, opts); err != nil {
 			return nil, err
 		}
 	}

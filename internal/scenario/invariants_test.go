@@ -42,9 +42,9 @@ func runFuzzWorld(t *testing.T, seed int64, rng *rand.Rand) {
 	}
 	switch rng.Intn(3) {
 	case 1:
-		cfg.DefaultBER = []float64{1e-5, 2e-4, 8e-4}[rng.Intn(3)]
+		cfg.Error = phys.BERSpec([]float64{1e-5, 2e-4, 8e-4}[rng.Intn(3)])
 	case 2:
-		cfg.DefaultFER = []float64{0.1, 0.4}[rng.Intn(2)]
+		cfg.Error = phys.FERSpec([]float64{0.1, 0.4}[rng.Intn(2)])
 	}
 	cfg.ForceCapture = rng.Intn(2) == 0
 	rec := trace.NewRecorder(8)
@@ -219,7 +219,7 @@ func TestSaturationModelMatchesSimulator(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	build := func() *World {
 		w, err := BuildPairs(PairsConfig{
-			Config:    Config{Seed: 77, UseRTSCTS: true, DefaultBER: 2e-4},
+			Config:    Config{Seed: 77, UseRTSCTS: true, Error: phys.BERSpec(2e-4)},
 			N:         2,
 			Transport: TCP,
 			ReceiverOpts: func(w *World, i int) StationOpts {

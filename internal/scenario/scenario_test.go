@@ -175,11 +175,14 @@ func TestSpoofingDegradesNormalTCP(t *testing.T) {
 // Fig 18 / Table IV shape: fake ACKs under hidden-terminal collisions give
 // the greedy receiver goodput and keep its sender's CW at the minimum.
 func TestFakeACKHiddenTerminals(t *testing.T) {
-	w, err := BuildHiddenPairs(Config{Seed: 9}, func(w *World, i int) StationOpts {
-		if i != 1 {
-			return StationOpts{}
-		}
-		return StationOpts{Policy: greedy.NewFakeACKer(w.Sched.RNG(), 100)}
+	w, err := BuildHiddenPairs(HiddenPairsConfig{
+		Config: Config{Seed: 9},
+		ReceiverOpts: func(w *World, i int) StationOpts {
+			if i != 1 {
+				return StationOpts{}
+			}
+			return StationOpts{Policy: greedy.NewFakeACKer(w.Sched.RNG(), 100)}
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -261,7 +264,7 @@ func TestGRCDefeatsSpoofing(t *testing.T) {
 	grcCfg := detect.DefaultConfig()
 	build := func(withGRC bool) *World {
 		w, err := NewWorld(Config{
-			Seed: 13, UseRTSCTS: true, DefaultBER: 4.4e-4, ForceCapture: true,
+			Seed: 13, UseRTSCTS: true, Error: phys.BERSpec(4.4e-4), ForceCapture: true,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -319,7 +322,7 @@ func TestCrossLayerDetectsSpoofing(t *testing.T) {
 	run := func(spoof bool) *detect.CrossLayer {
 		w, err := BuildPairs(PairsConfig{
 			Config: Config{
-				Seed: 31, UseRTSCTS: true, DefaultBER: 2e-4, ForceCapture: true,
+				Seed: 31, UseRTSCTS: true, Error: phys.BERSpec(2e-4), ForceCapture: true,
 			},
 			N:         2,
 			Transport: TCP,
@@ -519,7 +522,7 @@ func TestFakeACKDetectionViaProbing(t *testing.T) {
 		w, err := BuildPairs(PairsConfig{
 			// BER high enough that data frames (and probes) are lossy
 			// while control frames mostly survive.
-			Config:    Config{Seed: 23, UseRTSCTS: true, DefaultBER: 8e-4},
+			Config:    Config{Seed: 23, UseRTSCTS: true, Error: phys.BERSpec(8e-4)},
 			N:         1,
 			Transport: UDP,
 			// Keep the MAC queue unsaturated so probes are not
@@ -569,7 +572,7 @@ func TestSpoofEmulationOption(t *testing.T) {
 	// Table VIII substrate: sender treats ACK timeouts toward R1 as
 	// success; under loss, R1's TCP suffers while R2's does not.
 	w, err := BuildPairs(PairsConfig{
-		Config:    Config{Seed: 19, UseRTSCTS: true, DefaultBER: 2e-4},
+		Config:    Config{Seed: 19, UseRTSCTS: true, Error: phys.BERSpec(2e-4)},
 		N:         2,
 		Transport: TCP,
 		SenderOpts: func(w *World, i int) StationOpts {

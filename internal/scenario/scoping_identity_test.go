@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"greedy80211/internal/metrics"
+	"greedy80211/internal/phys"
+	"greedy80211/internal/sim"
+	"greedy80211/internal/trace"
+)
+
+// worldFingerprint runs the world with a flight recorder attached and
+// returns the full trace export plus flows and telemetry — every
+// observable output, byte for byte.
+func worldFingerprint(t *testing.T, w *World, d sim.Time) ([]byte, string) {
+	t.Helper()
+	rec := trace.NewRecorder(0)
+	w.AttachTrace(rec, rec)
+	w.Run(d)
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, rec.Meta("id", 5), rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var rest bytes.Buffer
+	for _, fl := range w.Flows() {
+		fmt.Fprintf(&rest, "%d:%.9f\n", fl.ID, fl.GoodputMbps(d))
+	}
+	if err := metrics.EncodeSnapshots(&rest, []*metrics.Snapshot{w.MetricsSnapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rest.String()
+}
+
+// Neighbor scoping is a pure delivery-iteration strategy: a scoped world
+// and a broadcast-scan (DisableNeighborScoping) world built from the
+// same config must be indistinguishable in every output — flow
+// goodputs, telemetry, and the full flight-recorder stream byte for
+// byte. The cases deliberately include clipped-range and multi-channel
+// topologies, where the neighbor sets are strict subsets of the
+// population and any membership or ordering bug would shift RNG draws.
+func TestNeighborScopingByteIdentity(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(cfg Config) (*World, error)
+	}{
+		{"pairs-full-range", func(cfg Config) (*World, error) {
+			cfg.UseRTSCTS = true
+			return BuildPairs(PairsConfig{Config: cfg, N: 2, Transport: UDP})
+		}},
+		{"hidden-pairs-clipped", func(cfg Config) (*World, error) {
+			return BuildHiddenPairs(HiddenPairsConfig{Config: cfg})
+		}},
+		{"cells-grid-clipped", func(cfg Config) (*World, error) {
+			prop := phys.GRCPropagation()
+			cfg.Propagation = &prop
+			return BuildCells(CellsConfig{
+				Config: cfg,
+				Topology: TopologySpec{
+					NumCells:        9,
+					GridCols:        3,
+					ChannelPlan:     []int{1, 6, 11},
+					DefaultStations: 3,
+					DefaultUplink:   1,
+				},
+				CBRRateBps: 1e6,
+			})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(broadcast bool) ([]byte, string) {
+				w, err := tc.build(Config{Seed: 5, DisableNeighborScoping: broadcast})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return worldFingerprint(t, w, 2*sim.Second)
+			}
+			scopedTrace, scopedRest := run(false)
+			bcastTrace, bcastRest := run(true)
+			if !bytes.Equal(scopedTrace, bcastTrace) {
+				t.Errorf("trace exports differ: scoped %d bytes, broadcast %d bytes",
+					len(scopedTrace), len(bcastTrace))
+			}
+			if len(scopedTrace) == 0 {
+				t.Error("empty trace export")
+			}
+			if scopedRest != bcastRest {
+				t.Errorf("flows/metrics differ:\n--- scoped ---\n%s\n--- broadcast ---\n%s",
+					scopedRest, bcastRest)
+			}
+		})
+	}
+}
+
+// TestScopedDeliveryMatchesBroadcastRandom is the property test behind
+// the refactor: on randomized clipped-range layouts, a scoped world
+// delivers exactly the frames the broadcast scan delivers to in-range
+// radios — nothing missing at the edge of range, nothing extra across
+// channels. Layout randomness is its own stream (the world's seed stays
+// fixed), so each trial compares two identically-built worlds that
+// differ only in delivery iteration.
+func TestScopedDeliveryMatchesBroadcastRandom(t *testing.T) {
+	const stations = 24
+	prop := phys.GRCPropagation() // 55 m comm / 99 m CS: heavy clipping
+	for layout := int64(1); layout <= 5; layout++ {
+		layout := layout
+		t.Run(fmt.Sprintf("layout%d", layout), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(layout))
+			type site struct {
+				pos phys.Position
+				ch  int
+			}
+			sites := make([]site, stations)
+			for i := range sites {
+				sites[i] = site{
+					pos: phys.Position{X: rng.Float64() * 300, Y: rng.Float64() * 300},
+					ch:  []int{1, 6}[rng.Intn(2)],
+				}
+			}
+			build := func(broadcast bool) *World {
+				w, err := NewWorld(Config{
+					Seed:                   9,
+					Propagation:            &prop,
+					DisableNeighborScoping: broadcast,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, s := range sites {
+					name := fmt.Sprintf("N%d", i+1)
+					if _, err := w.AddStation(name, s.pos, StationOpts{Channel: s.ch}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// One flow per station toward its nearest co-channel
+				// in-comm-range peer (deterministic from the layout);
+				// isolated stations stay silent.
+				flowID := 1
+				for i, s := range sites {
+					best, bestDist := -1, math.Inf(1)
+					for j, o := range sites {
+						if j == i || o.ch != s.ch {
+							continue
+						}
+						if d := s.pos.DistanceTo(o.pos); d <= prop.CommRange && d < bestDist {
+							best, bestDist = j, d
+						}
+					}
+					if best < 0 {
+						continue
+					}
+					if _, err := w.AddUDPFlow(flowID,
+						fmt.Sprintf("N%d", i+1), fmt.Sprintf("N%d", best+1), 5e5, 512); err != nil {
+						t.Fatal(err)
+					}
+					flowID++
+				}
+				return w
+			}
+			scopedTrace, scopedRest := worldFingerprint(t, build(false), sim.Second)
+			bcastTrace, bcastRest := worldFingerprint(t, build(true), sim.Second)
+			if !bytes.Equal(scopedTrace, bcastTrace) {
+				t.Errorf("trace exports differ: scoped %d bytes, broadcast %d bytes",
+					len(scopedTrace), len(bcastTrace))
+			}
+			if len(scopedTrace) == 0 {
+				t.Error("empty trace export")
+			}
+			if scopedRest != bcastRest {
+				t.Errorf("flows/metrics differ:\n--- scoped ---\n%s\n--- broadcast ---\n%s",
+					scopedRest, bcastRest)
+			}
+		})
+	}
+}
