@@ -6,9 +6,11 @@
 //	campaign run -spec spec.json -store .campaign -out results/
 //	campaign run -artifacts fig1,fig4 -seeds 5 -duration 5s -store .campaign
 //	campaign run -spec spec.json -store /shared/store -shard 0/2
-//	campaign status -spec spec.json -store .campaign
+//	campaign status -spec spec.json -store .campaign [-json]
 //	campaign gc -spec spec.json -store .campaign
 //	campaign verify -store .campaign
+//	campaign submit -spec spec.json -server http://host:8080
+//	campaign worker -server http://host:8080 -campaign <id>
 //
 // A campaign expands into a deterministic work-list of units (artifact ×
 // config × base seed). Units already in the store are skipped, so
@@ -18,10 +20,16 @@
 // work-list against a shared store; once the store is complete, any run
 // with -out assembles results byte-identically to a single sequential
 // cmd/experiments invocation.
+//
+// submit and worker speak to a campaignd server instead of a local
+// store: submit registers the spec and prints the campaign id, worker
+// pulls per-unit leases over HTTP, heartbeats while computing, and
+// uploads results until the campaign is done.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,6 +40,7 @@ import (
 	"syscall"
 
 	"greedy80211/internal/campaign"
+	"greedy80211/internal/campaignd/client"
 	"greedy80211/internal/core"
 	"greedy80211/internal/profileflags"
 	"greedy80211/internal/runner"
@@ -47,9 +56,11 @@ func usage() {
 
 subcommands:
   run     compute a campaign's units into the store (resumable, shardable)
-  status  show per-unit standing of a spec against a store
+  status  show per-unit standing of a spec against a store (-json for machines)
   gc      delete store entries a spec no longer references
   verify  check every store entry's checksums and decodability
+  submit  register a spec with a campaignd server and print its id
+  worker  pull unit leases from a campaignd server and compute them
 
 run "campaign <subcommand> -h" for flags`)
 }
@@ -68,6 +79,10 @@ func run(args []string) int {
 		return cmdGC(args[1:])
 	case "verify":
 		return cmdVerify(args[1:])
+	case "submit":
+		return cmdSubmit(args[1:])
+	case "worker":
+		return cmdWorker(args[1:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return 0
@@ -128,6 +143,36 @@ func specFlags(fs *flag.FlagSet) func() (*campaign.Spec, error) {
 	}
 }
 
+// openStore opens the -store directory, reporting the subcommand name in
+// errors.
+func openStore(sub, dir string) (*campaign.Store, bool) {
+	st, err := campaign.OpenStore(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign %s: %v\n", sub, err)
+		return nil, false
+	}
+	return st, true
+}
+
+// drainContext cancels the returned context on SIGINT/SIGTERM, printing
+// which signal arrived and that in-flight units are draining. A second
+// signal force-quits immediately — sometimes the operator really means
+// it.
+func drainContext(what string) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "campaign: received %v; %s (signal again to force-quit)\n", sig, what)
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "campaign: second signal; exiting now")
+		os.Exit(130)
+	}()
+	return ctx, func() { signal.Stop(sigc); cancel() }
+}
+
 func cmdRun(args []string) int {
 	fs := flag.NewFlagSet("campaign run", flag.ContinueOnError)
 	loadSpec := specFlags(fs)
@@ -166,7 +211,7 @@ func cmdRun(args []string) int {
 	}
 	defer stopProf()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := drainContext("finishing in-flight units, then committing and stopping")
 	defer stop()
 	rep, err := campaign.Run(ctx, spec, opt)
 	if errors.Is(err, context.Canceled) {
@@ -195,7 +240,10 @@ func cmdRun(args []string) int {
 func cmdStatus(args []string) int {
 	fs := flag.NewFlagSet("campaign status", flag.ContinueOnError)
 	loadSpec := specFlags(fs)
-	storeDir := fs.String("store", "", "result store directory (required)")
+	var (
+		storeDir = fs.String("store", "", "result store directory (required)")
+		asJSON   = fs.Bool("json", false, "emit the status document as JSON (the same codec campaignd serves)")
+	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -208,26 +256,31 @@ func cmdStatus(args []string) int {
 		fmt.Fprintf(os.Stderr, "campaign status: %v\n", err)
 		return 2
 	}
-	sts, err := campaign.Status(spec, *storeDir)
+	store, ok := openStore("status", *storeDir)
+	if !ok {
+		return 1
+	}
+	sts, err := campaign.Status(spec, store)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign status: %v\n", err)
 		return 1
 	}
-	t := stats.Table{Header: []string{"unit", "key", "state"}}
-	done := 0
-	for _, st := range sts {
-		state := "pending"
-		switch {
-		case st.Done:
-			state = "done"
-			done++
-		case st.InFlight:
-			state = "interrupted"
+	doc := campaign.NewStatusDoc(sts)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign status: %v\n", err)
+			return 1
 		}
-		t.AddRow(st.Unit.Name(), st.Unit.Key[:12], state)
+		return 0
+	}
+	t := stats.Table{Header: []string{"unit", "key", "state"}}
+	for _, u := range doc.Units {
+		t.AddRow(u.Name, u.Key[:12], string(u.State))
 	}
 	fmt.Print(t.String())
-	fmt.Printf("%d/%d units done\n", done, len(sts))
+	fmt.Printf("%d/%d units done\n", doc.Done, doc.Total)
 	return 0
 }
 
@@ -250,7 +303,11 @@ func cmdGC(args []string) int {
 		fmt.Fprintf(os.Stderr, "campaign gc: %v\n", err)
 		return 2
 	}
-	rep, err := campaign.GC(spec, *storeDir, *dryRun)
+	store, ok := openStore("gc", *storeDir)
+	if !ok {
+		return 1
+	}
+	rep, err := campaign.GC(spec, store, *dryRun)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign gc: %v\n", err)
 		return 1
@@ -273,7 +330,11 @@ func cmdVerify(args []string) int {
 		fmt.Fprintln(os.Stderr, "campaign verify: -store required")
 		return 2
 	}
-	bad, err := campaign.Verify(*storeDir)
+	store, ok := openStore("verify", *storeDir)
+	if !ok {
+		return 1
+	}
+	bad, err := campaign.Verify(store)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign verify: %v\n", err)
 		return 1
@@ -286,5 +347,74 @@ func cmdVerify(args []string) int {
 		return 1
 	}
 	fmt.Println("campaign verify: store is sound")
+	return 0
+}
+
+func cmdSubmit(args []string) int {
+	fs := flag.NewFlagSet("campaign submit", flag.ContinueOnError)
+	loadSpec := specFlags(fs)
+	server := fs.String("server", "", "campaignd base URL, e.g. http://127.0.0.1:8080 (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *server == "" {
+		fmt.Fprintln(os.Stderr, "campaign submit: -server required")
+		return 2
+	}
+	spec, err := loadSpec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign submit: %v\n", err)
+		return 2
+	}
+	ctx, stop := drainContext("abandoning submission")
+	defer stop()
+	c := &client.Client{BaseURL: *server}
+	doc, err := c.Submit(ctx, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign submit: %v\n", err)
+		return 1
+	}
+	fmt.Printf("campaign %s: %d units (%d done, %d pending) across %s\n",
+		doc.ID, doc.Status.Total, doc.Status.Done,
+		doc.Status.Total-doc.Status.Done, strings.Join(doc.Artifacts, ","))
+	fmt.Println(doc.ID)
+	return 0
+}
+
+func cmdWorker(args []string) int {
+	fs := flag.NewFlagSet("campaign worker", flag.ContinueOnError)
+	var (
+		server     = fs.String("server", "", "campaignd base URL (required)")
+		campaignID = fs.String("campaign", "", "campaign id to work on (required; printed by submit)")
+		name       = fs.String("name", "", "worker name for lease attribution (default host:pid)")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for each unit's seed runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *server == "" || *campaignID == "" {
+		fmt.Fprintln(os.Stderr, "campaign worker: -server and -campaign required")
+		return 2
+	}
+	runner.SetLimit(*parallel)
+	ctx, stop := drainContext("abandoning the in-flight unit (its lease will expire and be re-issued)")
+	defer stop()
+	c := &client.Client{
+		BaseURL: *server,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	wstats, err := c.Work(ctx, *campaignID, *name)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "campaign worker: interrupted after %d unit(s) committed\n", wstats.Computed)
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign worker: %v\n", err)
+		return 1
+	}
+	fmt.Printf("campaign worker: done: %d computed, %d failed, %d wait rounds\n",
+		wstats.Computed, wstats.Failed, wstats.Waited)
 	return 0
 }

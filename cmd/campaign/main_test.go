@@ -1,10 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"greedy80211/internal/campaign"
+	"greedy80211/internal/campaignd"
 )
 
 func TestSubcommandExitCodes(t *testing.T) {
@@ -104,5 +110,106 @@ func TestShardedRunsCoverDisjointUnits(t *testing.T) {
 	b, err := os.ReadFile(filepath.Join(out, "tab1.json"))
 	if err != nil || !strings.Contains(string(b), "\"id\": \"tab1\"") {
 		t.Errorf("assembled tab1.json wrong: %v / %.60s", err, b)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestStatusJSONMatchesSharedCodec(t *testing.T) {
+	store := t.TempDir()
+	args := []string{"-store", store, "-artifacts", "tab3", "-quick", "-duration", "100ms"}
+	if got := run(append([]string{"run"}, args...)); got != 0 {
+		t.Fatalf("seed run exited %d", got)
+	}
+	out := captureStdout(t, func() {
+		if got := run(append([]string{"status", "-json"}, args...)); got != 0 {
+			t.Errorf("status -json exited %d", got)
+		}
+	})
+	var doc campaign.StatusDoc
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("status -json is not the shared codec: %v\n%s", err, out)
+	}
+	if doc.Total != 1 || doc.Done != 1 || doc.Units[0].State != campaign.UnitDone {
+		t.Errorf("status doc: %+v", doc)
+	}
+	if doc.Units[0].Artifact != "tab3" || len(doc.Units[0].Key) != 64 {
+		t.Errorf("unit identity: %+v", doc.Units[0])
+	}
+}
+
+func TestSubmitAndWorkerAgainstServer(t *testing.T) {
+	storeDir := t.TempDir()
+	st, err := campaign.OpenStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := campaignd.New(campaignd.Config{Store: st, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	body := `{"artifacts": ["tab3"], "config": {"seeds": 1, "duration": "100ms", "quick": true}}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() {
+		if got := run([]string{"submit", "-spec", spec, "-server", ts.URL}); got != 0 {
+			t.Errorf("submit exited %d", got)
+		}
+	})
+	lines := strings.Fields(strings.TrimSpace(out))
+	id := lines[len(lines)-1]
+	if len(id) != 16 {
+		t.Fatalf("submit did not print a campaign id: %q", out)
+	}
+
+	if got := run([]string{"worker", "-server", ts.URL, "-campaign", id, "-name", "test-worker"}); got != 0 {
+		t.Fatalf("worker exited %d", got)
+	}
+	keys, err := st.Keys()
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("store after worker: %v keys, %v", keys, err)
+	}
+	if err := st.VerifyEntry(keys[0]); err != nil {
+		t.Errorf("worker-computed entry: %v", err)
+	}
+
+	// A second worker on the finished campaign exits clean immediately.
+	if got := run([]string{"worker", "-server", ts.URL, "-campaign", id}); got != 0 {
+		t.Errorf("worker on a done campaign exited %d", got)
+	}
+}
+
+func TestServerSubcommandFlagValidation(t *testing.T) {
+	if got := run([]string{"submit", "-spec", "x.json"}); got != 2 {
+		t.Errorf("submit without -server exited %d, want 2", got)
+	}
+	if got := run([]string{"worker", "-server", "http://x"}); got != 2 {
+		t.Errorf("worker without -campaign exited %d, want 2", got)
 	}
 }

@@ -1,0 +1,127 @@
+// Command campaignd serves a content-addressed campaign store over
+// HTTP: cached results, metrics, gate verdicts, and trace renders as
+// conditional JSON, plus the lease protocol that fans campaign units out
+// to `campaign worker` processes.
+//
+// Usage:
+//
+//	campaignd -store .campaign -addr :8080
+//	campaignd -store .campaign -addr 127.0.0.1:0 -addr-file /tmp/addr \
+//	          -spec spec.json -lease-ttl 30s
+//
+// The server owns the store's write-ahead journal while running: lease
+// grants journal "start", commits journal "done", so `campaign status`
+// against the same store shows in-flight units even while they are being
+// computed on other machines. SIGINT/SIGTERM drains gracefully — the
+// listener closes, in-flight requests finish (bounded by -drain), and
+// the journal closes last.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"greedy80211/internal/campaign"
+	"greedy80211/internal/campaignd"
+	"greedy80211/internal/core"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("campaignd", flag.ContinueOnError)
+	var (
+		storeDir = fs.String("store", "", "result store directory (required; created if absent)")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile = fs.String("addr-file", "", "write the actual listen address to this file once bound (for scripts and tests)")
+		specPath = fs.String("spec", "", "campaign spec to register at startup (workers can lease it immediately)")
+		leaseTTL = fs.Duration("lease-ttl", 30*time.Second, "worker lease TTL; a lease not heartbeated within this window is re-issued")
+		maxFail  = fs.Int("max-unit-failures", 3, "worker-reported failures before a unit is retired")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown grace for in-flight requests")
+		version  = fs.Bool("version", false, "print the module fingerprint and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Printf("campaignd %s\n", core.ModuleFingerprint())
+		return 0
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "campaignd: -store required")
+		return 2
+	}
+	store, err := campaign.OpenStore(*storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+		return 1
+	}
+	srv, err := campaignd.New(campaignd.Config{
+		Store:           store,
+		LeaseTTL:        *leaseTTL,
+		MaxUnitFailures: *maxFail,
+		DrainTimeout:    *drain,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+		return 1
+	}
+	if *specPath != "" {
+		spec, err := campaign.LoadSpec(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+			return 1
+		}
+		id, err := srv.Register(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaignd: registering %s: %v\n", *specPath, err)
+			return 1
+		}
+		fmt.Printf("campaignd: campaign %s ready for workers\n", id)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "campaignd: writing -addr-file: %v\n", err)
+			ln.Close()
+			return 1
+		}
+	}
+	fmt.Printf("campaignd: serving %s on http://%s\n", *storeDir, bound)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "campaignd: received %v; draining (signal again to force-quit)\n", sig)
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "campaignd: second signal; exiting now")
+		os.Exit(130)
+	}()
+	if err := srv.Serve(ctx, ln); err != nil {
+		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+		return 1
+	}
+	fmt.Println("campaignd: drained; store and journal are consistent")
+	return 0
+}

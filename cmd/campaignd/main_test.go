@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"greedy80211/internal/campaignd"
+)
+
+func TestFlagValidation(t *testing.T) {
+	if got := run([]string{"-version"}); got != 0 {
+		t.Errorf("-version exited %d", got)
+	}
+	if got := run(nil); got != 2 {
+		t.Errorf("missing -store exited %d, want 2", got)
+	}
+	if got := run([]string{"-store", t.TempDir(), "-addr", "256.0.0.1:bad"}); got != 1 {
+		t.Errorf("bad -addr exited %d, want 1", got)
+	}
+}
+
+// TestServeAndDrainOnSIGTERM runs the real main loop: bind an ephemeral
+// port, publish it via -addr-file, serve a preloaded spec, then SIGTERM
+// the process and require a clean (exit 0) drain.
+func TestServeAndDrainOnSIGTERM(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(spec, []byte(`{"artifacts": ["tab3"], "config": {"seeds": 1, "duration": "100ms", "quick": true}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addrFile := filepath.Join(dir, "addr")
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-store", filepath.Join(dir, "store"),
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-spec", spec,
+		})
+	}()
+
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(20 * time.Millisecond) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("server exited early with %d", code)
+		default:
+		}
+	}
+	if addr == "" {
+		t.Fatal("server never published its address")
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list campaignd.CampaignList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Campaigns) != 1 || list.Campaigns[0].Total != 1 {
+		t.Fatalf("preloaded spec not registered: %+v", list)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("drain exited %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+}

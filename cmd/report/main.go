@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"strings"
 
+	"greedy80211/internal/campaign"
 	"greedy80211/internal/profileflags"
 	"greedy80211/internal/report"
 	"greedy80211/internal/runner"
@@ -80,7 +81,11 @@ func run(args []string) int {
 
 	var rep *report.Report
 	if *store != "" {
-		rep, err = report.FromStore(context.Background(), sets, *store, !*noComp, os.Stderr)
+		var st *campaign.Store
+		st, err = campaign.OpenStore(*store)
+		if err == nil {
+			rep, err = report.FromStore(context.Background(), sets, st, !*noComp, os.Stderr)
+		}
 	} else {
 		rep, err = report.ComputeFresh(sets)
 	}

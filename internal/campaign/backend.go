@@ -1,0 +1,198 @@
+package campaign
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Backend is the persistence layer under the content-addressed store: a
+// flat namespace of immutable blobs with object-store-shaped operations,
+// so the local directory implementation below and a future remote object
+// store (S3/GCS-like) are interchangeable. Object names are
+// slash-separated relative paths ("objects/ab/abcd…/result.json").
+//
+// Contract every implementation must honor:
+//
+//   - Put is atomic: a concurrent Get of the same name returns either
+//     the complete previous content, the complete new content, or a
+//     not-exist error — never a torn prefix. Overwriting an existing
+//     object is allowed (the store only ever overwrites with identical
+//     bytes, because names are content addresses).
+//   - Get and Stat report absence with an error satisfying
+//     errors.Is(err, fs.ErrNotExist).
+//   - Delete of a missing object is a no-op, not an error.
+//   - List returns every object name with the given prefix, sorted.
+//   - All methods are safe for concurrent use.
+type Backend interface {
+	Put(name string, data []byte) error
+	Get(name string) ([]byte, error)
+	List(prefix string) ([]string, error)
+	Stat(name string) (ObjectInfo, error)
+	Delete(name string) error
+}
+
+// ObjectInfo describes one stored object without reading it.
+type ObjectInfo struct {
+	Name string
+	Size int64
+}
+
+// validObjectName rejects names that could escape a rooted namespace or
+// that differ between backends (empty segments, dot segments, absolute
+// or backslashed paths).
+func validObjectName(name string) error {
+	if name == "" || strings.HasPrefix(name, "/") || strings.Contains(name, "\\") {
+		return fmt.Errorf("campaign: invalid object name %q", name)
+	}
+	if cleaned := path.Clean(name); cleaned != name || name == "." || strings.HasPrefix(cleaned, "..") {
+		return fmt.Errorf("campaign: invalid object name %q", name)
+	}
+	return nil
+}
+
+// DirBackend is the first Backend: a local directory, one file per
+// object. Put stages the bytes in a tmp- file on the same filesystem and
+// renames it into place, which is what makes commits atomic; OpenStore
+// sweeps tmp- leftovers from crashed writers.
+type DirBackend struct {
+	root string
+}
+
+// NewDirBackend opens (creating if needed) a directory-backed object
+// namespace rooted at dir and removes any tmp- staging files or
+// directories a crashed writer left behind.
+func NewDirBackend(dir string) (*DirBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: opening backend: %w", err)
+	}
+	stale, _ := filepath.Glob(filepath.Join(dir, "tmp-*"))
+	for _, d := range stale {
+		os.RemoveAll(d)
+	}
+	return &DirBackend{root: dir}, nil
+}
+
+// Root returns the backend's root directory.
+func (b *DirBackend) Root() string { return b.root }
+
+func (b *DirBackend) path(name string) string {
+	return filepath.Join(b.root, filepath.FromSlash(name))
+}
+
+// Put atomically writes data under name: stage in a tmp- file at the
+// root (same filesystem as the destination), then rename into place.
+func (b *DirBackend) Put(name string, data []byte) error {
+	if err := validObjectName(name); err != nil {
+		return err
+	}
+	dst := b.path(name)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("campaign: backend put %s: %w", name, err)
+	}
+	tmp, err := os.CreateTemp(b.root, "tmp-")
+	if err != nil {
+		return fmt.Errorf("campaign: backend put %s: %w", name, err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, dst)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("campaign: backend put %s: %w", name, werr)
+	}
+	return nil
+}
+
+// Get reads one object; a missing object satisfies
+// errors.Is(err, fs.ErrNotExist).
+func (b *DirBackend) Get(name string) ([]byte, error) {
+	if err := validObjectName(name); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(b.path(name))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: backend get %s: %w", name, err)
+	}
+	return data, nil
+}
+
+// Stat describes one object without reading it.
+func (b *DirBackend) Stat(name string) (ObjectInfo, error) {
+	if err := validObjectName(name); err != nil {
+		return ObjectInfo{}, err
+	}
+	fi, err := os.Stat(b.path(name))
+	if err != nil {
+		return ObjectInfo{}, fmt.Errorf("campaign: backend stat %s: %w", name, err)
+	}
+	if fi.IsDir() {
+		return ObjectInfo{}, fmt.Errorf("campaign: backend stat %s: %w", name, fs.ErrNotExist)
+	}
+	return ObjectInfo{Name: name, Size: fi.Size()}, nil
+}
+
+// List returns the sorted names of every object with the given prefix.
+// Staging files are never listed.
+func (b *DirBackend) List(prefix string) ([]string, error) {
+	var names []string
+	err := filepath.WalkDir(b.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			// A directory pruned by a concurrent Delete mid-walk is not
+			// an inconsistency; objects are judged by their own presence.
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), "tmp-") {
+			return nil
+		}
+		rel, err := filepath.Rel(b.root, p)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: backend list %s: %w", prefix, err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete removes one object (no error if absent) and prunes any
+// directories the removal emptied, so a deleted entry leaves no husk.
+func (b *DirBackend) Delete(name string) error {
+	if err := validObjectName(name); err != nil {
+		return err
+	}
+	if err := os.Remove(b.path(name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("campaign: backend delete %s: %w", name, err)
+	}
+	for dir := path.Dir(name); dir != "." && dir != "/"; dir = path.Dir(dir) {
+		// Remove refuses non-empty directories, which is exactly the
+		// stop condition.
+		if err := os.Remove(b.path(dir)); err != nil {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestDirBackendRoundTrip(t *testing.T) {
+	b, err := NewDirBackend(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := "objects/ab/abcd/meta.json"
+	if _, err := b.Get(name); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Get missing: %v, want fs.ErrNotExist", err)
+	}
+	if _, err := b.Stat(name); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Stat missing: %v, want fs.ErrNotExist", err)
+	}
+	want := []byte("{\"k\":1}\n")
+	if err := b.Put(name, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get(name)
+	if err != nil || string(got) != string(want) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	info, err := b.Stat(name)
+	if err != nil || info.Name != name || info.Size != int64(len(want)) {
+		t.Fatalf("Stat = %+v, %v", info, err)
+	}
+	// Overwrite is allowed and atomic.
+	if err := b.Put(name, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.Get(name); string(got) != "x" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	if err := b.Delete(name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get(name); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Get after Delete: %v", err)
+	}
+	// Deleting a missing object is a no-op, not an error.
+	if err := b.Delete(name); err != nil {
+		t.Fatalf("double Delete: %v", err)
+	}
+	// Delete pruned the directories its removal emptied.
+	if _, err := os.Stat(filepath.Join(b.Root(), "objects")); !os.IsNotExist(err) {
+		t.Error("Delete left empty parent directories behind")
+	}
+}
+
+func TestDirBackendListAndPrefix(t *testing.T) {
+	b, err := NewDirBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{
+		"objects/aa/aaa1/meta.json",
+		"objects/aa/aaa1/result.json",
+		"objects/bb/bbb2/meta.json",
+		"traces/aa/aaa1/timeline",
+	}
+	for _, n := range names {
+		if err := b.Put(n, []byte(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := b.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// List is sorted; the fixture list above already is.
+	if !reflect.DeepEqual(all, names) {
+		t.Fatalf("List(\"\") = %v, want %v", all, names)
+	}
+	objs, err := b.List("objects/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(objs, names[:3]) {
+		t.Fatalf("List(objects/) = %v, want %v", objs, names[:3])
+	}
+}
+
+func TestDirBackendRejectsBadNames(t *testing.T) {
+	b, err := NewDirBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"", "/abs", "a//b", "a/", "../escape", "a/../b", ".", "a/./b", `a\b`,
+	} {
+		if err := b.Put(name, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid object name", name)
+		}
+	}
+}
+
+func TestDirBackendListSkipsStaging(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewDirBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("objects/aa/k/meta.json", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent Put's staging file must be invisible to List.
+	if err := os.WriteFile(filepath.Join(dir, "tmp-123456"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	all, err := b.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0] != "objects/aa/k/meta.json" {
+		t.Fatalf("List sees staging files: %v", all)
+	}
+}

@@ -65,6 +65,19 @@ func (sc SpecConfig) RunConfig() (experiments.RunConfig, error) {
 	return cfg, nil
 }
 
+// SpecConfigOf is RunConfig's inverse codec: the JSON-serializable form
+// of a config, round-tripping exactly through SpecConfig.RunConfig (the
+// duration string is time.Duration's own rendering). campaignd uses it
+// to ship a unit's normalized config to workers.
+func SpecConfigOf(cfg experiments.RunConfig) SpecConfig {
+	return SpecConfig{
+		Seeds:    cfg.Seeds,
+		BaseSeed: cfg.BaseSeed,
+		Duration: time.Duration(cfg.Duration).String(),
+		Quick:    cfg.Quick,
+	}
+}
+
 // LoadSpec reads a JSON spec file, rejecting unknown fields so typos in
 // a campaign file fail loudly instead of silently running the defaults.
 func LoadSpec(path string) (*Spec, error) {

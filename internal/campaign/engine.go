@@ -32,8 +32,12 @@ const (
 
 // Options configures one engine run.
 type Options struct {
-	// StoreDir roots the content-addressed store (required).
+	// StoreDir roots a directory-backed content-addressed store.
+	// Required unless Store is set.
 	StoreDir string
+	// Store, when non-nil, is an already-open store (possibly on a
+	// non-directory Backend); it takes precedence over StoreDir.
+	Store *Store
 	// OutDir, when non-empty, receives the assembled per-artifact
 	// results and the merged telemetry sidecar once every unit of the
 	// full work-list is in the store.
@@ -88,9 +92,11 @@ func Run(ctx context.Context, spec *Spec, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, err := OpenStore(opt.StoreDir)
-	if err != nil {
-		return nil, err
+	store := opt.Store
+	if store == nil {
+		if store, err = OpenStore(opt.StoreDir); err != nil {
+			return nil, err
+		}
 	}
 	journal, err := OpenJournal(store.JournalPath())
 	if err != nil {
@@ -141,7 +147,7 @@ func Run(ctx context.Context, spec *Spec, opt Options) (*Report, error) {
 			record(i, OutcomeFailed, err)
 			return nil
 		}
-		result, metricsJSON, err := computeUnit(u)
+		result, metricsJSON, err := ComputeUnit(u)
 		if err != nil {
 			record(i, OutcomeFailed, fmt.Errorf("%s: %w", u.Name(), err))
 			return nil
@@ -210,9 +216,12 @@ func Run(ctx context.Context, spec *Spec, opt Options) (*Report, error) {
 	return rep, nil
 }
 
-// computeUnit runs one artifact under the unit's config with a telemetry
-// collector attached and returns the two store payloads.
-func computeUnit(u Unit) (result, metricsJSON []byte, err error) {
+// ComputeUnit runs one artifact under the unit's config with a
+// telemetry collector attached and returns the two store payloads. It is
+// the single compute primitive shared by the in-process engine and
+// campaignd HTTP workers — both produce exactly the bytes a standalone
+// run of the artifact would.
+func ComputeUnit(u Unit) (result, metricsJSON []byte, err error) {
 	coll := metrics.NewCollector()
 	cfg := u.Config
 	cfg.Metrics = coll
@@ -270,9 +279,10 @@ func assemble(store *Store, units []Unit, outDir string) ([]string, error) {
 	return files, nil
 }
 
-// decodeCheck validates that stored payloads still parse (used by
-// VerifyEntry).
-func decodeCheck(result, metricsJSON []byte) error {
+// CheckPayloads validates that a unit's two payloads parse as a Result
+// document and a snapshot array. VerifyEntry uses it against stored
+// bytes; campaignd uses it to vet worker uploads before committing them.
+func CheckPayloads(result, metricsJSON []byte) error {
 	if _, err := experiments.DecodeResult(bytes.NewReader(result)); err != nil {
 		return err
 	}

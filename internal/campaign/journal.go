@@ -30,8 +30,13 @@ type Journal struct {
 }
 
 // OpenJournal opens (creating if needed) the journal at path for
-// appending.
+// appending. An empty path returns a no-op journal — stores on backends
+// without a local disk run unjournaled (the store itself stays the
+// source of truth; only the in-flight history is lost).
 func OpenJournal(path string) (*Journal, error) {
+	if path == "" {
+		return &Journal{}, nil
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: opening journal: %w", err)
@@ -42,6 +47,9 @@ func OpenJournal(path string) (*Journal, error) {
 // Append writes one record as a single line. Safe for concurrent use by
 // the worker pool.
 func (j *Journal) Append(r Record) error {
+	if j.f == nil {
+		return nil
+	}
 	line, err := json.Marshal(r)
 	if err != nil {
 		return fmt.Errorf("campaign: journal append: %w", err)
@@ -59,13 +67,19 @@ func (j *Journal) Append(r Record) error {
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
 	return j.f.Close()
 }
 
 // ReadJournal loads every well-formed record from path. A missing file
-// is an empty journal; a torn final line (crash mid-append) is skipped,
-// not an error.
+// (or the empty path of a no-op journal) is an empty journal; a torn
+// final line (crash mid-append) is skipped, not an error.
 func ReadJournal(path string) ([]Record, error) {
+	if path == "" {
+		return nil, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {

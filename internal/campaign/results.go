@@ -37,16 +37,12 @@ func (e *MissingUnitsError) Error() string {
 		len(e.Missing), strings.Join(names, ", "))
 }
 
-// Results reads every unit of the spec back from the store at storeDir,
-// decoded, in work-list order. It never computes anything: if any unit is
-// absent it fails with a *MissingUnitsError naming them all, so callers
-// can either run the campaign first or report exactly what is missing.
-func Results(spec *Spec, storeDir string) ([]UnitResult, error) {
+// Results reads every unit of the spec back from the store, decoded, in
+// work-list order. It never computes anything: if any unit is absent it
+// fails with a *MissingUnitsError naming them all, so callers can either
+// run the campaign first or report exactly what is missing.
+func Results(spec *Spec, store *Store) ([]UnitResult, error) {
 	units, err := spec.Units()
-	if err != nil {
-		return nil, err
-	}
-	store, err := OpenStore(storeDir)
 	if err != nil {
 		return nil, err
 	}

@@ -12,7 +12,7 @@ func TestResultsReadsBackDecodedUnits(t *testing.T) {
 	store := t.TempDir()
 	mustRun(t, spec, Options{StoreDir: store})
 
-	got, err := Results(spec, store)
+	got, err := Results(spec, mustStore(t, store))
 	if err != nil {
 		t.Fatalf("Results: %v", err)
 	}
@@ -59,7 +59,7 @@ func TestResultsMissingUnits(t *testing.T) {
 	store := t.TempDir()
 
 	// Cold store: every unit is missing, named in work-list order.
-	_, err := Results(spec, store)
+	_, err := Results(spec, mustStore(t, store))
 	var missing *MissingUnitsError
 	if !errors.As(err, &missing) {
 		t.Fatalf("Results on cold store: err = %v, want *MissingUnitsError", err)
@@ -77,7 +77,7 @@ func TestResultsMissingUnits(t *testing.T) {
 	if err := mustStore(t, store).Delete(units[0].Key); err != nil {
 		t.Fatalf("delete: %v", err)
 	}
-	_, err = Results(spec, store)
+	_, err = Results(spec, mustStore(t, store))
 	if !errors.As(err, &missing) {
 		t.Fatalf("Results on torn store: err = %v, want *MissingUnitsError", err)
 	}
@@ -86,7 +86,7 @@ func TestResultsMissingUnits(t *testing.T) {
 	}
 	// Recompute and the read succeeds again.
 	mustRun(t, spec, Options{StoreDir: store})
-	if _, err := Results(spec, store); err != nil {
+	if _, err := Results(spec, mustStore(t, store)); err != nil {
 		t.Fatalf("Results after recompute: %v", err)
 	}
 }

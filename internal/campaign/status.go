@@ -14,13 +14,95 @@ type UnitStatus struct {
 	Done, InFlight bool
 }
 
-// Status reports every unit of the spec against the store at storeDir.
-func Status(spec *Spec, storeDir string) ([]UnitStatus, error) {
-	units, err := spec.Units()
-	if err != nil {
-		return nil, err
+// UnitState labels a unit's standing in the shared status codec.
+type UnitState string
+
+const (
+	// UnitDone: the unit is committed in the store.
+	UnitDone UnitState = "done"
+	// UnitInterrupted: journaled as started, never finished, absent from
+	// the store — in flight when a previous run died.
+	UnitInterrupted UnitState = "interrupted"
+	// UnitLeased: held by a live campaignd worker (server-side only; the
+	// CLI never reports it because lease state lives in the server).
+	UnitLeased UnitState = "leased"
+	// UnitFailed: the server gave up on the unit after repeated worker
+	// failures (server-side only).
+	UnitFailed UnitState = "failed"
+	// UnitPending: not computed and not claimed.
+	UnitPending UnitState = "pending"
+)
+
+// UnitStatusDoc is one unit in the shared status codec.
+type UnitStatusDoc struct {
+	Name     string    `json:"name"`
+	Artifact string    `json:"artifact"`
+	BaseSeed int64     `json:"base_seed"`
+	Key      string    `json:"key"`
+	State    UnitState `json:"state"`
+}
+
+// StatusDoc is the status codec shared verbatim by `campaign status
+// -json` and campaignd's GET /v1/campaigns/{id}: one struct, one JSON
+// shape, so the CLI and the HTTP surface can never drift apart.
+type StatusDoc struct {
+	Total       int             `json:"total"`
+	Done        int             `json:"done"`
+	Leased      int             `json:"leased"`
+	Interrupted int             `json:"interrupted"`
+	Failed      int             `json:"failed"`
+	Pending     int             `json:"pending"`
+	Units       []UnitStatusDoc `json:"units"`
+}
+
+// NewStatusDoc converts per-unit standings into the shared codec.
+func NewStatusDoc(sts []UnitStatus) *StatusDoc {
+	doc := &StatusDoc{Units: make([]UnitStatusDoc, len(sts))}
+	for i, st := range sts {
+		state := UnitPending
+		switch {
+		case st.Done:
+			state = UnitDone
+		case st.InFlight:
+			state = UnitInterrupted
+		}
+		doc.Units[i] = UnitStatusDoc{
+			Name:     st.Unit.Name(),
+			Artifact: st.Unit.Artifact,
+			BaseSeed: st.Unit.BaseSeed,
+			Key:      st.Unit.Key,
+			State:    state,
+		}
 	}
-	store, err := OpenStore(storeDir)
+	doc.Recount()
+	return doc
+}
+
+// Recount recomputes the summary counters from the per-unit states.
+// campaignd overlays lease/failure states on the units and calls this to
+// keep the totals honest.
+func (d *StatusDoc) Recount() {
+	d.Total = len(d.Units)
+	d.Done, d.Leased, d.Interrupted, d.Failed, d.Pending = 0, 0, 0, 0, 0
+	for _, u := range d.Units {
+		switch u.State {
+		case UnitDone:
+			d.Done++
+		case UnitLeased:
+			d.Leased++
+		case UnitInterrupted:
+			d.Interrupted++
+		case UnitFailed:
+			d.Failed++
+		default:
+			d.Pending++
+		}
+	}
+}
+
+// Status reports every unit of the spec against the store.
+func Status(spec *Spec, store *Store) ([]UnitStatus, error) {
+	units, err := spec.Units()
 	if err != nil {
 		return nil, err
 	}
@@ -55,12 +137,8 @@ type GCReport struct {
 // versions, abandoned configs). With dryRun it only reports what would
 // go. The journal is left alone — it is history, and resume never
 // trusts it over the store.
-func GC(spec *Spec, storeDir string, dryRun bool) (*GCReport, error) {
+func GC(spec *Spec, store *Store, dryRun bool) (*GCReport, error) {
 	units, err := spec.Units()
-	if err != nil {
-		return nil, err
-	}
-	store, err := OpenStore(storeDir)
 	if err != nil {
 		return nil, err
 	}
@@ -92,11 +170,7 @@ func GC(spec *Spec, storeDir string, dryRun bool) (*GCReport, error) {
 
 // Verify checks every committed entry in the store and returns the
 // errors found (empty means the store is sound).
-func Verify(storeDir string) ([]error, error) {
-	store, err := OpenStore(storeDir)
-	if err != nil {
-		return nil, err
-	}
+func Verify(store *Store) ([]error, error) {
 	keys, err := store.Keys()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,50 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestStatusDocCodec(t *testing.T) {
+	spec := testSpec()
+	units, err := spec.Units()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := []UnitStatus{
+		{Unit: units[0], Done: true},
+		{Unit: units[1], InFlight: true},
+	}
+	doc := NewStatusDoc(sts)
+	if doc.Total != 2 || doc.Done != 1 || doc.Interrupted != 1 || doc.Pending != 0 {
+		t.Fatalf("counters: %+v", doc)
+	}
+	if doc.Units[0].State != UnitDone || doc.Units[1].State != UnitInterrupted {
+		t.Fatalf("states: %+v", doc.Units)
+	}
+	if doc.Units[0].Name != units[0].Name() || doc.Units[0].Key != units[0].Key {
+		t.Errorf("unit identity not carried into the codec: %+v", doc.Units[0])
+	}
+
+	// Server-side overlays recount cleanly.
+	doc.Units[1].State = UnitLeased
+	doc.Recount()
+	if doc.Leased != 1 || doc.Interrupted != 0 {
+		t.Errorf("after overlay: %+v", doc)
+	}
+
+	// The codec round-trips through JSON — the same bytes `campaign
+	// status -json` prints and campaignd serves.
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StatusDoc
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total != doc.Total || back.Leased != doc.Leased || len(back.Units) != 2 ||
+		back.Units[1].State != UnitLeased {
+		t.Errorf("round trip: %+v", back)
+	}
+}

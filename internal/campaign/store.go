@@ -5,30 +5,34 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 )
 
-// Store is the on-disk content-addressed result cache. Layout:
+// Store is the content-addressed result cache, layered over a Backend.
+// Entry layout (object names, any backend):
 //
-//	<root>/objects/<key[:2]>/<key>/result.json   stable Result encoding
-//	<root>/objects/<key[:2]>/<key>/metrics.json  snapshot array
-//	<root>/objects/<key[:2]>/<key>/meta.json     key echo + checksums
-//	<root>/journal.jsonl                         write-ahead unit log
+//	objects/<key[:2]>/<key>/result.json   stable Result encoding
+//	objects/<key[:2]>/<key>/metrics.json  snapshot array
+//	objects/<key[:2]>/<key>/meta.json     key echo + checksums
 //
-// Writes are atomic: an entry is staged in a temp directory under the
-// root (same filesystem) with meta.json written last, then renamed into
-// place, so a reader either sees a complete entry or none — a crash
-// mid-write leaves only stray tmp directories, which Open sweeps.
+// plus, for directory-backed stores, a local write-ahead journal at
+// <root>/journal.jsonl. Commits write the payloads first and meta.json
+// last; each object lands atomically (Backend contract), so meta's
+// presence is the commit marker — a reader that sees meta sees a
+// complete entry, and a crash mid-commit leaves only unreferenced
+// payload objects that a re-run simply overwrites with identical bytes.
 type Store struct {
-	root string
+	b           Backend
+	root        string // "" when the backend is not a local directory
+	journalPath string // "" disables journaling
 }
 
 // Meta is the entry's self-description: the key's preimage fields plus
 // content checksums, so `campaign verify` can detect both corruption
-// (checksum mismatch) and misfiling (directory name != meta key).
+// (checksum mismatch) and misfiling (entry name != meta key).
 type Meta struct {
 	Key           string `json:"key"`
 	Module        string `json:"module"`
@@ -42,28 +46,58 @@ type Meta struct {
 	CreatedUnix   int64  `json:"created_unix"`
 }
 
-// OpenStore opens (creating if needed) a store rooted at dir and removes
-// any tmp- staging directories left behind by a crashed writer.
+// RunConfigSpec returns the SpecConfig form of the entry's config — the
+// codec that travels between campaignd server and workers.
+func (m Meta) RunConfigSpec() SpecConfig {
+	return SpecConfig{
+		Seeds:    m.Seeds,
+		BaseSeed: m.BaseSeed,
+		Duration: time.Duration(m.DurationNs).String(),
+		Quick:    m.Quick,
+	}
+}
+
+// OpenStore opens (creating if needed) a directory-backed store rooted
+// at dir, sweeping any tmp- staging leftovers, with its write-ahead
+// journal at <dir>/journal.jsonl.
 func OpenStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+	b, err := NewDirBackend(dir)
+	if err != nil {
 		return nil, fmt.Errorf("campaign: opening store: %w", err)
 	}
-	stale, _ := filepath.Glob(filepath.Join(dir, "tmp-*"))
-	for _, d := range stale {
-		os.RemoveAll(d)
-	}
-	return &Store{root: dir}, nil
+	return &Store{b: b, root: dir, journalPath: filepath.Join(dir, "journal.jsonl")}, nil
 }
 
-// Root returns the store's root directory.
+// NewStore layers the content-addressed cache over an arbitrary
+// Backend. journalPath roots the local write-ahead journal; empty
+// disables journaling (remote backends may not have a local disk).
+func NewStore(b Backend, journalPath string) *Store {
+	s := &Store{b: b, journalPath: journalPath}
+	if db, ok := b.(*DirBackend); ok {
+		s.root = db.Root()
+	}
+	return s
+}
+
+// Backend exposes the persistence layer (campaignd serves auxiliary
+// objects — cached trace renders — through it).
+func (s *Store) Backend() Backend { return s.b }
+
+// Root returns the store's root directory, or "" for non-directory
+// backends.
 func (s *Store) Root() string { return s.root }
 
-// JournalPath is where the store's write-ahead journal lives.
-func (s *Store) JournalPath() string { return filepath.Join(s.root, "journal.jsonl") }
+// JournalPath is where the store's write-ahead journal lives ("" when
+// journaling is disabled).
+func (s *Store) JournalPath() string { return s.journalPath }
 
-func (s *Store) objectDir(key string) string {
-	return filepath.Join(s.root, "objects", key[:2], key)
+func entryPrefix(key string) string {
+	return "objects/" + key[:2] + "/" + key + "/"
 }
+
+func metaName(key string) string    { return entryPrefix(key) + "meta.json" }
+func resultName(key string) string  { return entryPrefix(key) + "result.json" }
+func metricsName(key string) string { return entryPrefix(key) + "metrics.json" }
 
 // Has reports whether a complete entry exists for key (meta.json is
 // written last, so its presence implies the whole entry landed).
@@ -71,14 +105,16 @@ func (s *Store) Has(key string) bool {
 	if len(key) < 2 {
 		return false
 	}
-	_, err := os.Stat(filepath.Join(s.objectDir(key), "meta.json"))
+	_, err := s.b.Stat(metaName(key))
 	return err == nil
 }
 
-// Put commits one unit's bytes under meta.Key atomically. Checksums are
-// filled in here. If a concurrent writer (another shard pointed at the
-// same store) already committed the key, Put quietly keeps the existing
-// entry — content-addressing makes both copies interchangeable.
+// Put commits one unit's bytes under meta.Key. Checksums are filled in
+// here. Payloads land first, meta.json last as the commit marker; every
+// object write is atomic, so concurrent readers see either no entry or a
+// complete one. If a concurrent writer (another shard or worker pointed
+// at the same store) already committed the key, the overwrite is benign
+// — content-addressing makes both copies byte-identical.
 func (s *Store) Put(meta Meta, result, metricsJSON []byte) error {
 	if len(meta.Key) < 2 {
 		return fmt.Errorf("campaign: store put: invalid key %q", meta.Key)
@@ -88,92 +124,133 @@ func (s *Store) Put(meta Meta, result, metricsJSON []byte) error {
 	if meta.CreatedUnix == 0 {
 		meta.CreatedUnix = time.Now().Unix()
 	}
-	tmp, err := os.MkdirTemp(s.root, "tmp-")
-	if err != nil {
-		return fmt.Errorf("campaign: store put: %w", err)
+	if s.Has(meta.Key) {
+		return nil // a racing identical writer already committed
 	}
-	defer os.RemoveAll(tmp)
 	metaBytes, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
 		return fmt.Errorf("campaign: store put: %w", err)
 	}
-	for _, f := range []struct {
+	for _, obj := range []struct {
 		name string
 		data []byte
 	}{
-		{"result.json", result},
-		{"metrics.json", metricsJSON},
-		{"meta.json", append(metaBytes, '\n')}, // meta last: the commit marker
+		{resultName(meta.Key), result},
+		{metricsName(meta.Key), metricsJSON},
+		{metaName(meta.Key), append(metaBytes, '\n')}, // meta last: the commit marker
 	} {
-		if err := os.WriteFile(filepath.Join(tmp, f.name), f.data, 0o644); err != nil {
-			return fmt.Errorf("campaign: store put %s: %w", f.name, err)
+		if err := s.b.Put(obj.name, obj.data); err != nil {
+			return fmt.Errorf("campaign: store put: %w", err)
 		}
-	}
-	dst := s.objectDir(meta.Key)
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-		return fmt.Errorf("campaign: store put: %w", err)
-	}
-	if err := os.Rename(tmp, dst); err != nil {
-		if s.Has(meta.Key) {
-			return nil // lost a benign race with an identical writer
-		}
-		return fmt.Errorf("campaign: store put: %w", err)
 	}
 	return nil
 }
 
-// Get reads one complete entry back.
+// Get reads one complete entry back. Absence (or an entry deleted while
+// reading) surfaces as an error satisfying errors.Is(err, fs.ErrNotExist).
 func (s *Store) Get(key string) (Meta, []byte, []byte, error) {
 	var meta Meta
-	dir := s.objectDir(key)
-	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if len(key) < 2 {
+		return meta, nil, nil, fmt.Errorf("campaign: store get: invalid key %q", key)
+	}
+	metaBytes, err := s.b.Get(metaName(key))
 	if err != nil {
 		return meta, nil, nil, fmt.Errorf("campaign: store get %s: %w", key, err)
 	}
 	if err := json.Unmarshal(metaBytes, &meta); err != nil {
 		return meta, nil, nil, fmt.Errorf("campaign: store get %s: %w", key, err)
 	}
-	result, err := os.ReadFile(filepath.Join(dir, "result.json"))
+	result, err := s.b.Get(resultName(key))
 	if err != nil {
 		return meta, nil, nil, fmt.Errorf("campaign: store get %s: %w", key, err)
 	}
-	metricsJSON, err := os.ReadFile(filepath.Join(dir, "metrics.json"))
+	metricsJSON, err := s.b.Get(metricsName(key))
 	if err != nil {
 		return meta, nil, nil, fmt.Errorf("campaign: store get %s: %w", key, err)
 	}
 	return meta, result, metricsJSON, nil
 }
 
-// Keys lists every committed entry, sorted.
+// GetMeta reads only an entry's meta document.
+func (s *Store) GetMeta(key string) (Meta, error) {
+	var meta Meta
+	if len(key) < 2 {
+		return meta, fmt.Errorf("campaign: store meta: invalid key %q", key)
+	}
+	metaBytes, err := s.b.Get(metaName(key))
+	if err != nil {
+		return meta, fmt.Errorf("campaign: store meta %s: %w", key, err)
+	}
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return meta, fmt.Errorf("campaign: store meta %s: %w", key, err)
+	}
+	return meta, nil
+}
+
+// GetResult reads only an entry's result payload.
+func (s *Store) GetResult(key string) ([]byte, error) {
+	if len(key) < 2 {
+		return nil, fmt.Errorf("campaign: store result: invalid key %q", key)
+	}
+	data, err := s.b.Get(resultName(key))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: store result %s: %w", key, err)
+	}
+	return data, nil
+}
+
+// GetMetrics reads only an entry's telemetry payload.
+func (s *Store) GetMetrics(key string) ([]byte, error) {
+	if len(key) < 2 {
+		return nil, fmt.Errorf("campaign: store metrics: invalid key %q", key)
+	}
+	data, err := s.b.Get(metricsName(key))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: store metrics %s: %w", key, err)
+	}
+	return data, nil
+}
+
+// Keys lists every committed entry, sorted. Only entries whose commit
+// marker landed are reported, so a concurrent half-written entry is
+// invisible.
 func (s *Store) Keys() ([]string, error) {
-	dirs, err := filepath.Glob(filepath.Join(s.root, "objects", "*", "*"))
+	names, err := s.b.List("objects/")
 	if err != nil {
 		return nil, fmt.Errorf("campaign: store keys: %w", err)
 	}
 	var keys []string
-	for _, d := range dirs {
-		key := filepath.Base(d)
-		if s.Has(key) {
-			keys = append(keys, key)
+	for _, name := range names {
+		if !strings.HasSuffix(name, "/meta.json") {
+			continue
 		}
+		parts := strings.Split(name, "/")
+		if len(parts) != 4 {
+			continue
+		}
+		keys = append(keys, parts[2])
 	}
 	sort.Strings(keys)
 	return keys, nil
 }
 
-// Delete removes an entry (no error if absent).
+// Delete removes an entry (no error if absent). The commit marker goes
+// first, un-committing the entry, so a concurrent reader sees either the
+// complete entry or a clean not-exist — never a checksum mismatch.
 func (s *Store) Delete(key string) error {
 	if len(key) < 2 {
 		return nil
 	}
-	if err := os.RemoveAll(s.objectDir(key)); err != nil {
-		return fmt.Errorf("campaign: store delete %s: %w", key, err)
+	for _, name := range []string{metaName(key), resultName(key), metricsName(key)} {
+		if err := s.b.Delete(name); err != nil {
+			return fmt.Errorf("campaign: store delete %s: %w", key, err)
+		}
 	}
 	return nil
 }
 
-// VerifyEntry checks one entry end to end: meta parses, the directory
-// name matches the meta key, both payload checksums hold, and the result
+// VerifyEntry checks one entry end to end: meta parses, the entry name
+// matches the meta key, both payload checksums hold, and the result
 // still decodes as a Result document.
 func (s *Store) VerifyEntry(key string) error {
 	meta, result, metricsJSON, err := s.Get(key)
@@ -189,7 +266,7 @@ func (s *Store) VerifyEntry(key string) error {
 	if got := hexSum(metricsJSON); got != meta.MetricsSHA256 {
 		return fmt.Errorf("campaign: entry %s: metrics.json checksum mismatch", key)
 	}
-	if err := decodeCheck(result, metricsJSON); err != nil {
+	if err := CheckPayloads(result, metricsJSON); err != nil {
 		return fmt.Errorf("campaign: entry %s: %w", key, err)
 	}
 	return nil

@@ -1,0 +1,172 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// These tests pin the store's concurrency contract: a reader running
+// beside in-progress commits or an in-progress gc observes each entry
+// either completely (meta present, checksums hold, payloads decode) or
+// not at all (clean fs.ErrNotExist) — never a torn, half-committed, or
+// half-deleted object.
+
+// testKeys derives n distinct well-formed (64 hex char) keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", 0xfeed0000+i)
+	}
+	return keys
+}
+
+func TestStoreConcurrentReadersDuringCommits(t *testing.T) {
+	s := mustStore(t, t.TempDir())
+	keys := testKeys(48)
+
+	var committed atomic.Int64 // index below which entries are durably in
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i, key := range keys {
+			putTestEntry(t, s, key)
+			committed.Store(int64(i + 1))
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				key := keys[rng.Intn(len(keys))]
+				// Entries are never deleted here and meta is the commit
+				// marker, so Has(key) promises a complete, verifiable
+				// entry — the strict form of the contract.
+				if s.Has(key) {
+					if err := s.VerifyEntry(key); err != nil {
+						t.Errorf("reader saw a torn committed entry: %v", err)
+						return
+					}
+				}
+				// A blind Get may race the commit: full success or clean
+				// not-exist are the only allowed outcomes.
+				if _, _, _, err := s.Get(key); err != nil && !errors.Is(err, fs.ErrNotExist) {
+					t.Errorf("Get mid-commit: %v (want nil or fs.ErrNotExist)", err)
+					return
+				}
+				// Keys must report at least everything committed before
+				// the walk began (entries landing mid-walk may or may not
+				// be seen — both are fine).
+				low := committed.Load()
+				listed, err := s.Keys()
+				if err != nil {
+					t.Errorf("Keys mid-commit: %v", err)
+					return
+				}
+				if int64(len(listed)) < low {
+					t.Errorf("Keys lost committed entries: %d listed, %d committed", len(listed), low)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	<-done
+
+	// Settled state: everything is in and verifies.
+	for _, key := range keys {
+		if err := s.VerifyEntry(key); err != nil {
+			t.Fatalf("after settle: %v", err)
+		}
+	}
+}
+
+func TestStoreConcurrentReadersDuringGC(t *testing.T) {
+	s := mustStore(t, t.TempDir())
+	spec := testSpec()
+	units, err := spec.Units()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Referenced entries survive gc; strays are deleted while readers
+	// are mid-flight.
+	for _, u := range units {
+		putTestEntry(t, s, u.Key)
+	}
+	strays := testKeys(48)
+	for _, key := range strays {
+		putTestEntry(t, s, key)
+	}
+
+	done := make(chan struct{})
+	var gcRep *GCReport
+	var gcErr error
+	go func() {
+		defer close(done)
+		gcRep, gcErr = GC(spec, s, false)
+	}()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				key := strays[rng.Intn(len(strays))]
+				// Mid-delete, an entry must read as either fully intact
+				// (checksums hold) or cleanly absent. meta goes first, so
+				// a reader can never pass Has and then find a payload
+				// checksum-broken — but it may see meta and then lose a
+				// payload to the delete, which must surface as not-exist.
+				if err := s.VerifyEntry(key); err != nil && !errors.Is(err, fs.ErrNotExist) {
+					t.Errorf("reader mid-gc: %v (want nil or fs.ErrNotExist)", err)
+					return
+				}
+				// Referenced entries are untouchable throughout.
+				u := units[rng.Intn(len(units))]
+				if err := s.VerifyEntry(u.Key); err != nil {
+					t.Errorf("gc disturbed a referenced entry: %v", err)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	<-done
+
+	if gcErr != nil {
+		t.Fatalf("gc: %v", gcErr)
+	}
+	if gcRep.Deleted != len(strays) || gcRep.Kept != len(units) {
+		t.Errorf("gc report: kept %d deleted %d, want %d/%d", gcRep.Kept, gcRep.Deleted, len(units), len(strays))
+	}
+	for _, key := range strays {
+		if s.Has(key) {
+			t.Errorf("stray %s survived gc", key[:12])
+		}
+	}
+	for _, u := range units {
+		if err := s.VerifyEntry(u.Key); err != nil {
+			t.Errorf("after gc: %v", err)
+		}
+	}
+}

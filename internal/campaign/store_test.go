@@ -56,7 +56,7 @@ func TestStoreRoundTripAndVerify(t *testing.T) {
 	if err := s.VerifyEntry(key); err == nil {
 		t.Error("verify accepted a tampered entry")
 	}
-	if bad, err := Verify(s.Root()); err != nil || len(bad) != 1 {
+	if bad, err := Verify(s); err != nil || len(bad) != 1 {
 		t.Errorf("Verify(store) = %v, %v; want exactly one bad entry", bad, err)
 	}
 
@@ -136,7 +136,7 @@ func TestGCKeepsReferencedEntries(t *testing.T) {
 	stray := strings.Repeat("cd", 32)
 	putTestEntry(t, s, stray)
 
-	dry, err := GC(spec, storeDir, true)
+	dry, err := GC(spec, s, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestGCKeepsReferencedEntries(t *testing.T) {
 		t.Fatal("dry run deleted the stray entry")
 	}
 
-	got, err := GC(spec, storeDir, false)
+	got, err := GC(spec, s, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestStatusReportsDoneAndInFlight(t *testing.T) {
 	}
 	j.Close()
 
-	st, err := Status(spec, storeDir)
+	st, err := Status(spec, s)
 	if err != nil {
 		t.Fatal(err)
 	}

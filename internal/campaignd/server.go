@@ -1,0 +1,287 @@
+package campaignd
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"greedy80211/internal/campaign"
+	"greedy80211/internal/core"
+	"greedy80211/internal/report"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the content-addressed store to serve and fill (required).
+	Store *campaign.Store
+	// LeaseTTL is how long a worker may go without a heartbeat before
+	// its unit is re-issued. Zero means 30s.
+	LeaseTTL time.Duration
+	// MaxUnitFailures is how many worker-reported failures a unit
+	// tolerates before the server stops re-issuing it. Zero means 3.
+	MaxUnitFailures int
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to finish after the listener closes. Zero means 10s.
+	DrainTimeout time.Duration
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+	// Now overrides the clock (tests). Nil means time.Now.
+	Now func() time.Time
+}
+
+// campaignState is one registered campaign: the expanded deterministic
+// work-list plus per-unit failure counts. Units never change after
+// registration — the work-list is a pure function of the spec.
+type campaignState struct {
+	id       string
+	spec     *campaign.Spec
+	units    []campaign.Unit
+	failures map[string]int
+}
+
+// Server is the campaign results service. Create with New, expose with
+// Handler (or run with Serve), and Close when done.
+type Server struct {
+	cfg     Config
+	store   *campaign.Store
+	journal *campaign.Journal
+	leases  *leaseTable
+	stats   *serverStats
+	module  string
+	now     func() time.Time
+	logf    func(string, ...any)
+
+	mu        sync.Mutex
+	campaigns map[string]*campaignState
+	order     []string
+
+	refsOnce sync.Once
+	refsets  []*report.RefSet
+	refsErr  error
+
+	mux *http.ServeMux
+}
+
+// New builds a Server over an open store. The server appends to the
+// store's write-ahead journal (lease grants journal "start", commits
+// journal "done"), so `campaign status` on the same store shows units
+// that were in flight when a server or worker died.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("campaignd: Config.Store is required")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxUnitFailures <= 0 {
+		cfg.MaxUnitFailures = 3
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	journal, err := campaign.OpenJournal(cfg.Store.JournalPath())
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		store:     cfg.Store,
+		journal:   journal,
+		leases:    newLeaseTable(cfg.LeaseTTL, now),
+		stats:     newServerStats(now()),
+		module:    core.ModuleFingerprint(),
+		now:       now,
+		logf:      logf,
+		campaigns: make(map[string]*campaignState),
+	}
+	s.mux = s.routes()
+	return s, nil
+}
+
+// Close releases the journal. Safe after Serve has returned.
+func (s *Server) Close() error { return s.journal.Close() }
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Register expands and registers a campaign spec, returning its
+// deterministic id. Registering the same spec twice is a no-op returning
+// the same id. It is both the POST /v1/campaigns implementation and the
+// programmatic preload hook cmd/campaignd's -spec flag uses.
+func (s *Server) Register(spec *campaign.Spec) (string, error) {
+	units, err := spec.Units()
+	if err != nil {
+		return "", err
+	}
+	id := SpecID(spec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.campaigns[id]; !ok {
+		s.campaigns[id] = &campaignState{
+			id:       id,
+			spec:     spec,
+			units:    units,
+			failures: make(map[string]int),
+		}
+		s.order = append(s.order, id)
+		s.logf("campaignd: registered campaign %s (%d units)", id, len(units))
+	}
+	return id, nil
+}
+
+func (s *Server) campaignByID(id string) *campaignState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaigns[id]
+}
+
+// failureCount and recordFailure guard the per-unit failure ledger.
+func (s *Server) failureCount(st *campaignState, key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return st.failures[key]
+}
+
+func (s *Server) recordFailure(st *campaignState, key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.failures[key]++
+	return st.failures[key]
+}
+
+// unitByKey finds a registered unit by its content address (any
+// campaign), for late uploads whose lease already expired.
+func (s *Server) unitByKey(key string) (campaign.Unit, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.campaigns {
+		for _, u := range st.units {
+			if u.Key == key {
+				return u, true
+			}
+		}
+	}
+	return campaign.Unit{}, false
+}
+
+// statusDoc builds the shared status codec for one campaign, overlaying
+// live lease and failure state on the store/journal standing.
+func (s *Server) statusDoc(st *campaignState) (*campaign.StatusDoc, error) {
+	sts, err := campaign.Status(st.spec, s.store)
+	if err != nil {
+		return nil, err
+	}
+	doc := campaign.NewStatusDoc(sts)
+	leased := s.leases.leasedKeys()
+	s.mu.Lock()
+	for i := range doc.Units {
+		u := &doc.Units[i]
+		if u.State == campaign.UnitDone {
+			continue
+		}
+		switch {
+		case leased[u.Key]:
+			u.State = campaign.UnitLeased
+		case st.failures[u.Key] >= s.cfg.MaxUnitFailures:
+			u.State = campaign.UnitFailed
+		}
+	}
+	s.mu.Unlock()
+	doc.Recount()
+	return doc, nil
+}
+
+// refSets lazily loads the embedded golden refdata for /v1/verdicts.
+func (s *Server) refSets() ([]*report.RefSet, error) {
+	s.refsOnce.Do(func() {
+		s.refsets, s.refsErr = report.LoadEmbedded()
+	})
+	return s.refsets, s.refsErr
+}
+
+// Serve runs the service on ln until ctx is cancelled, then drains:
+// the listener closes immediately, in-flight requests get DrainTimeout
+// to finish (a mid-commit upload either lands completely or not at all —
+// store commits are atomic and the journal is line-buffered), and the
+// journal closes last, so a SIGTERM'd server leaves the store and WAL
+// exactly as consistent as a crash would, minus the torn tail.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("campaignd: draining (%s grace)", s.cfg.DrainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(drainCtx)
+	<-errc // http.ErrServerClosed from Serve
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("campaignd: shutdown: %w", err)
+	}
+	return nil
+}
+
+// campaignSummaries lists the registered campaigns in registration
+// order.
+func (s *Server) campaignSummaries() ([]CampaignSummary, error) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]CampaignSummary, 0, len(ids))
+	for _, id := range ids {
+		st := s.campaignByID(id)
+		if st == nil {
+			continue
+		}
+		doc, err := s.statusDoc(st)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CampaignSummary{
+			ID:        id,
+			Artifacts: artifactsOf(st.units),
+			Total:     doc.Total,
+			Done:      doc.Done,
+			Leased:    doc.Leased,
+			Failed:    doc.Failed,
+			Pending:   doc.Pending + doc.Interrupted,
+		})
+	}
+	return out, nil
+}
+
+func artifactsOf(units []campaign.Unit) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, u := range units {
+		if !seen[u.Artifact] {
+			seen[u.Artifact] = true
+			out = append(out, u.Artifact)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,149 @@
+package campaignd
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// serverStats is the expvar-style observability surface behind
+// GET /v1/stats: cache effectiveness (how many reads the
+// content-addressed ETags turned into 304s), lease-fabric health
+// (grants, expiries, re-issues, live lease ages), and per-route request
+// latencies. Counters are atomics; the route map is guarded by a mutex
+// and keyed by the registered pattern, not the raw URL, so cardinality
+// stays bounded.
+type serverStats struct {
+	start time.Time
+
+	blobServed      atomic.Uint64 // 200s off the store (results/metrics/meta/traces/verdicts)
+	blobNotModified atomic.Uint64 // 304s — the warm-reader fast path
+	blobMissing     atomic.Uint64 // 404s for absent keys
+
+	leasesGranted   atomic.Uint64
+	leasesExpired   atomic.Uint64
+	leasesCompleted atomic.Uint64
+	leasesFailed    atomic.Uint64
+	lateCompletes   atomic.Uint64 // uploads whose lease had already expired
+
+	tracesRendered atomic.Uint64 // simulated on demand
+	tracesCached   atomic.Uint64 // served from the backend render cache
+
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+type routeStats struct {
+	Count   uint64
+	Errors  uint64 // responses with status >= 400
+	TotalNs int64
+	MaxNs   int64
+}
+
+func newServerStats(now time.Time) *serverStats {
+	return &serverStats{start: now, routes: make(map[string]*routeStats)}
+}
+
+func (s *serverStats) observe(route string, status int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.routes[route]
+	if rs == nil {
+		rs = &routeStats{}
+		s.routes[route] = rs
+	}
+	rs.Count++
+	if status >= 400 {
+		rs.Errors++
+	}
+	ns := d.Nanoseconds()
+	rs.TotalNs += ns
+	if ns > rs.MaxNs {
+		rs.MaxNs = ns
+	}
+}
+
+// RouteDoc is one route's latency summary in StatsDoc.
+type RouteDoc struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors,omitempty"`
+	AvgMs  float64 `json:"avg_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// StatsDoc is the GET /v1/stats body.
+type StatsDoc struct {
+	UptimeSeconds float64 `json:"uptime_s"`
+	Campaigns     int     `json:"campaigns"`
+	StoreObjects  int     `json:"store_objects"`
+	Cache         struct {
+		Served      uint64  `json:"served"`
+		NotModified uint64  `json:"not_modified"`
+		Missing     uint64  `json:"missing"`
+		HitRate     float64 `json:"hit_rate"` // 304s over all found reads
+	} `json:"cache"`
+	Leases struct {
+		Active        int         `json:"active"`
+		OldestAgeS    float64     `json:"oldest_age_s"`
+		Granted       uint64      `json:"granted"`
+		Expired       uint64      `json:"expired_reissued"`
+		Completed     uint64      `json:"completed"`
+		Failed        uint64      `json:"failed"`
+		LateCompletes uint64      `json:"late_completes"`
+		Live          []LeaseInfo `json:"live,omitempty"`
+	} `json:"leases"`
+	Traces struct {
+		Rendered uint64 `json:"rendered"`
+		Cached   uint64 `json:"cached"`
+	} `json:"traces"`
+	Requests map[string]RouteDoc `json:"requests"`
+}
+
+func (s *serverStats) doc(now time.Time, campaigns, storeObjects int, live []LeaseInfo) *StatsDoc {
+	d := &StatsDoc{
+		UptimeSeconds: now.Sub(s.start).Seconds(),
+		Campaigns:     campaigns,
+		StoreObjects:  storeObjects,
+		Requests:      make(map[string]RouteDoc),
+	}
+	d.Cache.Served = s.blobServed.Load()
+	d.Cache.NotModified = s.blobNotModified.Load()
+	d.Cache.Missing = s.blobMissing.Load()
+	if total := d.Cache.Served + d.Cache.NotModified; total > 0 {
+		d.Cache.HitRate = float64(d.Cache.NotModified) / float64(total)
+	}
+	d.Leases.Active = len(live)
+	if len(live) > 0 {
+		d.Leases.OldestAgeS = live[0].AgeSeconds
+	}
+	d.Leases.Granted = s.leasesGranted.Load()
+	d.Leases.Expired = s.leasesExpired.Load()
+	d.Leases.Completed = s.leasesCompleted.Load()
+	d.Leases.Failed = s.leasesFailed.Load()
+	d.Leases.LateCompletes = s.lateCompletes.Load()
+	d.Leases.Live = live
+	d.Traces.Rendered = s.tracesRendered.Load()
+	d.Traces.Cached = s.tracesCached.Load()
+	s.mu.Lock()
+	for route, rs := range s.routes {
+		doc := RouteDoc{Count: rs.Count, Errors: rs.Errors, MaxMs: float64(rs.MaxNs) / 1e6}
+		if rs.Count > 0 {
+			doc.AvgMs = float64(rs.TotalNs) / float64(rs.Count) / 1e6
+		}
+		d.Requests[route] = doc
+	}
+	s.mu.Unlock()
+	return d
+}
+
+// statusRecorder captures the response code for latency accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"greedy80211/internal/campaign"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/stats"
 )
@@ -61,7 +62,10 @@ func TestReportStoreMatchesFresh(t *testing.T) {
 	sets := quickSets()
 	fresh := renderFresh(t, sets)
 
-	store := t.TempDir()
+	store, err := campaign.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
 	render := func(compute bool) string {
 		rep, err := FromStore(context.Background(), sets, store, compute, io.Discard)
 		if err != nil {
@@ -86,7 +90,11 @@ func TestReportStoreMatchesFresh(t *testing.T) {
 // yield gating missing verdicts, not simulate behind CI's back.
 func TestFromStoreNoComputeColdGates(t *testing.T) {
 	sets := quickSets()
-	rep, err := FromStore(context.Background(), sets, t.TempDir(), false, io.Discard)
+	store, err := campaign.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FromStore(context.Background(), sets, store, false, io.Discard)
 	if err != nil {
 		t.Fatalf("FromStore: %v", err)
 	}

@@ -213,11 +213,12 @@ func ComputeFresh(sets []*RefSet) (*Report, error) {
 	return Evaluate(sets, results, snaps)
 }
 
-// FromStore evaluates against a campaign store at storeDir. When compute
-// is true, missing units are computed (and cached) first via the
-// campaign engine; when false, a cold store yields missing verdicts for
-// its artifacts instead of simulating — the read-only CI mode.
-func FromStore(ctx context.Context, sets []*RefSet, storeDir string, compute bool, logw io.Writer) (*Report, error) {
+// FromStore evaluates against an open campaign store (any Backend).
+// When compute is true, missing units are computed (and cached) first
+// via the campaign engine; when false, a cold store yields missing
+// verdicts for its artifacts instead of simulating — the read-only CI
+// mode.
+func FromStore(ctx context.Context, sets []*RefSet, store *campaign.Store, compute bool, logw io.Writer) (*Report, error) {
 	cfg, err := SharedConfig(sets)
 	if err != nil {
 		return nil, err
@@ -231,7 +232,7 @@ func FromStore(ctx context.Context, sets []*RefSet, storeDir string, compute boo
 		},
 	}
 	if compute {
-		crep, err := campaign.Run(ctx, spec, campaign.Options{StoreDir: storeDir, Log: logw})
+		crep, err := campaign.Run(ctx, spec, campaign.Options{Store: store, Log: logw})
 		if err != nil {
 			return nil, err
 		}
@@ -241,7 +242,7 @@ func FromStore(ctx context.Context, sets []*RefSet, storeDir string, compute boo
 	}
 	results := make(map[string]*experiments.Result, len(sets))
 	snaps := make(map[string][]*metrics.Snapshot, len(sets))
-	urs, err := campaign.Results(spec, storeDir)
+	urs, err := campaign.Results(spec, store)
 	if err != nil {
 		var missing *campaign.MissingUnitsError
 		if !errors.As(err, &missing) {
@@ -249,7 +250,7 @@ func FromStore(ctx context.Context, sets []*RefSet, storeDir string, compute boo
 		}
 		// Partial store: evaluate what is present; absent artifacts
 		// surface as missing verdicts (which gate).
-		urs = presentUnits(spec, storeDir)
+		urs = presentUnits(spec, store)
 	}
 	for _, ur := range urs {
 		results[ur.Unit.Artifact] = ur.Result
@@ -259,11 +260,11 @@ func FromStore(ctx context.Context, sets []*RefSet, storeDir string, compute boo
 }
 
 // presentUnits reads back only the units that exist in the store.
-func presentUnits(spec *campaign.Spec, storeDir string) []campaign.UnitResult {
+func presentUnits(spec *campaign.Spec, store *campaign.Store) []campaign.UnitResult {
 	var out []campaign.UnitResult
 	for _, id := range spec.Artifacts {
 		one := &campaign.Spec{Artifacts: []string{id}, Config: spec.Config}
-		urs, err := campaign.Results(one, storeDir)
+		urs, err := campaign.Results(one, store)
 		if err != nil {
 			continue
 		}
