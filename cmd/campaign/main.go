@@ -6,6 +6,7 @@
 //	campaign run -spec spec.json -store .campaign -out results/
 //	campaign run -artifacts fig1,fig4 -seeds 5 -duration 5s -store .campaign
 //	campaign run -spec spec.json -store /shared/store -shard 0/2
+//	campaign run -spec spec.json -store .campaign -screen
 //	campaign status -spec spec.json -store .campaign [-json]
 //	campaign gc -spec spec.json -store .campaign
 //	campaign verify -store .campaign
@@ -43,6 +44,7 @@ import (
 	"greedy80211/internal/campaignd/client"
 	"greedy80211/internal/core"
 	"greedy80211/internal/profileflags"
+	"greedy80211/internal/report"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/stats"
 )
@@ -180,6 +182,8 @@ func cmdRun(args []string) int {
 		storeDir = fs.String("store", "", "result store directory (required)")
 		outDir   = fs.String("out", "", "assemble per-artifact results and metrics sidecar into this directory")
 		shard    = fs.String("shard", "", "compute only work-list slice i/n (e.g. 0/2); all shards share -store")
+		screen   = fs.Bool("screen", false,
+			"model-screening pass: skip recomputing units whose previous-module result still agrees with the analytic model on every model-banded check (journaled as \"screened\", never adopted into the store)")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size")
 		prof     = profileflags.Register(fs)
 	)
@@ -196,6 +200,14 @@ func cmdRun(args []string) int {
 		return 2
 	}
 	opt := campaign.Options{StoreDir: *storeDir, OutDir: *outDir, Log: os.Stdout}
+	if *screen {
+		sets, err := report.LoadEmbedded()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign run: loading refdata for -screen: %v\n", err)
+			return 1
+		}
+		opt.Screen = report.ModelScreen(sets)
+	}
 	if *shard != "" {
 		if _, err := fmt.Sscanf(*shard, "%d/%d", &opt.Shard, &opt.Shards); err != nil ||
 			opt.Shards < 1 || opt.Shard < 0 || opt.Shard >= opt.Shards {
@@ -224,6 +236,9 @@ func cmdRun(args []string) int {
 		return 1
 	}
 	fmt.Printf("campaign: %d units: %d cached, %d computed", rep.InShard, rep.CacheHits, rep.Computed)
+	if rep.Screened > 0 {
+		fmt.Printf(", %d screened", rep.Screened)
+	}
 	if len(rep.Failures) > 0 {
 		fmt.Printf(", %d FAILED", len(rep.Failures))
 	}
@@ -280,7 +295,11 @@ func cmdStatus(args []string) int {
 		t.AddRow(u.Name, u.Key[:12], string(u.State))
 	}
 	fmt.Print(t.String())
-	fmt.Printf("%d/%d units done\n", doc.Done, doc.Total)
+	fmt.Printf("%d/%d units done", doc.Done, doc.Total)
+	if doc.Screened > 0 {
+		fmt.Printf(" (%d screened)", doc.Screened)
+	}
+	fmt.Println()
 	return 0
 }
 

@@ -8,6 +8,7 @@
 //	experiments -run fig4,fig5 -seeds 5 -duration 5s
 //	experiments -artifact fig2 -metrics fig2_metrics.jsonl
 //	experiments -run all -json out/ -metrics out/metrics.jsonl
+//	experiments -analytic fig2
 //
 // -run accepts a single id, a comma-separated list, or "all". A failing
 // artifact does not abort the rest of the campaign: every requested
@@ -21,15 +22,18 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
+	"greedy80211/internal/analytic"
 	"greedy80211/internal/experiments"
 	"greedy80211/internal/metrics"
 	"greedy80211/internal/profileflags"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/scenario"
 	"greedy80211/internal/sim"
+	"greedy80211/internal/stats"
 	"greedy80211/internal/trace"
 	"greedy80211/internal/versionflag"
 )
@@ -48,6 +52,8 @@ func run(args []string) int {
 		list     = fs.Bool("list", false, "list every artifact and exit")
 		id       = fs.String("run", "", "artifact id (fig1..fig24, tab1..tab9), comma-separated list, or \"all\"")
 		artifact = fs.String("artifact", "", "alias for -run")
+		analyticMode = fs.Bool("analytic", false,
+			"print the Markov-chain analytic tier's predictions for the artifact(s) instead of simulating (no sweep, milliseconds instead of minutes)")
 		seeds    = fs.Int("seeds", 0, "seeded repetitions per data point (default 5, paper methodology)")
 		baseSeed = fs.Int64("seed", 0, "base seed")
 		duration = fs.Duration("duration", 0, "simulated time per run (default 5s)")
@@ -86,10 +92,16 @@ func run(args []string) int {
 	if *id == "" {
 		*id = *artifact
 	}
+	if *id == "" && fs.NArg() > 0 {
+		*id = strings.Join(fs.Args(), ",")
+	}
 	if *id == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -run <id> or -list required")
 		fs.Usage()
 		return 2
+	}
+	if *analyticMode {
+		return runAnalytic(*id)
 	}
 	cfg := experiments.RunConfig{
 		Seeds:    *seeds,
@@ -180,6 +192,65 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// runAnalytic prints the Markov-chain tier's predictions for each
+// requested artifact: the per-check predicted values the report gate
+// compares against golden wants, then each solved scenario's per-class
+// fixed point. "all" means every artifact the model covers.
+func runAnalytic(id string) int {
+	var ids []string
+	for _, art := range strings.Split(id, ",") {
+		art = strings.TrimSpace(art)
+		if art == "" {
+			continue
+		}
+		if art == "all" {
+			ids = append(ids, analytic.PredictedArtifacts()...)
+			continue
+		}
+		ids = append(ids, art)
+	}
+	failed := 0
+	for _, art := range ids {
+		pred, err := analytic.Predict(art)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s — analytic predictions (no simulation)\n", art)
+		checks := stats.Table{Header: []string{"check", "model"}}
+		for _, cid := range sortedKeys(pred.Values) {
+			checks.AddRow(cid, pred.Values[cid])
+		}
+		fmt.Print(checks.String())
+		for _, sc := range pred.Scenarios {
+			fmt.Printf("scenario %s (converged in %d iterations, residual %.2g)\n",
+				sc.Label, sc.Result.Iterations, sc.Result.Residual)
+			t := stats.Table{Header: []string{"class", "n", "tau", "p", "avg CW",
+				"drop", "Mbps/station", "airtime"}}
+			for _, c := range sc.Result.Classes {
+				t.AddRow(c.Name, float64(c.N), c.TauEffective, c.PCollision,
+					c.AvgCW, c.DropProb, c.PerStationBps/1e6, c.AirtimeShare)
+			}
+			fmt.Print(t.String())
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func writeCSVs(dir string, res *experiments.Result) error {

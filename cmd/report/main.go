@@ -38,12 +38,14 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	var (
-		out         = fs.String("out", "RESULTS.md", "write the Markdown report here (\"-\" for stdout)")
-		verdicts    = fs.String("verdicts", "verdicts.json", "write machine-readable verdicts here (empty to skip)")
-		store       = fs.String("store", "", "campaign store directory; empty runs everything fresh")
-		noComp      = fs.Bool("no-compute", false, "with -store: never simulate, gate on whatever the store holds")
-		refdata     = fs.String("refdata", "", "load golden values from this directory instead of the embedded set")
-		strict      = fs.Bool("strict", false, "drift verdicts gate too")
+		out          = fs.String("out", "RESULTS.md", "write the Markdown report here (\"-\" for stdout)")
+		verdicts     = fs.String("verdicts", "verdicts.json", "write machine-readable verdicts here (empty to skip)")
+		store        = fs.String("store", "", "campaign store directory; empty runs everything fresh")
+		noComp       = fs.Bool("no-compute", false, "with -store: never simulate, gate on whatever the store holds")
+		refdata      = fs.String("refdata", "", "load golden values from this directory instead of the embedded set")
+		strict       = fs.Bool("strict", false, "drift verdicts gate too")
+		analyticGate = fs.Bool("analytic-gate", false,
+			"fail when any model-banded check has a missing analytic prediction (model drift/fail stay advisory)")
 		bench       = fs.String("bench", ".", "directory holding BENCH_*.json for the footer (empty to omit)")
 		docsPath    = fs.String("docs", "EXPERIMENTS.md", "document carrying the artifact↔paper map block")
 		checkDoc    = fs.Bool("check-docs", false, "verify the map block in -docs is current, then exit")
@@ -128,6 +130,13 @@ func run(args []string) int {
 
 	fmt.Fprintf(os.Stderr, "report: %d checks — %d pass, %d drift, %d fail, %d missing\n",
 		rep.Checks(), rep.Pass, rep.Drift, rep.Fail, rep.Missing)
+	fmt.Fprintf(os.Stderr, "report: analytic tier — %d model checks: %d pass, %d drift, %d fail, %d missing\n",
+		rep.ModelChecks(), rep.ModelPass, rep.ModelDrift, rep.ModelFail, rep.ModelMissing)
+	if *analyticGate && rep.ModelMissing > 0 {
+		fmt.Fprintf(os.Stderr, "report: %d model-banded checks without predictions — analytic gate FAILED\n",
+			rep.ModelMissing)
+		return 1
+	}
 	if n := rep.Gating(*strict); n > 0 {
 		fmt.Fprintf(os.Stderr, "report: %d gating verdicts — reproduction gate FAILED\n", n)
 		if *traceOnFail != "" {

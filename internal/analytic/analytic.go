@@ -7,6 +7,7 @@ package analytic
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // CWDist is a probability distribution over contention-window values (the
@@ -17,8 +18,11 @@ type CWDist map[int]float64
 // Normalize scales the distribution to sum to one. It returns an error for
 // an empty or non-positive distribution.
 func (d CWDist) Normalize() error {
+	// Summing in sorted-support order keeps the result bit-identical
+	// across runs (map iteration order would perturb the last ulp).
 	var sum float64
-	for cw, p := range d {
+	for _, cw := range d.sortedCWs() {
+		p := d[cw]
 		if cw < 0 || p < 0 {
 			return fmt.Errorf("analytic: invalid CW entry %d -> %v", cw, p)
 		}
@@ -50,6 +54,18 @@ func FromSamples(samples []int) CWDist {
 // Single returns the distribution concentrated at one CW value.
 func Single(cw int) CWDist { return CWDist{cw: 1} }
 
+// sortedCWs returns the distribution's support in ascending order. Every
+// sum over a mixture iterates in this order so results are bit-identical
+// across runs — the report gate diffs model output byte-for-byte.
+func (d CWDist) sortedCWs() []int {
+	cws := make([]int, 0, len(d))
+	for cw := range d {
+		cws = append(cws, cw)
+	}
+	sort.Ints(cws)
+	return cws
+}
+
 // backoffCDFAtLeast reports Pr[B ≥ x] for B uniform on [0..cw].
 func backoffCDFAtLeast(cw, x int) float64 {
 	switch {
@@ -77,8 +93,8 @@ func backoffCDFAtMost(cw, x int) float64 {
 // mixAtLeast reports Pr[B ≥ x] under a CW mixture.
 func mixAtLeast(d CWDist, x int) float64 {
 	var p float64
-	for cw, w := range d {
-		p += w * backoffCDFAtLeast(cw, x)
+	for _, cw := range d.sortedCWs() {
+		p += d[cw] * backoffCDFAtLeast(cw, x)
 	}
 	return p
 }
@@ -86,8 +102,8 @@ func mixAtLeast(d CWDist, x int) float64 {
 // mixAtMost reports Pr[B ≤ x] under a CW mixture.
 func mixAtMost(d CWDist, x int) float64 {
 	var p float64
-	for cw, w := range d {
-		p += w * backoffCDFAtMost(cw, x)
+	for _, cw := range d.sortedCWs() {
+		p += d[cw] * backoffCDFAtMost(cw, x)
 	}
 	return p
 }

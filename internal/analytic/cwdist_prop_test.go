@@ -1,0 +1,64 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property: FromSamples already returns a normalized distribution, so a
+// further Normalize must be the identity (and must not error); and
+// Single(cw) must equal the one-sample FromSamples.
+func TestCWDistNormalizeFromSamplesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	cwPool := []int{0, 7, 15, 31, 63, 127, 255, 511, 1023}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(500)
+		samples := make([]int, n)
+		for i := range samples {
+			samples[i] = cwPool[rng.Intn(len(cwPool))]
+		}
+		d := FromSamples(samples)
+		if sum := distSum(d); math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("trial %d: FromSamples sums to %v", trial, sum)
+		}
+		before := make(CWDist, len(d))
+		for cw, p := range d {
+			before[cw] = p
+		}
+		if err := d.Normalize(); err != nil {
+			t.Fatalf("trial %d: Normalize of normalized dist errored: %v", trial, err)
+		}
+		if len(d) != len(before) {
+			t.Fatalf("trial %d: Normalize changed support size", trial)
+		}
+		for cw, p := range before {
+			if math.Abs(d[cw]-p) > 1e-12 {
+				t.Fatalf("trial %d: Normalize moved mass at cw=%d: %v -> %v", trial, cw, p, d[cw])
+			}
+		}
+	}
+}
+
+func TestSingleMatchesOneSampleFromSamples(t *testing.T) {
+	for _, cw := range []int{0, 1, 31, 1023} {
+		s := Single(cw)
+		f := FromSamples([]int{cw})
+		if len(s) != 1 || len(f) != 1 || s[cw] != 1 || f[cw] != 1 {
+			t.Errorf("cw=%d: Single %v != FromSamples %v", cw, s, f)
+		}
+	}
+}
+
+func TestCWDistNormalizeRejectsInvalid(t *testing.T) {
+	for name, d := range map[string]CWDist{
+		"empty":        {},
+		"zero mass":    {31: 0},
+		"negative cw":  {-1: 1},
+		"negative wgt": {31: -0.5, 63: 1.5},
+	} {
+		if err := d.Normalize(); err == nil {
+			t.Errorf("%s distribution accepted", name)
+		}
+	}
+}

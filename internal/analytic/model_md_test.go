@@ -1,0 +1,99 @@
+package analytic_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"greedy80211/internal/analytic"
+	"greedy80211/internal/report"
+	"greedy80211/internal/stats"
+)
+
+const (
+	modelMDBegin = "<!-- BEGIN MODEL ACCURACY TABLE (generated: UPDATE_MODEL_MD=1 go test ./internal/analytic/ -run TestModelMDAccuracyTable) -->"
+	modelMDEnd   = "<!-- END MODEL ACCURACY TABLE -->"
+)
+
+// accuracyTable renders MODEL.md §6: every model-covered check's
+// prediction against its golden want, with the model-band verdict the
+// report would assign.
+func accuracyTable(t *testing.T) string {
+	t.Helper()
+	sets := loadRefSets(t)
+	var b strings.Builder
+	b.WriteString("| artifact | check | model | golden | Δ | rel | model verdict |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, artifact := range analytic.PredictedArtifacts() {
+		set := sets[artifact]
+		if set == nil {
+			t.Fatalf("no refdata set for %s", artifact)
+		}
+		pred, err := analytic.Predict(artifact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]string, 0, len(pred.Values))
+		for id := range pred.Values {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			var check *report.Check
+			for i := range set.Checks {
+				if set.Checks[i].ID == id {
+					check = &set.Checks[i]
+					break
+				}
+			}
+			if check == nil {
+				continue // TestPredictionsTargetRealChecks reports this
+			}
+			model := pred.Values[id]
+			delta := model - check.Want
+			rel := "—"
+			if check.Want != 0 {
+				rel = fmt.Sprintf("%+.1f%%", delta/math.Abs(check.Want)*100)
+			}
+			verdict := stats.Classify(model, check.Want, check.ModelPass, check.ModelFail)
+			fmt.Fprintf(&b, "| `%s` | `%s` | %.4g | %.4g | %+.4g | %s | %s |\n",
+				artifact, id, model, check.Want, delta, rel, verdict)
+		}
+	}
+	return b.String()
+}
+
+// TestModelMDAccuracyTable keeps MODEL.md §6 current: the accuracy
+// table between the markers must match what Predict and the embedded
+// refdata produce right now. UPDATE_MODEL_MD=1 regenerates the block in
+// place.
+func TestModelMDAccuracyTable(t *testing.T) {
+	path := filepath.Join("..", "..", "MODEL.md")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading MODEL.md: %v", err)
+	}
+	doc := string(raw)
+	i := strings.Index(doc, modelMDBegin)
+	j := strings.Index(doc, modelMDEnd)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("MODEL.md accuracy-table markers missing or out of order")
+	}
+	want := modelMDBegin + "\n\n" + accuracyTable(t) + "\n" + modelMDEnd
+	got := doc[i : j+len(modelMDEnd)]
+	if got == want {
+		return
+	}
+	if os.Getenv("UPDATE_MODEL_MD") == "" {
+		t.Fatalf("MODEL.md §6 accuracy table is stale; regenerate with:\n  UPDATE_MODEL_MD=1 go test ./internal/analytic/ -run TestModelMDAccuracyTable")
+	}
+	updated := doc[:i] + want + doc[j+len(modelMDEnd):]
+	if err := os.WriteFile(path, []byte(updated), 0o644); err != nil {
+		t.Fatalf("writing MODEL.md: %v", err)
+	}
+	t.Logf("MODEL.md §6 accuracy table regenerated")
+}

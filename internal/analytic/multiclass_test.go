@@ -1,0 +1,269 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"greedy80211/internal/phys"
+)
+
+func fairClass(n int) Class {
+	p := phys.Params80211B()
+	return Class{
+		Name: "fair", N: n,
+		Chain:        Chain{CWMin: p.CWMin, CWMax: p.CWMax},
+		PayloadBytes: 1024, OverheadBytes: 28,
+	}
+}
+
+func fairModel(n int) Model {
+	return Model{
+		Params:    phys.Params80211B(),
+		Classes:   []Class{fairClass(n)},
+		UseRTSCTS: true,
+	}
+}
+
+// One symmetric, unperturbed, infinite-retry class must reproduce the
+// scalar Bianchi Saturation model: same fixed point, same throughput.
+func TestMultiClassReducesToSaturation(t *testing.T) {
+	for _, band := range []phys.Params{phys.Params80211B(), phys.Params80211A()} {
+		for _, rts := range []bool{true, false} {
+			for _, n := range []int{1, 2, 4, 8, 32} {
+				m := Model{
+					Params: band,
+					Classes: []Class{{
+						Name: "fair", N: n,
+						Chain:        Chain{CWMin: band.CWMin, CWMax: band.CWMax},
+						PayloadBytes: 1024, OverheadBytes: 28,
+					}},
+					UseRTSCTS: rts,
+				}
+				got, err := m.Solve()
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				want, err := Saturation(SaturationConfig{
+					Stations: n, Params: band,
+					PayloadBytes: 1024, OverheadBytes: 28, UseRTSCTS: rts,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := got.Classes[0]
+				if rel(c.Tau, want.Tau) > 1e-6 {
+					t.Errorf("band %v rts=%v n=%d: tau %v != %v", band.CWMin, rts, n, c.Tau, want.Tau)
+				}
+				if rel(c.PCollision, want.PCollision) > 1e-5 && math.Abs(c.PCollision-want.PCollision) > 1e-9 {
+					t.Errorf("band %v rts=%v n=%d: pc %v != %v", band.CWMin, rts, n, c.PCollision, want.PCollision)
+				}
+				if rel(c.PerStationBps, want.PerStationBps) > 1e-6 {
+					t.Errorf("band %v rts=%v n=%d: per-station %v != %v", band.CWMin, rts, n, c.PerStationBps, want.PerStationBps)
+				}
+			}
+		}
+	}
+}
+
+func rel(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestMultiClassSingleStationDegenerate(t *testing.T) {
+	res, err := fairModel(1).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Classes[0]
+	if c.PCollision != 0 {
+		t.Errorf("lone station collides: %v", c.PCollision)
+	}
+	if c.AvgCW != 31 {
+		t.Errorf("lone station AvgCW %v, want 31", c.AvgCW)
+	}
+	if mbps := c.PerStationBps / 1e6; mbps < 3.0 || mbps > 4.2 {
+		t.Errorf("lone station %v Mbps, want ≈3.5", mbps)
+	}
+}
+
+// NAV inflation must monotonically starve the fair class and hand the
+// channel to the greedy one, approaching the solo ceiling.
+func TestNAVInflationStarvesVictims(t *testing.T) {
+	solo, err := fairModel(1).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevVictim := math.Inf(1)
+	prevGreedy := 0.0
+	for _, v := range []int{0, 10, 30, 50, 100, 500} {
+		m := fairModel(1)
+		greedy := fairClass(1)
+		greedy.Name = "greedy"
+		greedy.InflateSlots = v
+		m.Classes = append(m.Classes, greedy)
+		res, err := m.Solve()
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		victim := res.Class("fair").PerStationBps
+		gr := res.Class("greedy").PerStationBps
+		if victim > prevVictim+1 { // +1 bps float slack
+			t.Errorf("v=%d: victim goodput rose to %v", v, victim)
+		}
+		if gr < prevGreedy-1 {
+			t.Errorf("v=%d: greedy goodput fell to %v", v, gr)
+		}
+		prevVictim, prevGreedy = victim, gr
+		if v == 500 {
+			if victim > 0.01*solo.TotalBps {
+				t.Errorf("v=500: victim still gets %v bps", victim)
+			}
+			if rel(gr, solo.TotalBps) > 0.1 {
+				t.Errorf("v=500: greedy %v far from solo ceiling %v", gr, solo.TotalBps)
+			}
+		}
+	}
+}
+
+// Fake-ACK suppression pins the greedy chain at CWmin while the true
+// collision probability still destroys frames.
+func TestFakeACKSuppression(t *testing.T) {
+	p := phys.Params80211B()
+	base := Model{
+		Params: p,
+		Hidden: true, VulnSlots: 25,
+		Classes: []Class{
+			{Name: "honest", N: 1, Chain: Chain{CWMin: p.CWMin, CWMax: p.CWMax, RetryLimit: 7},
+				PayloadBytes: 1024, OverheadBytes: 28},
+			{Name: "greedy", N: 1, Chain: Chain{CWMin: p.CWMin, CWMax: p.CWMax, RetryLimit: 7},
+				PayloadBytes: 1024, OverheadBytes: 28, SuppressCWGrowth: 1},
+		},
+	}
+	res, err := base.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := res.Class("greedy")
+	honest := res.Class("honest")
+	if gr.AvgCW != 31 {
+		t.Errorf("fully suppressed greedy AvgCW %v, want 31", gr.AvgCW)
+	}
+	if gr.PPerceived != 0 {
+		t.Errorf("fully suppressed greedy perceives %v", gr.PPerceived)
+	}
+	if gr.PCollision <= 0 {
+		t.Errorf("greedy's true collision prob %v should stay positive", gr.PCollision)
+	}
+	if honest.AvgCW <= gr.AvgCW {
+		t.Errorf("honest AvgCW %v not ballooned above greedy %v", honest.AvgCW, gr.AvgCW)
+	}
+	if honest.PerStationBps >= gr.PerStationBps {
+		t.Errorf("honest %v bps not starved below greedy %v", honest.PerStationBps, gr.PerStationBps)
+	}
+
+	// Zero suppression restores symmetry.
+	sym := base
+	sym.Classes = append([]Class{}, base.Classes...)
+	sym.Classes[1].SuppressCWGrowth = 0
+	res2, err := sym.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel(res2.Classes[0].PerStationBps, res2.Classes[1].PerStationBps) > 1e-9 {
+		t.Errorf("symmetric hidden classes diverge: %v vs %v",
+			res2.Classes[0].PerStationBps, res2.Classes[1].PerStationBps)
+	}
+}
+
+func TestMultiClassConvergenceGuards(t *testing.T) {
+	m := fairModel(8)
+	m.MaxIter = 2
+	m.Tol = 1e-14
+	if _, err := m.Solve(); err == nil {
+		t.Error("2-iteration cap converged implausibly")
+	}
+
+	bad := fairModel(2)
+	bad.Damping = 1.5
+	if _, err := bad.Solve(); err == nil {
+		t.Error("damping 1.5 accepted")
+	}
+
+	for _, mutate := range []func(*Model){
+		func(m *Model) { m.Classes = nil },
+		func(m *Model) { m.Classes[0].N = 0 },
+		func(m *Model) { m.Classes[0].PayloadBytes = 0 },
+		func(m *Model) { m.Classes[0].OverheadBytes = -1 },
+		func(m *Model) { m.Classes[0].SuppressCWGrowth = 1.5 },
+		func(m *Model) { m.Classes[0].Chain.CWMin = 0 },
+		func(m *Model) {
+			m.Classes = append(m.Classes, m.Classes[0], m.Classes[0])
+			m.Classes[1].InflateSlots = 10
+			m.Classes[2].InflateSlots = 10
+		},
+		func(m *Model) {
+			m.Hidden = true
+			m.Classes = append(m.Classes, m.Classes[0])
+			m.Classes[1].InflateSlots = 10
+		},
+	} {
+		m := fairModel(2)
+		mutate(&m)
+		if _, err := m.Solve(); err == nil {
+			t.Errorf("invalid model accepted: %+v", m)
+		}
+	}
+}
+
+// Table-driven sweep over population, CW geometry, retry limit, and
+// inflation: every solution must stay physical and converged.
+func TestMultiClassSweepStaysPhysical(t *testing.T) {
+	p := phys.Params80211B()
+	for _, n := range []int{1, 2, 5, 20} {
+		for _, cw := range []struct{ lo, hi int }{{15, 1023}, {31, 1023}, {31, 31}, {7, 255}} {
+			for _, retry := range []int{0, 1, 4, 7} {
+				for _, v := range []int{0, 16, 64} {
+					m := Model{
+						Params:    p,
+						UseRTSCTS: true,
+						Classes: []Class{
+							{Name: "fair", N: n, Chain: Chain{CWMin: cw.lo, CWMax: cw.hi, RetryLimit: retry},
+								PayloadBytes: 1024, OverheadBytes: 28},
+							{Name: "greedy", N: 1, Chain: Chain{CWMin: cw.lo, CWMax: cw.hi, RetryLimit: retry},
+								PayloadBytes: 1024, OverheadBytes: 28, InflateSlots: v},
+						},
+					}
+					res, err := m.Solve()
+					if err != nil {
+						t.Fatalf("n=%d cw=%v retry=%d v=%d: %v", n, cw, retry, v, err)
+					}
+					if res.Residual >= 1e-10 {
+						t.Errorf("n=%d cw=%v retry=%d v=%d: residual %v", n, cw, retry, v, res.Residual)
+					}
+					total := 0.0
+					for _, c := range res.Classes {
+						if !(c.Tau > 0 && c.Tau <= 1) || !(c.TauEffective >= 0 && c.TauEffective <= 1) {
+							t.Errorf("n=%d cw=%v retry=%d v=%d: tau %v/%v unphysical", n, cw, retry, v, c.Tau, c.TauEffective)
+						}
+						if c.PCollision < 0 || c.PCollision >= 1 || math.IsNaN(c.PCollision) {
+							t.Errorf("n=%d cw=%v retry=%d v=%d: pc %v unphysical", n, cw, retry, v, c.PCollision)
+						}
+						if c.PerStationBps < 0 || math.IsNaN(c.PerStationBps) {
+							t.Errorf("n=%d cw=%v retry=%d v=%d: goodput %v", n, cw, retry, v, c.PerStationBps)
+						}
+						if c.AirtimeShare < 0 || c.AirtimeShare > 1 {
+							t.Errorf("n=%d cw=%v retry=%d v=%d: airtime %v", n, cw, retry, v, c.AirtimeShare)
+						}
+						total += c.PerStationBps * float64(c.N)
+					}
+					if total > float64(p.DataRateBps) {
+						t.Errorf("n=%d cw=%v retry=%d v=%d: total %v exceeds channel rate", n, cw, retry, v, total)
+					}
+				}
+			}
+		}
+	}
+}

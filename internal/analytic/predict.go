@@ -1,0 +1,451 @@
+package analytic
+
+import (
+	"fmt"
+	"sort"
+
+	"greedy80211/internal/phys"
+)
+
+// This file maps the nine gated artifacts' experiment configurations onto
+// Markov-model inputs (multiclass.go) and evaluates each artifact's
+// refdata checks analytically. The report gate joins these predictions
+// against the simulated measurements as a second, advisory oracle; the
+// campaign screening pass uses them to skip units the model already
+// explains. Coverage is deliberately partial: text checks and values
+// dominated by effects outside the model (TCP loss recovery under heavy
+// BER, capture-mediated residuals) carry no prediction. MODEL.md
+// documents every covered check, its calibration, and its accuracy.
+
+// Prediction is the model's output for one artifact: predicted values
+// keyed by the artifact's refdata check IDs, plus the labeled operating
+// points they came from for display.
+type Prediction struct {
+	Artifact  string
+	Values    map[string]float64
+	Scenarios []PredictedScenario
+}
+
+// PredictedScenario is one solved model configuration behind a
+// prediction.
+type PredictedScenario struct {
+	Label  string
+	Result *ModelResult
+}
+
+const (
+	predPayloadBytes = 1024 // DefaultPayloadBytes / TCP MSS
+	udpOverheadBytes = 28   // UDP/IP headers on the air
+	tcpOverheadBytes = 40   // TCP/IP headers on the air
+	tcpAckFrameBytes = 40   // pure TCP ACK: TCP/IP headers only
+)
+
+// Predict evaluates the Markov model at the named gated artifact's
+// configuration. Predictions are pure functions of the artifact — they
+// hold at any seed count or duration, which is exactly what makes them a
+// useful screening oracle.
+func Predict(artifact string) (*Prediction, error) {
+	fn, ok := predictors[artifact]
+	if !ok {
+		return nil, fmt.Errorf("analytic: no model predictions for artifact %q (have %v)",
+			artifact, PredictedArtifacts())
+	}
+	return fn()
+}
+
+// PredictedArtifacts lists the artifacts Predict covers, sorted.
+func PredictedArtifacts() []string {
+	ids := make([]string, 0, len(predictors))
+	for id := range predictors {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+var predictors = map[string]func() (*Prediction, error){
+	"fig1":  predictFig1,
+	"fig2":  predictFig2,
+	"fig4":  predictFig4,
+	"fig6":  predictFig6,
+	"fig11": predictFig11,
+	"fig18": predictFig18,
+	"fig23": predictFig23,
+	"tab4":  predictTab4,
+	"extc":  predictExtc,
+}
+
+// chainFor builds the standard per-band backoff chain (short retry
+// limit, CWmin..CWmax doubling).
+func chainFor(p phys.Params) Chain {
+	return Chain{CWMin: p.CWMin, CWMax: p.CWMax, RetryLimit: p.ShortRetryLimit}
+}
+
+// msToSlots converts a NAV-inflation amount to backoff slots.
+func msToSlots(p phys.Params, ms float64) int {
+	return int(ms * 1e6 / float64(int64(p.SlotTime)))
+}
+
+// dataAirSlots is one UDP data frame's airtime in backoff slots — the
+// unit of the hidden-terminal vulnerability window.
+func dataAirSlots(p phys.Params) int {
+	air := p.TxDuration(predPayloadBytes+udpOverheadBytes+phys.DataHeaderBytes, p.DataRateBps)
+	return int(int64(air) / int64(p.SlotTime))
+}
+
+// vulnGoodputSlots is the effective hidden-terminal vulnerability window
+// for goodput accounting (802.11b, 1024-byte frames): wider than the
+// textbook two-airtimes window because both hidden senders keep counting
+// down through each other's transmissions, so every attempt exposes the
+// whole retransmission burst, not one frame. Calibrated once against the
+// Fig 18 GP=100% operating point and reused unchanged across the
+// fig18/extc goodput checks (MODEL.md §5). The Table IV average-CW checks
+// instead use one data airtime: the simulator's capture effect rescues
+// roughly the overlaps where the competitor started second, and CW growth
+// only sees the unrescued half.
+const vulnGoodputSlots = 160
+
+// udpNAVModel builds nFair fair UDP pairs plus (when vSlots > 0) one
+// greedy pair whose receiver inflates reservations by vSlots — the
+// Fig 1/2/23 and extended-C scenario family (RTS/CTS, saturated CBR).
+func udpNAVModel(p phys.Params, nFair, vSlots int) Model {
+	classes := []Class{{
+		Name: "fair", N: nFair,
+		Chain:        chainFor(p),
+		PayloadBytes: predPayloadBytes, OverheadBytes: udpOverheadBytes,
+	}}
+	if vSlots > 0 {
+		classes = append(classes, Class{
+			Name: "greedy", N: 1,
+			Chain:        chainFor(p),
+			PayloadBytes: predPayloadBytes, OverheadBytes: udpOverheadBytes,
+			InflateSlots: vSlots,
+		})
+	}
+	return Model{Params: p, Classes: classes, UseRTSCTS: true}
+}
+
+// tcpNAVModel builds a TCP flow population: each flow contributes a data
+// sender (MSS payload under TCP/IP headers) and a reverse ACK sender
+// contending for the same medium. When vSlots > 0 one flow is greedy: its
+// data sender enjoys the NAV-inflation head start and its ACK stream
+// rides inside the inflated reservations (race-exempt) instead of being
+// frozen with the victims.
+func tcpNAVModel(p phys.Params, flows, vSlots int) Model {
+	ch := chainFor(p)
+	m := Model{Params: p, UseRTSCTS: true}
+	if vSlots > 0 {
+		m.Classes = append(m.Classes,
+			Class{Name: "greedy-data", N: 1, Chain: ch,
+				PayloadBytes: predPayloadBytes, OverheadBytes: tcpOverheadBytes,
+				InflateSlots: vSlots},
+			Class{Name: "greedy-ack", N: 1, Chain: ch,
+				PayloadBytes: tcpAckFrameBytes, RaceExempt: true})
+		flows--
+	}
+	if flows > 0 {
+		m.Classes = append(m.Classes,
+			Class{Name: "fair-data", N: flows, Chain: ch,
+				PayloadBytes: predPayloadBytes, OverheadBytes: tcpOverheadBytes},
+			Class{Name: "fair-ack", N: flows, Chain: ch,
+				PayloadBytes: tcpAckFrameBytes})
+	}
+	return m
+}
+
+// hiddenModel builds the Fig 18 / Table IV hidden-pairs world: two basic
+// access UDP senders that cannot carrier-sense each other, nGreedy of
+// whose receivers fake ACKs at greedy percentage gp. vulnSlots sets the
+// vulnerability window (see MODEL.md §5 for the two calibrations).
+func hiddenModel(p phys.Params, gp float64, nGreedy, vulnSlots int) Model {
+	ch := chainFor(p)
+	m := Model{Params: p, Hidden: true, VulnSlots: vulnSlots}
+	honest := 2 - nGreedy
+	if honest > 0 {
+		m.Classes = append(m.Classes, Class{
+			Name: "honest", N: honest, Chain: ch,
+			PayloadBytes: predPayloadBytes, OverheadBytes: udpOverheadBytes,
+		})
+	}
+	if nGreedy > 0 {
+		m.Classes = append(m.Classes, Class{
+			Name: "greedy", N: nGreedy, Chain: ch,
+			PayloadBytes: predPayloadBytes, OverheadBytes: udpOverheadBytes,
+			SuppressCWGrowth: gp / 100,
+		})
+	}
+	return m
+}
+
+// mbps converts to the figures' megabit unit.
+func mbps(bps float64) float64 { return bps / 1e6 }
+
+func predictFig1() (*Prediction, error) {
+	p := phys.Params80211B()
+	base, err := udpNAVModel(p, 2, 0).Solve()
+	if err != nil {
+		return nil, err
+	}
+	att, err := udpNAVModel(p, 1, msToSlots(p, 0.6)).Solve()
+	if err != nil {
+		return nil, err
+	}
+	deep, err := udpNAVModel(p, 1, msToSlots(p, 1.0)).Solve()
+	if err != nil {
+		return nil, err
+	}
+	fair := base.Class("fair").PerStationBps
+	return &Prediction{
+		Artifact: "fig1",
+		Values: map[string]float64{
+			"fair-baseline-nr": mbps(fair),
+			"fair-baseline-gr": mbps(fair),
+			"victim-starved":   mbps(att.Class("fair").PerStationBps),
+			"greedy-monopoly":  mbps(att.Class("greedy").PerStationBps),
+			"starvation-ratio": deep.Class("fair").PerStationBps / deep.Class("greedy").PerStationBps,
+		},
+		Scenarios: []PredictedScenario{
+			{"2 fair UDP pairs (802.11b, RTS/CTS)", base},
+			{"+0.6 ms CTS inflation", att},
+			{"+1.0 ms CTS inflation", deep},
+		},
+	}, nil
+}
+
+func predictFig2() (*Prediction, error) {
+	p := phys.Params80211B()
+	base, err := udpNAVModel(p, 2, 0).Solve()
+	if err != nil {
+		return nil, err
+	}
+	at32, err := udpNAVModel(p, 1, 32).Solve()
+	if err != nil {
+		return nil, err
+	}
+	at40, err := udpNAVModel(p, 1, 40).Solve()
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{
+		Artifact: "fig2",
+		Values: map[string]float64{
+			"gs-cw-at-cwmin":        base.Class("fair").AvgCW,
+			"gs-cw-under-inflation": at32.Class("greedy").AvgCW,
+			"ns-cw-under-inflation": at40.Class("fair").AvgCW,
+		},
+		Scenarios: []PredictedScenario{
+			{"no inflation", base},
+			{"+32 slots", at32},
+			{"+40 slots", at40},
+		},
+	}, nil
+}
+
+func predictFig4() (*Prediction, error) {
+	p := phys.Params80211B()
+	base, err := tcpNAVModel(p, 2, 0).Solve()
+	if err != nil {
+		return nil, err
+	}
+	att, err := tcpNAVModel(p, 2, msToSlots(p, 2)).Solve()
+	if err != nil {
+		return nil, err
+	}
+	att1ms, err := tcpNAVModel(p, 2, msToSlots(p, 1)).Solve()
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{
+		Artifact: "fig4",
+		Values: map[string]float64{
+			"cts-fair-baseline": mbps(base.Class("fair-data").PerStationBps),
+			"cts-greedy-wins":   mbps(att.Class("greedy-data").PerStationBps),
+			"rtscts-greedy":     mbps(att1ms.Class("greedy-data").PerStationBps),
+		},
+		Scenarios: []PredictedScenario{
+			{"2 fair TCP flows (802.11b, RTS/CTS)", base},
+			{"+2 ms inflation", att},
+			{"+1 ms inflation", att1ms},
+		},
+	}, nil
+}
+
+func predictFig6() (*Prediction, error) {
+	p := phys.Params80211B()
+	at10, err := tcpNAVModel(p, 8, msToSlots(p, 10)).Solve()
+	if err != nil {
+		return nil, err
+	}
+	at31, err := tcpNAVModel(p, 8, msToSlots(p, 31)).Solve()
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{
+		Artifact: "fig6",
+		Values: map[string]float64{
+			"greedy-dominates-10ms": mbps(at10.Class("greedy-data").PerStationBps),
+			"normals-crushed-10ms":  mbps(at10.Class("fair-data").PerStationBps),
+			"greedy-max-inflation":  mbps(at31.Class("greedy-data").PerStationBps),
+			"domination-ratio":      at31.Class("fair-data").PerStationBps / at31.Class("greedy-data").PerStationBps,
+		},
+		Scenarios: []PredictedScenario{
+			{"8 TCP flows, +10 ms inflation", at10},
+			{"8 TCP flows, +31 ms inflation", at31},
+		},
+	}, nil
+}
+
+func predictFig11() (*Prediction, error) {
+	vals := map[string]float64{}
+	var scenarios []PredictedScenario
+	for _, band := range []struct {
+		p      phys.Params
+		prefix string
+	}{
+		{phys.Params80211B(), "11b"},
+		{phys.Params80211A(), "11a"},
+	} {
+		solo, err := tcpNAVModel(band.p, 1, 0).Solve()
+		if err != nil {
+			return nil, err
+		}
+		// ACK spoofing removes the MAC's loss recovery for the greedy
+		// flow: every corrupted data frame (FER of a TCP data frame at
+		// this BER, Table III) is a delivered-payload loss, scaling the
+		// otherwise-unopposed flow's goodput.
+		loss := FER(2e-4, UnitsTCPData)
+		vals[band.prefix+"-greedy-gains"] = mbps(solo.Class("fair-data").PerStationBps) * (1 - loss)
+		// The spoofer's flow never escalates its window; the honest
+		// competitor starves. The model predicts full starvation — the
+		// simulator's residual trickle sits inside the absolute band.
+		vals[band.prefix+"-victim-starved"] = 0
+		scenarios = append(scenarios, PredictedScenario{
+			Label:  fmt.Sprintf("solo TCP flow (802.%s, RTS/CTS)", band.prefix),
+			Result: solo,
+		})
+	}
+	// Without a greedy receiver the two flows are exchangeable: the
+	// model's fairness ratio is identically 1.
+	vals["11b-nogr-fairness"] = 1
+	return &Prediction{Artifact: "fig11", Values: vals, Scenarios: scenarios}, nil
+}
+
+func predictFig18() (*Prediction, error) {
+	p := phys.Params80211B()
+	base, err := hiddenModel(p, 0, 1, vulnGoodputSlots).Solve()
+	if err != nil {
+		return nil, err
+	}
+	att, err := hiddenModel(p, 100, 1, vulnGoodputSlots).Solve()
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{
+		Artifact: "fig18",
+		Values: map[string]float64{
+			"one-gr-baseline-fairness": base.Class("honest").PerStationBps / base.Class("greedy").PerStationBps,
+			"one-gr-victim-starved":    mbps(att.Class("honest").PerStationBps),
+			"one-gr-greedy-peak":       mbps(att.Class("greedy").PerStationBps),
+		},
+		Scenarios: []PredictedScenario{
+			{"hidden pairs, GP 0%", base},
+			{"hidden pairs, GP 100%", att},
+		},
+	}, nil
+}
+
+func predictFig23() (*Prediction, error) {
+	p := phys.Params80211B()
+	fair, err := udpNAVModel(p, 2, 0).Solve()
+	if err != nil {
+		return nil, err
+	}
+	att, err := udpNAVModel(p, 1, msToSlots(p, 31)).Solve()
+	if err != nil {
+		return nil, err
+	}
+	tcpFair, err := tcpNAVModel(p, 2, 0).Solve()
+	if err != nil {
+		return nil, err
+	}
+	fairShare := mbps(fair.Class("fair").PerStationBps)
+	return &Prediction{
+		Artifact: "fig23",
+		Values: map[string]float64{
+			// In comm range, an unchecked +31 ms inflation starves the
+			// victim; with GRC clamping the NAV (or beyond interference
+			// range) the victim recovers the fair 2-pair share.
+			"udp-attack-starves":     mbps(att.Class("fair").PerStationBps),
+			"udp-grc-restores":       fairShare,
+			"udp-beyond-range-inert": fairShare,
+			"tcp-grc-restores":       mbps(tcpFair.Class("fair-data").PerStationBps),
+		},
+		Scenarios: []PredictedScenario{
+			{"fair 2-pair UDP baseline", fair},
+			{"+31 ms inflation (in range, no GRC)", att},
+			{"fair 2-flow TCP baseline", tcpFair},
+		},
+	}, nil
+}
+
+func predictTab4() (*Prediction, error) {
+	b := phys.Params80211B()
+	a := phys.Params80211A()
+	// Average-CW rows calibrate the vulnerability window at ONE data
+	// airtime: the simulator's capture effect saves roughly the overlaps
+	// where the competitor started second, halving the textbook window
+	// as seen by the backoff machinery (MODEL.md §5).
+	noGR, err := hiddenModel(b, 0, 0, dataAirSlots(b)).Solve()
+	if err != nil {
+		return nil, err
+	}
+	oneGRb, err := hiddenModel(b, 100, 1, dataAirSlots(b)).Solve()
+	if err != nil {
+		return nil, err
+	}
+	oneGRa, err := hiddenModel(a, 100, 1, dataAirSlots(a)).Solve()
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{
+		Artifact: "tab4",
+		Values: map[string]float64{
+			"11b-nogr-s1":  noGR.Class("honest").AvgCW,
+			"11b-nogr-s2":  noGR.Class("honest").AvgCW,
+			"11b-onegr-gs": oneGRb.Class("greedy").AvgCW,
+			"11a-onegr-gs": oneGRa.Class("greedy").AvgCW,
+		},
+		Scenarios: []PredictedScenario{
+			{"802.11b hidden pairs, no GR", noGR},
+			{"802.11b hidden pairs, R2 GR (GP 100%)", oneGRb},
+			{"802.11a hidden pairs, R2 GR (GP 100%)", oneGRa},
+		},
+	}, nil
+}
+
+func predictExtc() (*Prediction, error) {
+	p := phys.Params80211B()
+	nav, err := udpNAVModel(p, 1, msToSlots(p, 10)).Solve()
+	if err != nil {
+		return nil, err
+	}
+	fake, err := hiddenModel(p, 100, 1, vulnGoodputSlots).Solve()
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{
+		Artifact: "extc",
+		Values: map[string]float64{
+			"nav-victim-starved":  mbps(nav.Class("fair").PerStationBps),
+			"nav-greedy-wins":     mbps(nav.Class("greedy").PerStationBps),
+			"nav-backoff-nominal": nav.Class("greedy").AvgBackoffSlots,
+			// The spoofed competitor's victim starves (see fig11).
+			"spoof-victim":     0,
+			"fake-greedy-wins": mbps(fake.Class("greedy").PerStationBps),
+		},
+		Scenarios: []PredictedScenario{
+			{"+10 ms CTS inflation (UDP pairs)", nav},
+			{"fake ACKs, hidden pairs, GP 100%", fake},
+		},
+	}, nil
+}

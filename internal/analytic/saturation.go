@@ -55,6 +55,9 @@ func Saturation(cfg SaturationConfig) (SaturationResult, error) {
 	if cfg.PayloadBytes <= 0 {
 		return SaturationResult{}, fmt.Errorf("analytic: payload %d", cfg.PayloadBytes)
 	}
+	if cfg.OverheadBytes < 0 {
+		return SaturationResult{}, fmt.Errorf("analytic: negative overhead %d bytes", cfg.OverheadBytes)
+	}
 	p := cfg.Params
 	w := float64(p.CWMin + 1)
 	m := cfg.MaxBackoffStages
@@ -83,6 +86,14 @@ func Saturation(cfg SaturationConfig) (SaturationResult, error) {
 		pc = 0.5*pc + 0.5*next
 	}
 	tau = tauOf(pc)
+	// For extreme populations the damped iteration leaves Bianchi's
+	// contraction region: tau underflows to 0 (or goes negative past
+	// pc = 1/2's pole) and the throughput expression silently returns
+	// garbage. Reject any fixed point outside the physical range.
+	if math.IsNaN(tau) || math.IsNaN(pc) || tau <= 0 || tau > 1 || pc < 0 || pc >= 1 {
+		return SaturationResult{}, fmt.Errorf(
+			"analytic: fixed point left the physical range (tau=%v, pc=%v) for %d stations", tau, pc, cfg.Stations)
+	}
 
 	// Slot-time accounting.
 	pTr := 1 - math.Pow(1-tau, n)        // some transmission in a slot

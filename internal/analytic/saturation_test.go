@@ -122,3 +122,26 @@ func TestGreedyGainBound(t *testing.T) {
 		t.Error("zero stations accepted")
 	}
 }
+
+func TestSaturationRejectsNegativeOverhead(t *testing.T) {
+	bad := satCfg(2)
+	bad.OverheadBytes = -1
+	if _, err := Saturation(bad); err == nil {
+		t.Error("negative overhead accepted")
+	}
+}
+
+func TestSaturationRejectsUnphysicalFixedPoint(t *testing.T) {
+	// Extreme populations push the damped iteration outside Bianchi's
+	// contraction region; the solver must refuse rather than report a
+	// garbage (zero or negative) tau.
+	for _, n := range []int{1 << 20, 1 << 30} {
+		res, err := Saturation(satCfg(n))
+		if err == nil && !(res.Tau > 0 && res.Tau <= 1 && res.PCollision >= 0 && res.PCollision < 1) {
+			t.Errorf("n=%d: unphysical fixed point accepted: %+v", n, res)
+		}
+		if err == nil && res.ThroughputBps < 0 {
+			t.Errorf("n=%d: negative throughput accepted: %+v", n, res)
+		}
+	}
+}

@@ -28,6 +28,10 @@ const (
 	OutcomeFailed Outcome = "failed"
 	// OutcomeSkipped means cancellation arrived before the unit started.
 	OutcomeSkipped Outcome = "skipped"
+	// OutcomeScreened means the unit was not simulated because the
+	// Options.Screen oracle confirmed a previous-module entry of the same
+	// artifact and config still agrees with the analytic model.
+	OutcomeScreened Outcome = "screened"
 )
 
 // Options configures one engine run.
@@ -48,6 +52,13 @@ type Options struct {
 	// OnUnit, when set, observes each unit's outcome as it lands
 	// (serialized — implementations need no locking).
 	OnUnit func(u Unit, o Outcome, err error)
+	// Screen, when set, enables the model-screening pass: for each unit
+	// missing from the store whose previous-module incarnation exists
+	// (FindPrevious), the oracle decides whether that prior result still
+	// agrees with the analytic model — returning true records the unit as
+	// screened instead of simulating it. cmd/campaign run -screen wires
+	// this to report.ModelAgreement over the Markov-chain predictions.
+	Screen func(u Unit, prev Meta, result []byte) (ok bool, why string)
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
 }
@@ -63,9 +74,9 @@ type Report struct {
 	// Units is the full work-list size; InShard how many this process
 	// was responsible for.
 	Units, InShard int
-	// CacheHits + Computed + Skipped + len(Failures) == InShard.
-	CacheHits, Computed, Skipped int
-	Failures                     []UnitError
+	// CacheHits + Computed + Screened + Skipped + len(Failures) == InShard.
+	CacheHits, Computed, Screened, Skipped int
+	Failures                               []UnitError
 	// Assembled reports whether the merge pass ran and OutFiles what it
 	// wrote.
 	Assembled bool
@@ -141,6 +152,21 @@ func Run(ctx context.Context, spec *Spec, opt Options) (*Report, error) {
 			record(i, OutcomeHit, nil)
 			return nil
 		}
+		if opt.Screen != nil {
+			prev, prevResult, perr := FindPrevious(store, u)
+			if perr == nil && prev.Key != "" {
+				if ok, why := opt.Screen(u, prev, prevResult); ok {
+					sr := Record{Op: "screened", Key: u.Key, Artifact: u.Artifact,
+						BaseSeed: u.BaseSeed, Prev: prev.Key, Note: why}
+					if err := journal.Append(sr); err != nil {
+						record(i, OutcomeFailed, err)
+						return nil
+					}
+					record(i, OutcomeScreened, nil)
+					return nil
+				}
+			}
+		}
 		jr := Record{Key: u.Key, Artifact: u.Artifact, BaseSeed: u.BaseSeed}
 		jr.Op = "start"
 		if err := journal.Append(jr); err != nil {
@@ -179,6 +205,8 @@ func Run(ctx context.Context, spec *Spec, opt Options) (*Report, error) {
 			rep.CacheHits++
 		case OutcomeComputed:
 			rep.Computed++
+		case OutcomeScreened:
+			rep.Screened++
 		case OutcomeFailed:
 			// counted via rep.Failures
 		default:

@@ -11,11 +11,17 @@ import (
 // Record is one journal line. "start" is written ahead of computing a
 // unit, "done" after its store commit — so a start without a matching
 // done marks a unit that was in flight when the process died.
+// "screened" records a model-screening disposition: the unit was not
+// computed because the analytic model vouched for its previous-module
+// entry (Prev names that entry's key; Note says why).
 type Record struct {
-	Op       string `json:"op"` // "start" | "done"
+	Op       string `json:"op"` // "start" | "done" | "screened"
 	Key      string `json:"key"`
 	Artifact string `json:"artifact"`
 	BaseSeed int64  `json:"base_seed"`
+	// Prev and Note are set only on "screened" records.
+	Prev string `json:"prev,omitempty"`
+	Note string `json:"note,omitempty"`
 }
 
 // Journal is the store's append-only write-ahead unit-completion log.

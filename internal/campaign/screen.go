@@ -1,0 +1,64 @@
+package campaign
+
+import (
+	"greedy80211/internal/core"
+)
+
+// Model screening: when the code changes, every unit's key changes with
+// the module fingerprint and a warm store goes cold — even though most
+// changes leave most artifacts' physics untouched. The screening pass
+// lets the analytic tier vouch for those stale entries: before
+// simulating a missing unit, the engine finds the unit's most recent
+// previous-module entry and asks the Options.Screen oracle (wired by
+// cmd/campaign to the Markov model's predictions) whether that result
+// still agrees with the model. If it does, the unit is journaled and
+// reported as "screened" instead of being recomputed.
+//
+// A screened unit deliberately does NOT adopt the stale bytes under the
+// new key: the store never holds output the current module did not
+// produce. Screening is a disposition — a recorded, model-backed reason
+// to defer recomputation — not a cache forgery; assembling or gating on
+// the store still requires computing the units for real.
+
+// FindPrevious scans the store for the most recent complete entry that
+// matches u's artifact and normalized config but was computed under a
+// different module fingerprint — the unit's pre-refactor incarnation.
+// It returns the zero Meta when no such entry exists. Ties on creation
+// time break lexicographically by key, keeping the choice deterministic
+// across processes.
+func FindPrevious(store *Store, u Unit) (Meta, []byte, error) {
+	keys, err := store.Keys()
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	module := core.ModuleFingerprint()
+	var best Meta
+	for _, key := range keys {
+		if key == u.Key {
+			continue
+		}
+		meta, err := store.GetMeta(key)
+		if err != nil {
+			continue // torn or foreign entry; not screenable
+		}
+		if meta.Module == module || meta.Artifact != u.Artifact {
+			continue
+		}
+		if meta.Seeds != u.Config.Seeds || meta.BaseSeed != u.Config.BaseSeed ||
+			meta.DurationNs != int64(u.Config.Duration) || meta.Quick != u.Config.Quick {
+			continue
+		}
+		if best.Key == "" || meta.CreatedUnix > best.CreatedUnix ||
+			(meta.CreatedUnix == best.CreatedUnix && meta.Key < best.Key) {
+			best = meta
+		}
+	}
+	if best.Key == "" {
+		return Meta{}, nil, nil
+	}
+	result, err := store.GetResult(best.Key)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	return best, result, nil
+}

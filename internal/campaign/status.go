@@ -10,8 +10,10 @@ type UnitStatus struct {
 	Unit Unit
 	// Done: committed in the store. InFlight: the journal shows a start
 	// with no matching done and no store entry — the unit was being
-	// computed when a previous run died.
-	Done, InFlight bool
+	// computed when a previous run died. Screened: the journal's latest
+	// word on the unit is a model-screening disposition and the store
+	// still has no entry.
+	Done, InFlight, Screened bool
 }
 
 // UnitState labels a unit's standing in the shared status codec.
@@ -29,6 +31,10 @@ const (
 	// UnitFailed: the server gave up on the unit after repeated worker
 	// failures (server-side only).
 	UnitFailed UnitState = "failed"
+	// UnitScreened: absent from the store, but the journal records a
+	// model-screening disposition — the analytic model vouched for the
+	// unit's previous-module result, so recomputation was deferred.
+	UnitScreened UnitState = "screened"
 	// UnitPending: not computed and not claimed.
 	UnitPending UnitState = "pending"
 )
@@ -51,6 +57,7 @@ type StatusDoc struct {
 	Leased      int             `json:"leased"`
 	Interrupted int             `json:"interrupted"`
 	Failed      int             `json:"failed"`
+	Screened    int             `json:"screened"`
 	Pending     int             `json:"pending"`
 	Units       []UnitStatusDoc `json:"units"`
 }
@@ -65,6 +72,8 @@ func NewStatusDoc(sts []UnitStatus) *StatusDoc {
 			state = UnitDone
 		case st.InFlight:
 			state = UnitInterrupted
+		case st.Screened:
+			state = UnitScreened
 		}
 		doc.Units[i] = UnitStatusDoc{
 			Name:     st.Unit.Name(),
@@ -83,7 +92,7 @@ func NewStatusDoc(sts []UnitStatus) *StatusDoc {
 // keep the totals honest.
 func (d *StatusDoc) Recount() {
 	d.Total = len(d.Units)
-	d.Done, d.Leased, d.Interrupted, d.Failed, d.Pending = 0, 0, 0, 0, 0
+	d.Done, d.Leased, d.Interrupted, d.Failed, d.Screened, d.Pending = 0, 0, 0, 0, 0, 0
 	for _, u := range d.Units {
 		switch u.State {
 		case UnitDone:
@@ -94,6 +103,8 @@ func (d *StatusDoc) Recount() {
 			d.Interrupted++
 		case UnitFailed:
 			d.Failed++
+		case UnitScreened:
+			d.Screened++
 		default:
 			d.Pending++
 		}
@@ -111,18 +122,27 @@ func Status(spec *Spec, store *Store) ([]UnitStatus, error) {
 		return nil, err
 	}
 	started := make(map[string]bool)
+	screened := make(map[string]bool)
 	for _, r := range recs {
 		switch r.Op {
 		case "start":
 			started[r.Key] = true
+			delete(screened, r.Key)
 		case "done":
 			delete(started, r.Key)
+		case "screened":
+			screened[r.Key] = true
 		}
 	}
 	out := make([]UnitStatus, len(units))
 	for i, u := range units {
 		done := store.Has(u.Key)
-		out[i] = UnitStatus{Unit: u, Done: done, InFlight: !done && started[u.Key]}
+		out[i] = UnitStatus{
+			Unit:     u,
+			Done:     done,
+			InFlight: !done && started[u.Key],
+			Screened: !done && !started[u.Key] && screened[u.Key],
+		}
 	}
 	return out, nil
 }

@@ -19,28 +19,43 @@ const (
 
 // MappingTable renders the full artifact↔paper map: every registered
 // artifact with its paper locator, and — for artifacts gated by a
-// refdata set — the claim under test, the check count, and the loosest
-// pass tolerance.
+// refdata set — the claim under test, the check count, the loosest
+// pass tolerance, and how many checks the analytic tier also predicts
+// (see MODEL.md).
 func MappingTable(sets []*RefSet) string {
 	byID := make(map[string]*RefSet, len(sets))
 	for _, s := range sets {
 		byID[s.Artifact] = s
 	}
 	var b strings.Builder
-	b.WriteString("| artifact | paper | gated claim | checks | pass tolerance |\n")
-	b.WriteString("|---|---|---|---|---|\n")
+	b.WriteString("| artifact | paper | gated claim | checks | pass tolerance | model checks |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
 	for _, reg := range experiments.All() {
 		set := byID[reg.ID]
-		claim, checks, tol := "—", "—", "—"
+		claim, checks, tol, model := "—", "—", "—", "—"
 		if set != nil {
 			claim = set.Claim
 			checks = fmt.Sprintf("%d", len(set.Checks))
 			tol = loosestBand(set)
+			if n := modelChecks(set); n > 0 {
+				model = fmt.Sprintf("%d", n)
+			}
 		}
-		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s |\n",
-			reg.ID, reg.Paper, claim, checks, tol)
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s | %s |\n",
+			reg.ID, reg.Paper, claim, checks, tol, model)
 	}
 	return b.String()
+}
+
+// modelChecks counts the set's checks under analytic-tier coverage.
+func modelChecks(set *RefSet) int {
+	n := 0
+	for _, c := range set.Checks {
+		if c.HasModel() {
+			n++
+		}
+	}
+	return n
 }
 
 // loosestBand summarizes the widest pass band across a set's checks —

@@ -85,9 +85,24 @@ type Check struct {
 	// check fails outright (zero Fail: anything outside Pass fails).
 	Pass stats.Band `json:"pass,omitempty"`
 	Fail stats.Band `json:"fail,omitempty"`
+	// ModelPass/ModelFail, when set, declare that the analytic tier
+	// (internal/analytic.Predict) covers this check: the Markov-chain
+	// prediction is classified against Want with these bands. They are
+	// deliberately wider than Pass/Fail — the model omits capture,
+	// transport dynamics, and finite-duration effects — and the verdict
+	// is advisory: it never gates the reproduction, but cmd/report
+	// -analytic-gate (CI's analytic-check step) fails when a declared
+	// prediction goes missing. MODEL.md documents each covered check's
+	// calibration and worst-case error.
+	ModelPass stats.Band `json:"model_pass,omitempty"`
+	ModelFail stats.Band `json:"model_fail,omitempty"`
 	// Note says what claim the point carries, for the report table.
 	Note string `json:"note,omitempty"`
 }
+
+// HasModel reports whether the analytic tier declares coverage of this
+// check.
+func (c *Check) HasModel() bool { return !c.ModelPass.IsZero() }
 
 // RefSet is one artifact's golden-value file.
 type RefSet struct {
@@ -143,6 +158,12 @@ func (s *RefSet) validate() error {
 		}
 		if c.Kind != "text" && c.Pass.IsZero() {
 			return fmt.Errorf("%s: no pass band", where)
+		}
+		if c.Kind == "text" && c.HasModel() {
+			return fmt.Errorf("%s: text checks cannot carry model bands", where)
+		}
+		if !c.ModelFail.IsZero() && c.ModelPass.IsZero() {
+			return fmt.Errorf("%s: model_fail without model_pass", where)
 		}
 	}
 	return nil

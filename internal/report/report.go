@@ -21,6 +21,7 @@ import (
 	"math"
 	"sync"
 
+	"greedy80211/internal/analytic"
 	"greedy80211/internal/campaign"
 	"greedy80211/internal/core"
 	"greedy80211/internal/experiments"
@@ -37,6 +38,13 @@ type CheckResult struct {
 	Got     float64
 	GotText string
 	Verdict stats.Verdict
+	// Model is the analytic tier's prediction for this check (NaN when
+	// the check declares no model bands or the prediction is absent), and
+	// ModelVerdict its advisory classification against Want under the
+	// model bands. ModelVerdict is empty for checks outside the model's
+	// declared coverage.
+	Model        float64
+	ModelVerdict stats.Verdict
 }
 
 // ArtifactReport is one gated artifact's evaluation.
@@ -87,10 +95,19 @@ type Report struct {
 	Artifacts []*ArtifactReport
 	// Verdict tallies across all checks.
 	Pass, Drift, Fail, Missing int
+	// Model verdict tallies across the checks the analytic tier declares
+	// coverage of (model bands in refdata). Advisory: they never trip the
+	// reproduction gate, but ModelMissing trips -analytic-gate.
+	ModelPass, ModelDrift, ModelFail, ModelMissing int
 }
 
 // Checks is the total number of evaluated checks.
 func (r *Report) Checks() int { return r.Pass + r.Drift + r.Fail + r.Missing }
+
+// ModelChecks is the number of checks under analytic-tier coverage.
+func (r *Report) ModelChecks() int {
+	return r.ModelPass + r.ModelDrift + r.ModelFail + r.ModelMissing
+}
 
 // Gating returns how many verdicts gate (fail + missing, plus drift in
 // strict mode) — nonzero means cmd/report exits 1.
@@ -161,13 +178,34 @@ func Evaluate(sets []*RefSet, results map[string]*experiments.Result,
 			Result:    results[set.Artifact],
 			Snapshots: snaps[set.Artifact],
 		}
+		pred := predictions(set.Artifact)
 		for _, c := range set.Checks {
 			got, gotText := math.NaN(), ""
 			if ar.Result != nil {
 				got, gotText = extract(c, ar.Result)
 			}
 			v := classify(c, got, gotText)
-			ar.Checks = append(ar.Checks, CheckResult{Check: c, Got: got, GotText: gotText, Verdict: v})
+			cr := CheckResult{Check: c, Got: got, GotText: gotText, Verdict: v, Model: math.NaN()}
+			if c.HasModel() {
+				model, ok := pred[c.ID]
+				if ok {
+					cr.Model = model
+					cr.ModelVerdict = stats.Classify(model, c.Want, c.ModelPass, c.ModelFail)
+				} else {
+					cr.ModelVerdict = stats.VerdictMissing
+				}
+				switch cr.ModelVerdict {
+				case stats.VerdictPass:
+					rep.ModelPass++
+				case stats.VerdictDrift:
+					rep.ModelDrift++
+				case stats.VerdictFail:
+					rep.ModelFail++
+				default:
+					rep.ModelMissing++
+				}
+			}
+			ar.Checks = append(ar.Checks, cr)
 			switch v {
 			case stats.VerdictPass:
 				rep.Pass++
@@ -182,6 +220,18 @@ func Evaluate(sets []*RefSet, results map[string]*experiments.Result,
 		rep.Artifacts = append(rep.Artifacts, ar)
 	}
 	return rep, nil
+}
+
+// predictions evaluates the analytic tier for one artifact, keyed by
+// check id. Artifacts outside the model's coverage (or a prediction
+// failure) yield an empty map: every model-banded check then classifies
+// as missing, which is exactly the signal -analytic-gate trips on.
+func predictions(artifact string) map[string]float64 {
+	pred, err := analytic.Predict(artifact)
+	if err != nil {
+		return nil
+	}
+	return pred.Values
 }
 
 // ComputeFresh regenerates every gated artifact at the shared profile —

@@ -15,13 +15,19 @@ import (
 // to null — encoding/json cannot represent NaN).
 
 type verdictsDoc struct {
-	Module    string             `json:"module"`
-	Config    Config             `json:"config"`
-	Pass      int                `json:"pass"`
-	Drift     int                `json:"drift"`
-	Fail      int                `json:"fail"`
-	Missing   int                `json:"missing"`
-	Artifacts []verdictsArtifact `json:"artifacts"`
+	Module  string `json:"module"`
+	Config  Config `json:"config"`
+	Pass    int    `json:"pass"`
+	Drift   int    `json:"drift"`
+	Fail    int    `json:"fail"`
+	Missing int    `json:"missing"`
+	// Model tallies cover only the checks with analytic-tier bands;
+	// advisory, except model_missing which CI's analytic-check trips on.
+	ModelPass    int                `json:"model_pass"`
+	ModelDrift   int                `json:"model_drift"`
+	ModelFail    int                `json:"model_fail"`
+	ModelMissing int                `json:"model_missing"`
+	Artifacts    []verdictsArtifact `json:"artifacts"`
 }
 
 type verdictsArtifact struct {
@@ -40,6 +46,12 @@ type verdictsCheck struct {
 	Pass    stats.Band    `json:"pass,omitempty"`
 	Fail    stats.Band    `json:"fail,omitempty"`
 	Verdict stats.Verdict `json:"verdict"`
+	// Model fields are present only for checks under analytic-tier
+	// coverage (model bands declared in refdata).
+	Model        *float64      `json:"model,omitempty"`
+	ModelPass    stats.Band    `json:"model_pass,omitempty"`
+	ModelFail    stats.Band    `json:"model_fail,omitempty"`
+	ModelVerdict stats.Verdict `json:"model_verdict,omitempty"`
 }
 
 func jsonFloat(v float64) *float64 {
@@ -52,12 +64,16 @@ func jsonFloat(v float64) *float64 {
 // WriteVerdicts encodes the report's verdicts as indented JSON.
 func WriteVerdicts(w io.Writer, rep *Report) error {
 	doc := verdictsDoc{
-		Module:  rep.Module,
-		Config:  rep.Config,
-		Pass:    rep.Pass,
-		Drift:   rep.Drift,
-		Fail:    rep.Fail,
-		Missing: rep.Missing,
+		Module:       rep.Module,
+		Config:       rep.Config,
+		Pass:         rep.Pass,
+		Drift:        rep.Drift,
+		Fail:         rep.Fail,
+		Missing:      rep.Missing,
+		ModelPass:    rep.ModelPass,
+		ModelDrift:   rep.ModelDrift,
+		ModelFail:    rep.ModelFail,
+		ModelMissing: rep.ModelMissing,
 	}
 	for _, ar := range rep.Artifacts {
 		va := verdictsArtifact{Artifact: ar.Artifact, Paper: ar.Paper, Verdict: ar.Verdict()}
@@ -73,6 +89,12 @@ func WriteVerdicts(w io.Writer, rep *Report) error {
 			}
 			if c.Kind != "text" {
 				vc.Want = jsonFloat(c.Want)
+			}
+			if c.HasModel() {
+				vc.Model = jsonFloat(c.Model)
+				vc.ModelPass = c.ModelPass
+				vc.ModelFail = c.ModelFail
+				vc.ModelVerdict = c.ModelVerdict
 			}
 			va.Checks = append(va.Checks, vc)
 		}
