@@ -8,10 +8,12 @@
 //	campaign run -spec spec.json -store /shared/store -shard 0/2
 //	campaign run -spec spec.json -store .campaign -screen
 //	campaign status -spec spec.json -store .campaign [-json]
+//	campaign status -server http://host:8080 -follow
 //	campaign gc -spec spec.json -store .campaign
 //	campaign verify -store .campaign
 //	campaign submit -spec spec.json -server http://host:8080
 //	campaign worker -server http://host:8080 -campaign <id>
+//	campaign spans -store .campaign -out spans.json
 //
 // A campaign expands into a deterministic work-list of units (artifact ×
 // config × base seed). Units already in the store are skipped, so
@@ -34,19 +36,25 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	"greedy80211/internal/campaign"
+	"greedy80211/internal/campaignd"
 	"greedy80211/internal/campaignd/client"
 	"greedy80211/internal/core"
+	"greedy80211/internal/obs"
 	"greedy80211/internal/profileflags"
 	"greedy80211/internal/report"
 	"greedy80211/internal/runner"
 	"greedy80211/internal/stats"
+	"greedy80211/internal/trace"
 )
 
 func main() {
@@ -58,11 +66,13 @@ func usage() {
 
 subcommands:
   run     compute a campaign's units into the store (resumable, shardable)
-  status  show per-unit standing of a spec against a store (-json for machines)
+  status  show per-unit standing of a spec against a store (-json for machines),
+          or live progress from a campaignd server (-server, -follow)
   gc      delete store entries a spec no longer references
   verify  check every store entry's checksums and decodability
   submit  register a spec with a campaignd server and print its id
   worker  pull unit leases from a campaignd server and compute them
+  spans   render the store's progress-span log as Chrome trace JSON (Perfetto)
 
 run "campaign <subcommand> -h" for flags`)
 }
@@ -85,6 +95,8 @@ func run(args []string) int {
 		return cmdSubmit(args[1:])
 	case "worker":
 		return cmdWorker(args[1:])
+	case "spans":
+		return cmdSpans(args[1:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return 0
@@ -256,14 +268,26 @@ func cmdStatus(args []string) int {
 	fs := flag.NewFlagSet("campaign status", flag.ContinueOnError)
 	loadSpec := specFlags(fs)
 	var (
-		storeDir = fs.String("store", "", "result store directory (required)")
+		storeDir = fs.String("store", "", "result store directory (required unless -server)")
 		asJSON   = fs.Bool("json", false, "emit the status document as JSON (the same codec campaignd serves)")
+		server   = fs.String("server", "", "campaignd base URL; show the server's live progress view instead of scanning a local store")
+		follow   = fs.Bool("follow", false, "with -server: keep polling until every registered campaign is complete")
+		every    = fs.Duration("every", 2*time.Second, "poll interval for -follow")
+		logCfg   = obs.RegisterLogFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *server != "" {
+		logger, err := logCfg.Logger(os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign status: %v\n", err)
+			return 2
+		}
+		return statusFromServer(*server, *follow, *every, *asJSON, logger)
+	}
 	if *storeDir == "" {
-		fmt.Fprintln(os.Stderr, "campaign status: -store required")
+		fmt.Fprintln(os.Stderr, "campaign status: -store or -server required")
 		return 2
 	}
 	spec, err := loadSpec()
@@ -301,6 +325,100 @@ func cmdStatus(args []string) int {
 	}
 	fmt.Println()
 	return 0
+}
+
+// statusFromServer renders campaignd's /v1/progress view: one shot by
+// default, or a poll loop with -follow that exits 0 once the server
+// reports every registered campaign complete.
+func statusFromServer(server string, follow bool, every time.Duration, asJSON bool, logger *slog.Logger) int {
+	ctx, stop := drainContext("stopping the status watch")
+	defer stop()
+	c := &client.Client{BaseURL: server, Logger: logger}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for {
+		doc, err := c.Progress(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign status: %v\n", err)
+			return 1
+		}
+		if asJSON {
+			if err := enc.Encode(doc); err != nil {
+				fmt.Fprintf(os.Stderr, "campaign status: %v\n", err)
+				return 1
+			}
+		} else {
+			renderProgress(os.Stdout, doc)
+		}
+		if !follow {
+			return 0
+		}
+		if doc.Done {
+			fmt.Println("campaign status: all campaigns complete")
+			return 0
+		}
+		select {
+		case <-ctx.Done():
+			return 1
+		case <-time.After(every):
+		}
+	}
+}
+
+// renderProgress prints one human-readable frame of the server's
+// progress document: per-campaign completion with ETA, per-artifact
+// unit-time estimates, and the worker fleet table.
+func renderProgress(w io.Writer, doc *campaignd.ProgressDoc) {
+	fmt.Fprintf(w, "server up %.0fs", doc.UptimeSeconds)
+	if doc.Draining {
+		fmt.Fprint(w, " (draining)")
+	}
+	fmt.Fprintln(w)
+	if len(doc.Campaigns) == 0 {
+		fmt.Fprintln(w, "no campaigns registered")
+		return
+	}
+	for _, cp := range doc.Campaigns {
+		fmt.Fprintf(w, "campaign %s: %d/%d done (%.0f%%)", cp.ID, cp.Done, cp.Total, cp.DonePct)
+		if cp.Leased > 0 {
+			fmt.Fprintf(w, ", %d leased", cp.Leased)
+		}
+		if cp.Failed > 0 {
+			fmt.Fprintf(w, ", %d failed", cp.Failed)
+		}
+		if cp.Screened > 0 {
+			fmt.Fprintf(w, ", %d screened", cp.Screened)
+		}
+		if cp.ETASeconds > 0 {
+			fmt.Fprintf(w, ", ETA %s", fmtETA(cp.ETASeconds))
+		}
+		fmt.Fprintln(w)
+		t := stats.Table{Header: []string{"artifact", "done", "total", "unit_s", "eta"}}
+		for _, a := range cp.Artifacts {
+			unitS, eta := "-", "-"
+			if a.UnitSeconds > 0 {
+				unitS = fmt.Sprintf("%.1f", a.UnitSeconds)
+			}
+			if a.ETASeconds > 0 {
+				eta = fmtETA(a.ETASeconds)
+			}
+			t.AddRow(a.Artifact, fmt.Sprint(a.Done), fmt.Sprint(a.Total), unitS, eta)
+		}
+		fmt.Fprint(w, t.String())
+	}
+	if len(doc.Workers) > 0 {
+		t := stats.Table{Header: []string{"worker", "active", "completed", "failed", "seen_ago_s"}}
+		for _, wk := range doc.Workers {
+			t.AddRow(wk.Worker, fmt.Sprint(wk.ActiveLeases), fmt.Sprint(wk.Completed),
+				fmt.Sprint(wk.Failed), fmt.Sprintf("%.0f", wk.LastSeenAgoS))
+		}
+		fmt.Fprint(w, t.String())
+	}
+}
+
+// fmtETA renders seconds as a compact human duration (90 -> "1m30s").
+func fmtETA(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Second).String()
 }
 
 func cmdGC(args []string) int {
@@ -407,6 +525,7 @@ func cmdWorker(args []string) int {
 		campaignID = fs.String("campaign", "", "campaign id to work on (required; printed by submit)")
 		name       = fs.String("name", "", "worker name for lease attribution (default host:pid)")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for each unit's seed runs")
+		logCfg     = obs.RegisterLogFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -415,15 +534,20 @@ func cmdWorker(args []string) int {
 		fmt.Fprintln(os.Stderr, "campaign worker: -server and -campaign required")
 		return 2
 	}
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign worker: %v\n", err)
+		return 2
+	}
 	runner.SetLimit(*parallel)
 	ctx, stop := drainContext("abandoning the in-flight unit (its lease will expire and be re-issued)")
 	defer stop()
-	c := &client.Client{
-		BaseURL: *server,
-		Logf: func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
-		},
-	}
+	// One request id scopes the whole worker run: every HTTP call carries
+	// it, so the server's access log groups this worker's traffic under a
+	// single greppable id.
+	ctx = obs.WithRequestID(ctx, obs.NewID())
+	c := &client.Client{BaseURL: *server, Logger: logger}
+	logger.InfoContext(ctx, "worker starting", "server", *server, "campaign", *campaignID)
 	wstats, err := c.Work(ctx, *campaignID, *name)
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "campaign worker: interrupted after %d unit(s) committed\n", wstats.Computed)
@@ -435,5 +559,82 @@ func cmdWorker(args []string) int {
 	}
 	fmt.Printf("campaign worker: done: %d computed, %d failed, %d wait rounds\n",
 		wstats.Computed, wstats.Failed, wstats.Waited)
+	return 0
+}
+
+func cmdSpans(args []string) int {
+	fs := flag.NewFlagSet("campaign spans", flag.ContinueOnError)
+	var (
+		storeDir = fs.String("store", "", "result store directory (required)")
+		outPath  = fs.String("out", "", "write Chrome trace JSON here (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "campaign spans: -store required")
+		return 2
+	}
+	store, ok := openStore("spans", *storeDir)
+	if !ok {
+		return 1
+	}
+	spans, err := campaign.ReadSpans(store.SpanPath())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign spans: %v\n", err)
+		return 1
+	}
+	if len(spans) == 0 {
+		fmt.Fprintln(os.Stderr, "campaign spans: no spans recorded in this store")
+		return 1
+	}
+	// Timestamps are wall-clock nanoseconds; Chrome trace wants
+	// microseconds from an arbitrary epoch, so rebase on the earliest
+	// span to keep the numbers small and the timeline starting at zero.
+	epoch := spans[0].StartUnixNs
+	for _, s := range spans {
+		if s.StartUnixNs < epoch {
+			epoch = s.StartUnixNs
+		}
+	}
+	tr := make([]trace.Span, 0, len(spans))
+	for _, s := range spans {
+		track := s.Worker
+		if track == "" {
+			track = "engine"
+		}
+		sargs := map[string]any{"unit": s.Unit}
+		if len(s.Key) >= 12 {
+			sargs["key"] = s.Key[:12]
+		}
+		if s.Note != "" {
+			sargs["note"] = s.Note
+		}
+		tr = append(tr, trace.Span{
+			Track:   track,
+			Name:    s.Phase + " " + s.Unit,
+			Cat:     s.Phase,
+			StartUs: float64(s.StartUnixNs-epoch) / 1e3,
+			DurUs:   float64(s.EndUnixNs-s.StartUnixNs) / 1e3,
+			Args:    sargs,
+		})
+	}
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign spans: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteChromeSpans(w, "campaign "+*storeDir, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "campaign spans: %v\n", err)
+		return 1
+	}
+	if *outPath != "" {
+		fmt.Printf("campaign spans: wrote %d spans to %s (load in Perfetto or chrome://tracing)\n", len(tr), *outPath)
+	}
 	return 0
 }

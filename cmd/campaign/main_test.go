@@ -11,6 +11,7 @@ import (
 
 	"greedy80211/internal/campaign"
 	"greedy80211/internal/campaignd"
+	"greedy80211/internal/obs"
 )
 
 func TestSubcommandExitCodes(t *testing.T) {
@@ -162,7 +163,7 @@ func TestSubmitAndWorkerAgainstServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := campaignd.New(campaignd.Config{Store: st, Logf: t.Logf})
+	srv, err := campaignd.New(campaignd.Config{Store: st, Logger: obs.LogfLogger(t.Logf)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,6 +204,67 @@ func TestSubmitAndWorkerAgainstServer(t *testing.T) {
 	if got := run([]string{"worker", "-server", ts.URL, "-campaign", id}); got != 0 {
 		t.Errorf("worker on a done campaign exited %d", got)
 	}
+
+	// The live progress view over the same server: -follow exits 0 as
+	// soon as the server reports everything complete.
+	out = captureStdout(t, func() {
+		if got := run([]string{"status", "-server", ts.URL, "-follow", "-every", "10ms"}); got != 0 {
+			t.Errorf("status -follow exited %d", got)
+		}
+	})
+	if !strings.Contains(out, "campaign "+id) || !strings.Contains(out, "all campaigns complete") {
+		t.Errorf("status -follow output:\n%s", out)
+	}
+	if !strings.Contains(out, "test-worker") {
+		t.Errorf("status -follow shows no worker fleet:\n%s", out)
+	}
+
+	// The span log the server wrote beside the journal renders as a
+	// Chrome trace (Perfetto-loadable): one JSON object with traceEvents
+	// carrying the unit lifecycle, on the worker's named track.
+	traceFile := filepath.Join(dir, "spans.json")
+	if got := run([]string{"spans", "-store", storeDir, "-out", traceFile}); got != 0 {
+		t.Fatalf("spans exited %d", got)
+	}
+	b, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Args map[string]any
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("spans output is not Chrome trace JSON: %v", err)
+	}
+	cats := map[string]int{}
+	trackNamed := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			cats[ev.Cat]++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("negative span timing: %+v", ev)
+			}
+		}
+		if ev.Name == "thread_name" {
+			if name, _ := ev.Args["name"].(string); name == "test-worker" {
+				trackNamed = true
+			}
+		}
+	}
+	if cats["expand"] != 1 || cats["lease"] != 1 || cats["upload"] != 1 || cats["commit"] != 1 {
+		t.Errorf("span categories: %v", cats)
+	}
+	if !trackNamed {
+		t.Error("no track named after the worker")
+	}
 }
 
 func TestServerSubcommandFlagValidation(t *testing.T) {
@@ -211,5 +273,14 @@ func TestServerSubcommandFlagValidation(t *testing.T) {
 	}
 	if got := run([]string{"worker", "-server", "http://x"}); got != 2 {
 		t.Errorf("worker without -campaign exited %d, want 2", got)
+	}
+	if got := run([]string{"status"}); got != 2 {
+		t.Errorf("status without -store or -server exited %d, want 2", got)
+	}
+	if got := run([]string{"spans"}); got != 2 {
+		t.Errorf("spans without -store exited %d, want 2", got)
+	}
+	if got := run([]string{"spans", "-store", t.TempDir()}); got != 1 {
+		t.Errorf("spans on an empty store exited %d, want 1", got)
 	}
 }

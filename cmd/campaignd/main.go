@@ -9,12 +9,20 @@
 //	campaignd -store .campaign -addr 127.0.0.1:0 -addr-file /tmp/addr \
 //	          -spec spec.json -lease-ttl 30s
 //
+// Observability: structured logs go to stderr (-log-format text|json,
+// -log-level), Prometheus metrics are at GET /metrics, liveness at
+// /healthz, readiness at /readyz, and live campaign progress at
+// GET /v1/progress. -debug-addr opens a second listener with net/http/pprof
+// profiles (plus /metrics and /healthz) that is never exposed on the
+// main address.
+//
 // The server owns the store's write-ahead journal while running: lease
 // grants journal "start", commits journal "done", so `campaign status`
 // against the same store shows in-flight units even while they are being
-// computed on other machines. SIGINT/SIGTERM drains gracefully — the
-// listener closes, in-flight requests finish (bounded by -drain), and
-// the journal closes last.
+// computed on other machines. SIGINT/SIGTERM drains gracefully — /readyz
+// flips to 503, the listener stays open for -drain-delay, then closes,
+// in-flight requests finish (bounded by -drain), and the journal closes
+// last.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +39,7 @@ import (
 	"greedy80211/internal/campaign"
 	"greedy80211/internal/campaignd"
 	"greedy80211/internal/core"
+	"greedy80211/internal/obs"
 )
 
 func main() {
@@ -39,14 +49,17 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("campaignd", flag.ContinueOnError)
 	var (
-		storeDir = fs.String("store", "", "result store directory (required; created if absent)")
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-		addrFile = fs.String("addr-file", "", "write the actual listen address to this file once bound (for scripts and tests)")
-		specPath = fs.String("spec", "", "campaign spec to register at startup (workers can lease it immediately)")
-		leaseTTL = fs.Duration("lease-ttl", 30*time.Second, "worker lease TTL; a lease not heartbeated within this window is re-issued")
-		maxFail  = fs.Int("max-unit-failures", 3, "worker-reported failures before a unit is retired")
-		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown grace for in-flight requests")
-		version  = fs.Bool("version", false, "print the module fingerprint and exit")
+		storeDir   = fs.String("store", "", "result store directory (required; created if absent)")
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile   = fs.String("addr-file", "", "write the actual listen address to this file once bound (for scripts and tests)")
+		specPath   = fs.String("spec", "", "campaign spec to register at startup (workers can lease it immediately)")
+		leaseTTL   = fs.Duration("lease-ttl", 30*time.Second, "worker lease TTL; a lease not heartbeated within this window is re-issued")
+		maxFail    = fs.Int("max-unit-failures", 3, "worker-reported failures before a unit is retired")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown grace for in-flight requests")
+		drainDelay = fs.Duration("drain-delay", 0, "keep the listener open this long after /readyz flips to 503 (load-balancer grace)")
+		debugAddr  = fs.String("debug-addr", "", "optional second listener with net/http/pprof profiles (never exposed on -addr)")
+		version    = fs.Bool("version", false, "print the module fingerprint and exit")
+		logCfg     = obs.RegisterLogFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,6 +72,11 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "campaignd: -store required")
 		return 2
 	}
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
+		return 2
+	}
 	store, err := campaign.OpenStore(*storeDir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
@@ -69,9 +87,8 @@ func run(args []string) int {
 		LeaseTTL:        *leaseTTL,
 		MaxUnitFailures: *maxFail,
 		DrainTimeout:    *drain,
-		Logf: func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
-		},
+		DrainDelay:      *drainDelay,
+		Logger:          logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaignd: %v\n", err)
@@ -105,6 +122,25 @@ func run(args []string) int {
 		}
 	}
 	fmt.Printf("campaignd: serving %s on http://%s\n", *storeDir, bound)
+
+	// The debug listener is opt-in and independent of the main surface:
+	// pprof profiles plus /metrics and /healthz, reachable even when the
+	// main handler is saturated. It dies with the process — no drain.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaignd: -debug-addr: %v\n", err)
+			ln.Close()
+			return 1
+		}
+		logger.Info("debug listener up", "addr", dln.Addr().String())
+		go func() {
+			dsrv := &http.Server{Handler: srv.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+			if err := dsrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				logger.Warn("debug listener failed", "error", err)
+			}
+		}()
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	sigc := make(chan os.Signal, 2)

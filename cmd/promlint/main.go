@@ -1,0 +1,57 @@
+// Command promlint validates Prometheus text exposition on stdin with
+// the repo's own parser (internal/obs) — the same one the obs tests
+// gate the renderer against — so CI can lint a live /metrics scrape
+// without pulling in a client library.
+//
+//	curl -s http://127.0.0.1:8080/metrics | go run ./cmd/promlint \
+//	    -require campaignd_request_seconds,campaignd_leases_total
+//
+// Exit status: 0 when the exposition parses, is non-empty, and every
+// -require'd family is present with at least one sample; 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"greedy80211/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("promlint", flag.ContinueOnError)
+	require := fs.String("require", "", "comma-separated families that must be present with >= 1 sample")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	doc, err := obs.ParsePrometheusText(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		return 1
+	}
+	if doc.Samples == 0 {
+		fmt.Fprintln(os.Stderr, "promlint: exposition carries no samples")
+		return 1
+	}
+	bad := false
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if f := doc.Families[name]; f == nil || f.Samples == 0 {
+			fmt.Fprintf(os.Stderr, "promlint: required family %q missing or empty\n", name)
+			bad = true
+		}
+	}
+	if bad {
+		return 1
+	}
+	fmt.Printf("promlint: %d families, %d samples ok\n", len(doc.Families), doc.Samples)
+	return 0
+}

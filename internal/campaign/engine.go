@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"greedy80211/internal/core"
 	"greedy80211/internal/experiments"
@@ -99,10 +100,12 @@ func Run(ctx context.Context, spec *Spec, opt Options) (*Report, error) {
 	if logw == nil {
 		logw = io.Discard
 	}
+	expandStart := time.Now()
 	units, err := spec.Units()
 	if err != nil {
 		return nil, err
 	}
+	expandEnd := time.Now()
 	store := opt.Store
 	if store == nil {
 		if store, err = OpenStore(opt.StoreDir); err != nil {
@@ -114,6 +117,18 @@ func Run(ctx context.Context, spec *Spec, opt Options) (*Report, error) {
 		return nil, err
 	}
 	defer journal.Close()
+	// The span log rides beside the journal: phase timings for every unit
+	// this process touches, renderable later by `campaign spans`. Span
+	// loss is never worth failing a run, so append errors are ignored;
+	// OpenSpanLog on an unjournaled store ("" path) yields a no-op log.
+	spans, err := OpenSpanLog(store.SpanPath())
+	if err != nil {
+		return nil, err
+	}
+	defer spans.Close()
+	spans.Append(Span{Unit: "expand", Phase: "expand",
+		StartUnixNs: expandStart.UnixNano(), EndUnixNs: expandEnd.UnixNano(),
+		Note: fmt.Sprintf("%d units", len(units))})
 
 	mine := units
 	if opt.Shards > 1 {
@@ -162,6 +177,9 @@ func Run(ctx context.Context, spec *Spec, opt Options) (*Report, error) {
 						record(i, OutcomeFailed, err)
 						return nil
 					}
+					now := time.Now().UnixNano()
+					spans.Append(Span{Unit: u.Name(), Key: u.Key, Artifact: u.Artifact,
+						Phase: "screened", StartUnixNs: now, EndUnixNs: now, Note: why})
 					record(i, OutcomeScreened, nil)
 					return nil
 				}
@@ -173,7 +191,11 @@ func Run(ctx context.Context, spec *Spec, opt Options) (*Report, error) {
 			record(i, OutcomeFailed, err)
 			return nil
 		}
+		computeStart := time.Now()
 		result, metricsJSON, err := ComputeUnit(u)
+		computeEnd := time.Now()
+		spans.Append(Span{Unit: u.Name(), Key: u.Key, Artifact: u.Artifact, Phase: "compute",
+			StartUnixNs: computeStart.UnixNano(), EndUnixNs: computeEnd.UnixNano()})
 		if err != nil {
 			record(i, OutcomeFailed, fmt.Errorf("%s: %w", u.Name(), err))
 			return nil
@@ -196,6 +218,8 @@ func Run(ctx context.Context, spec *Spec, opt Options) (*Report, error) {
 			record(i, OutcomeFailed, err)
 			return nil
 		}
+		spans.Append(Span{Unit: u.Name(), Key: u.Key, Artifact: u.Artifact, Phase: "commit",
+			StartUnixNs: computeEnd.UnixNano(), EndUnixNs: time.Now().UnixNano()})
 		record(i, OutcomeComputed, nil)
 		return nil
 	})

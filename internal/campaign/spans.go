@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Span is one completed interval in a campaign unit's lifecycle,
+// recorded after the fact (spans are never open on disk, so a crash
+// cannot tear one). Phases:
+//
+//	expand    campaign spec expanded into units (Unit = campaign id)
+//	lease     a worker held the unit, grant to completion/expiry
+//	compute   the unit's simulations ran (local engine)
+//	upload    result bytes travelled worker -> server
+//	commit    the store entry landed
+//	screened  the analytic model vouched for the unit; no compute
+type Span struct {
+	Unit        string `json:"unit"`               // unit name, or campaign id for expand spans
+	Key         string `json:"key,omitempty"`      // store key, when known
+	Artifact    string `json:"artifact,omitempty"` // figure/table the unit feeds
+	Phase       string `json:"phase"`
+	Worker      string `json:"worker,omitempty"` // lease holder, distributed runs only
+	StartUnixNs int64  `json:"start_unix_ns"`
+	EndUnixNs   int64  `json:"end_unix_ns"`
+	Note        string `json:"note,omitempty"` // disposition detail: "expired", screening reason, ...
+}
+
+// SpanLog is the append-only progress-span sibling of the Journal: the
+// journal answers "which units are attempted/committed", the span log
+// answers "where did the time go". It is advisory telemetry — readers
+// tolerate a missing or torn file, and nothing replays from it.
+type SpanLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenSpanLog opens (creating if needed) the span log at path for
+// appending. An empty path returns a no-op log, mirroring OpenJournal.
+func OpenSpanLog(path string) (*SpanLog, error) {
+	if path == "" {
+		return &SpanLog{}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: opening span log: %w", err)
+	}
+	return &SpanLog{f: f}, nil
+}
+
+// Append writes one completed span as a single line. Safe for
+// concurrent use; spans with EndUnixNs before StartUnixNs are clamped
+// to zero duration rather than rejected (clock skew is telemetry noise,
+// not an error).
+func (l *SpanLog) Append(s Span) error {
+	if l.f == nil {
+		return nil
+	}
+	if s.EndUnixNs < s.StartUnixNs {
+		s.EndUnixNs = s.StartUnixNs
+	}
+	line, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("campaign: span append: %w", err)
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("campaign: span append: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (l *SpanLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Close()
+}
+
+// ReadSpans loads every well-formed span from path. A missing file (or
+// the empty path of a no-op log) is an empty history; torn lines are
+// skipped, matching ReadJournal.
+func ReadSpans(path string) ([]Span, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("campaign: reading spans: %w", err)
+	}
+	defer f.Close()
+	var spans []Span
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			continue // torn or foreign line
+		}
+		if s.Phase == "" {
+			continue
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return spans, fmt.Errorf("campaign: reading spans: %w", err)
+	}
+	return spans, nil
+}
+
+// SpanPath is where the store's progress-span log lives — beside the
+// write-ahead journal ("" when journaling is disabled, since both need
+// the same local disk).
+func (s *Store) SpanPath() string {
+	if s.journalPath == "" {
+		return ""
+	}
+	return filepath.Join(filepath.Dir(s.journalPath), "spans.jsonl")
+}

@@ -1,0 +1,99 @@
+package campaignd
+
+import (
+	"errors"
+	"io/fs"
+	"time"
+
+	"greedy80211/internal/campaign"
+	"greedy80211/internal/obs"
+)
+
+// meteredBackend wraps the store's Backend so every persistence
+// operation the server performs lands in the registry: an op counter
+// split by outcome plus a latency histogram per op. The wrapper is
+// transparent — campaignd re-layers the store over it at construction,
+// so engine-side users of the same store are unaffected.
+type meteredBackend struct {
+	inner campaign.Backend
+	ops   map[string]*backendOp
+}
+
+type backendOp struct {
+	ok      *obs.Counter
+	miss    *obs.Counter
+	errs    *obs.Counter
+	latency *obs.Histogram
+}
+
+func newMeteredBackend(inner campaign.Backend, reg *obs.Registry) *meteredBackend {
+	const opsHelp = "Store backend operations by op and outcome."
+	mb := &meteredBackend{inner: inner, ops: make(map[string]*backendOp, 5)}
+	for _, op := range []string{"put", "get", "list", "stat", "delete"} {
+		outcome := func(v string) *obs.Counter {
+			return reg.Counter("campaignd_backend_ops_total", opsHelp,
+				obs.Label{Key: "op", Value: op}, obs.Label{Key: "outcome", Value: v})
+		}
+		mb.ops[op] = &backendOp{
+			ok:   outcome("ok"),
+			miss: outcome("miss"),
+			errs: outcome("error"),
+			latency: reg.Histogram("campaignd_backend_op_seconds", "Store backend operation latency by op.", nil,
+				obs.Label{Key: "op", Value: op}),
+		}
+	}
+	return mb
+}
+
+// observe records one backend call. A not-exist result is a "miss", not
+// an error — Has-probes and cache lookups miss routinely. Durations use
+// the wall clock directly (not the server's injectable clock): backend
+// IO is real even under a test clock, and nothing asserts on the
+// measured values.
+func (b *meteredBackend) observe(op string, start time.Time, err error) {
+	o := b.ops[op]
+	o.latency.Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		o.ok.Inc()
+	case errors.Is(err, fs.ErrNotExist):
+		o.miss.Inc()
+	default:
+		o.errs.Inc()
+	}
+}
+
+func (b *meteredBackend) Put(name string, data []byte) error {
+	start := time.Now()
+	err := b.inner.Put(name, data)
+	b.observe("put", start, err)
+	return err
+}
+
+func (b *meteredBackend) Get(name string) ([]byte, error) {
+	start := time.Now()
+	data, err := b.inner.Get(name)
+	b.observe("get", start, err)
+	return data, err
+}
+
+func (b *meteredBackend) List(prefix string) ([]string, error) {
+	start := time.Now()
+	names, err := b.inner.List(prefix)
+	b.observe("list", start, err)
+	return names, err
+}
+
+func (b *meteredBackend) Stat(name string) (campaign.ObjectInfo, error) {
+	start := time.Now()
+	info, err := b.inner.Stat(name)
+	b.observe("stat", start, err)
+	return info, err
+}
+
+func (b *meteredBackend) Delete(name string) error {
+	start := time.Now()
+	err := b.inner.Delete(name)
+	b.observe("delete", start, err)
+	return err
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -17,6 +18,7 @@ import (
 
 	"greedy80211/internal/campaign"
 	"greedy80211/internal/campaignd"
+	"greedy80211/internal/obs"
 )
 
 // Client talks to one campaignd server.
@@ -31,8 +33,10 @@ type Client struct {
 	// RetryBase is the first backoff delay; it doubles per attempt.
 	// Zero means 100ms.
 	RetryBase time.Duration
-	// Logf receives progress lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured progress logs; nil discards them.
+	// Correlation ids (request, lease) travel in the context and attach
+	// to every record automatically.
+	Logger *slog.Logger
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -42,10 +46,11 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) logf(format string, args ...any) {
-	if c.Logf != nil {
-		c.Logf(format, args...)
+func (c *Client) log() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
 	}
+	return obs.Discard()
 }
 
 // apiError is a non-2xx response the server answered deliberately (the
@@ -87,7 +92,11 @@ func asAPIError(err error, target **apiError) bool {
 // do sends one JSON request and decodes the JSON answer into out,
 // retrying connection failures and 5xx responses with doubling backoff.
 // 4xx responses are the server speaking; they surface immediately as
-// *apiError.
+// *apiError. Every request carries an X-Request-ID — the one already in
+// ctx if the caller set it (obs.WithRequestID), otherwise a fresh id
+// shared by all retry attempts — and the server echoes it into its
+// access log, so a worker-side failure is one grep away from the
+// server-side view of the same request.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
@@ -104,6 +113,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	reqID := obs.RequestID(ctx)
+	if reqID == "" {
+		reqID = obs.NewID()
+		ctx = obs.WithRequestID(ctx, reqID)
+	}
 	url := strings.TrimRight(c.BaseURL, "/") + path
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -117,6 +131,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if err != nil {
 			return err
 		}
+		req.Header.Set("X-Request-ID", reqID)
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
@@ -146,7 +161,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if attempt >= retries {
 			return fmt.Errorf("%s %s: %w (after %d attempts)", method, path, err, attempt+1)
 		}
-		c.logf("campaignd client: %s %s: %v; retrying in %s", method, path, err, backoff)
+		c.log().InfoContext(ctx, "retrying request",
+			"method", method, "path", path, "error", err, "backoff", backoff)
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("%w (last error: %v)", ctx.Err(), lastErr)
@@ -216,6 +232,26 @@ func (c *Client) Fail(ctx context.Context, leaseID string, reason error) error {
 	return c.do(ctx, http.MethodPost, "/v1/leases/"+leaseID+"/fail", req, nil)
 }
 
+// Progress fetches the server's live completion view (per-campaign
+// done/ETA rollups plus the worker fleet table). `campaign status
+// -follow` polls this.
+func (c *Client) Progress(ctx context.Context) (*campaignd.ProgressDoc, error) {
+	var doc campaignd.ProgressDoc
+	if err := c.do(ctx, http.MethodGet, "/v1/progress", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Stats fetches the server's operator stats document.
+func (c *Client) Stats(ctx context.Context) (*campaignd.StatsDoc, error) {
+	var doc campaignd.StatsDoc
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
 // WorkStats summarizes one Work loop.
 type WorkStats struct {
 	Computed int // units computed and committed by this worker
@@ -278,8 +314,11 @@ func (c *Client) Work(ctx context.Context, campaignID, worker string) (WorkStats
 	}
 }
 
-// computeLease runs one leased unit end to end.
+// computeLease runs one leased unit end to end. The lease id rides the
+// context from here on, so every log line — client and server — of this
+// unit's compute carries it.
 func (c *Client) computeLease(ctx context.Context, grant *campaignd.LeaseGrant, stats *WorkStats) error {
+	ctx = obs.WithLeaseID(ctx, grant.LeaseID)
 	wu := grant.Unit
 	if err := wu.VerifyKey(); err != nil {
 		// Version skew: this binary would compute different bytes than
@@ -317,12 +356,12 @@ func (c *Client) computeLease(ctx context.Context, grant *campaignd.LeaseGrant, 
 		}
 	}()
 
-	c.logf("worker: computing %s (%s)", wu.Name, wu.Key[:12])
+	c.log().InfoContext(ctx, "computing unit", "unit", wu.Name, "key", wu.Key[:12])
 	result, metrics, err := campaign.ComputeUnit(unit)
 	stopHB()
 	if err != nil {
 		stats.Failed++
-		c.logf("worker: %s failed: %v", wu.Name, err)
+		c.log().WarnContext(ctx, "unit failed", "unit", wu.Name, "error", err)
 		if ferr := c.Fail(context.WithoutCancel(ctx), grant.LeaseID, err); ferr != nil && !IsNotFound(ferr) {
 			return ferr
 		}
@@ -332,7 +371,7 @@ func (c *Client) computeLease(ctx context.Context, grant *campaignd.LeaseGrant, 
 	case <-hbLost:
 		// The server already expired this lease; upload anyway — the
 		// commit is idempotent and the server accepts late uploads.
-		c.logf("worker: lease for %s expired mid-compute; uploading late", wu.Name)
+		c.log().InfoContext(ctx, "lease expired mid-compute; uploading late", "unit", wu.Name)
 	default:
 	}
 	cresp, err := c.Complete(ctx, grant.LeaseID, wu.Key, result, metrics)
@@ -341,9 +380,9 @@ func (c *Client) computeLease(ctx context.Context, grant *campaignd.LeaseGrant, 
 	}
 	stats.Computed++
 	if cresp.LeaseLost {
-		c.logf("worker: committed %s after lease loss (still counted)", wu.Name)
+		c.log().InfoContext(ctx, "committed after lease loss (still counted)", "unit", wu.Name)
 	} else {
-		c.logf("worker: committed %s", wu.Name)
+		c.log().InfoContext(ctx, "committed unit", "unit", wu.Name)
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"greedy80211/internal/campaign"
 	"greedy80211/internal/campaignd"
 	"greedy80211/internal/campaignd/client"
+	"greedy80211/internal/obs"
 )
 
 func TestClientRetriesTransientFailures(t *testing.T) {
@@ -31,7 +32,7 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := &client.Client{BaseURL: ts.URL, Retries: 4, RetryBase: time.Millisecond, Logf: t.Logf}
+	c := &client.Client{BaseURL: ts.URL, Retries: 4, RetryBase: time.Millisecond, Logger: obs.LogfLogger(t.Logf)}
 	if err := c.Heartbeat(context.Background(), "l1"); err != nil {
 		t.Fatalf("heartbeat through transient 500s: %v", err)
 	}
@@ -106,7 +107,7 @@ func TestWorkerFanOutEndToEnd(t *testing.T) {
 	srv, err := campaignd.New(campaignd.Config{
 		Store:    store,
 		LeaseTTL: 300 * time.Millisecond, // short so the dead worker's unit re-issues fast
-		Logf:     t.Logf,
+		Logger:   obs.LogfLogger(t.Logf),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -130,7 +131,7 @@ func TestWorkerFanOutEndToEnd(t *testing.T) {
 		Artifacts: []string{"extc", "fig1"},
 		Config:    campaign.SpecConfig{Seeds: 1, Duration: "100ms", Quick: true},
 	}
-	c := &client.Client{BaseURL: base, Logf: t.Logf}
+	c := &client.Client{BaseURL: base, Logger: obs.LogfLogger(t.Logf)}
 	doc, err := c.Submit(ctx, spec)
 	if err != nil {
 		t.Fatal(err)

@@ -15,13 +15,16 @@ import (
 
 	"greedy80211/internal/campaign"
 	"greedy80211/internal/experiments"
+	"greedy80211/internal/obs"
 	"greedy80211/internal/report"
 	"greedy80211/internal/sim"
 	"greedy80211/internal/trace"
 )
 
-// routes wires the versioned REST surface. Every handler is wrapped with
-// the latency instrument, keyed by its pattern (bounded cardinality).
+// routes wires the versioned REST surface. Every handler is wrapped
+// with the route tag its latency is accounted under — requests the mux
+// never matches keep an empty tag and collapse into the single
+// "unmatched" key in Handler (bounded cardinality).
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
@@ -40,15 +43,21 @@ func (s *Server) routes() *http.ServeMux {
 	handle("GET /v1/verdicts", s.handleVerdicts)
 	handle("GET /v1/traces/{key}", s.handleTraces)
 	handle("GET /v1/stats", s.handleStats)
+	handle("GET /v1/progress", s.handleProgress)
+	handle("GET /metrics", s.handleMetricsExposition)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /readyz", s.handleReadyz)
 	return mux
 }
 
+// instrument tags the response recorder with the matched pattern;
+// observation itself happens once, in Handler, after the mux returns.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := s.now()
-		h(rec, r)
-		s.stats.observe(pattern, rec.status, s.now().Sub(start))
+		if rec, ok := w.(*statusRecorder); ok {
+			rec.route = pattern
+		}
+		h(w, r)
 	}
 }
 
@@ -190,9 +199,19 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	if req.Worker == "" {
 		req.Worker = "anonymous"
 	}
-	if n := len(s.leases.Sweep()); n > 0 {
-		s.stats.leasesExpired.Add(uint64(n))
-		s.logf("campaignd: %d lease(s) expired; units re-issuable", n)
+	s.progress.workerSeen(req.Worker)
+	if dead := s.leases.Sweep(); len(dead) > 0 {
+		s.stats.leasesExpired.Add(uint64(len(dead)))
+		now := s.now()
+		for _, l := range dead {
+			s.spans.Append(campaign.Span{
+				Unit: l.UnitName, Key: l.Unit.Key, Artifact: l.Unit.Artifact,
+				Phase: "lease", Worker: l.Worker,
+				StartUnixNs: l.Granted.UnixNano(), EndUnixNs: now.UnixNano(),
+				Note: "expired",
+			})
+		}
+		s.logger.InfoContext(r.Context(), "leases expired; units re-issuable", "count", len(dead))
 	}
 	remaining, failed := 0, 0
 	for _, u := range st.units {
@@ -210,7 +229,8 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		}
 		s.journal.Append(campaign.Record{Op: "start", Key: u.Key, Artifact: u.Artifact, BaseSeed: u.BaseSeed})
 		s.stats.leasesGranted.Add(1)
-		s.logf("campaignd: leased %s (%s) to %s", u.Name(), u.Key[:12], req.Worker)
+		s.logger.InfoContext(obs.WithLeaseID(r.Context(), l.ID), "leased unit",
+			"unit", u.Name(), "key", u.Key[:12], "worker", req.Worker)
 		writeJSON(w, http.StatusOK, LeaseResponse{Lease: &LeaseGrant{
 			LeaseID:    l.ID,
 			CampaignID: st.id,
@@ -233,21 +253,24 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
-	ttl, ok := s.leases.Heartbeat(r.PathValue("id"))
+	ttl, worker, ok := s.leases.Heartbeat(r.PathValue("id"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "lease expired or unknown")
 		return
 	}
+	s.progress.workerSeen(worker)
 	writeJSON(w, http.StatusOK, HeartbeatResponse{TTLMs: ttl.Milliseconds()})
 }
 
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	uploadStart := s.now()
 	var req CompleteRequest
 	if err := readJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	leaseID := r.PathValue("id")
+	ctx := obs.WithLeaseID(r.Context(), leaseID)
 	l, live := s.leases.Remove(leaseID)
 	var unit campaign.Unit
 	switch {
@@ -274,10 +297,26 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, "rejecting upload: %v", err)
 		return
 	}
+	worker := ""
+	if l != nil {
+		worker = l.Worker
+	}
+	uploadEnd := s.now()
+	s.spans.Append(campaign.Span{
+		Unit: unit.Name(), Key: unit.Key, Artifact: unit.Artifact,
+		Phase: "upload", Worker: worker,
+		StartUnixNs: uploadStart.UnixNano(), EndUnixNs: uploadEnd.UnixNano(),
+	})
 	if err := s.store.Put(metaFor(unit, s.module), result, metrics); err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	commitEnd := s.now()
+	s.spans.Append(campaign.Span{
+		Unit: unit.Name(), Key: unit.Key, Artifact: unit.Artifact,
+		Phase: "commit", Worker: worker,
+		StartUnixNs: uploadEnd.UnixNano(), EndUnixNs: commitEnd.UnixNano(),
+	})
 	s.journal.Append(campaign.Record{Op: "done", Key: unit.Key, Artifact: unit.Artifact, BaseSeed: unit.BaseSeed})
 	lost := l == nil || !live
 	if lost {
@@ -285,7 +324,19 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.stats.leasesCompleted.Add(1)
 	}
-	s.logf("campaignd: committed %s (%s)", unit.Artifact, unit.Key[:12])
+	if l != nil {
+		s.spans.Append(campaign.Span{
+			Unit: unit.Name(), Key: unit.Key, Artifact: unit.Artifact,
+			Phase: "lease", Worker: l.Worker,
+			StartUnixNs: l.Granted.UnixNano(), EndUnixNs: commitEnd.UnixNano(),
+			Note: map[bool]string{true: "late", false: "completed"}[lost],
+		})
+		if !lost {
+			s.progress.unitCompleted(l.Worker, unit.Artifact, commitEnd.Sub(l.Granted))
+		}
+	}
+	s.logger.InfoContext(ctx, "committed unit",
+		"artifact", unit.Artifact, "key", unit.Key[:12], "worker", worker, "lease_lost", lost)
 	writeJSON(w, http.StatusOK, CompleteResponse{Committed: true, LeaseLost: lost})
 }
 
@@ -301,12 +352,20 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.stats.leasesFailed.Add(1)
+	s.progress.unitFailed(l.Worker)
 	st := s.campaignByID(l.CampaignID)
 	count := 0
 	if st != nil {
 		count = s.recordFailure(st, l.Unit.Key)
 	}
-	s.logf("campaignd: worker %s failed %s (attempt %d): %s", l.Worker, l.UnitName, count, req.Error)
+	s.spans.Append(campaign.Span{
+		Unit: l.UnitName, Key: l.Unit.Key, Artifact: l.Unit.Artifact,
+		Phase: "lease", Worker: l.Worker,
+		StartUnixNs: l.Granted.UnixNano(), EndUnixNs: s.now().UnixNano(),
+		Note: "failed: " + req.Error,
+	})
+	s.logger.InfoContext(obs.WithLeaseID(r.Context(), l.ID), "worker failed unit",
+		"worker", l.Worker, "unit", l.UnitName, "attempt", count, "error", req.Error)
 	writeJSON(w, http.StatusOK, struct {
 		Failures int  `json:"failures"`
 		GivenUp  bool `json:"given_up"`
@@ -411,7 +470,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		// Cache for every later reader; a failed cache write only costs
 		// the next request a re-render.
 		if err := s.store.Backend().Put(cacheName, data); err != nil {
-			s.logf("campaignd: caching trace render %s: %v", cacheName, err)
+			s.logger.Warn("caching trace render failed", "object", cacheName, "error", err)
 		}
 		s.stats.tracesRendered.Add(1)
 		return data, nil
@@ -481,4 +540,127 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	nCampaigns := len(s.campaigns)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.stats.doc(s.now(), nCampaigns, len(keys), s.leases.Snapshot()))
+}
+
+// --- observability surface ---
+
+// handleMetricsExposition serves the registry as Prometheus text
+// exposition format v0.0.4 — the dependency-free rendering obs
+// implements. Rendered into a buffer first so a slow client cannot hold
+// registry snapshots open.
+func (s *Server) handleMetricsExposition(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.stats.reg.WritePrometheus(&buf); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// handleHealthz is pure liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is readiness: 503 while draining (before the listener
+// closes, so pollers see the drain coming) or when the store stops
+// answering; 200 with the object count otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyDoc{Status: "draining"})
+		return
+	}
+	keys, err := s.store.Keys()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyDoc{Status: "store-unreachable", Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyDoc{Status: "ready", StoreObjects: len(keys)})
+}
+
+// handleProgress serves the live completion view: per-campaign and
+// per-artifact done counts, ETAs from the learned per-unit wall times,
+// and the worker fleet table.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+
+	live := s.leases.Snapshot()
+	activeByWorker := make(map[string]int)
+	for _, l := range live {
+		activeByWorker[l.Worker]++
+	}
+	fleet := len(activeByWorker)
+	if fleet == 0 {
+		fleet = 1 // ETA assumes at least a sequential worker
+	}
+	ewma := s.progress.ewmaSnapshot()
+
+	doc := ProgressDoc{
+		UptimeSeconds: s.now().Sub(s.stats.start).Seconds(),
+		Draining:      s.draining.Load(),
+		Done:          len(ids) > 0,
+		Campaigns:     make([]CampaignProgress, 0, len(ids)),
+		Workers:       s.progress.workersDoc(activeByWorker),
+	}
+	for _, id := range ids {
+		st := s.campaignByID(id)
+		if st == nil {
+			continue
+		}
+		status, err := s.statusDoc(st)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		cp := CampaignProgress{
+			ID:       id,
+			Total:    status.Total,
+			Done:     status.Done,
+			Leased:   status.Leased,
+			Failed:   status.Failed,
+			Screened: status.Screened,
+			Pending:  status.Pending + status.Interrupted,
+		}
+		if cp.Total > 0 {
+			settled := cp.Done + cp.Failed + cp.Screened
+			cp.DonePct = 100 * float64(settled) / float64(cp.Total)
+		}
+		// Per-artifact rollup in first-seen (work-list) order.
+		var order []string
+		byArtifact := make(map[string]*ArtifactProgress)
+		remaining := make(map[string]int)
+		for _, u := range status.Units {
+			ap := byArtifact[u.Artifact]
+			if ap == nil {
+				ap = &ArtifactProgress{Artifact: u.Artifact}
+				byArtifact[u.Artifact] = ap
+				order = append(order, u.Artifact)
+			}
+			ap.Total++
+			switch u.State {
+			case campaign.UnitDone, campaign.UnitScreened, campaign.UnitFailed:
+				ap.Done++
+			default:
+				remaining[u.Artifact]++
+			}
+		}
+		for _, a := range order {
+			ap := byArtifact[a]
+			ap.UnitSeconds = ewma[a]
+			if n := remaining[a]; n > 0 && ap.UnitSeconds > 0 {
+				ap.ETASeconds = float64(n) * ap.UnitSeconds / float64(fleet)
+			}
+			cp.ETASeconds += ap.ETASeconds
+			cp.Artifacts = append(cp.Artifacts, *ap)
+		}
+		if cp.Pending+cp.Leased > 0 {
+			doc.Done = false
+		}
+		doc.Campaigns = append(doc.Campaigns, cp)
+	}
+	writeJSON(w, http.StatusOK, doc)
 }

@@ -98,18 +98,19 @@ func (t *leaseTable) Grant(campaignID string, u campaign.Unit, name, worker stri
 	return l
 }
 
-// Heartbeat extends the lease's deadline by a full TTL. The second
-// return is false when the lease is unknown or already expired — the
-// worker lost it and must abandon the unit.
-func (t *leaseTable) Heartbeat(id string) (time.Duration, bool) {
+// Heartbeat extends the lease's deadline by a full TTL, returning the
+// holding worker's name. The last return is false when the lease is
+// unknown or already expired — the worker lost it and must abandon the
+// unit.
+func (t *leaseTable) Heartbeat(id string) (time.Duration, string, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	l, ok := t.byID[id]
 	if !ok || l.Deadline.Before(t.now()) {
-		return 0, false
+		return 0, "", false
 	}
 	l.Deadline = t.now().Add(t.ttl)
-	return t.ttl, true
+	return t.ttl, l.Worker, true
 }
 
 // Remove takes the lease out of the table (complete or fail), returning

@@ -37,8 +37,8 @@ func TestLeaseTableGrantHeartbeatExpiry(t *testing.T) {
 	// Heartbeats keep pushing the deadline: 25s + 25s on a 30s TTL
 	// crosses the original deadline without expiring.
 	clock.advance(25 * time.Second)
-	if ttl, ok := lt.Heartbeat(l.ID); !ok || ttl != 30*time.Second {
-		t.Fatalf("heartbeat: %v, %v", ttl, ok)
+	if ttl, worker, ok := lt.Heartbeat(l.ID); !ok || ttl != 30*time.Second || worker != "w1" {
+		t.Fatalf("heartbeat: %v, %q, %v", ttl, worker, ok)
 	}
 	clock.advance(25 * time.Second)
 	if dead := lt.Sweep(); len(dead) != 0 {
@@ -51,7 +51,7 @@ func TestLeaseTableGrantHeartbeatExpiry(t *testing.T) {
 	if len(dead) != 1 || dead[0].ID != l.ID {
 		t.Fatalf("sweep: %+v", dead)
 	}
-	if _, ok := lt.Heartbeat(l.ID); ok {
+	if _, _, ok := lt.Heartbeat(l.ID); ok {
 		t.Fatal("heartbeat on a swept lease succeeded")
 	}
 	if lt.HasKey("k1") {

@@ -3,14 +3,18 @@ package campaignd
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"greedy80211/internal/campaign"
 	"greedy80211/internal/core"
+	"greedy80211/internal/obs"
 	"greedy80211/internal/report"
 )
 
@@ -27,8 +31,14 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: in-flight requests get this
 	// long to finish after the listener closes. Zero means 10s.
 	DrainTimeout time.Duration
-	// Logf receives progress lines; nil discards them.
-	Logf func(format string, args ...any)
+	// DrainDelay holds the listener open for this long after shutdown
+	// begins, with /readyz already failing — the window a load-balancer
+	// (or the CI smoke test) needs to observe the drain before
+	// connections start being refused. Zero means no window.
+	DrainDelay time.Duration
+	// Logger receives structured progress and access logs; nil discards
+	// them.
+	Logger *slog.Logger
 	// Now overrides the clock (tests). Nil means time.Now.
 	Now func() time.Time
 }
@@ -46,14 +56,17 @@ type campaignState struct {
 // Server is the campaign results service. Create with New, expose with
 // Handler (or run with Serve), and Close when done.
 type Server struct {
-	cfg     Config
-	store   *campaign.Store
-	journal *campaign.Journal
-	leases  *leaseTable
-	stats   *serverStats
-	module  string
-	now     func() time.Time
-	logf    func(string, ...any)
+	cfg      Config
+	store    *campaign.Store
+	journal  *campaign.Journal
+	spans    *campaign.SpanLog
+	leases   *leaseTable
+	stats    *serverStats
+	progress *progressTracker
+	module   string
+	now      func() time.Time
+	logger   *slog.Logger
+	draining atomic.Bool
 
 	mu        sync.Mutex
 	campaigns map[string]*campaignState
@@ -68,8 +81,10 @@ type Server struct {
 
 // New builds a Server over an open store. The server appends to the
 // store's write-ahead journal (lease grants journal "start", commits
-// journal "done"), so `campaign status` on the same store shows units
-// that were in flight when a server or worker died.
+// journal "done") and to its progress-span log, so `campaign status`
+// and `campaign spans` on the same store see what the server did. The
+// store's backend is re-wrapped with per-op metrics, so every
+// persistence call the server makes shows up on /metrics.
 func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("campaignd: Config.Store is required")
@@ -87,44 +102,160 @@ func New(cfg Config) (*Server, error) {
 	if now == nil {
 		now = time.Now
 	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Discard()
 	}
 	journal, err := campaign.OpenJournal(cfg.Store.JournalPath())
 	if err != nil {
 		return nil, err
 	}
+	spans, err := campaign.OpenSpanLog(cfg.Store.SpanPath())
+	if err != nil {
+		journal.Close()
+		return nil, err
+	}
+	stats := newServerStats(now(), core.ModuleFingerprint())
 	s := &Server{
 		cfg:       cfg,
-		store:     cfg.Store,
+		store:     campaign.NewStore(newMeteredBackend(cfg.Store.Backend(), stats.reg), cfg.Store.JournalPath()),
 		journal:   journal,
+		spans:     spans,
 		leases:    newLeaseTable(cfg.LeaseTTL, now),
-		stats:     newServerStats(now()),
+		stats:     stats,
+		progress:  newProgressTracker(now),
 		module:    core.ModuleFingerprint(),
 		now:       now,
-		logf:      logf,
+		logger:    logger,
 		campaigns: make(map[string]*campaignState),
 	}
+	s.registerGauges()
 	s.mux = s.routes()
 	return s, nil
 }
 
-// Close releases the journal. Safe after Serve has returned.
-func (s *Server) Close() error { return s.journal.Close() }
+// registerGauges wires the live-state gauges: unlike the counters they
+// read server structures at scrape time, so they need the constructed
+// Server.
+func (s *Server) registerGauges() {
+	reg := s.stats.reg
+	reg.GaugeFunc("campaignd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return s.now().Sub(s.stats.start).Seconds() })
+	reg.GaugeFunc("campaignd_leases_active", "Live (unexpired) leases.",
+		func() float64 { return float64(len(s.leases.leasedKeys())) })
+	reg.GaugeFunc("campaignd_campaigns_registered", "Registered campaigns.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.campaigns))
+		})
+	reg.GaugeFunc("campaignd_draining", "1 while graceful shutdown is in progress.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("campaignd_store_objects", "Committed entries in the store (-1: store unreachable).",
+		func() float64 {
+			keys, err := s.store.Keys()
+			if err != nil {
+				return -1
+			}
+			return float64(len(keys))
+		})
+}
 
-// Handler returns the service's HTTP surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Close releases the journal and span log. Safe after Serve returns.
+func (s *Server) Close() error {
+	err := s.journal.Close()
+	if serr := s.spans.Close(); err == nil {
+		err = serr
+	}
+	return err
+}
+
+// Handler returns the service's HTTP surface: correlation-ID plumbing,
+// the access log, and route-normalized latency accounting wrap the
+// versioned mux. Requests arriving with an X-Request-ID keep it (the
+// worker's retry loop correlates client and server logs that way);
+// everything else gets a fresh id. Requests no registered pattern
+// claims are accounted under the single route key "unmatched", so
+// hostile or misconfigured clients cannot grow the stats table.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if !validRequestID(reqID) {
+			reqID = obs.NewID()
+		}
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		w.Header().Set("X-Request-ID", reqID)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := s.now()
+		s.mux.ServeHTTP(rec, r.WithContext(ctx))
+		elapsed := s.now().Sub(start)
+		route := rec.route
+		if route == "" {
+			route = "unmatched"
+		}
+		s.stats.observe(route, rec.status, elapsed)
+		s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", rec.status),
+			slog.Int64("bytes", rec.bytes),
+			slog.Float64("dur_ms", float64(elapsed.Nanoseconds())/1e6),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}
+
+// validRequestID accepts ids a client may supply: short and safe to
+// echo into headers and logs.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// DebugHandler returns the opt-in debug surface cmd/campaignd serves on
+// its -debug-addr listener: the pprof profile endpoints plus the same
+// /metrics and /healthz the main listener has (so an operator can scrape
+// a wedged server even if the main handler is saturated).
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", s.handleMetricsExposition)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
 
 // Register expands and registers a campaign spec, returning its
 // deterministic id. Registering the same spec twice is a no-op returning
 // the same id. It is both the POST /v1/campaigns implementation and the
 // programmatic preload hook cmd/campaignd's -spec flag uses.
 func (s *Server) Register(spec *campaign.Spec) (string, error) {
+	expandStart := s.now()
 	units, err := spec.Units()
 	if err != nil {
 		return "", err
 	}
+	expandEnd := s.now()
 	id := SpecID(spec)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -136,7 +267,12 @@ func (s *Server) Register(spec *campaign.Spec) (string, error) {
 			failures: make(map[string]int),
 		}
 		s.order = append(s.order, id)
-		s.logf("campaignd: registered campaign %s (%d units)", id, len(units))
+		s.spans.Append(campaign.Span{
+			Unit: id, Phase: "expand",
+			StartUnixNs: expandStart.UnixNano(), EndUnixNs: expandEnd.UnixNano(),
+			Note: fmt.Sprintf("%d units", len(units)),
+		})
+		s.logger.Info("registered campaign", "campaign", id, "units", len(units))
 	}
 	return id, nil
 }
@@ -211,12 +347,15 @@ func (s *Server) refSets() ([]*report.RefSet, error) {
 	return s.refsets, s.refsErr
 }
 
-// Serve runs the service on ln until ctx is cancelled, then drains:
-// the listener closes immediately, in-flight requests get DrainTimeout
-// to finish (a mid-commit upload either lands completely or not at all —
-// store commits are atomic and the journal is line-buffered), and the
-// journal closes last, so a SIGTERM'd server leaves the store and WAL
-// exactly as consistent as a crash would, minus the torn tail.
+// Serve runs the service on ln until ctx is cancelled, then drains.
+// The drain is observable before it is disruptive: /readyz flips to 503
+// first, the listener stays open for DrainDelay (load-balancer grace),
+// then the listener closes and in-flight requests get DrainTimeout to
+// finish (a mid-commit upload either lands completely or not at all —
+// store commits are atomic and the journal is line-buffered). The
+// journal and span log close last, so a SIGTERM'd server leaves the
+// store and WAL exactly as consistent as a crash would, minus the torn
+// tail.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{
 		Handler:           s.Handler(),
@@ -230,7 +369,18 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
-	s.logf("campaignd: draining (%s grace)", s.cfg.DrainTimeout)
+	s.draining.Store(true)
+	s.logger.Info("draining", "delay", s.cfg.DrainDelay, "grace", s.cfg.DrainTimeout)
+	if s.cfg.DrainDelay > 0 {
+		timer := time.NewTimer(s.cfg.DrainDelay)
+		select {
+		case <-timer.C:
+		case err := <-errc:
+			timer.Stop()
+			s.Close()
+			return err
+		}
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	err := srv.Shutdown(drainCtx)

@@ -13,6 +13,7 @@ import (
 
 	"greedy80211/internal/campaign"
 	"greedy80211/internal/core"
+	"greedy80211/internal/obs"
 )
 
 func testSpec() *campaign.Spec {
@@ -30,7 +31,7 @@ func newTestServer(t *testing.T, ttl time.Duration, clock *fakeClock) (*Server, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{Store: store, LeaseTTL: ttl, Logf: t.Logf}
+	cfg := Config{Store: store, LeaseTTL: ttl, Logger: obs.LogfLogger(t.Logf)}
 	if clock != nil {
 		cfg.Now = clock.now
 	}

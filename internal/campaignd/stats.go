@@ -2,65 +2,113 @@ package campaignd
 
 import (
 	"net/http"
+	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"greedy80211/internal/obs"
 )
 
-// serverStats is the expvar-style observability surface behind
-// GET /v1/stats: cache effectiveness (how many reads the
-// content-addressed ETags turned into 304s), lease-fabric health
-// (grants, expiries, re-issues, live lease ages), and per-route request
-// latencies. Counters are atomics; the route map is guarded by a mutex
-// and keyed by the registered pattern, not the raw URL, so cardinality
-// stays bounded.
+// serverStats is the observability surface behind both GET /v1/stats
+// (operator JSON) and GET /metrics (Prometheus text). Everything is
+// backed by one obs.Registry — the JSON document is a view over the
+// same counters and histograms the exposition serves, so the two can
+// never disagree. Route series are keyed by the registered pattern
+// (unmatched requests collapse to "unmatched"), so cardinality stays
+// bounded no matter what paths clients probe.
 type serverStats struct {
-	start time.Time
+	start  time.Time
+	module string
+	reg    *obs.Registry
 
-	blobServed      atomic.Uint64 // 200s off the store (results/metrics/meta/traces/verdicts)
-	blobNotModified atomic.Uint64 // 304s — the warm-reader fast path
-	blobMissing     atomic.Uint64 // 404s for absent keys
+	blobServed      *obs.Counter // 200s off the store (results/metrics/meta/traces/verdicts)
+	blobNotModified *obs.Counter // 304s — the warm-reader fast path
+	blobMissing     *obs.Counter // 404s for absent keys
 
-	leasesGranted   atomic.Uint64
-	leasesExpired   atomic.Uint64
-	leasesCompleted atomic.Uint64
-	leasesFailed    atomic.Uint64
-	lateCompletes   atomic.Uint64 // uploads whose lease had already expired
+	leasesGranted   *obs.Counter
+	leasesExpired   *obs.Counter
+	leasesCompleted *obs.Counter
+	leasesFailed    *obs.Counter
+	lateCompletes   *obs.Counter // uploads whose lease had already expired
 
-	tracesRendered atomic.Uint64 // simulated on demand
-	tracesCached   atomic.Uint64 // served from the backend render cache
+	tracesRendered *obs.Counter // simulated on demand
+	tracesCached   *obs.Counter // served from the backend render cache
 
 	mu     sync.Mutex
 	routes map[string]*routeStats
 }
 
+// routeStats is one route's latency series: the histogram carries
+// count/sum/distribution for /metrics, the max rides alongside for the
+// JSON view (a histogram cannot recover it).
 type routeStats struct {
-	Count   uint64
-	Errors  uint64 // responses with status >= 400
-	TotalNs int64
-	MaxNs   int64
+	hist   *obs.Histogram
+	errors *obs.Counter
+	maxNs  int64
 }
 
-func newServerStats(now time.Time) *serverStats {
-	return &serverStats{start: now, routes: make(map[string]*routeStats)}
+const (
+	helpRequests = "Request latency by registered route pattern."
+	helpErrors   = "Responses with status >= 400 by route pattern."
+)
+
+func newServerStats(start time.Time, module string) *serverStats {
+	reg := obs.NewRegistry(
+		obs.Label{Key: "module", Value: module},
+		obs.Label{Key: "go_version", Value: runtime.Version()},
+	)
+	reg.Gauge("campaignd_build_info",
+		"Constant 1; build identity is carried by the module/go_version labels.").Set(1)
+	obs.RegisterRuntimeMetrics(reg)
+	leases := func(event string) *obs.Counter {
+		return reg.Counter("campaignd_leases_total", "Lease-fabric events by type.",
+			obs.Label{Key: "event", Value: event})
+	}
+	reads := func(result string) *obs.Counter {
+		return reg.Counter("campaignd_store_reads_total", "Content-addressed reads by outcome.",
+			obs.Label{Key: "result", Value: result})
+	}
+	renders := func(source string) *obs.Counter {
+		return reg.Counter("campaignd_trace_renders_total", "Trace renders by source.",
+			obs.Label{Key: "source", Value: source})
+	}
+	return &serverStats{
+		start:           start,
+		module:          module,
+		reg:             reg,
+		blobServed:      reads("served"),
+		blobNotModified: reads("not_modified"),
+		blobMissing:     reads("missing"),
+		leasesGranted:   leases("granted"),
+		leasesExpired:   leases("expired_reissued"),
+		leasesCompleted: leases("completed"),
+		leasesFailed:    leases("failed"),
+		lateCompletes:   leases("late_complete"),
+		tracesRendered:  renders("simulated"),
+		tracesCached:    renders("cache"),
+		routes:          make(map[string]*routeStats),
+	}
 }
 
 func (s *serverStats) observe(route string, status int, d time.Duration) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	rs := s.routes[route]
 	if rs == nil {
-		rs = &routeStats{}
+		rs = &routeStats{
+			hist: s.reg.Histogram("campaignd_request_seconds", helpRequests, nil,
+				obs.Label{Key: "route", Value: route}),
+			errors: s.reg.Counter("campaignd_request_errors_total", helpErrors,
+				obs.Label{Key: "route", Value: route}),
+		}
 		s.routes[route] = rs
 	}
-	rs.Count++
-	if status >= 400 {
-		rs.Errors++
+	if ns := d.Nanoseconds(); ns > rs.maxNs {
+		rs.maxNs = ns
 	}
-	ns := d.Nanoseconds()
-	rs.TotalNs += ns
-	if ns > rs.MaxNs {
-		rs.MaxNs = ns
+	s.mu.Unlock()
+	rs.hist.Observe(d.Seconds())
+	if status >= 400 {
+		rs.errors.Inc()
 	}
 }
 
@@ -77,7 +125,11 @@ type StatsDoc struct {
 	UptimeSeconds float64 `json:"uptime_s"`
 	Campaigns     int     `json:"campaigns"`
 	StoreObjects  int     `json:"store_objects"`
-	Cache         struct {
+	Build         struct {
+		Module    string `json:"module"`
+		GoVersion string `json:"go_version"`
+	} `json:"build"`
+	Cache struct {
 		Served      uint64  `json:"served"`
 		NotModified uint64  `json:"not_modified"`
 		Missing     uint64  `json:"missing"`
@@ -107,9 +159,11 @@ func (s *serverStats) doc(now time.Time, campaigns, storeObjects int, live []Lea
 		StoreObjects:  storeObjects,
 		Requests:      make(map[string]RouteDoc),
 	}
-	d.Cache.Served = s.blobServed.Load()
-	d.Cache.NotModified = s.blobNotModified.Load()
-	d.Cache.Missing = s.blobMissing.Load()
+	d.Build.Module = s.module
+	d.Build.GoVersion = runtime.Version()
+	d.Cache.Served = s.blobServed.Value()
+	d.Cache.NotModified = s.blobNotModified.Value()
+	d.Cache.Missing = s.blobMissing.Value()
 	if total := d.Cache.Served + d.Cache.NotModified; total > 0 {
 		d.Cache.HitRate = float64(d.Cache.NotModified) / float64(total)
 	}
@@ -117,19 +171,20 @@ func (s *serverStats) doc(now time.Time, campaigns, storeObjects int, live []Lea
 	if len(live) > 0 {
 		d.Leases.OldestAgeS = live[0].AgeSeconds
 	}
-	d.Leases.Granted = s.leasesGranted.Load()
-	d.Leases.Expired = s.leasesExpired.Load()
-	d.Leases.Completed = s.leasesCompleted.Load()
-	d.Leases.Failed = s.leasesFailed.Load()
-	d.Leases.LateCompletes = s.lateCompletes.Load()
+	d.Leases.Granted = s.leasesGranted.Value()
+	d.Leases.Expired = s.leasesExpired.Value()
+	d.Leases.Completed = s.leasesCompleted.Value()
+	d.Leases.Failed = s.leasesFailed.Value()
+	d.Leases.LateCompletes = s.lateCompletes.Value()
 	d.Leases.Live = live
-	d.Traces.Rendered = s.tracesRendered.Load()
-	d.Traces.Cached = s.tracesCached.Load()
+	d.Traces.Rendered = s.tracesRendered.Value()
+	d.Traces.Cached = s.tracesCached.Value()
 	s.mu.Lock()
 	for route, rs := range s.routes {
-		doc := RouteDoc{Count: rs.Count, Errors: rs.Errors, MaxMs: float64(rs.MaxNs) / 1e6}
-		if rs.Count > 0 {
-			doc.AvgMs = float64(rs.TotalNs) / float64(rs.Count) / 1e6
+		snap := rs.hist.Snapshot()
+		doc := RouteDoc{Count: snap.Count, Errors: rs.errors.Value(), MaxMs: float64(rs.maxNs) / 1e6}
+		if snap.Count > 0 {
+			doc.AvgMs = snap.Sum / float64(snap.Count) * 1e3
 		}
 		d.Requests[route] = doc
 	}
@@ -137,13 +192,24 @@ func (s *serverStats) doc(now time.Time, campaigns, storeObjects int, live []Lea
 	return d
 }
 
-// statusRecorder captures the response code for latency accounting.
+// statusRecorder captures the response code, byte count, and — set by
+// the per-pattern instrument — which registered route matched, for
+// latency accounting and access logs. A request no pattern claimed
+// leaves route empty and is accounted as "unmatched".
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
+	route  string
 }
 
 func (w *statusRecorder) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }

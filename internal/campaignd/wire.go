@@ -171,6 +171,14 @@ type ErrorDoc struct {
 	Error string `json:"error"`
 }
 
+// ReadyDoc is the GET /readyz body: "ready" with 200, or "draining" /
+// "store-unreachable" with 503.
+type ReadyDoc struct {
+	Status       string `json:"status"`
+	StoreObjects int    `json:"store_objects,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
 // SpecID is a campaign's deterministic identity: the first 16 hex digits
 // of the sha256 of the spec's canonical JSON. Submitting the same spec
 // twice yields the same campaign — submission is idempotent by

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// le buckets are inclusive upper bounds: 1.0 lands in le="1".
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 4.1, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 2, 2} // le=1: {0.5,1}; le=2: {1.5,2}; le=4: {3.9,4}; +Inf: {4.1,100}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (snapshot %+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	if wantSum := 0.5 + 1 + 1.5 + 2 + 3.9 + 4 + 4.1 + 100; math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", s.Sum, wantSum)
+	}
+
+	// Malformed bounds are rejected up front.
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+}
+
+func TestDefaultLatencyBucketsAreLogSpaced(t *testing.T) {
+	b := DefaultLatencyBuckets
+	if len(b) != 18 {
+		t.Fatalf("len = %d, want 18", len(b))
+	}
+	if math.Abs(b[0]-100e-6) > 1e-12 {
+		t.Errorf("first bound = %g, want 100µs", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if ratio := b[i] / b[i-1]; math.Abs(ratio-2) > 1e-9 {
+			t.Errorf("bucket %d ratio = %g, want 2", i, ratio)
+		}
+	}
+	// The top bucket must comfortably hold a multi-second trace render.
+	if b[len(b)-1] < 10 {
+		t.Errorf("top bound %gs too small", b[len(b)-1])
+	}
+}
+
+func TestHistogramMergeDeterminism(t *testing.T) {
+	mk := func(values ...float64) HistogramSnapshot {
+		h, err := NewHistogram([]float64{0.01, 0.1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range values {
+			h.Observe(v)
+		}
+		return h.Snapshot()
+	}
+	a := mk(0.005, 0.05, 5)
+	b := mk(0.5, 0.05)
+
+	ab, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := b.Merge(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Count != 5 || ba.Count != 5 {
+		t.Errorf("merged counts: %d / %d, want 5", ab.Count, ba.Count)
+	}
+	for i := range ab.Counts {
+		if ab.Counts[i] != ba.Counts[i] {
+			t.Errorf("merge not commutative at bucket %d: %d vs %d", i, ab.Counts[i], ba.Counts[i])
+		}
+	}
+	if math.Abs(ab.Sum-ba.Sum) > 1e-12 {
+		t.Errorf("merged sums differ: %g vs %g", ab.Sum, ba.Sum)
+	}
+
+	// Layout mismatches refuse instead of misbinning.
+	h2, _ := NewHistogram([]float64{1, 2})
+	if _, err := a.Merge(h2.Snapshot()); err == nil {
+		t.Error("merge across different layouts accepted")
+	}
+}
+
+// TestRegistryConcurrentHammer exercises every primitive from many
+// goroutines; run under -race this is the data-race proof, and the final
+// counts must still be exact.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry(Label{Key: "module", Value: "test"})
+	const workers, iters = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Lazily looked-up children from every goroutine: the lookup
+			// itself is part of what is being hammered.
+			c := r.Counter("hammer_total", "hammered events")
+			h := r.Histogram("hammer_seconds", "hammered latencies", []float64{0.001, 0.01, 0.1})
+			g := r.Gauge("hammer_gauge", "hammered gauge")
+			routed := r.Counter("hammer_routed_total", "per-route", Label{Key: "route", Value: []string{"a", "b"}[w%2]})
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				routed.Inc()
+				h.Observe(float64(i%100) / 1000.0)
+				g.Set(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("hammer_total", "").Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	s := r.Histogram("hammer_seconds", "", []float64{0.001, 0.01, 0.1}).Snapshot()
+	if s.Count != workers*iters {
+		t.Errorf("histogram count = %d, want %d", s.Count, workers*iters)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Errorf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	a := r.Counter("hammer_routed_total", "", Label{Key: "route", Value: "a"}).Value()
+	b := r.Counter("hammer_routed_total", "", Label{Key: "route", Value: "b"}).Value()
+	if a+b != workers*iters {
+		t.Errorf("routed split %d+%d, want %d total", a, b, workers*iters)
+	}
+}
+
+func TestRegistryLookupIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "x", Label{Key: "k", Value: "v"})
+	c2 := r.Counter("x_total", "x", Label{Key: "k", Value: "v"})
+	if c1 != c2 {
+		t.Error("same (name, labels) produced distinct counters")
+	}
+	if c3 := r.Counter("x_total", "x", Label{Key: "k", Value: "w"}); c3 == c1 {
+		t.Error("different labels shared a counter")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter family as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "now a gauge?")
+}

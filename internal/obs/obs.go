@@ -1,0 +1,177 @@
+// Package obs is the operational observability layer shared by the
+// service (campaignd) and the campaign engine: structured logging with
+// request- and lease-scoped correlation IDs threaded through context,
+// and a dependency-free metrics registry (counters, gauges, log-spaced
+// latency histograms) rendered both as Prometheus text exposition and
+// as JSON. One registry per process, one logger per process; everything
+// in here is safe for concurrent use.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ctxKey namespaces the context values this package owns.
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	leaseIDKey
+)
+
+// NewID returns a short random correlation id (8 bytes, hex). It is not
+// a UUID and does not need to be: ids only disambiguate concurrent
+// requests within one deployment's log window.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a constant
+		// fallback keeps logging working rather than panicking.
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns ctx carrying a request correlation id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request correlation id carried by ctx ("" when
+// absent).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// WithLeaseID returns ctx carrying a lease correlation id, scoping every
+// log line of a worker's compute to the lease it holds.
+func WithLeaseID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, leaseIDKey, id)
+}
+
+// LeaseID returns the lease correlation id carried by ctx ("" when
+// absent).
+func LeaseID(ctx context.Context) string {
+	id, _ := ctx.Value(leaseIDKey).(string)
+	return id
+}
+
+// ctxHandler decorates an slog.Handler with the correlation ids found in
+// each record's context, so call sites never thread ids by hand: pass
+// the request's ctx to the logger (InfoContext et al.) and the ids
+// appear as attributes.
+type ctxHandler struct {
+	inner slog.Handler
+}
+
+func (h ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := RequestID(ctx); id != "" {
+		rec.AddAttrs(slog.String("request_id", id))
+	}
+	if id := LeaseID(ctx); id != "" {
+		rec.AddAttrs(slog.String("lease_id", id))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{inner: h.inner.WithGroup(name)}
+}
+
+// discardHandler drops every record (a local stand-in for the
+// slog.DiscardHandler that newer toolchains ship).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Discard returns a logger that drops everything — the nil-config
+// default for library code.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+// NewLogger builds the package's standard logger: text or JSON records
+// on w at the given level, with context correlation ids auto-attached.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(ctxHandler{inner: h}), nil
+}
+
+// logfWriter adapts a printf-style sink to io.Writer, one call per
+// record, trailing newline trimmed.
+type logfWriter struct {
+	logf func(format string, args ...any)
+}
+
+func (w logfWriter) Write(p []byte) (int, error) {
+	w.logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
+
+// LogfLogger adapts a printf-style sink (testing.T.Logf, log.Printf)
+// into a debug-level text logger with correlation ids attached — the
+// bridge tests use to capture a server's structured logs.
+func LogfLogger(logf func(format string, args ...any)) *slog.Logger {
+	h := slog.NewTextHandler(logfWriter{logf: logf}, &slog.HandlerOptions{Level: slog.LevelDebug})
+	return slog.New(ctxHandler{inner: h})
+}
+
+// LogConfig is the CLI-facing logging configuration. Register the flags
+// with RegisterLogFlags, then call Logger after parsing.
+type LogConfig struct {
+	Format string // "text" | "json"
+	Level  string // "debug" | "info" | "warn" | "error"
+}
+
+// RegisterLogFlags adds the shared -log-format and -log-level flags to
+// fs and returns the config they fill.
+func RegisterLogFlags(fs *flag.FlagSet) *LogConfig {
+	c := &LogConfig{}
+	fs.StringVar(&c.Format, "log-format", "text", "log record format: text or json")
+	fs.StringVar(&c.Level, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	return c
+}
+
+// Logger builds the logger the parsed flags describe, writing to w.
+func (c *LogConfig) Logger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(c.Level) {
+	case "", "info":
+		level = slog.LevelInfo
+	case "debug":
+		level = slog.LevelDebug
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", c.Level)
+	}
+	return NewLogger(w, c.Format, level)
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("id %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestLoggerAttachesCorrelationIDsFromContext(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithRequestID(context.Background(), "req-1234")
+	ctx = WithLeaseID(ctx, "l7-abcd")
+	log.InfoContext(ctx, "leased unit", "unit", "fig1/s1")
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line %q: %v", buf.String(), err)
+	}
+	if rec["request_id"] != "req-1234" || rec["lease_id"] != "l7-abcd" {
+		t.Errorf("correlation ids missing: %v", rec)
+	}
+	if rec["unit"] != "fig1/s1" || rec["msg"] != "leased unit" {
+		t.Errorf("payload attrs lost: %v", rec)
+	}
+
+	// Without ids in context, no id attrs appear.
+	buf.Reset()
+	log.Info("plain")
+	if strings.Contains(buf.String(), "request_id") || strings.Contains(buf.String(), "lease_id") {
+		t.Errorf("ids attached without context: %s", buf.String())
+	}
+
+	// WithAttrs/WithGroup preserve the decoration.
+	buf.Reset()
+	log.With("worker", "w1").InfoContext(WithRequestID(context.Background(), "r2"), "derived")
+	if !strings.Contains(buf.String(), `"request_id":"r2"`) || !strings.Contains(buf.String(), `"worker":"w1"`) {
+		t.Errorf("derived logger lost decoration: %s", buf.String())
+	}
+}
+
+func TestRequestAndLeaseIDAccessors(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" || LeaseID(ctx) != "" {
+		t.Error("empty context returned ids")
+	}
+	ctx = WithLeaseID(WithRequestID(ctx, "r"), "l")
+	if RequestID(ctx) != "r" || LeaseID(ctx) != "l" {
+		t.Errorf("accessors: %q %q", RequestID(ctx), LeaseID(ctx))
+	}
+}
+
+func TestLogConfigFlags(t *testing.T) {
+	for _, tc := range []struct {
+		args    []string
+		level   slog.Level
+		wantErr bool
+	}{
+		{args: nil, level: slog.LevelInfo},
+		{args: []string{"-log-level", "debug"}, level: slog.LevelDebug},
+		{args: []string{"-log-level", "warn", "-log-format", "json"}, level: slog.LevelWarn},
+		{args: []string{"-log-level", "loud"}, wantErr: true},
+		{args: []string{"-log-format", "xml"}, wantErr: true},
+	} {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		cfg := RegisterLogFlags(fs)
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		log, err := cfg.Logger(&buf)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%v: no error", tc.args)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%v: %v", tc.args, err)
+			continue
+		}
+		log.Debug("d")
+		log.Warn("w")
+		gotDebug := strings.Contains(buf.String(), "d")
+		if wantDebug := tc.level <= slog.LevelDebug; gotDebug != wantDebug {
+			t.Errorf("%v: debug emitted=%v, want %v (out %q)", tc.args, gotDebug, wantDebug, buf.String())
+		}
+	}
+}
+
+func TestDiscardLoggerDropsEverything(t *testing.T) {
+	log := Discard()
+	log.Error("nothing happens")
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Error("discard logger claims to be enabled")
+	}
+}
+
+func TestLoggerTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "text", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.InfoContext(WithRequestID(context.Background(), "abc"), "served", "status", 200)
+	line := buf.String()
+	if !strings.Contains(line, "request_id=abc") || !strings.Contains(line, "status=200") {
+		t.Errorf("text line: %q", line)
+	}
+	if _, err := NewLogger(io.Discard, "yaml", slog.LevelInfo); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeLabelValue applies the Prometheus text-format label escapes.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// escapeHelp applies the help-string escapes.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders {k="v",...} from the series labels merged with
+// the registry constants plus any extra pairs (histogram le). Keys are
+// emitted in sorted order for byte-deterministic output.
+func renderLabels(consts, labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(consts)+len(labels)+len(extra))
+	all = append(all, consts...)
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (v0.0.4): families sorted by name, series sorted by label
+// signature, one HELP/TYPE header per family. The output is
+// byte-deterministic for a given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.snapshotMetrics()
+	sort.SliceStable(metrics, func(i, j int) bool {
+		if metrics[i].name != metrics[j].name {
+			return metrics[i].name < metrics[j].name
+		}
+		return labelSignature(metrics[i].labels) < labelSignature(metrics[j].labels)
+	})
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, m := range metrics {
+		if m.name != lastFamily {
+			lastFamily = m.name
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind.promType())
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s%s %s\n", m.name, renderLabels(r.consts, m.labels), formatValue(float64(m.counter.Value())))
+		case kindGauge:
+			fmt.Fprintf(bw, "%s%s %s\n", m.name, renderLabels(r.consts, m.labels), formatValue(m.gauge.Value()))
+		case kindGaugeFunc:
+			r.mu.Lock()
+			f := m.gaugeFn
+			r.mu.Unlock()
+			v := 0.0
+			if f != nil {
+				v = f()
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", m.name, renderLabels(r.consts, m.labels), formatValue(v))
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			cum := uint64(0)
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", m.name,
+					renderLabels(r.consts, m.labels, Label{Key: "le", Value: formatValue(bound)}), cum)
+			}
+			cum += s.Counts[len(s.Counts)-1]
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", m.name,
+				renderLabels(r.consts, m.labels, Label{Key: "le", Value: "+Inf"}), cum)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", m.name, renderLabels(r.consts, m.labels), formatValue(s.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", m.name, renderLabels(r.consts, m.labels), s.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// PromFamily is one metric family seen by the lint parser.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples int
+}
+
+// PromDoc is the lint parser's summary of one exposition.
+type PromDoc struct {
+	Families map[string]*PromFamily
+	Samples  int
+
+	values map[string]float64 // first-seen value per series name
+}
+
+// Sample returns the value of the first sample whose series name matches
+// name exactly (ignoring labels), and whether one was seen.
+func (d *PromDoc) Sample(name string) (float64, bool) {
+	f, ok := d.values[name]
+	return f, ok
+}
+
+func isValidMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isValidLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// familyOf strips the histogram/summary series suffixes back to the
+// declared family name.
+func familyOf(series string, families map[string]*PromFamily) (*PromFamily, bool) {
+	if f, ok := families[series]; ok {
+		return f, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(series, suffix)
+		if base == series {
+			continue
+		}
+		if f, ok := families[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// parseLabels consumes a {k="v",...} block, validating names and escape
+// sequences, and returns the label map.
+func parseLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return out, nil
+	}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q missing '='", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !isValidLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		rest := strings.TrimSpace(s[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", name)
+		}
+		// Scan the quoted value honoring escapes.
+		var val strings.Builder
+		i := 1
+		closed := false
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, fmt.Errorf("label %s value ends mid-escape", name)
+				}
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %s value has unknown escape \\%c", name, rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %s value unterminated", name)
+		}
+		out[name] = val.String()
+		s = strings.TrimSpace(rest[i:])
+		if s == "" {
+			break
+		}
+		if s[0] != ',' {
+			return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+		}
+		s = strings.TrimSpace(s[1:])
+	}
+	return out, nil
+}
+
+// ParsePrometheusText is the promtext-lint parser: it validates that an
+// exposition parses — metric and label names well-formed, label values
+// properly quoted and escaped, sample values numeric, TYPE declarations
+// known, histogram series carrying le — and summarizes what it saw. It
+// is deliberately small (CI gates on it without any new dependency) and
+// rejects anything the real Prometheus scraper would.
+func ParsePrometheusText(r io.Reader) (*PromDoc, error) {
+	doc := &PromDoc{Families: make(map[string]*PromFamily), values: make(map[string]float64)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 3 || !isValidMetricName(fields[2]) {
+					return nil, fmt.Errorf("obs: line %d: malformed HELP: %q", lineNo, line)
+				}
+				f := doc.family(fields[2])
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+			case "TYPE":
+				if len(fields) != 4 || !isValidMetricName(fields[2]) {
+					return nil, fmt.Errorf("obs: line %d: malformed TYPE: %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown type %q", lineNo, fields[3])
+				}
+				doc.family(fields[2]).Type = fields[3]
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value [timestamp]
+		name := line
+		labelPart := ""
+		if open := strings.IndexByte(line, '{'); open >= 0 {
+			closeIdx := strings.LastIndexByte(line, '}')
+			if closeIdx < open {
+				return nil, fmt.Errorf("obs: line %d: unbalanced label braces: %q", lineNo, line)
+			}
+			name = line[:open]
+			labelPart = line[open+1 : closeIdx]
+			line = line[closeIdx+1:]
+		} else {
+			sp := strings.IndexAny(line, " \t")
+			if sp < 0 {
+				return nil, fmt.Errorf("obs: line %d: sample without value: %q", lineNo, line)
+			}
+			name = line[:sp]
+			line = line[sp:]
+		}
+		if !isValidMetricName(name) {
+			return nil, fmt.Errorf("obs: line %d: invalid metric name %q", lineNo, name)
+		}
+		labels, err := parseLabels(labelPart)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %v", lineNo, err)
+		}
+		rest := strings.Fields(line)
+		if len(rest) == 0 || len(rest) > 2 {
+			return nil, fmt.Errorf("obs: line %d: want value [timestamp], got %q", lineNo, line)
+		}
+		v, err := parseSampleValue(rest[0])
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad sample value %q", lineNo, rest[0])
+		}
+		if len(rest) == 2 {
+			if _, err := strconv.ParseInt(rest[1], 10, 64); err != nil {
+				return nil, fmt.Errorf("obs: line %d: bad timestamp %q", lineNo, rest[1])
+			}
+		}
+		if f, ok := familyOf(name, doc.Families); ok {
+			f.Samples++
+			if f.Type == "histogram" && strings.HasSuffix(name, "_bucket") {
+				if _, ok := labels["le"]; !ok {
+					return nil, fmt.Errorf("obs: line %d: histogram bucket without le label: %q", lineNo, name)
+				}
+			}
+		}
+		if _, ok := doc.values[name]; !ok {
+			doc.values[name] = v
+		}
+		doc.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading exposition: %w", err)
+	}
+	return doc, nil
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func (d *PromDoc) family(name string) *PromFamily {
+	f, ok := d.Families[name]
+	if !ok {
+		f = &PromFamily{Name: name}
+		d.Families[name] = f
+	}
+	return f
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeSampler caches one runtime.ReadMemStats per interval so a tight
+// scrape loop (or several gauges sampled in one exposition) cannot turn
+// the stop-the-world read into measurable overhead.
+type runtimeSampler struct {
+	mu  sync.Mutex
+	at  time.Time
+	mem runtime.MemStats
+	ttl time.Duration
+	now func() time.Time
+}
+
+func (s *runtimeSampler) stats() *runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	if s.at.IsZero() || now.Sub(s.at) >= s.ttl {
+		runtime.ReadMemStats(&s.mem)
+		s.at = now
+	}
+	return &s.mem
+}
+
+// RegisterRuntimeMetrics adds the process health gauges — goroutines,
+// heap, GC — to the registry, sampled at exposition time (memory stats
+// are cached for one second between reads).
+func RegisterRuntimeMetrics(r *Registry) {
+	s := &runtimeSampler{ttl: time.Second, now: time.Now}
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(s.stats().HeapAlloc) })
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(s.stats().HeapObjects) })
+	r.GaugeFunc("go_memstats_sys_bytes", "Bytes of memory obtained from the OS.",
+		func() float64 { return float64(s.stats().Sys) })
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(s.stats().NumGC) })
+	r.GaugeFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(s.stats().PauseTotalNs) / 1e9 })
+}

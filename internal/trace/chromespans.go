@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Span is a generic named interval on a named track, the shape the
+// campaign layer's progress spans reduce to. Times are microseconds on
+// whatever epoch the caller picked (Chrome trace viewers only care
+// about relative position).
+type Span struct {
+	Track   string // one timeline row per distinct track
+	Name    string // slice label
+	Cat     string // category, drives viewer colouring/filtering
+	StartUs float64
+	DurUs   float64
+	Args    map[string]any // extra key/values shown on click
+}
+
+// WriteChromeSpans renders generic spans as Chrome trace-event JSON
+// (Perfetto-loadable), one thread per track. Tracks are numbered in
+// sorted-name order and spans emitted in (start, track, name) order, so
+// the output is deterministic for a given input.
+func WriteChromeSpans(w io.Writer, process string, spans []Span) error {
+	const pid = 1
+	tracks := map[string]int{}
+	for _, s := range spans {
+		if _, ok := tracks[s.Track]; !ok {
+			tracks[s.Track] = 0
+		}
+	}
+	names := make([]string, 0, len(tracks))
+	for name := range tracks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		tracks[name] = i + 1
+	}
+
+	out := make([]chromeEvent, 0, len(spans)+len(names)+1)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": process},
+	})
+	for _, name := range names {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tracks[name],
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	ordered := make([]Span, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.StartUs != b.StartUs {
+			return a.StartUs < b.StartUs
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.Name < b.Name
+	})
+	for _, s := range ordered {
+		if s.DurUs < 0 {
+			return fmt.Errorf("trace: span %q on %q has negative duration", s.Name, s.Track)
+		}
+		out = append(out, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Ts: s.StartUs, Dur: s.DurUs,
+			Pid: pid, Tid: tracks[s.Track], Args: s.Args,
+		})
+	}
+
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
